@@ -1,0 +1,88 @@
+// Experiment E10 (extension): runtime and output-size scaling of the design
+// methods, with google-benchmark timing.
+//
+// Sweeps the literal count of random factored expressions and measures the
+// §4.1 synthesis, the §4.2 transformation (extraction + re-synthesis), the
+// §5 enhancement, and the exhaustive full-connectivity check.
+#include <benchmark/benchmark.h>
+
+#include "core/checks.hpp"
+#include "core/enhancer.hpp"
+#include "core/fc_synthesizer.hpp"
+#include "core/genuine_builder.hpp"
+#include "core/transformer.hpp"
+#include "expr/random_expr.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sable;
+
+ExprPtr expression_for(std::size_t literals, std::size_t num_vars) {
+  Rng rng(0xBEEF ^ literals);
+  RandomExprOptions opt;
+  opt.num_vars = num_vars;
+  opt.num_literals = literals;
+  return random_nnf(rng, opt);
+}
+
+void BM_FcSynthesis(benchmark::State& state) {
+  const auto literals = static_cast<std::size_t>(state.range(0));
+  const ExprPtr f = expression_for(literals, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synthesize_fc_dpdn(f, 6));
+  }
+  state.counters["devices"] =
+      static_cast<double>(synthesize_fc_dpdn(f, 6).device_count());
+}
+BENCHMARK(BM_FcSynthesis)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_EnhancedSynthesis(benchmark::State& state) {
+  const auto literals = static_cast<std::size_t>(state.range(0));
+  const ExprPtr f = expression_for(literals, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synthesize_enhanced_dpdn(f, 6));
+  }
+  state.counters["devices"] =
+      static_cast<double>(synthesize_enhanced_dpdn(f, 6).device_count());
+}
+BENCHMARK(BM_EnhancedSynthesis)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Transformation(benchmark::State& state) {
+  const auto literals = static_cast<std::size_t>(state.range(0));
+  const ExprPtr f = expression_for(literals, 6);
+  const DpdnNetwork genuine = build_genuine_dpdn(f, 6);
+  const VarTable vars = VarTable::alphabetic(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transform_to_fully_connected(genuine, vars));
+  }
+}
+BENCHMARK(BM_Transformation)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_FullConnectivityCheck(benchmark::State& state) {
+  const auto literals = static_cast<std::size_t>(state.range(0));
+  const auto num_vars = static_cast<std::size_t>(state.range(1));
+  const ExprPtr f = expression_for(literals, num_vars);
+  const DpdnNetwork net = synthesize_fc_dpdn(f, num_vars);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_full_connectivity(net));
+  }
+}
+BENCHMARK(BM_FullConnectivityCheck)
+    ->Args({16, 4})
+    ->Args({16, 6})
+    ->Args({16, 8})
+    ->Args({16, 10});
+
+void BM_GenuineBaseline(benchmark::State& state) {
+  const auto literals = static_cast<std::size_t>(state.range(0));
+  const ExprPtr f = expression_for(literals, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_genuine_dpdn(f, 6));
+  }
+}
+BENCHMARK(BM_GenuineBaseline)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

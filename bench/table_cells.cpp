@@ -1,0 +1,51 @@
+// Experiment E8 (extension): the full cell-library table.
+//
+// For every library cell and every network variant: device/dummy counts,
+// evaluation depth range, discharge-resistance spread, per-cycle energy
+// mean, and the NED/NSD balancedness metrics from the switch-level model.
+// This is the datasheet a designer would consult when adopting the method.
+#include <cstdio>
+
+#include "cell/library.hpp"
+#include "core/depth_analysis.hpp"
+#include "core/resistance.hpp"
+#include "power/stats.hpp"
+#include "switchsim/energy.hpp"
+#include "util/strings.hpp"
+
+using namespace sable;
+
+int main() {
+  const Technology tech = Technology::generic_180nm();
+  std::printf("== E8: differential cell library datasheet ==================\n");
+  std::printf("%-7s %-16s %4s %6s %7s %10s %11s %8s %8s\n", "cell", "variant",
+              "dev", "dummy", "depth", "R spread", "E mean", "NED", "NSD");
+
+  for (CellFunction f : all_cell_functions()) {
+    for (NetworkVariant v :
+         {NetworkVariant::kGenuine, NetworkVariant::kFullyConnected,
+          NetworkVariant::kEnhanced}) {
+      const Cell cell = make_cell(f, v, tech);
+      const DepthReport depth = analyze_evaluation_depth(cell.network);
+      const ResistanceReport res = analyze_discharge_resistance(cell.network);
+      const EnergyProfile profile =
+          profile_gate_energy(cell.network, cell.energy_model);
+      char depth_str[16];
+      std::snprintf(depth_str, sizeof depth_str, "%zu..%zu", depth.min_depth,
+                    depth.max_depth);
+      std::printf("%-7s %-16s %4zu %6zu %7s %9.1f%% %11s %7.2f%% %7.2f%%\n",
+                  to_string(f), to_string(v), cell.network.device_count(),
+                  cell.network.pass_gate_device_count(), depth_str,
+                  res.relative_spread * 100.0,
+                  format_eng(profile.mean_energy, "J").c_str(),
+                  profile.ned * 100.0, profile.nsd * 100.0);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Reading: genuine networks have NED > 0 whenever they own internal\n"
+      "nodes (the §2 memory effect); fully connected and enhanced variants\n"
+      "score NED = NSD = 0 in the switch model, and enhanced additionally\n"
+      "pins the depth and discharge resistance.\n");
+  return 0;
+}

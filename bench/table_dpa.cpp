@@ -1,0 +1,137 @@
+// Experiment E9 (extension): DPA resistance by logic style.
+//
+// The paper's motivating threat: first-order power attacks on a cipher's
+// nonlinear layer. For each logic style we collect simulated traces of a
+// PRESENT S-box with a secret key, run CPA (Hamming-weight model) and DoM
+// (best output bit), and report the correct-key rank, the leading guess,
+// and measurements-to-disclosure.
+#include <cstdio>
+
+#include "crypto/target.hpp"
+#include "dpa/attack.hpp"
+#include "dpa/mtd.hpp"
+#include "util/rng.hpp"
+
+using namespace sable;
+
+namespace {
+
+struct Row {
+  LogicStyle style;
+  std::size_t cpa_rank = 0;
+  double cpa_rho = 0.0;
+  std::size_t dom_rank = 0;
+  bool disclosed = false;
+  std::size_t mtd = 0;
+};
+
+Row evaluate_style(LogicStyle style, std::uint8_t key, std::size_t num_traces,
+                   double noise) {
+  const Technology tech = Technology::generic_180nm();
+  const SboxSpec spec = present_spec();
+  SboxTarget target(spec, style, tech);
+  Rng rng(0xDEC0DE);
+
+  TraceSet traces;
+  for (std::size_t i = 0; i < num_traces; ++i) {
+    const auto pt = static_cast<std::uint8_t>(rng.below(16));
+    traces.add(pt, target.trace(pt, key, noise, rng));
+  }
+
+  Row row{style};
+  const AttackResult cpa =
+      cpa_attack(traces, spec, PowerModel::kHammingWeight);
+  row.cpa_rank = cpa.rank_of(key);
+  row.cpa_rho = cpa.score[key];
+
+  // Combine the per-bit difference-of-means scores by taking, for every
+  // guess, its strongest bias over the output bits (the attacker does not
+  // know which bit leaks best, so max-combining is the honest procedure).
+  std::vector<double> combined(std::size_t{1} << spec.in_bits, 0.0);
+  for (std::size_t bit = 0; bit < spec.out_bits; ++bit) {
+    const AttackResult dom = dom_attack(traces, spec, bit);
+    for (std::size_t g = 0; g < combined.size(); ++g) {
+      combined[g] = std::max(combined[g], dom.score[g]);
+    }
+  }
+  std::size_t dom_rank = 0;
+  for (std::size_t g = 0; g < combined.size(); ++g) {
+    if (g != key && combined[g] > combined[key]) ++dom_rank;
+  }
+  row.dom_rank = dom_rank;
+
+  const MtdResult mtd = measurements_to_disclosure(
+      traces, key, default_checkpoints(num_traces), [&](const TraceSet& t) {
+        return cpa_attack(t, spec, PowerModel::kHammingWeight);
+      });
+  row.disclosed = mtd.disclosed;
+  row.mtd = mtd.mtd;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint8_t key = 0x7;
+  const std::size_t num_traces = 8000;
+  const double noise = 2e-16;
+
+  std::printf("== E9: DPA resistance by logic style ========================\n");
+  std::printf("PRESENT S-box, key=0x%X, %zu traces, noise %.0e J RMS\n\n", key,
+              num_traces, noise);
+  std::printf("%-22s %9s %10s %9s %12s\n", "logic style", "CPA rank",
+              "|rho(key)|", "DoM rank", "MTD");
+
+  for (LogicStyle style :
+       {LogicStyle::kStaticCmos, LogicStyle::kSablGenuine,
+        LogicStyle::kSablFullyConnected, LogicStyle::kSablEnhanced,
+        LogicStyle::kWddlBalanced, LogicStyle::kWddlMismatched}) {
+    const Row row = evaluate_style(style, key, num_traces, noise);
+    char mtd_str[32];
+    if (row.disclosed) {
+      std::snprintf(mtd_str, sizeof mtd_str, "%zu", row.mtd);
+    } else {
+      std::snprintf(mtd_str, sizeof mtd_str, "> %zu", num_traces);
+    }
+    std::printf("%-22s %9zu %10.3f %9zu %12s\n", to_string(row.style),
+                row.cpa_rank, row.cpa_rho, row.dom_rank, mtd_str);
+  }
+  std::printf(
+      "\nExpected shape: CMOS and SABL-genuine disclose the key within a few\n"
+      "hundred traces; the fully connected and enhanced styles never rank\n"
+      "the key first with statistical confidence (constant-power gates).\n"
+      "WDDL (the standard-cell countermeasure class of the paper's ref [8])\n"
+      "holds only while its rails stay perfectly balanced — 5%% capacitance\n"
+      "mismatch reopens the leak, which is the paper's argument for custom\n"
+      "gates with controlled internals.\n");
+
+  // Wider targets: the attack scales to DES (6-bit) and AES (8-bit)
+  // S-boxes; the constant-power property must hold regardless of width.
+  std::printf("\nwider S-boxes (CPA/HW, correct-key rank):\n");
+  std::printf("%-10s %8s %22s %22s\n", "S-box", "guesses", "static-CMOS",
+              "SABL-fully-connected");
+  for (const SboxSpec& spec : {des1_spec(), aes_spec()}) {
+    const Technology tech = Technology::generic_180nm();
+    const auto wide_key =
+        static_cast<std::uint8_t>(0x2A & ((1u << spec.in_bits) - 1));
+    std::size_t ranks[2] = {0, 0};
+    int col = 0;
+    for (LogicStyle style :
+         {LogicStyle::kStaticCmos, LogicStyle::kSablFullyConnected}) {
+      SboxTarget target(spec, style, tech);
+      Rng rng(0xFACE);
+      TraceSet traces;
+      for (std::size_t i = 0; i < 4000; ++i) {
+        const auto pt = static_cast<std::uint8_t>(
+            rng.below(std::uint64_t{1} << spec.in_bits));
+        traces.add(pt, target.trace(pt, wide_key, noise, rng));
+      }
+      ranks[col++] =
+          cpa_attack(traces, spec, PowerModel::kHammingWeight)
+              .rank_of(wide_key);
+    }
+    std::printf("%-10s %8zu %22zu %22zu\n", spec.name,
+                std::size_t{1} << spec.in_bits, ranks[0], ranks[1]);
+  }
+  return 0;
+}

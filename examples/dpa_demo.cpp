@@ -1,0 +1,70 @@
+// Differential power analysis demo: the attack the paper defends against.
+//
+// Simulates a PRESENT S-box with a secret key in three logic styles,
+// collects power traces, runs a correlation attack for every key guess and
+// reports whether the secret leaks. Static CMOS falls quickly, the genuine
+// dynamic differential implementation leaks through its floating internal
+// nodes, and the fully connected SABL implementation holds.
+#include <cstdio>
+
+#include "crypto/target.hpp"
+#include "dpa/attack.hpp"
+#include "dpa/mtd.hpp"
+#include "util/rng.hpp"
+
+using namespace sable;
+
+namespace {
+
+void attack_style(LogicStyle style, std::uint8_t key, std::size_t num_traces,
+                  double noise) {
+  const Technology tech = Technology::generic_180nm();
+  const SboxSpec spec = present_spec();
+  SboxTarget target(spec, style, tech);
+  Rng rng(0xA77ACC);
+
+  TraceSet traces;
+  for (std::size_t i = 0; i < num_traces; ++i) {
+    const auto pt = static_cast<std::uint8_t>(rng.below(16));
+    traces.add(pt, target.trace(pt, key, noise, rng));
+  }
+
+  const AttackResult result =
+      cpa_attack(traces, spec, PowerModel::kHammingWeight);
+  const auto checkpoints = default_checkpoints(num_traces);
+  const MtdResult mtd = measurements_to_disclosure(
+      traces, key, checkpoints, [&](const TraceSet& t) {
+        return cpa_attack(t, spec, PowerModel::kHammingWeight);
+      });
+
+  std::printf("%-22s best guess = 0x%X (|rho| = %.3f), correct key rank %zu",
+              to_string(style), result.best_guess,
+              result.score[result.best_guess], result.rank_of(key));
+  if (mtd.disclosed) {
+    std::printf(", DISCLOSED after ~%zu traces\n", mtd.mtd);
+  } else {
+    std::printf(", key NOT disclosed in %zu traces\n", num_traces);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const std::uint8_t secret_key = 0xB;
+  const std::size_t num_traces = 5000;
+  const double noise = 2e-16;  // ~0.2 fJ RMS measurement noise
+
+  std::printf("CPA attack on PRESENT S-box, secret key = 0x%X, %zu traces\n\n",
+              secret_key, num_traces);
+  attack_style(LogicStyle::kStaticCmos, secret_key, num_traces, noise);
+  attack_style(LogicStyle::kSablGenuine, secret_key, num_traces, noise);
+  attack_style(LogicStyle::kSablFullyConnected, secret_key, num_traces,
+               noise);
+  attack_style(LogicStyle::kSablEnhanced, secret_key, num_traces, noise);
+  attack_style(LogicStyle::kWddlBalanced, secret_key, num_traces, noise);
+  attack_style(LogicStyle::kWddlMismatched, secret_key, num_traces, noise);
+  std::printf(
+      "\nThe fully connected/enhanced gates draw an input-independent charge\n"
+      "every cycle, so the correlation for every key guess is noise.\n");
+  return 0;
+}

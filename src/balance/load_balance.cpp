@@ -1,0 +1,90 @@
+#include "balance/load_balance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tech/capacitance.hpp"
+#include "util/error.hpp"
+
+namespace sable {
+
+std::vector<RailLoad> extract_rail_loads(const GateCircuit& circuit,
+                                         const Technology& tech,
+                                         const SizingPlan& sizing) {
+  const std::size_t num_signals =
+      circuit.num_primary_inputs() + circuit.gates().size();
+  std::vector<RailLoad> loads(num_signals);
+
+  for (const auto& inst : circuit.gates()) {
+    const Cell& cell = circuit.cells()[inst.cell_index];
+    for (std::size_t k = 0; k < inst.inputs.size(); ++k) {
+      const SignalRef& ref = inst.inputs[k];
+      // Input capacitance this cell presents on each polarity of its
+      // k-th input pin.
+      const double cin_true = input_capacitance(
+          cell.network, tech, sizing, static_cast<VarId>(k), true);
+      const double cin_false = input_capacitance(
+          cell.network, tech, sizing, static_cast<VarId>(k), false);
+      const std::size_t signal =
+          ref.kind == SignalRef::Kind::kInput
+              ? ref.index
+              : circuit.num_primary_inputs() + ref.index;
+      // A negated connection swaps which rail of the driver feeds which
+      // polarity of the pin.
+      if (ref.positive) {
+        loads[signal].true_rail += cin_true;
+        loads[signal].false_rail += cin_false;
+      } else {
+        loads[signal].true_rail += cin_false;
+        loads[signal].false_rail += cin_true;
+      }
+    }
+  }
+  return loads;
+}
+
+void add_routing_capacitance(std::vector<RailLoad>& loads, double wire_mean,
+                             double wire_spread, Rng& rng) {
+  for (auto& load : loads) {
+    load.true_rail += wire_mean + wire_spread * (2.0 * rng.uniform() - 1.0);
+    load.false_rail += wire_mean + wire_spread * (2.0 * rng.uniform() - 1.0);
+  }
+}
+
+BalanceReport balance_rail_loads(std::vector<RailLoad>& loads) {
+  BalanceReport report;
+  for (auto& load : loads) {
+    const double imbalance = load.imbalance();
+    report.max_abs_imbalance =
+        std::max(report.max_abs_imbalance, std::fabs(imbalance));
+    report.total_imbalance += std::fabs(imbalance);
+    // Pad the lighter rail up to the heavier one.
+    if (imbalance > 0.0) {
+      load.false_rail += imbalance;
+    } else {
+      load.true_rail -= imbalance;
+    }
+    report.compensation_added += std::fabs(imbalance);
+  }
+  return report;
+}
+
+std::vector<GateEnergyModel> instance_models_with_loads(
+    const GateCircuit& circuit, const std::vector<RailLoad>& loads) {
+  SABLE_REQUIRE(
+      loads.size() == circuit.num_primary_inputs() + circuit.gates().size(),
+      "one RailLoad per signal required");
+  std::vector<GateEnergyModel> models;
+  models.reserve(circuit.gates().size());
+  for (std::size_t g = 0; g < circuit.gates().size(); ++g) {
+    const Cell& cell = circuit.cells()[circuit.gates()[g].cell_index];
+    GateEnergyModel model = cell.energy_model;
+    const RailLoad& load = loads[circuit.num_primary_inputs() + g];
+    model.out_true_extra = load.true_rail;
+    model.out_false_extra = load.false_rail;
+    models.push_back(std::move(model));
+  }
+  return models;
+}
+
+}  // namespace sable

@@ -1,0 +1,65 @@
+// Differential load extraction and balancing.
+//
+// §2 of the paper: "Since only one output undergoes a transition per
+// switching event, the total load at the true output should match the total
+// load at the false output." The load has three parts — intrinsic output
+// capacitance (balanced by the gate design), interconnect, and the input
+// capacitance of the fanout. The last two are a *back-end* responsibility:
+// an inverted connection (rail swap) loads the driver's rails with the
+// fanout cell's complementary input caps, and routing adds whatever the
+// router drew.
+//
+// This module extracts the per-rail loads of every differential signal in a
+// gate-level circuit, quantifies the imbalance, models unbalanced routing,
+// and computes the classic fix: trim capacitance added to the lighter rail
+// of every signal. The DPA benches use it to show that an unbalanced
+// back-end re-opens the side channel that the FC-DPDN closed, and that
+// balancing restores it — the paper's rationale for matched differential
+// routing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cell/circuit.hpp"
+#include "switchsim/gate_model.hpp"
+#include "util/rng.hpp"
+
+namespace sable {
+
+/// Capacitive load on the two rails of one differential signal [F].
+struct RailLoad {
+  double true_rail = 0.0;
+  double false_rail = 0.0;
+
+  double imbalance() const { return true_rail - false_rail; }
+};
+
+/// Rail loads of every signal: primary inputs first (index = input id),
+/// then gate outputs (index = num_primary_inputs + gate index).
+std::vector<RailLoad> extract_rail_loads(const GateCircuit& circuit,
+                                         const Technology& tech,
+                                         const SizingPlan& sizing);
+
+/// Adds deterministic random per-rail wire capacitance (mean `wire_mean`,
+/// spread +-`wire_spread`) to model an unbalanced place & route.
+void add_routing_capacitance(std::vector<RailLoad>& loads, double wire_mean,
+                             double wire_spread, Rng& rng);
+
+struct BalanceReport {
+  double max_abs_imbalance = 0.0;   // [F]
+  double total_imbalance = 0.0;     // sum of |imbalance| [F]
+  double compensation_added = 0.0;  // trim capacitance inserted [F]
+};
+
+/// Equalizes every signal's rails by padding the lighter one (trim caps /
+/// dummy fanout, the standard differential-routing fix). Returns what was
+/// done.
+BalanceReport balance_rail_loads(std::vector<RailLoad>& loads);
+
+/// Per-gate-instance energy models with the extra rail loads of each
+/// gate's *output* signal applied (to be fed to DifferentialCircuitSim).
+std::vector<GateEnergyModel> instance_models_with_loads(
+    const GateCircuit& circuit, const std::vector<RailLoad>& loads);
+
+}  // namespace sable

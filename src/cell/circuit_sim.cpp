@@ -1,0 +1,144 @@
+#include "cell/circuit_sim.hpp"
+
+#include "expr/truth_table.hpp"
+#include "util/error.hpp"
+
+namespace sable {
+
+namespace {
+
+// Computes all gate output values for one input vector; returns the vector
+// of gate values and fills `assignments` (per-gate input assignment) when
+// non-null.
+std::vector<bool> evaluate_gates(const GateCircuit& circuit,
+                                 std::uint64_t input_bits,
+                                 std::vector<std::uint64_t>* assignments) {
+  std::vector<bool> value(circuit.gates().size(), false);
+  auto resolve = [&](const SignalRef& ref) {
+    const bool raw = ref.kind == SignalRef::Kind::kInput
+                         ? ((input_bits >> ref.index) & 1u) != 0
+                         : value[ref.index];
+    return raw == ref.positive;
+  };
+  for (std::size_t g = 0; g < circuit.gates().size(); ++g) {
+    const GateInstance& inst = circuit.gates()[g];
+    const Cell& cell = circuit.cells()[inst.cell_index];
+    std::uint64_t assignment = 0;
+    for (std::size_t k = 0; k < inst.inputs.size(); ++k) {
+      if (resolve(inst.inputs[k])) assignment |= std::uint64_t{1} << k;
+    }
+    value[g] = evaluate(cell.function, assignment);
+    if (assignments != nullptr) (*assignments)[g] = assignment;
+  }
+  return value;
+}
+
+std::uint64_t collect_outputs(const GateCircuit& circuit,
+                              std::uint64_t input_bits,
+                              const std::vector<bool>& gate_values) {
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < circuit.outputs().size(); ++i) {
+    const SignalRef& ref = circuit.outputs()[i];
+    const bool raw = ref.kind == SignalRef::Kind::kInput
+                         ? ((input_bits >> ref.index) & 1u) != 0
+                         : gate_values[ref.index];
+    if (raw == ref.positive) out |= std::uint64_t{1} << i;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::size_t> gate_levels(const GateCircuit& circuit) {
+  std::vector<std::size_t> levels(circuit.gates().size(), 1);
+  for (std::size_t g = 0; g < circuit.gates().size(); ++g) {
+    for (const auto& in : circuit.gates()[g].inputs) {
+      if (in.kind == SignalRef::Kind::kGate) {
+        levels[g] = std::max(levels[g], levels[in.index] + 1);
+      }
+    }
+  }
+  return levels;
+}
+
+DifferentialCircuitSim::DifferentialCircuitSim(const GateCircuit& circuit)
+    : circuit_(circuit) {
+  gate_sims_.reserve(circuit.gates().size());
+  for (const auto& inst : circuit.gates()) {
+    const Cell& cell = circuit.cells()[inst.cell_index];
+    gate_sims_.emplace_back(cell.network, cell.energy_model);
+  }
+  levels_ = gate_levels(circuit);
+  for (std::size_t l : levels_) num_levels_ = std::max(num_levels_, l);
+}
+
+DifferentialCircuitSim::DifferentialCircuitSim(
+    const GateCircuit& circuit, std::vector<GateEnergyModel> models)
+    : circuit_(circuit) {
+  SABLE_REQUIRE(models.size() == circuit.gates().size(),
+                "one energy model per gate instance required");
+  gate_sims_.reserve(circuit.gates().size());
+  for (std::size_t g = 0; g < circuit.gates().size(); ++g) {
+    const Cell& cell = circuit.cells()[circuit.gates()[g].cell_index];
+    gate_sims_.emplace_back(cell.network, std::move(models[g]));
+  }
+  levels_ = gate_levels(circuit);
+  for (std::size_t l : levels_) num_levels_ = std::max(num_levels_, l);
+}
+
+SampledCycleResult DifferentialCircuitSim::cycle_sampled(
+    std::uint64_t input_bits) {
+  std::vector<std::uint64_t> assignments(circuit_.gates().size(), 0);
+  const std::vector<bool> values =
+      evaluate_gates(circuit_, input_bits, &assignments);
+  SampledCycleResult result;
+  result.level_energy.assign(num_levels_, 0.0);
+  for (std::size_t g = 0; g < gate_sims_.size(); ++g) {
+    result.level_energy[levels_[g] - 1] += gate_sims_[g].cycle(assignments[g]);
+  }
+  result.outputs = collect_outputs(circuit_, input_bits, values);
+  return result;
+}
+
+CycleResult DifferentialCircuitSim::cycle(std::uint64_t input_bits) {
+  std::vector<std::uint64_t> assignments(circuit_.gates().size(), 0);
+  const std::vector<bool> values =
+      evaluate_gates(circuit_, input_bits, &assignments);
+  CycleResult result;
+  for (std::size_t g = 0; g < gate_sims_.size(); ++g) {
+    result.energy += gate_sims_[g].cycle(assignments[g]);
+  }
+  result.outputs = collect_outputs(circuit_, input_bits, values);
+  return result;
+}
+
+CmosCircuitSim::CmosCircuitSim(const GateCircuit& circuit,
+                               double switch_energy)
+    : circuit_(circuit), switch_energy_(switch_energy) {
+  previous_values_.assign(circuit.gates().size(), false);
+}
+
+CycleResult CmosCircuitSim::cycle(std::uint64_t input_bits) {
+  const std::vector<bool> values =
+      evaluate_gates(circuit_, input_bits, nullptr);
+  CycleResult result;
+  for (std::size_t g = 0; g < values.size(); ++g) {
+    // Static CMOS draws supply energy when the output rises.
+    if (values[g] && (!has_previous_ || !previous_values_[g])) {
+      result.energy += switch_energy_;
+    }
+  }
+  previous_values_ = values;
+  has_previous_ = true;
+  result.outputs = collect_outputs(circuit_, input_bits, values);
+  return result;
+}
+
+std::uint64_t evaluate_circuit(const GateCircuit& circuit,
+                               std::uint64_t input_bits) {
+  const std::vector<bool> values =
+      evaluate_gates(circuit, input_bits, nullptr);
+  return collect_outputs(circuit, input_bits, values);
+}
+
+}  // namespace sable

@@ -1,0 +1,82 @@
+// Cycle-based simulation of gate-level circuits with per-gate energy.
+//
+// Two simulators share the circuit description:
+//  - DifferentialCircuitSim: every gate is a dynamic differential (SABL)
+//    gate simulated at switch level; per-cycle energy is the sum of gate
+//    energies, and floating-node state persists across cycles (the genuine
+//    variant leaks data through it).
+//  - CmosCircuitSim: the industry-baseline model — static CMOS gates
+//    consume C*VDD^2 on every 0->1 output transition (Hamming-distance
+//    leakage); this is the reference DPA-vulnerable implementation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cell/circuit.hpp"
+#include "switchsim/cycle_sim.hpp"
+
+namespace sable {
+
+struct CycleResult {
+  std::uint64_t outputs = 0;  // bit i = value of circuit output i
+  double energy = 0.0;        // supply energy of the cycle [J]
+};
+
+/// Time-resolved variant: one energy sample per logic level (gates at the
+/// same topological depth switch together), the granularity a sampling
+/// oscilloscope sees in a real DPA measurement.
+struct SampledCycleResult {
+  std::uint64_t outputs = 0;
+  std::vector<double> level_energy;
+};
+
+/// Topological level of every gate (primary inputs are level 0; a gate is
+/// one past its deepest input). Returned per gate instance.
+std::vector<std::size_t> gate_levels(const GateCircuit& circuit);
+
+class DifferentialCircuitSim {
+ public:
+  explicit DifferentialCircuitSim(const GateCircuit& circuit);
+
+  /// As above, but with one energy model per gate *instance* (e.g. with
+  /// per-instance routing loads from src/balance). `models` must have one
+  /// entry per gate.
+  DifferentialCircuitSim(const GateCircuit& circuit,
+                         std::vector<GateEnergyModel> models);
+
+  /// Evaluates one clock cycle with the given primary input bits.
+  CycleResult cycle(std::uint64_t input_bits);
+
+  /// As cycle(), with the energy split per logic level.
+  SampledCycleResult cycle_sampled(std::uint64_t input_bits);
+
+  /// Number of logic levels (= samples per cycle).
+  std::size_t num_levels() const { return num_levels_; }
+
+ private:
+  const GateCircuit& circuit_;
+  std::vector<SablGateSim> gate_sims_;  // one per gate instance
+  std::vector<std::size_t> levels_;
+  std::size_t num_levels_ = 0;
+};
+
+class CmosCircuitSim {
+ public:
+  /// `switch_energy` is the energy of one output 0->1 transition [J].
+  CmosCircuitSim(const GateCircuit& circuit, double switch_energy);
+
+  CycleResult cycle(std::uint64_t input_bits);
+
+ private:
+  const GateCircuit& circuit_;
+  double switch_energy_;
+  std::vector<bool> previous_values_;
+  bool has_previous_ = false;
+};
+
+/// Pure functional evaluation (no energy), for reference checks.
+std::uint64_t evaluate_circuit(const GateCircuit& circuit,
+                               std::uint64_t input_bits);
+
+}  // namespace sable

@@ -1,0 +1,68 @@
+// Differential standard-cell library.
+//
+// Every cell is a complete dynamic differential gate: one DPDN (in one of
+// the three §3/§5 variants) plus the SABL sense-amplifier wrapper, modelled
+// at switch level by a GateEnergyModel. Because gates are differential,
+// complemented functions come for free (swap the output rails), so the
+// library only carries one function per complementary pair (AND2 covers
+// NAND2, etc.).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "expr/expression.hpp"
+#include "netlist/network.hpp"
+#include "switchsim/gate_model.hpp"
+#include "tech/technology.hpp"
+
+namespace sable {
+
+enum class CellFunction {
+  kAnd2,   // A.B            (the paper's AND-NAND gate, Fig. 2/6)
+  kOr2,    // A + B
+  kXor2,   // A.B' + A'.B
+  kMux2,   // S.A + S'.B
+  kAnd3,   // A.B.C
+  kOr3,    // A + B + C
+  kAoi22,  // A.B + C.D
+  kOai22,  // (A+B).(C+D)    (the paper's design example, Fig. 5)
+  kMaj3,   // A.B + B.C + A.C
+  kXor3,   // parity of three inputs
+};
+
+enum class NetworkVariant {
+  kGenuine,         // traditional minimal network (memory effect)
+  kFullyConnected,  // §4 design method
+  kEnhanced,        // §5 pass-gate enhancement
+};
+
+const char* to_string(CellFunction f);
+const char* to_string(NetworkVariant v);
+std::vector<CellFunction> all_cell_functions();
+
+/// Number of inputs of `f`.
+std::size_t cell_input_count(CellFunction f);
+
+/// The defining expression of `f` over variables 0..n-1 (factored form as
+/// listed above; the synthesis methods consume it directly).
+ExprPtr cell_expression(CellFunction f);
+
+struct Cell {
+  std::string name;
+  ExprPtr function;
+  std::size_t num_inputs = 0;
+  NetworkVariant variant = NetworkVariant::kFullyConnected;
+  DpdnNetwork network;
+  GateEnergyModel energy_model;
+};
+
+/// Builds a library cell in the requested variant with default sizing.
+Cell make_cell(CellFunction f, NetworkVariant variant, const Technology& tech);
+
+/// Builds a cell for an arbitrary function.
+Cell make_custom_cell(std::string name, const ExprPtr& function,
+                      std::size_t num_inputs, NetworkVariant variant,
+                      const Technology& tech);
+
+}  // namespace sable

@@ -1,0 +1,53 @@
+#include "cell/wddl.hpp"
+
+#include "expr/truth_table.hpp"
+
+namespace sable {
+
+WddlCircuitSim::WddlCircuitSim(const GateCircuit& circuit,
+                               const Technology& tech, double mismatch,
+                               std::uint64_t seed)
+    : circuit_(circuit), vdd_(tech.vdd) {
+  Rng rng(seed);
+  models_.reserve(circuit.gates().size());
+  // Nominal rail load: one standard-cell output (junctions + fanout wire).
+  const double nominal = 6e-15;
+  for (std::size_t g = 0; g < circuit.gates().size(); ++g) {
+    // Symmetric deterministic imbalance around the nominal value.
+    const double delta = mismatch * (2.0 * rng.uniform() - 1.0);
+    models_.push_back(WddlGateModel{nominal * (1.0 + delta),
+                                    nominal * (1.0 - delta)});
+  }
+}
+
+CycleResult WddlCircuitSim::cycle(std::uint64_t input_bits) {
+  // Evaluate gate values (same functional semantics as the differential
+  // simulator: WDDL pairs compute the same function).
+  std::vector<bool> value(circuit_.gates().size(), false);
+  auto resolve = [&](const SignalRef& ref) {
+    const bool raw = ref.kind == SignalRef::Kind::kInput
+                         ? ((input_bits >> ref.index) & 1u) != 0
+                         : value[ref.index];
+    return raw == ref.positive;
+  };
+  CycleResult result;
+  for (std::size_t g = 0; g < circuit_.gates().size(); ++g) {
+    const GateInstance& inst = circuit_.gates()[g];
+    const Cell& cell = circuit_.cells()[inst.cell_index];
+    std::uint64_t assignment = 0;
+    for (std::size_t k = 0; k < inst.inputs.size(); ++k) {
+      if (resolve(inst.inputs[k])) assignment |= std::uint64_t{1} << k;
+    }
+    value[g] = evaluate(cell.function, assignment);
+    // Exactly one rail rises from the precharge wave and is charged.
+    const double c = value[g] ? models_[g].c_true : models_[g].c_false;
+    result.energy += c * vdd_ * vdd_;
+  }
+  for (std::size_t i = 0; i < circuit_.outputs().size(); ++i) {
+    const SignalRef& ref = circuit_.outputs()[i];
+    if (resolve(ref)) result.outputs |= std::uint64_t{1} << i;
+  }
+  return result;
+}
+
+}  // namespace sable

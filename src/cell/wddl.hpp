@@ -1,0 +1,51 @@
+// WDDL — wave dynamic differential logic (the paper's ref [8] class:
+// countermeasures "composed of standard logic gates").
+//
+// A WDDL gate is a pair of positive-monotonic standard cells: the true
+// output computed by one (e.g. AND), the false output by its dual (OR) fed
+// with complemented inputs. An all-zero precharge wave propagates through
+// the pair, so like SABL it switches exactly one output per cycle. Its
+// residual leak — and the reason the paper argues for custom gates — is
+// that the two outputs of a pair are distinct standard cells with distinct
+// loads: any capacitance mismatch between the true and false rails makes
+// the cycle energy depend on which rail fired.
+//
+// The model here exposes that mismatch directly: per gate, the true and
+// false rails carry capacitances c_true / c_false; a `mismatch` fraction of
+// deterministic per-gate imbalance emulates unbalanced placement/routing.
+// mismatch = 0 is the ideal (perfectly balanced back-end) WDDL.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cell/circuit_sim.hpp"
+#include "util/rng.hpp"
+
+namespace sable {
+
+struct WddlGateModel {
+  double c_true = 0.0;   ///< load on the true output rail [F]
+  double c_false = 0.0;  ///< load on the false output rail [F]
+};
+
+class WddlCircuitSim {
+ public:
+  /// `mismatch` is the relative rail imbalance (0 = balanced; 0.05 = 5%
+  /// per-gate random imbalance, deterministic via `seed`).
+  WddlCircuitSim(const GateCircuit& circuit, const Technology& tech,
+                 double mismatch, std::uint64_t seed = 0x3DD1);
+
+  /// One precharge/evaluate cycle; energy charges exactly one rail load
+  /// per gate (the rail whose value is 1 after evaluation).
+  CycleResult cycle(std::uint64_t input_bits);
+
+  const std::vector<WddlGateModel>& gate_models() const { return models_; }
+
+ private:
+  const GateCircuit& circuit_;
+  double vdd_;
+  std::vector<WddlGateModel> models_;
+};
+
+}  // namespace sable

@@ -1,0 +1,57 @@
+#include "core/checks.hpp"
+
+#include "expr/truth_table.hpp"
+#include "netlist/conduction.hpp"
+
+namespace sable {
+
+FunctionalityReport check_functionality(const DpdnNetwork& net,
+                                        const ExprPtr& f) {
+  FunctionalityReport report;
+  report.x_branch_matches = true;
+  report.y_branch_matches = true;
+  report.no_xy_short = true;
+
+  const std::size_t rows = std::size_t{1} << net.num_vars();
+  for (std::size_t a = 0; a < rows; ++a) {
+    UnionFind uf = conduction_components(net, a);
+    const bool fx = uf.same(DpdnNetwork::kNodeX, DpdnNetwork::kNodeZ);
+    const bool fy = uf.same(DpdnNetwork::kNodeY, DpdnNetwork::kNodeZ);
+    const bool fxy = uf.same(DpdnNetwork::kNodeX, DpdnNetwork::kNodeY);
+    const bool expected = evaluate(f, a);
+    bool bad = false;
+    if (fx != expected) {
+      report.x_branch_matches = false;
+      bad = true;
+    }
+    if (fy != !expected) {
+      report.y_branch_matches = false;
+      bad = true;
+    }
+    if (fxy) {
+      report.no_xy_short = false;
+      bad = true;
+    }
+    if (bad) report.failing_assignments.push_back(a);
+  }
+  report.ok = report.x_branch_matches && report.y_branch_matches &&
+              report.no_xy_short;
+  return report;
+}
+
+ConnectivityReport check_full_connectivity(const DpdnNetwork& net) {
+  ConnectivityReport report;
+  const std::size_t rows = std::size_t{1} << net.num_vars();
+  for (std::size_t a = 0; a < rows; ++a) {
+    const std::vector<bool> connected = connected_to_external(net, a);
+    for (NodeId n : net.internal_nodes()) {
+      if (!connected[n]) {
+        report.violations.push_back(ConnectivityViolation{a, n});
+      }
+    }
+  }
+  report.fully_connected = report.violations.empty();
+  return report;
+}
+
+}  // namespace sable

@@ -1,0 +1,49 @@
+// Exhaustive verification of differential pull-down networks.
+//
+// Functionality (§2): the network must conduct X–Z exactly when f = 1 and
+// Y–Z exactly when f = 0, and must never short X to Y (a differential short
+// would discharge both outputs and break the one-charging-event invariant).
+//
+// Full connectivity (§3): for every complementary input assignment, every
+// internal node must be connected to one of the external nodes X, Y, Z, so
+// that it is discharged in every evaluation phase and recharged in every
+// precharge phase — the memoryless property that makes the per-cycle charge
+// constant.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "expr/expression.hpp"
+#include "netlist/network.hpp"
+
+namespace sable {
+
+struct FunctionalityReport {
+  bool ok = false;
+  bool x_branch_matches = false;  // conduct(X,Z) == f
+  bool y_branch_matches = false;  // conduct(Y,Z) == f'
+  bool no_xy_short = false;       // conduct(X,Y) == 0 everywhere
+  /// Assignments where any of the three conditions failed.
+  std::vector<std::uint64_t> failing_assignments;
+};
+
+/// Checks the network against `f` over all 2^num_vars assignments.
+FunctionalityReport check_functionality(const DpdnNetwork& net,
+                                        const ExprPtr& f);
+
+struct ConnectivityViolation {
+  std::uint64_t assignment = 0;
+  NodeId node = 0;
+};
+
+struct ConnectivityReport {
+  bool fully_connected = false;
+  /// Every (assignment, internal node) pair left floating.
+  std::vector<ConnectivityViolation> violations;
+};
+
+/// Checks the §3 fully-connected property exhaustively.
+ConnectivityReport check_full_connectivity(const DpdnNetwork& net);
+
+}  // namespace sable

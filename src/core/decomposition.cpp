@@ -1,0 +1,112 @@
+#include "core/decomposition.hpp"
+
+#include <algorithm>
+
+#include "core/depth_analysis.hpp"
+#include "core/fc_synthesizer.hpp"
+#include "expr/transforms.hpp"
+#include "util/error.hpp"
+
+namespace sable {
+
+namespace {
+
+struct SearchState {
+  std::size_t num_vars = 0;
+  std::size_t budget = 0;
+  std::size_t candidates = 0;
+};
+
+// Worst satisfiable discharge path of the FC network of `f`.
+std::size_t worst_depth(const ExprPtr& f, SearchState& state) {
+  ++state.candidates;
+  const DpdnNetwork net = synthesize_fc_dpdn(f, state.num_vars);
+  return structural_path_stats(net).max_length;
+}
+
+ExprPtr optimize_node(const ExprPtr& e, SearchState& state);
+
+// Deterministic structural key so permutation enumeration is reproducible
+// across runs (shared_ptr addresses are not).
+std::string structural_key(const ExprPtr& e) {
+  if (e->is_const()) return e->kind() == ExprKind::kConst1 ? "1" : "0";
+  if (e->is_literal()) {
+    return (e->literal_positive() ? "v" : "n") +
+           std::to_string(e->literal_var());
+  }
+  std::string key = e->kind() == ExprKind::kAnd ? "(&" : "(|";
+  for (const auto& op : e->operands()) key += structural_key(op);
+  return key + ")";
+}
+
+// Tries permutations of the operand list (children already optimized) and
+// keeps the order with the smallest worst-case depth of the *whole* local
+// subexpression.
+ExprPtr best_order(ExprKind kind, std::vector<ExprPtr> ops,
+                   SearchState& state) {
+  auto rebuild = [&](const std::vector<ExprPtr>& operands) {
+    std::vector<ExprPtr> copy = operands;
+    return kind == ExprKind::kAnd ? Expr::conj(std::move(copy))
+                                  : Expr::disj(std::move(copy));
+  };
+  // Heuristic starting point: deepest operand first keeps shallow shared
+  // networks at the bottom of the series chain.
+  std::stable_sort(ops.begin(), ops.end(),
+                   [](const ExprPtr& a, const ExprPtr& b) {
+                     return a->literal_count() > b->literal_count();
+                   });
+  ExprPtr best = rebuild(ops);
+  std::size_t best_depth = worst_depth(best, state);
+
+  std::vector<ExprPtr> perm = ops;
+  std::sort(perm.begin(), perm.end(),
+            [](const ExprPtr& a, const ExprPtr& b) {
+              return structural_key(a) < structural_key(b);
+            });
+  auto key_less = [](const ExprPtr& a, const ExprPtr& b) {
+    return structural_key(a) < structural_key(b);
+  };
+  do {
+    if (state.candidates >= state.budget) break;
+    const ExprPtr candidate = rebuild(perm);
+    const std::size_t depth = worst_depth(candidate, state);
+    if (depth < best_depth) {
+      best_depth = depth;
+      best = candidate;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end(), key_less));
+  return best;
+}
+
+ExprPtr optimize_node(const ExprPtr& e, SearchState& state) {
+  if (e->is_literal() || e->is_const()) return e;
+  std::vector<ExprPtr> ops;
+  ops.reserve(e->operands().size());
+  for (const auto& op : e->operands()) {
+    ops.push_back(optimize_node(op, state));
+  }
+  SABLE_ASSERT(e->kind() == ExprKind::kAnd || e->kind() == ExprKind::kOr,
+               "NNF expression expected");
+  return best_order(e->kind(), std::move(ops), state);
+}
+
+}  // namespace
+
+DecompositionResult optimize_decomposition(const ExprPtr& f,
+                                           std::size_t num_vars,
+                                           std::size_t max_candidates) {
+  SABLE_REQUIRE(!f->is_const(), "cannot optimize a constant function");
+  SearchState state{num_vars, max_candidates, 0};
+  const ExprPtr nnf = to_nnf(f);
+  const ExprPtr optimized = optimize_node(nnf, state);
+
+  DecompositionResult result;
+  result.expr = optimized;
+  const DpdnNetwork net = synthesize_fc_dpdn(optimized, num_vars);
+  result.max_depth = structural_path_stats(net).max_length;
+  result.devices = net.device_count();
+  result.candidates = state.candidates;
+  return result;
+}
+
+}  // namespace sable

@@ -1,0 +1,39 @@
+// Decomposition-order exploration for the §4.1 design method.
+//
+// Step 1 of the method — "identify 2 expressions x and y that combine to
+// f" — leaves a degree of freedom: which operand becomes the top of the
+// series chain (x) and which network is shared at the bottom (y). The
+// functional result is always correct and fully connected, but the
+// worst-case discharge depth of the false branch depends on the order
+// (x's false network is crossed in series with y's true network).
+//
+// This module searches operand orders bottom-up: children are optimized
+// first, then each node tries the permutations of its (flattened) operand
+// list under a candidate budget, scoring candidates by the synthesized
+// network's worst satisfiable path length, with device count as the tie
+// breaker. Note the search space is operand *orders*: the expression
+// factories canonicalize associativity (nested ANDs flatten), so
+// re-bracketing is equivalent to reordering here.
+#pragma once
+
+#include <cstddef>
+
+#include "expr/expression.hpp"
+
+namespace sable {
+
+struct DecompositionResult {
+  ExprPtr expr;                 ///< reordered expression (same function)
+  std::size_t max_depth = 0;    ///< worst satisfiable discharge path
+  std::size_t devices = 0;      ///< FC network device count (order-invariant)
+  std::size_t candidates = 0;   ///< networks evaluated during the search
+};
+
+/// Optimizes operand orders of `f` for minimal worst-case depth of the
+/// fully connected network. `max_candidates` caps the number of synthesized
+/// candidate networks (search degrades gracefully to first-found orders).
+DecompositionResult optimize_decomposition(const ExprPtr& f,
+                                           std::size_t num_vars,
+                                           std::size_t max_candidates = 2000);
+
+}  // namespace sable

@@ -1,0 +1,61 @@
+#include "core/depth_analysis.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "netlist/conduction.hpp"
+#include "util/error.hpp"
+
+namespace sable {
+
+DepthReport analyze_evaluation_depth(const DpdnNetwork& net) {
+  DepthReport report;
+  const std::size_t rows = std::size_t{1} << net.num_vars();
+  report.depth_per_assignment.reserve(rows);
+  for (std::size_t a = 0; a < rows; ++a) {
+    // Exactly one of the two outputs discharges through the DPDN; measure
+    // the series depth of whichever branch conducts.
+    std::size_t depth = shortest_conducting_path(
+        net, a, DpdnNetwork::kNodeX, DpdnNetwork::kNodeZ);
+    if (depth == std::numeric_limits<std::size_t>::max()) {
+      depth = shortest_conducting_path(net, a, DpdnNetwork::kNodeY,
+                                       DpdnNetwork::kNodeZ);
+    }
+    SABLE_ASSERT(depth != std::numeric_limits<std::size_t>::max(),
+                 "differential network must conduct on one side");
+    report.depth_per_assignment.push_back(depth);
+  }
+  const auto [mn, mx] = std::minmax_element(
+      report.depth_per_assignment.begin(), report.depth_per_assignment.end());
+  report.min_depth = *mn;
+  report.max_depth = *mx;
+  report.constant = report.min_depth == report.max_depth;
+  return report;
+}
+
+PathStats structural_path_stats(const DpdnNetwork& net) {
+  PathStats stats;
+  stats.min_length = std::numeric_limits<std::size_t>::max();
+  stats.all_inputs_on_every_path = true;
+
+  for (NodeId source : {DpdnNetwork::kNodeX, DpdnNetwork::kNodeY}) {
+    const auto paths = enumerate_paths(net, source, DpdnNetwork::kNodeZ);
+    for (const auto& p : paths) {
+      ++stats.num_paths;
+      if (!p.satisfiable) continue;
+      ++stats.num_satisfiable;
+      stats.min_length = std::min(stats.min_length, p.device_indices.size());
+      stats.max_length = std::max(stats.max_length, p.device_indices.size());
+      if (p.variables.size() != net.num_vars()) {
+        stats.all_inputs_on_every_path = false;
+      }
+    }
+  }
+  if (stats.num_satisfiable == 0) {
+    stats.min_length = 0;
+    stats.all_inputs_on_every_path = false;
+  }
+  return stats;
+}
+
+}  // namespace sable

@@ -1,0 +1,42 @@
+// Evaluation-depth analysis (§5).
+//
+// The paper defines the evaluation depth as the number of transistors in
+// series between the discharging output node (X or Y) and the common node Z.
+// A data-dependent depth means data-dependent discharge resistance and delay
+// — the early-propagation effect the §5 enhancement eliminates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace sable {
+
+struct DepthReport {
+  /// Discharge-path depth (shortest conducting path from the conducting
+  /// external node to Z) for every complementary assignment.
+  std::vector<std::size_t> depth_per_assignment;
+  std::size_t min_depth = 0;
+  std::size_t max_depth = 0;
+  bool constant = false;
+};
+
+/// Exhaustive discharge-depth analysis over all assignments.
+DepthReport analyze_evaluation_depth(const DpdnNetwork& net);
+
+struct PathStats {
+  std::size_t num_paths = 0;         // simple X->Z plus Y->Z paths
+  std::size_t num_satisfiable = 0;   // paths that conduct for some input
+  std::size_t min_length = 0;        // over satisfiable paths
+  std::size_t max_length = 0;
+  /// True when every satisfiable path is gated (via switch or pass gate) by
+  /// every input variable — the §5 "no early propagation" criterion.
+  bool all_inputs_on_every_path = false;
+};
+
+/// Structural statistics over all simple discharge paths.
+PathStats structural_path_stats(const DpdnNetwork& net);
+
+}  // namespace sable

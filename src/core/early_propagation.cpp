@@ -1,0 +1,54 @@
+#include "core/early_propagation.hpp"
+
+#include "netlist/union_find.hpp"
+
+namespace sable {
+
+namespace {
+
+// Connectivity where a switch conducts only if its variable has arrived
+// (bit set in `arrived`) and its literal is satisfied by `values`.
+bool conducts_partial(const DpdnNetwork& net, std::uint64_t arrived,
+                      std::uint64_t values, NodeId from, NodeId to) {
+  UnionFind uf(net.node_count());
+  for (const auto& d : net.devices()) {
+    if (((arrived >> d.gate.var) & 1u) == 0) continue;  // still precharged
+    if (d.gate.conducts(values)) uf.unite(d.a, d.b);
+  }
+  return uf.same(from, to);
+}
+
+}  // namespace
+
+EarlyPropagationReport analyze_early_propagation(const DpdnNetwork& net) {
+  EarlyPropagationReport report;
+  const std::size_t n = net.num_vars();
+  const std::uint64_t full = (std::uint64_t{1} << n) - 1;
+
+  for (std::uint64_t arrived = 0; arrived < full; ++arrived) {
+    // Enumerate values of the arrived variables only (others are don't-
+    // care for conduction since their switches are off).
+    std::uint64_t sub = arrived;
+    for (;;) {  // iterate all subsets `sub` of `arrived` as value patterns
+      ++report.total_scenarios;
+      const bool early =
+          conducts_partial(net, arrived, sub, DpdnNetwork::kNodeX,
+                           DpdnNetwork::kNodeZ) ||
+          conducts_partial(net, arrived, sub, DpdnNetwork::kNodeY,
+                           DpdnNetwork::kNodeZ);
+      if (early) {
+        if (report.early_scenarios == 0) {
+          report.witness_arrived_mask = arrived;
+          report.witness_values = sub;
+        }
+        ++report.early_scenarios;
+      }
+      if (sub == 0) break;
+      sub = (sub - 1) & arrived;
+    }
+  }
+  report.free_of_early_propagation = report.early_scenarios == 0;
+  return report;
+}
+
+}  // namespace sable

@@ -1,0 +1,39 @@
+// Early-propagation analysis (§5).
+//
+// In a cascade, a gate's inputs leave the all-zero precharge state at
+// different times (each driven by a different upstream gate). A gate
+// *evaluates early* if some strict subset of arrived inputs already makes
+// one branch conduct — then its output transition time, and therefore the
+// instantaneous current profile, depends on the data. The paper's pass-gate
+// enhancement eliminates this: a discharge path gated by every input cannot
+// conduct until the last input has arrived.
+//
+// The model: a scenario is (S, a) where S is the set of arrived inputs and
+// `a` their complementary values; inputs outside S are still at the (0,0)
+// precharge state, so *both* polarity switches of those variables are off.
+// The gate evaluates early if a scenario with S a strict subset conducts
+// X-Z or Y-Z.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace sable {
+
+struct EarlyPropagationReport {
+  bool free_of_early_propagation = false;
+  /// Number of (subset, assignment) scenarios that conduct early.
+  std::size_t early_scenarios = 0;
+  /// Total scenarios with a strict subset of inputs arrived (3^n - 2^n).
+  std::size_t total_scenarios = 0;
+  /// One witness: the arrived-set mask and values of an early conduction.
+  std::uint64_t witness_arrived_mask = 0;
+  std::uint64_t witness_values = 0;
+};
+
+/// Exhaustive early-propagation analysis over all arrival scenarios.
+EarlyPropagationReport analyze_early_propagation(const DpdnNetwork& net);
+
+}  // namespace sable

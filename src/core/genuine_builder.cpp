@@ -1,0 +1,52 @@
+#include "core/genuine_builder.hpp"
+
+#include "expr/transforms.hpp"
+#include "util/error.hpp"
+
+namespace sable {
+
+void emit_series_parallel(DpdnNetwork& net, const ExprPtr& e, NodeId top,
+                          NodeId bottom) {
+  if (e->is_literal()) {
+    net.add_switch(SignalLiteral{e->literal_var(), e->literal_positive()}, top,
+                   bottom);
+    return;
+  }
+  switch (e->kind()) {
+    case ExprKind::kAnd: {
+      // Series chain: operand order is top-to-bottom, matching the paper's
+      // drawings where the first factor is nearest the output node.
+      NodeId current = top;
+      const auto& ops = e->operands();
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        const NodeId next =
+            (i + 1 == ops.size()) ? bottom : net.add_internal_node();
+        emit_series_parallel(net, ops[i], current, next);
+        current = next;
+      }
+      return;
+    }
+    case ExprKind::kOr: {
+      for (const auto& op : e->operands()) {
+        emit_series_parallel(net, op, top, bottom);
+      }
+      return;
+    }
+    default:
+      throw InvalidArgument(
+          "emit_series_parallel requires a non-constant NNF expression");
+  }
+}
+
+DpdnNetwork build_genuine_dpdn(const ExprPtr& f, std::size_t num_vars) {
+  SABLE_REQUIRE(!f->is_const(),
+                "cannot build a DPDN for a constant function");
+  DpdnNetwork net(num_vars);
+  emit_series_parallel(net, to_nnf(f), DpdnNetwork::kNodeX,
+                       DpdnNetwork::kNodeZ);
+  emit_series_parallel(net, complement_nnf(f), DpdnNetwork::kNodeY,
+                       DpdnNetwork::kNodeZ);
+  return net;
+}
+
+}  // namespace sable

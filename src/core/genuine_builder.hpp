@@ -1,0 +1,28 @@
+// "Genuine" differential pull-down network construction (the baseline the
+// paper improves on, Fig. 2 left).
+//
+// The genuine network implements f between X and Z and its complement f'
+// between Y and Z as two independent series-parallel transistor networks,
+// following the traditional mapping: AND = series, OR = parallel [Rabaey].
+// Such networks minimize device count and stack height but leave internal
+// nodes floating for some inputs — the memory effect of §2.
+#pragma once
+
+#include "expr/expression.hpp"
+#include "netlist/network.hpp"
+
+namespace sable {
+
+/// Builds the genuine DPDN of `f` over `num_vars` inputs.
+/// `f` must be in negation-normal form and non-constant; the false branch is
+/// built from the NNF complement of `f` (its dual network).
+/// Throws InvalidArgument on constant or non-NNF input.
+DpdnNetwork build_genuine_dpdn(const ExprPtr& f, std::size_t num_vars);
+
+/// Emits the series-parallel network of NNF expression `e` between `top` and
+/// `bottom` into `net` (AND = series via fresh internal nodes, OR =
+/// parallel). Exposed for the §4.2 transformer tests and custom assemblies.
+void emit_series_parallel(DpdnNetwork& net, const ExprPtr& e, NodeId top,
+                          NodeId bottom);
+
+}  // namespace sable

@@ -1,0 +1,42 @@
+#include "core/memory_effect.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "netlist/conduction.hpp"
+
+namespace sable {
+
+MemoryEffectReport analyze_memory_effect(const DpdnNetwork& net) {
+  MemoryEffectReport report;
+  std::set<std::vector<bool>> classes;
+  std::size_t min_count = SIZE_MAX;
+  std::size_t max_count = 0;
+
+  const std::size_t rows = std::size_t{1} << net.num_vars();
+  const auto internals = net.internal_nodes();
+  for (std::size_t a = 0; a < rows; ++a) {
+    const std::vector<bool> connected = connected_to_external(net, a);
+    std::vector<bool> discharged;
+    discharged.reserve(internals.size());
+    std::size_t count = 0;
+    for (NodeId n : internals) {
+      discharged.push_back(connected[n]);
+      if (connected[n]) {
+        ++count;
+      } else {
+        report.floating_events.push_back({a, n});
+      }
+    }
+    classes.insert(std::move(discharged));
+    min_count = std::min(min_count, count);
+    max_count = std::max(max_count, count);
+  }
+  report.num_discharge_classes = classes.size();
+  report.memoryless = report.floating_events.empty();
+  report.max_discharge_count_spread =
+      internals.empty() ? 0 : max_count - min_count;
+  return report;
+}
+
+}  // namespace sable

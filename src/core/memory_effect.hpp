@@ -1,0 +1,33 @@
+// Structural memory-effect analysis (§2, §3).
+//
+// A genuine DPDN leaves internal nodes floating for some inputs; the charge
+// trapped on those nodes carries state between cycles, so the capacitance
+// recharged in the precharge phase — and therefore the supply energy —
+// depends on the input *history*. This module detects the effect
+// structurally: which (assignment, node) pairs float, and how many distinct
+// discharge classes (sets of discharged internal nodes) the network has.
+// A network is memoryless iff it is fully connected iff it has exactly one
+// discharge class (all internal nodes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace sable {
+
+struct MemoryEffectReport {
+  bool memoryless = false;
+  /// (assignment, node) pairs where an internal node floats.
+  std::vector<std::pair<std::uint64_t, NodeId>> floating_events;
+  /// Number of distinct sets of discharged internal nodes over all inputs.
+  std::size_t num_discharge_classes = 0;
+  /// Largest difference in discharged-internal-node count between any two
+  /// assignments (0 for a memoryless network).
+  std::size_t max_discharge_count_spread = 0;
+};
+
+MemoryEffectReport analyze_memory_effect(const DpdnNetwork& net);
+
+}  // namespace sable

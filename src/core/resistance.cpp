@@ -1,0 +1,76 @@
+#include "core/resistance.hpp"
+
+#include <algorithm>
+
+#include "netlist/conduction.hpp"
+#include "util/error.hpp"
+#include "util/matrix.hpp"
+
+namespace sable {
+
+double effective_resistance(const DpdnNetwork& net, std::uint64_t assignment,
+                            NodeId from, NodeId to, double r_on) {
+  if (!conducts(net, assignment, from, to)) return -1.0;
+  if (from == to) return 0.0;
+
+  // Nodal analysis with `to` as ground: G v = i, inject 1 A at `from`.
+  // Unknowns are all nodes except `to`; disconnected nodes get a tiny
+  // self-conductance so the system stays non-singular.
+  const std::size_t n = net.node_count();
+  std::vector<std::size_t> index(n, SIZE_MAX);
+  std::size_t unknowns = 0;
+  for (NodeId node = 0; node < n; ++node) {
+    if (node != to) index[node] = unknowns++;
+  }
+
+  DenseMatrix g(unknowns, unknowns);
+  const double gmin = 1e-12;
+  for (std::size_t k = 0; k < unknowns; ++k) g.at(k, k) = gmin;
+
+  const double g_on = 1.0 / r_on;
+  for (const auto& d : net.devices()) {
+    if (!d.gate.conducts(assignment)) continue;
+    const std::size_t ia = index[d.a];
+    const std::size_t ib = index[d.b];
+    if (ia != SIZE_MAX) g.at(ia, ia) += g_on;
+    if (ib != SIZE_MAX) g.at(ib, ib) += g_on;
+    if (ia != SIZE_MAX && ib != SIZE_MAX) {
+      g.at(ia, ib) -= g_on;
+      g.at(ib, ia) -= g_on;
+    }
+  }
+
+  std::vector<double> rhs(unknowns, 0.0);
+  rhs[index[from]] = 1.0;
+  const bool solved = lu_solve(g, rhs);
+  SABLE_ASSERT(solved, "resistance Laplacian must be non-singular");
+  return rhs[index[from]];
+}
+
+ResistanceReport analyze_discharge_resistance(const DpdnNetwork& net,
+                                              double r_on) {
+  ResistanceReport report;
+  const std::size_t rows = std::size_t{1} << net.num_vars();
+  for (std::size_t a = 0; a < rows; ++a) {
+    double r = effective_resistance(net, a, DpdnNetwork::kNodeX,
+                                    DpdnNetwork::kNodeZ, r_on);
+    if (r < 0.0) {
+      r = effective_resistance(net, a, DpdnNetwork::kNodeY,
+                               DpdnNetwork::kNodeZ, r_on);
+    }
+    SABLE_ASSERT(r >= 0.0, "one branch of the DPDN must conduct");
+    report.resistance_per_assignment.push_back(r);
+  }
+  const auto [mn, mx] =
+      std::minmax_element(report.resistance_per_assignment.begin(),
+                          report.resistance_per_assignment.end());
+  report.min_resistance = *mn;
+  report.max_resistance = *mx;
+  report.relative_spread =
+      report.min_resistance > 0.0
+          ? report.max_resistance / report.min_resistance - 1.0
+          : 0.0;
+  return report;
+}
+
+}  // namespace sable

@@ -1,0 +1,35 @@
+// Effective discharge resistance analysis.
+//
+// §5: with the enhancement, "there is now a constant resistance in the
+// discharge path between outputs X or Y and the common node Z". We verify
+// this electrically: model every conducting switch as a resistor r_on and
+// compute the effective (Laplacian) resistance from the conducting output
+// node to Z for every assignment.
+#pragma once
+
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace sable {
+
+struct ResistanceReport {
+  /// Effective resistance (in units of r_on) per assignment, measured from
+  /// the conducting external node (X if f=1 else Y) to Z.
+  std::vector<double> resistance_per_assignment;
+  double min_resistance = 0.0;
+  double max_resistance = 0.0;
+  /// max/min - 1; zero means perfectly input-independent resistance.
+  double relative_spread = 0.0;
+};
+
+/// Exhaustive effective-resistance analysis; `r_on` scales the result.
+ResistanceReport analyze_discharge_resistance(const DpdnNetwork& net,
+                                              double r_on = 1.0);
+
+/// Effective resistance between two nodes with conducting switches = r_on.
+/// Returns a negative value when the nodes are not connected.
+double effective_resistance(const DpdnNetwork& net, std::uint64_t assignment,
+                            NodeId from, NodeId to, double r_on = 1.0);
+
+}  // namespace sable

@@ -1,0 +1,64 @@
+#include "core/transformer.hpp"
+
+#include "core/fc_synthesizer.hpp"
+#include "expr/printer.hpp"
+#include "expr/transforms.hpp"
+#include "expr/truth_table.hpp"
+#include "netlist/sp_tree.hpp"
+#include "util/error.hpp"
+
+namespace sable {
+
+namespace {
+
+// Collects the series (AND) sub-networks of an SP expression, outermost
+// first — the paper's "step 1: identify all the networks in series".
+void collect_series_networks(const ExprPtr& e, std::vector<ExprPtr>& out) {
+  if (e->is_literal()) return;
+  if (e->kind() == ExprKind::kAnd) out.push_back(e);
+  for (const auto& op : e->operands()) collect_series_networks(op, out);
+}
+
+}  // namespace
+
+TransformResult transform_to_fully_connected(const DpdnNetwork& genuine,
+                                             const VarTable& vars) {
+  const BranchPartition branches = partition_branches(genuine);
+  const ExprPtr f = extract_sp_expression(genuine, branches.x_branch,
+                                          DpdnNetwork::kNodeX);
+  const ExprPtr g = extract_sp_expression(genuine, branches.y_branch,
+                                          DpdnNetwork::kNodeY);
+
+  TransformResult result{
+      synthesize_fc_dpdn(f, genuine.num_vars()), f, g, false, false, {}};
+
+  result.branches_complementary =
+      table_of(g, genuine.num_vars()) ==
+      table_of(f, genuine.num_vars()).complemented();
+  result.device_count_preserved =
+      result.network.device_count() == genuine.device_count();
+
+  result.steps.push_back("extracted true branch  f = " + to_string(f, vars));
+  result.steps.push_back("extracted false branch g = " + to_string(g, vars));
+
+  std::vector<ExprPtr> series;
+  collect_series_networks(f, series);
+  collect_series_networks(g, series);
+  result.steps.push_back(
+      "step 1: identified " + std::to_string(series.size()) +
+      " series network(s):");
+  for (const auto& s : series) {
+    result.steps.push_back("    " + to_string(s, vars));
+  }
+  result.steps.push_back(
+      "step 2: opened each dual parallel network at the bottom of the "
+      "component dual to the series top, and connected it to the series "
+      "internal node (the case A/B terminal wiring of the recursion)");
+  result.steps.push_back(
+      "step 3: unrolled; result has " +
+      std::to_string(result.network.device_count()) + " devices (input had " +
+      std::to_string(genuine.device_count()) + ")");
+  return result;
+}
+
+}  // namespace sable

@@ -1,0 +1,45 @@
+// §4.2: design method given an existing differential pull-down network.
+//
+// The paper phrases the transformation as schematic surgery:
+//   step 1: identify all the networks in series;
+//   step 2a: open the corresponding dual parallel networks at the bottom of
+//            the component dual to the top component of the series network;
+//   step 2b: connect the opened parallel connections to the internal nodes
+//            of the corresponding series connections;
+//   step 3: unroll the network.
+//
+// For a genuine network (two independent series-parallel branches that are
+// duals of one another) this surgery is exactly equivalent to: recover the
+// series-parallel expression f of the true branch, then re-emit with the
+// §4.1 recursion — the recursion's case A/B terminal wiring *is* the
+// "open at the dual component and connect to the internal node" step, and
+// the recursive emission is the "unroll". We implement it that way: the
+// extraction preserves device order, so the output reproduces the paper's
+// Fig. 5 network device-for-device, and the device count is preserved.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "expr/expression.hpp"
+#include "netlist/network.hpp"
+
+namespace sable {
+
+struct TransformResult {
+  DpdnNetwork network;           // the fully connected result
+  ExprPtr true_branch_expr;      // f extracted from the X-Z branch
+  ExprPtr false_branch_expr;     // g extracted from the Y-Z branch
+  bool branches_complementary = false;  // g == f' semantically
+  bool device_count_preserved = false;
+  /// Human-readable record of the §4.2 steps (for the Fig. 5 narrative).
+  std::vector<std::string> steps;
+};
+
+/// Transforms a genuine DPDN into a fully connected one (§4.2).
+/// Throws InvalidArgument when the input is not a genuine two-branch
+/// series-parallel differential network.
+TransformResult transform_to_fully_connected(const DpdnNetwork& genuine,
+                                             const VarTable& vars);
+
+}  // namespace sable

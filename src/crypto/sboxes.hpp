@@ -1,0 +1,43 @@
+// Cipher S-boxes used as DPA attack targets.
+//
+// The paper's threat model is first-order DPA [Kocher] against the
+// nonlinear layer of a block cipher. Three classic S-boxes give targets of
+// increasing width: PRESENT (4->4, the size of one complex differential
+// gate per output bit), DES S1 (6->4), and AES (8->8, table reference).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "expr/truth_table.hpp"
+
+namespace sable {
+
+/// PRESENT cipher S-box (ISO/IEC 29192-2), 4-bit.
+std::uint8_t present_sbox(std::uint8_t x);
+
+/// DES S-box S1 applied to a 6-bit input (row = bits 5,0; column = 4..1).
+std::uint8_t des_sbox1(std::uint8_t x);
+
+/// AES (Rijndael) S-box, 8-bit.
+std::uint8_t aes_sbox(std::uint8_t x);
+
+/// Generic S-box description: table[x] for x in [0, 2^in_bits).
+struct SboxSpec {
+  const char* name = "";
+  std::size_t in_bits = 0;
+  std::size_t out_bits = 0;
+  std::vector<std::uint8_t> table;
+
+  std::uint8_t apply(std::uint8_t x) const { return table[x]; }
+};
+
+SboxSpec present_spec();
+SboxSpec des1_spec();
+SboxSpec aes_spec();
+
+/// Truth table of one output bit of the S-box.
+TruthTable sbox_output_bit(const SboxSpec& spec, std::size_t bit);
+
+}  // namespace sable

@@ -1,0 +1,102 @@
+#include "crypto/target.hpp"
+
+#include "cell/builder.hpp"
+#include "expr/factoring.hpp"
+#include "util/error.hpp"
+
+namespace sable {
+
+const char* to_string(LogicStyle style) {
+  switch (style) {
+    case LogicStyle::kStaticCmos:
+      return "static-CMOS";
+    case LogicStyle::kSablGenuine:
+      return "SABL-genuine";
+    case LogicStyle::kSablFullyConnected:
+      return "SABL-fully-connected";
+    case LogicStyle::kSablEnhanced:
+      return "SABL-enhanced";
+    case LogicStyle::kWddlBalanced:
+      return "WDDL-balanced";
+    case LogicStyle::kWddlMismatched:
+      return "WDDL-5%-mismatch";
+  }
+  SABLE_ASSERT(false, "unreachable logic style");
+}
+
+namespace {
+
+NetworkVariant variant_for(LogicStyle style) {
+  switch (style) {
+    case LogicStyle::kSablGenuine:
+      return NetworkVariant::kGenuine;
+    case LogicStyle::kSablEnhanced:
+      return NetworkVariant::kEnhanced;
+    case LogicStyle::kStaticCmos:  // topology reused; energy model differs
+    case LogicStyle::kSablFullyConnected:
+    case LogicStyle::kWddlBalanced:
+    case LogicStyle::kWddlMismatched:
+      return NetworkVariant::kFullyConnected;
+  }
+  SABLE_ASSERT(false, "unreachable logic style");
+}
+
+GateCircuit build_sbox_circuit(const SboxSpec& spec, LogicStyle style,
+                               const Technology& tech) {
+  std::vector<ExprPtr> outputs;
+  outputs.reserve(spec.out_bits);
+  for (std::size_t bit = 0; bit < spec.out_bits; ++bit) {
+    outputs.push_back(factored_form(sbox_output_bit(spec, bit)));
+  }
+  return build_from_expressions(outputs, spec.in_bits, variant_for(style),
+                                tech);
+}
+
+}  // namespace
+
+SboxTarget::SboxTarget(const SboxSpec& spec, LogicStyle style,
+                       const Technology& tech)
+    : spec_(spec), style_(style),
+      circuit_(build_sbox_circuit(spec, style, tech)) {
+  switch (style) {
+    case LogicStyle::kStaticCmos: {
+      // One transition's worth of switching energy for a typical cell load:
+      // ~5 fF at the reference VDD.
+      const double c_sw = 5e-15;
+      cmos_sim_ = std::make_unique<CmosCircuitSim>(
+          circuit_, c_sw * tech.vdd * tech.vdd);
+      break;
+    }
+    case LogicStyle::kWddlBalanced:
+      wddl_sim_ = std::make_unique<WddlCircuitSim>(circuit_, tech, 0.0);
+      break;
+    case LogicStyle::kWddlMismatched:
+      wddl_sim_ = std::make_unique<WddlCircuitSim>(circuit_, tech, 0.05);
+      break;
+    default:
+      diff_sim_ = std::make_unique<DifferentialCircuitSim>(circuit_);
+      break;
+  }
+}
+
+double SboxTarget::trace(std::uint8_t pt, std::uint8_t key,
+                         double noise_sigma, Rng& rng) {
+  const std::uint8_t x = static_cast<std::uint8_t>(
+      (pt ^ key) & ((1u << spec_.in_bits) - 1u));
+  double energy = 0.0;
+  if (diff_sim_) {
+    energy = diff_sim_->cycle(x).energy;
+  } else if (wddl_sim_) {
+    energy = wddl_sim_->cycle(x).energy;
+  } else {
+    energy = cmos_sim_->cycle(x).energy;
+  }
+  return energy + noise_sigma * rng.gaussian();
+}
+
+std::uint8_t SboxTarget::reference(std::uint8_t pt, std::uint8_t key) const {
+  return spec_.apply(static_cast<std::uint8_t>(
+      (pt ^ key) & ((1u << spec_.in_bits) - 1u)));
+}
+
+}  // namespace sable

@@ -1,0 +1,55 @@
+// DPA attack targets: an S-box evaluated as y = S(x XOR key) in a chosen
+// logic style, producing one power sample per encryption.
+//
+// The circuit computes the S-box only; the key addition happens at the
+// stimulus (x = pt XOR key), which models the standard first-order DPA
+// setting where the attacker predicts S-box output bits from plaintext and
+// key guess.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cell/circuit_sim.hpp"
+#include "cell/wddl.hpp"
+#include "crypto/sboxes.hpp"
+#include "util/rng.hpp"
+
+namespace sable {
+
+enum class LogicStyle {
+  kStaticCmos,        // HD-leaking baseline
+  kSablGenuine,       // dynamic differential with genuine DPDNs (§2 leak)
+  kSablFullyConnected,  // §4 networks
+  kSablEnhanced,      // §5 networks
+  kWddlBalanced,      // standard-cell pair logic, ideal back-end (ref [8])
+  kWddlMismatched,    // WDDL with 5% rail-capacitance imbalance
+};
+
+const char* to_string(LogicStyle style);
+
+class SboxTarget {
+ public:
+  SboxTarget(const SboxSpec& spec, LogicStyle style, const Technology& tech);
+
+  /// One encryption: applies pt XOR key, returns the power sample
+  /// (circuit energy plus Gaussian noise of `noise_sigma` joules).
+  double trace(std::uint8_t pt, std::uint8_t key, double noise_sigma,
+               Rng& rng);
+
+  /// Reference S-box output for functional checks.
+  std::uint8_t reference(std::uint8_t pt, std::uint8_t key) const;
+
+  const GateCircuit& circuit() const { return circuit_; }
+  LogicStyle style() const { return style_; }
+
+ private:
+  SboxSpec spec_;
+  LogicStyle style_;
+  GateCircuit circuit_;
+  std::unique_ptr<DifferentialCircuitSim> diff_sim_;
+  std::unique_ptr<CmosCircuitSim> cmos_sim_;
+  std::unique_ptr<WddlCircuitSim> wddl_sim_;
+};
+
+}  // namespace sable

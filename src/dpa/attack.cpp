@@ -1,0 +1,115 @@
+#include "dpa/attack.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "power/stats.hpp"
+#include "util/error.hpp"
+
+namespace sable {
+
+std::size_t AttackResult::rank_of(std::uint8_t key) const {
+  SABLE_ASSERT(key < score.size(), "key out of range for ranking");
+  std::size_t rank = 0;
+  for (std::size_t g = 0; g < score.size(); ++g) {
+    if (g != key && score[g] > score[key]) ++rank;
+  }
+  return rank;
+}
+
+namespace {
+
+void finalize(AttackResult& result) {
+  double best = -1.0;
+  double second = -1.0;
+  for (std::size_t g = 0; g < result.score.size(); ++g) {
+    if (result.score[g] > best) {
+      second = best;
+      best = result.score[g];
+      result.best_guess = static_cast<std::uint8_t>(g);
+    } else if (result.score[g] > second) {
+      second = result.score[g];
+    }
+  }
+  result.margin = second < 0.0 ? best : best - second;
+}
+
+}  // namespace
+
+AttackResult cpa_attack(const TraceSet& traces, const SboxSpec& spec,
+                        PowerModel model, std::size_t bit) {
+  SABLE_REQUIRE(traces.size() >= 2, "CPA requires at least two traces");
+  const std::size_t num_guesses = std::size_t{1} << spec.in_bits;
+  AttackResult result;
+  result.score.resize(num_guesses, 0.0);
+  std::vector<double> prediction(traces.size());
+  for (std::size_t g = 0; g < num_guesses; ++g) {
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+      prediction[t] = predict_leakage(spec, model, traces.plaintexts[t],
+                                      static_cast<std::uint8_t>(g), bit);
+    }
+    result.score[g] = std::fabs(pearson(prediction, traces.samples));
+  }
+  finalize(result);
+  return result;
+}
+
+MultiAttackResult cpa_attack_multisample(const MultiTraceSet& traces,
+                                         const SboxSpec& spec,
+                                         PowerModel model, std::size_t bit) {
+  SABLE_REQUIRE(traces.width > 0 && traces.size() >= 2,
+                "multisample CPA requires non-empty traces");
+  MultiAttackResult result;
+  result.combined.score.assign(std::size_t{1} << spec.in_bits, 0.0);
+  double global_best = -1.0;
+  for (std::size_t s = 0; s < traces.width; ++s) {
+    const AttackResult column = cpa_attack(traces.column(s), spec, model, bit);
+    for (std::size_t g = 0; g < column.score.size(); ++g) {
+      result.combined.score[g] =
+          std::max(result.combined.score[g], column.score[g]);
+      if (column.score[g] > global_best) {
+        global_best = column.score[g];
+        result.best_sample = s;
+      }
+    }
+  }
+  finalize(result.combined);
+  return result;
+}
+
+AttackResult dom_attack(const TraceSet& traces, const SboxSpec& spec,
+                        std::size_t bit) {
+  SABLE_REQUIRE(traces.size() >= 2, "DPA requires at least two traces");
+  const std::size_t num_guesses = std::size_t{1} << spec.in_bits;
+  AttackResult result;
+  result.score.resize(num_guesses, 0.0);
+  for (std::size_t g = 0; g < num_guesses; ++g) {
+    double sum1 = 0.0;
+    double sum0 = 0.0;
+    std::size_t n1 = 0;
+    std::size_t n0 = 0;
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+      const double pred =
+          predict_leakage(spec, PowerModel::kSboxOutputBit,
+                          traces.plaintexts[t], static_cast<std::uint8_t>(g),
+                          bit);
+      if (pred > 0.5) {
+        sum1 += traces.samples[t];
+        ++n1;
+      } else {
+        sum0 += traces.samples[t];
+        ++n0;
+      }
+    }
+    if (n1 == 0 || n0 == 0) {
+      result.score[g] = 0.0;
+      continue;
+    }
+    result.score[g] = std::fabs(sum1 / static_cast<double>(n1) -
+                                sum0 / static_cast<double>(n0));
+  }
+  finalize(result);
+  return result;
+}
+
+}  // namespace sable

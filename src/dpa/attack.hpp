@@ -1,0 +1,49 @@
+// First-order DPA / CPA attacks.
+//
+// CPA: Pearson correlation between the measured samples and the predicted
+// leakage, per key guess; the guess with the largest |rho| wins.
+// DPA (difference of means): partition traces by the predicted S-box output
+// bit and compare partition means — Kocher's original distinguisher.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/sboxes.hpp"
+#include "dpa/hypothesis.hpp"
+#include "power/trace.hpp"
+
+namespace sable {
+
+struct AttackResult {
+  /// Distinguisher score per key guess (|correlation| or |mean difference|).
+  std::vector<double> score;
+  std::uint8_t best_guess = 0;
+  /// Best score minus runner-up score (confidence margin).
+  double margin = 0.0;
+  /// Rank of `correct_key` if provided to the ranking helper (0 = best).
+  std::size_t rank_of(std::uint8_t key) const;
+};
+
+/// Correlation power analysis over all 2^in_bits key guesses.
+AttackResult cpa_attack(const TraceSet& traces, const SboxSpec& spec,
+                        PowerModel model, std::size_t bit = 0);
+
+/// Difference-of-means DPA on one predicted output bit.
+AttackResult dom_attack(const TraceSet& traces, const SboxSpec& spec,
+                        std::size_t bit = 0);
+
+/// Time-resolved CPA: runs the scalar CPA on every sample column and keeps,
+/// per key guess, the largest |correlation| over time — the standard
+/// procedure on oscilloscope traces. `best_sample` reports where the
+/// winning guess peaked.
+struct MultiAttackResult {
+  AttackResult combined;
+  std::size_t best_sample = 0;
+};
+MultiAttackResult cpa_attack_multisample(const MultiTraceSet& traces,
+                                         const SboxSpec& spec,
+                                         PowerModel model,
+                                         std::size_t bit = 0);
+
+}  // namespace sable

@@ -1,0 +1,33 @@
+#include "dpa/hypothesis.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace sable {
+
+const char* to_string(PowerModel model) {
+  switch (model) {
+    case PowerModel::kSboxOutputBit:
+      return "sbox-output-bit";
+    case PowerModel::kHammingWeight:
+      return "hamming-weight";
+  }
+  SABLE_ASSERT(false, "unreachable power model");
+}
+
+double predict_leakage(const SboxSpec& spec, PowerModel model,
+                       std::uint8_t pt, std::uint8_t guess, std::size_t bit) {
+  const std::uint8_t x = static_cast<std::uint8_t>(
+      (pt ^ guess) & ((1u << spec.in_bits) - 1u));
+  const std::uint8_t y = spec.apply(x);
+  switch (model) {
+    case PowerModel::kSboxOutputBit:
+      return static_cast<double>((y >> bit) & 1u);
+    case PowerModel::kHammingWeight:
+      return static_cast<double>(std::popcount(y));
+  }
+  SABLE_ASSERT(false, "unreachable power model");
+}
+
+}  // namespace sable

@@ -1,0 +1,27 @@
+// Power-consumption hypotheses for first-order attacks.
+//
+// For key guess k and plaintext pt, the attacker predicts a leakage value
+// from the S-box output S(pt XOR k): either one selected output bit
+// (Kocher's original DPA selection function) or the Hamming weight of the
+// whole output (the usual CPA model).
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/sboxes.hpp"
+
+namespace sable {
+
+enum class PowerModel {
+  kSboxOutputBit,  // single-bit selection function
+  kHammingWeight,  // HW of the S-box output
+};
+
+const char* to_string(PowerModel model);
+
+/// Predicted leakage for (pt, guess). `bit` selects the output bit for the
+/// single-bit model and is ignored for Hamming weight.
+double predict_leakage(const SboxSpec& spec, PowerModel model,
+                       std::uint8_t pt, std::uint8_t guess, std::size_t bit);
+
+}  // namespace sable

@@ -1,0 +1,48 @@
+#include "dpa/mtd.hpp"
+
+#include "util/error.hpp"
+
+namespace sable {
+
+MtdResult measurements_to_disclosure(
+    const TraceSet& traces, std::uint8_t correct_key,
+    const std::vector<std::size_t>& checkpoints,
+    const std::function<AttackResult(const TraceSet&)>& attack) {
+  MtdResult result;
+  for (std::size_t n : checkpoints) {
+    if (n > traces.size() || n < 2) continue;
+    TraceSet prefix;
+    prefix.plaintexts.assign(traces.plaintexts.begin(),
+                             traces.plaintexts.begin() + n);
+    prefix.samples.assign(traces.samples.begin(), traces.samples.begin() + n);
+    const AttackResult r = attack(prefix);
+    result.rank_history.emplace_back(n, r.rank_of(correct_key));
+  }
+  // MTD: first checkpoint from which the rank stays 0 to the end.
+  for (std::size_t i = 0; i < result.rank_history.size(); ++i) {
+    bool stable = true;
+    for (std::size_t j = i; j < result.rank_history.size(); ++j) {
+      if (result.rank_history[j].second != 0) {
+        stable = false;
+        break;
+      }
+    }
+    if (stable) {
+      result.disclosed = true;
+      result.mtd = result.rank_history[i].first;
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<std::size_t> default_checkpoints(std::size_t max_traces) {
+  std::vector<std::size_t> pts;
+  for (std::size_t n = 16; n < max_traces; n = n + (n / 2)) {
+    pts.push_back(n);
+  }
+  pts.push_back(max_traces);
+  return pts;
+}
+
+}  // namespace sable

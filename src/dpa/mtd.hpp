@@ -1,0 +1,33 @@
+// Measurements-to-disclosure (MTD): the number of traces after which the
+// attack ranks the correct key first and keeps it first — the standard
+// effectiveness metric for DPA countermeasures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dpa/attack.hpp"
+
+namespace sable {
+
+struct MtdResult {
+  bool disclosed = false;
+  /// Smallest checkpoint trace count from which the correct key stays
+  /// ranked first through the final checkpoint (0 when never disclosed).
+  std::size_t mtd = 0;
+  /// (trace count, rank of correct key) at each evaluated checkpoint.
+  std::vector<std::pair<std::size_t, std::size_t>> rank_history;
+};
+
+/// Runs `attack` on growing prefixes of the trace set at the given
+/// checkpoints. `attack` maps a TraceSet prefix to an AttackResult.
+MtdResult measurements_to_disclosure(
+    const TraceSet& traces, std::uint8_t correct_key,
+    const std::vector<std::size_t>& checkpoints,
+    const std::function<AttackResult(const TraceSet&)>& attack);
+
+/// Convenience checkpoint ladder: roughly logarithmic up to `max_traces`.
+std::vector<std::size_t> default_checkpoints(std::size_t max_traces);
+
+}  // namespace sable

@@ -1,0 +1,79 @@
+#include "expr/factoring.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace sable {
+
+namespace {
+
+// A literal within a cube: variable v with polarity pos.
+struct Lit {
+  std::size_t var;
+  bool pos;
+};
+
+bool cube_has(const Cube& c, std::size_t v, bool pos) {
+  if ((c.mask >> v) & 1u) return false;
+  return (((c.value >> v) & 1u) != 0) == pos;
+}
+
+Cube cube_without(const Cube& c, std::size_t v) {
+  Cube out = c;
+  out.mask |= (1u << v);
+  out.value &= ~(1u << v);
+  return out;
+}
+
+ExprPtr factor_impl(std::vector<Cube> cubes, std::size_t num_vars) {
+  if (cubes.empty()) return Expr::constant(false);
+  if (cubes.size() == 1) {
+    return cubes_to_expr(cubes, num_vars);
+  }
+  // Find the literal shared by the most cubes.
+  Lit best{0, true};
+  std::size_t best_count = 1;
+  for (std::size_t v = 0; v < num_vars; ++v) {
+    for (bool pos : {false, true}) {
+      std::size_t count = 0;
+      for (const auto& c : cubes) {
+        if (cube_has(c, v, pos)) ++count;
+      }
+      if (count > best_count) {
+        best_count = count;
+        best = Lit{v, pos};
+      }
+    }
+  }
+  if (best_count <= 1) {
+    // Nothing to share: a flat OR of products.
+    return cubes_to_expr(cubes, num_vars);
+  }
+  std::vector<Cube> quotient;
+  std::vector<Cube> remainder;
+  for (const auto& c : cubes) {
+    if (cube_has(c, best.var, best.pos)) {
+      quotient.push_back(cube_without(c, best.var));
+    } else {
+      remainder.push_back(c);
+    }
+  }
+  ExprPtr lit = Expr::variable(static_cast<VarId>(best.var));
+  if (!best.pos) lit = Expr::negate(lit);
+  ExprPtr factored = Expr::conj2(lit, factor_impl(std::move(quotient), num_vars));
+  if (remainder.empty()) return factored;
+  return Expr::disj2(factored, factor_impl(std::move(remainder), num_vars));
+}
+
+}  // namespace
+
+ExprPtr factor_cubes(const std::vector<Cube>& cubes, std::size_t num_vars) {
+  return factor_impl(cubes, num_vars);
+}
+
+ExprPtr factored_form(const TruthTable& f) {
+  return factor_cubes(minimize(f), f.num_vars());
+}
+
+}  // namespace sable

@@ -1,0 +1,22 @@
+// Algebraic factoring of sum-of-products covers.
+//
+// The design method consumes a *factored* expression tree (step 1 "identify
+// two expressions x and y that combine to f"). Deep factored forms give DPDNs
+// with fewer devices at the cost of evaluation depth; this module provides the
+// classic most-frequent-literal division heuristic to produce such trees from
+// a cube cover.
+#pragma once
+
+#include "expr/expression.hpp"
+#include "expr/quine_mccluskey.hpp"
+
+namespace sable {
+
+/// Factors a cube cover into a nested AND/OR tree by recursively dividing by
+/// the most frequent literal. Output is NNF.
+ExprPtr factor_cubes(const std::vector<Cube>& cubes, std::size_t num_vars);
+
+/// Convenience: minimize then factor a truth table.
+ExprPtr factored_form(const TruthTable& f);
+
+}  // namespace sable

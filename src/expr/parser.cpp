@@ -1,0 +1,134 @@
+#include "expr/parser.hpp"
+
+#include <cctype>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace sable {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, VarTable& vars) : text_(text), vars_(vars) {}
+
+  ExprPtr parse() {
+    ExprPtr e = parse_or();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing input");
+    return e;
+  }
+
+ private:
+  ExprPtr parse_or() {
+    ExprPtr e = parse_xor();
+    for (;;) {
+      skip_ws();
+      if (accept('+') || accept('|')) {
+        e = Expr::disj2(e, parse_xor());
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr parse_xor() {
+    ExprPtr e = parse_and();
+    for (;;) {
+      skip_ws();
+      if (accept('^')) {
+        e = Expr::exclusive_or(e, parse_and());
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr e = parse_unary();
+    for (;;) {
+      skip_ws();
+      if (accept('.') || accept('&') || accept('*')) {
+        e = Expr::conj2(e, parse_unary());
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr parse_unary() {
+    skip_ws();
+    if (accept('!') || accept('~')) return Expr::negate(parse_unary());
+    ExprPtr e = parse_primary();
+    // Postfix complement, possibly repeated (A'' == A).
+    for (;;) {
+      skip_ws();
+      if (accept('\'')) {
+        e = Expr::negate(e);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr parse_primary() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      ExprPtr e = parse_or();
+      skip_ws();
+      if (!accept(')')) fail("expected ')'");
+      return e;
+    }
+    if (c == '0' || c == '1') {
+      ++pos_;
+      return Expr::constant(c == '1');
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      const std::string name(text_.substr(start, pos_ - start));
+      return Expr::variable(vars_.intern(name));
+    }
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool accept(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[noreturn]] void fail(const std::string& why) {
+    throw ParseError("parse error at position " + std::to_string(pos_) + ": " +
+                     why + " in \"" + std::string(text_) + "\"");
+  }
+
+  std::string_view text_;
+  VarTable& vars_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ExprPtr parse_expression(std::string_view text, VarTable& vars) {
+  return Parser(text, vars).parse();
+}
+
+}  // namespace sable

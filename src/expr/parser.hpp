@@ -1,0 +1,24 @@
+// Recursive-descent parser for Boolean expressions in the paper's notation.
+//
+// Grammar (lowest to highest precedence):
+//   or-expr   :=  xor-expr (('+' | '|') xor-expr)*
+//   xor-expr  :=  and-expr ('^' and-expr)*
+//   and-expr  :=  unary (('.' | '&' | '*') unary)*
+//   unary     :=  ('!' | '~') unary | primary '\''*
+//   primary   :=  ident | '0' | '1' | '(' or-expr ')'
+//
+// Postfix apostrophe matches the paper's overbar: "A.B' + B'" is Fig. 2's
+// false branch. Identifiers are [A-Za-z_][A-Za-z0-9_]*.
+#pragma once
+
+#include <string_view>
+
+#include "expr/expression.hpp"
+
+namespace sable {
+
+/// Parses `text`, interning new variables into `vars`.
+/// Throws ParseError with position information on malformed input.
+ExprPtr parse_expression(std::string_view text, VarTable& vars);
+
+}  // namespace sable

@@ -1,0 +1,114 @@
+#include "expr/printer.hpp"
+
+#include "util/error.hpp"
+
+namespace sable {
+
+namespace {
+
+// Precedence: OR lowest (1), AND (2), NOT/atom (3). A child is
+// parenthesized when its precedence is lower than the context's.
+int precedence(const Expr& e) {
+  switch (e.kind()) {
+    case ExprKind::kOr:
+      return 1;
+    case ExprKind::kAnd:
+      return 2;
+    default:
+      return 3;
+  }
+}
+
+void print(const ExprPtr& e, const VarTable& vars, int context_prec,
+           std::string& out) {
+  const int prec = precedence(*e);
+  const bool paren = prec < context_prec;
+  if (paren) out += '(';
+  switch (e->kind()) {
+    case ExprKind::kConst0:
+      out += '0';
+      break;
+    case ExprKind::kConst1:
+      out += '1';
+      break;
+    case ExprKind::kVar:
+      out += vars.name(e->var());
+      break;
+    case ExprKind::kNot: {
+      const auto& sub = e->operands()[0];
+      if (sub->is_var() || sub->is_const()) {
+        print(sub, vars, 3, out);
+      } else {
+        out += '(';
+        print(sub, vars, 0, out);
+        out += ')';
+      }
+      out += '\'';
+      break;
+    }
+    case ExprKind::kAnd: {
+      bool first = true;
+      for (const auto& op : e->operands()) {
+        if (!first) out += '.';
+        print(op, vars, prec, out);
+        first = false;
+      }
+      break;
+    }
+    case ExprKind::kOr: {
+      bool first = true;
+      for (const auto& op : e->operands()) {
+        if (!first) out += " + ";
+        print(op, vars, prec, out);
+        first = false;
+      }
+      break;
+    }
+  }
+  if (paren) out += ')';
+}
+
+void sexpr(const ExprPtr& e, const VarTable& vars, std::string& out) {
+  switch (e->kind()) {
+    case ExprKind::kConst0:
+      out += "0";
+      return;
+    case ExprKind::kConst1:
+      out += "1";
+      return;
+    case ExprKind::kVar:
+      out += vars.name(e->var());
+      return;
+    case ExprKind::kNot:
+      out += "(not ";
+      sexpr(e->operands()[0], vars, out);
+      out += ')';
+      return;
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+      out += e->kind() == ExprKind::kAnd ? "(and" : "(or";
+      for (const auto& op : e->operands()) {
+        out += ' ';
+        sexpr(op, vars, out);
+      }
+      out += ')';
+      return;
+  }
+  SABLE_ASSERT(false, "unreachable expression kind");
+}
+
+}  // namespace
+
+std::string to_string(const ExprPtr& e, const VarTable& vars) {
+  std::string out;
+  print(e, vars, 0, out);
+  return out;
+}
+
+std::string to_sexpr(const ExprPtr& e, const VarTable& vars) {
+  std::string out;
+  sexpr(e, vars, out);
+  return out;
+}
+
+}  // namespace sable

@@ -1,0 +1,17 @@
+// Expression printing in the paper's notation: AND as '.', OR as ' + ',
+// complement as a postfix apostrophe (stand-in for the overbar).
+#pragma once
+
+#include <string>
+
+#include "expr/expression.hpp"
+
+namespace sable {
+
+/// Infix form, minimally parenthesized: "(A+B).(C+D)", "A.B' + B'".
+std::string to_string(const ExprPtr& e, const VarTable& vars);
+
+/// Lisp-style dump for debugging: "(and A (not B))".
+std::string to_sexpr(const ExprPtr& e, const VarTable& vars);
+
+}  // namespace sable

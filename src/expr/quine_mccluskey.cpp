@@ -1,0 +1,142 @@
+#include "expr/quine_mccluskey.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace sable {
+
+std::size_t Cube::literal_count(std::size_t num_vars) const {
+  const auto cared =
+      static_cast<std::uint32_t>((std::uint64_t{1} << num_vars) - 1) & ~mask;
+  return static_cast<std::size_t>(std::popcount(cared));
+}
+
+std::vector<Cube> prime_implicants(const TruthTable& f) {
+  const std::size_t n = f.num_vars();
+  // Current generation of implicants, deduplicated.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> current;
+  for (std::size_t row = 0; row < f.num_rows(); ++row) {
+    if (f.get(row)) current.insert({static_cast<std::uint32_t>(row), 0u});
+  }
+
+  std::vector<Cube> primes;
+  while (!current.empty()) {
+    std::set<std::pair<std::uint32_t, std::uint32_t>> next;
+    std::set<std::pair<std::uint32_t, std::uint32_t>> combined;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> items(current.begin(),
+                                                               current.end());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      for (std::size_t j = i + 1; j < items.size(); ++j) {
+        if (items[i].second != items[j].second) continue;
+        const std::uint32_t diff = items[i].first ^ items[j].first;
+        if (std::popcount(diff) != 1) continue;
+        next.insert({items[i].first & ~diff, items[i].second | diff});
+        combined.insert(items[i]);
+        combined.insert(items[j]);
+      }
+    }
+    for (const auto& item : items) {
+      if (!combined.count(item)) {
+        primes.push_back(Cube{item.first, item.second});
+      }
+    }
+    current = std::move(next);
+  }
+
+  // Deterministic order: wider cubes (more don't-cares) first, then by value.
+  std::sort(primes.begin(), primes.end(), [n](const Cube& a, const Cube& b) {
+    const auto la = a.literal_count(n);
+    const auto lb = b.literal_count(n);
+    if (la != lb) return la < lb;
+    if (a.mask != b.mask) return a.mask < b.mask;
+    return a.value < b.value;
+  });
+  return primes;
+}
+
+std::vector<Cube> minimize(const TruthTable& f) {
+  std::vector<std::uint32_t> minterms;
+  for (std::size_t row = 0; row < f.num_rows(); ++row) {
+    if (f.get(row)) minterms.push_back(static_cast<std::uint32_t>(row));
+  }
+  if (minterms.empty()) return {};
+
+  const std::vector<Cube> primes = prime_implicants(f);
+  std::vector<Cube> cover;
+  std::vector<bool> covered(minterms.size(), false);
+
+  // Essential primes: sole cover of some minterm.
+  for (std::size_t m = 0; m < minterms.size(); ++m) {
+    const Cube* only = nullptr;
+    int count = 0;
+    for (const auto& p : primes) {
+      if (p.covers(minterms[m])) {
+        ++count;
+        only = &p;
+        if (count > 1) break;
+      }
+    }
+    SABLE_ASSERT(count >= 1, "prime implicants must cover every minterm");
+    if (count == 1 &&
+        std::find(cover.begin(), cover.end(), *only) == cover.end()) {
+      cover.push_back(*only);
+    }
+  }
+  for (std::size_t m = 0; m < minterms.size(); ++m) {
+    for (const auto& c : cover) {
+      if (c.covers(minterms[m])) {
+        covered[m] = true;
+        break;
+      }
+    }
+  }
+
+  // Greedy: repeatedly take the prime covering the most uncovered minterms.
+  for (;;) {
+    std::size_t best_gain = 0;
+    const Cube* best = nullptr;
+    for (const auto& p : primes) {
+      std::size_t gain = 0;
+      for (std::size_t m = 0; m < minterms.size(); ++m) {
+        if (!covered[m] && p.covers(minterms[m])) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = &p;
+      }
+    }
+    if (best == nullptr) break;
+    cover.push_back(*best);
+    for (std::size_t m = 0; m < minterms.size(); ++m) {
+      if (best->covers(minterms[m])) covered[m] = true;
+    }
+  }
+  return cover;
+}
+
+ExprPtr cubes_to_expr(const std::vector<Cube>& cubes, std::size_t num_vars) {
+  if (cubes.empty()) return Expr::constant(false);
+  std::vector<ExprPtr> terms;
+  terms.reserve(cubes.size());
+  for (const auto& c : cubes) {
+    std::vector<ExprPtr> lits;
+    for (std::size_t v = 0; v < num_vars; ++v) {
+      if ((c.mask >> v) & 1u) continue;
+      ExprPtr lit = Expr::variable(static_cast<VarId>(v));
+      if (((c.value >> v) & 1u) == 0) lit = Expr::negate(lit);
+      lits.push_back(std::move(lit));
+    }
+    terms.push_back(lits.empty() ? Expr::constant(true)
+                                 : Expr::conj(std::move(lits)));
+  }
+  return Expr::disj(std::move(terms));
+}
+
+ExprPtr minimized_sop(const TruthTable& f) {
+  return cubes_to_expr(minimize(f), f.num_vars());
+}
+
+}  // namespace sable

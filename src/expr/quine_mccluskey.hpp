@@ -1,0 +1,44 @@
+// Quine–McCluskey two-level minimization.
+//
+// Used to turn truth tables (e.g. cipher S-box output bits) into sum-of-
+// products expressions that the DPDN design method can consume. Exact prime
+// implicant generation with essential-implicant extraction and a greedy
+// cover for the remainder; intended for the small gate-sized functions this
+// library designs (n <= ~10).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "expr/expression.hpp"
+#include "expr/truth_table.hpp"
+
+namespace sable {
+
+/// A product term: for bit k, (mask>>k)&1 == 0 means variable k is cared
+/// about and must equal (value>>k)&1; mask bit 1 means "don't care".
+struct Cube {
+  std::uint32_t value = 0;
+  std::uint32_t mask = 0;
+
+  bool covers(std::uint32_t minterm) const {
+    return ((minterm ^ value) & ~mask) == 0;
+  }
+  /// Number of literals in this cube over `num_vars` variables.
+  std::size_t literal_count(std::size_t num_vars) const;
+  bool operator==(const Cube&) const = default;
+};
+
+/// All prime implicants of the function.
+std::vector<Cube> prime_implicants(const TruthTable& f);
+
+/// Minimal (essential + greedy) cover of the function's on-set.
+std::vector<Cube> minimize(const TruthTable& f);
+
+/// Sum-of-products expression for a cube cover.
+ExprPtr cubes_to_expr(const std::vector<Cube>& cubes, std::size_t num_vars);
+
+/// Convenience: minimized SOP expression of a truth table.
+ExprPtr minimized_sop(const TruthTable& f);
+
+}  // namespace sable

@@ -1,0 +1,37 @@
+#include "expr/random_expr.hpp"
+
+#include "util/error.hpp"
+
+namespace sable {
+
+namespace {
+
+ExprPtr random_tree(Rng& rng, const RandomExprOptions& opt,
+                    std::size_t leaves) {
+  if (leaves == 1) {
+    ExprPtr lit = Expr::variable(
+        static_cast<VarId>(rng.below(opt.num_vars)));
+    if (rng.chance(opt.negate_probability)) lit = Expr::negate(lit);
+    return lit;
+  }
+  const std::size_t left = 1 + rng.below(leaves - 1);
+  ExprPtr a = random_tree(rng, opt, left);
+  ExprPtr b = random_tree(rng, opt, leaves - left);
+  // conj/disj fold duplicate flat structure; that keeps literal counts exact
+  // because both operands here are non-constant.
+  return rng.chance(opt.and_probability) ? Expr::conj2(std::move(a),
+                                                       std::move(b))
+                                         : Expr::disj2(std::move(a),
+                                                       std::move(b));
+}
+
+}  // namespace
+
+ExprPtr random_nnf(Rng& rng, const RandomExprOptions& options) {
+  SABLE_REQUIRE(options.num_vars >= 1, "random_nnf requires >= 1 variable");
+  SABLE_REQUIRE(options.num_literals >= 1,
+                "random_nnf requires >= 1 literal");
+  return random_tree(rng, options, options.num_literals);
+}
+
+}  // namespace sable

@@ -1,0 +1,24 @@
+// Random NNF expression generation for property-based tests and scaling
+// benchmarks of the design method.
+#pragma once
+
+#include "expr/expression.hpp"
+#include "util/rng.hpp"
+
+namespace sable {
+
+struct RandomExprOptions {
+  std::size_t num_vars = 4;
+  /// Number of literal leaves in the generated tree.
+  std::size_t num_literals = 8;
+  /// Probability that an internal node is an AND (vs. OR).
+  double and_probability = 0.5;
+  /// Probability that a leaf literal is negated.
+  double negate_probability = 0.5;
+};
+
+/// Generates a random NNF expression tree with exactly
+/// `options.num_literals` leaves (>= 1). Deterministic given the Rng state.
+ExprPtr random_nnf(Rng& rng, const RandomExprOptions& options);
+
+}  // namespace sable

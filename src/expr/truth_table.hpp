@@ -1,0 +1,51 @@
+// Dense truth tables for functional verification.
+//
+// Every synthesized network is checked exhaustively against the truth table
+// of its source expression; the paper's gates have at most a handful of
+// inputs, so 2^n enumeration is the honest and complete check.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "expr/expression.hpp"
+
+namespace sable {
+
+/// Truth table over `num_vars` inputs, bit i = f(assignment i).
+/// Assignment bit k of index i is the value of variable k.
+class TruthTable {
+ public:
+  static constexpr std::size_t kMaxVars = 20;
+
+  explicit TruthTable(std::size_t num_vars);
+
+  std::size_t num_vars() const { return num_vars_; }
+  std::size_t num_rows() const { return std::size_t{1} << num_vars_; }
+
+  bool get(std::size_t row) const;
+  void set(std::size_t row, bool value);
+
+  /// Number of rows where the function is 1.
+  std::size_t popcount() const;
+
+  bool operator==(const TruthTable& other) const = default;
+
+  /// Complement of this function.
+  TruthTable complemented() const;
+
+ private:
+  std::size_t num_vars_;
+  std::vector<std::uint64_t> bits_;
+};
+
+/// Evaluates `e` on one assignment (bit k of `assignment` = variable k).
+bool evaluate(const ExprPtr& e, std::uint64_t assignment);
+
+/// Full truth table of `e` over variables [0, num_vars).
+TruthTable table_of(const ExprPtr& e, std::size_t num_vars);
+
+/// Semantic equivalence over the given variable count.
+bool equivalent(const ExprPtr& a, const ExprPtr& b, std::size_t num_vars);
+
+}  // namespace sable

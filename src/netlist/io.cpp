@@ -1,0 +1,144 @@
+#include "netlist/io.hpp"
+
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace sable {
+
+std::string write_dpdn(const DpdnNetwork& net, const VarTable& vars) {
+  std::string out = "dpdn " + std::to_string(net.num_vars()) + "\n";
+  for (VarId v = 0; v < net.num_vars(); ++v) {
+    out += "var " + vars.name(v) + "\n";
+  }
+  for (NodeId n : net.internal_nodes()) {
+    out += "node " + net.node_name(n) + "\n";
+  }
+  // Pass gates are two consecutive devices added by add_pass_gate; emit
+  // them as one `passgate` line and the rest as `switch` lines.
+  const auto& devices = net.devices();
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    const Switch& d = devices[i];
+    if (d.role == DeviceRole::kPassGateHalf && i + 1 < devices.size() &&
+        devices[i + 1].role == DeviceRole::kPassGateHalf &&
+        devices[i + 1].gate.var == d.gate.var &&
+        devices[i + 1].a == d.a && devices[i + 1].b == d.b) {
+      out += "passgate " + vars.name(d.gate.var) + " " + net.node_name(d.a) +
+             " " + net.node_name(d.b) + "\n";
+      ++i;
+      continue;
+    }
+    out += "switch " + vars.name(d.gate.var) +
+           (d.gate.positive ? "" : "'") + " " + net.node_name(d.a) + " " +
+           net.node_name(d.b) + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+class DpdnReader {
+ public:
+  explicit DpdnReader(VarTable& vars) : vars_(vars) {}
+
+  DpdnNetwork parse(std::string_view text) {
+    std::istringstream stream{std::string(text)};
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(stream, line)) {
+      ++line_no;
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      const std::string_view trimmed = trim(line);
+      if (trimmed.empty()) continue;
+      handle(trimmed, line_no);
+    }
+    if (!net_) {
+      throw ParseError("DPDN netlist missing the 'dpdn <n>' header");
+    }
+    return std::move(*net_);
+  }
+
+ private:
+  void handle(std::string_view line, std::size_t line_no) {
+    std::istringstream words{std::string(line)};
+    std::string keyword;
+    words >> keyword;
+    auto fail = [&](const std::string& why) -> void {
+      throw ParseError("DPDN netlist line " + std::to_string(line_no) + ": " +
+                       why);
+    };
+    if (keyword == "dpdn") {
+      std::size_t n = 0;
+      if (!(words >> n) || n == 0) fail("expected 'dpdn <num_vars>'");
+      net_.emplace(n);
+      return;
+    }
+    if (!net_) fail("'dpdn <n>' header must come first");
+    if (keyword == "var") {
+      std::string name;
+      if (!(words >> name)) fail("expected 'var <name>'");
+      const VarId id = vars_.intern(name);
+      if (id != next_var_) fail("variables must appear in id order");
+      ++next_var_;
+      return;
+    }
+    if (keyword == "node") {
+      std::string name;
+      if (!(words >> name)) fail("expected 'node <name>'");
+      node_ids_[name] = net_->add_internal_node(name);
+      return;
+    }
+    if (keyword == "switch" || keyword == "passgate") {
+      std::string lit;
+      std::string a;
+      std::string b;
+      if (!(words >> lit >> a >> b)) {
+        fail("expected '" + keyword + " <lit> <node> <node>'");
+      }
+      bool positive = true;
+      if (keyword == "switch" && lit.ends_with('\'')) {
+        positive = false;
+        lit.pop_back();
+      }
+      if (!vars_.contains(lit)) fail("unknown variable: " + lit);
+      const NodeId na = node_of(a, fail);
+      const NodeId nb = node_of(b, fail);
+      if (keyword == "switch") {
+        net_->add_switch(SignalLiteral{vars_.id_of(lit), positive}, na, nb);
+      } else {
+        net_->add_pass_gate(vars_.id_of(lit), na, nb);
+      }
+      return;
+    }
+    fail("unknown keyword: " + keyword);
+  }
+
+  template <typename Fail>
+  NodeId node_of(const std::string& name, Fail&& fail) {
+    if (name == "X") return DpdnNetwork::kNodeX;
+    if (name == "Y") return DpdnNetwork::kNodeY;
+    if (name == "Z") return DpdnNetwork::kNodeZ;
+    const auto it = node_ids_.find(name);
+    if (it == node_ids_.end()) {
+      fail("unknown node: " + name);
+    }
+    return it->second;
+  }
+
+  VarTable& vars_;
+  std::optional<DpdnNetwork> net_;
+  VarId next_var_ = 0;
+  std::map<std::string, NodeId> node_ids_;
+};
+
+}  // namespace
+
+DpdnNetwork read_dpdn(std::string_view text, VarTable& vars) {
+  return DpdnReader(vars).parse(text);
+}
+
+}  // namespace sable

@@ -1,0 +1,29 @@
+// Textual DPDN netlist format (read/write).
+//
+// Lets designers feed existing schematics to the §4.2 transformer and keep
+// generated networks under version control. Line-oriented format:
+//
+//   dpdn <num_vars>
+//   var <name>                     # one per variable, in VarId order
+//   node <name>                    # one per internal node, in NodeId order
+//   switch <lit> <node> <node>     # lit is VAR or VAR' ; nodes X, Y, Z or
+//   passgate <var> <node> <node>   # an internal node name
+//
+// '#' starts a comment; blank lines are ignored.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "netlist/network.hpp"
+
+namespace sable {
+
+/// Serializes `net` (including variable names from `vars`).
+std::string write_dpdn(const DpdnNetwork& net, const VarTable& vars);
+
+/// Parses the format above. Variables are interned into `vars` in file
+/// order. Throws ParseError on malformed input.
+DpdnNetwork read_dpdn(std::string_view text, VarTable& vars);
+
+}  // namespace sable

@@ -1,0 +1,39 @@
+// Series-parallel structure extraction from transistor networks.
+//
+// The §4.2 transformation starts from a *schematic*: a genuine differential
+// network whose two branches are series-parallel (the traditional CVSL
+// construction). This module recovers the expression tree of such a branch
+// by repeated series/parallel reduction, preserving the top-to-bottom order
+// of series chains (AND operand order = device order from the output node
+// towards Z), so that the re-synthesized fully connected network places
+// devices exactly where the paper's drawings do.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "expr/expression.hpp"
+#include "netlist/network.hpp"
+
+namespace sable {
+
+/// Device indices of the two branches of a genuine differential network.
+struct BranchPartition {
+  std::vector<std::size_t> x_branch;
+  std::vector<std::size_t> y_branch;
+};
+
+/// Splits the devices of a *genuine* network into the X–Z and Y–Z branches.
+/// Throws InvalidArgument if a device cannot be attributed to exactly one
+/// branch (e.g. the branches share an internal node, as fully connected
+/// networks do by design).
+BranchPartition partition_branches(const DpdnNetwork& net);
+
+/// Recovers the series-parallel expression implemented by the given devices
+/// between `top` and Z. Throws InvalidArgument when the subnetwork is not
+/// two-terminal series-parallel.
+ExprPtr extract_sp_expression(const DpdnNetwork& net,
+                              const std::vector<std::size_t>& device_indices,
+                              NodeId top);
+
+}  // namespace sable

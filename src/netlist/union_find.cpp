@@ -1,0 +1,33 @@
+#include "netlist/union_find.hpp"
+
+#include <numeric>
+
+namespace sable {
+
+UnionFind::UnionFind(std::size_t n) : parent_(n), rank_(n, 0) {
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+}
+
+std::size_t UnionFind::find(std::size_t x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::size_t a, std::size_t b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (rank_[a] < rank_[b]) std::swap(a, b);
+  parent_[b] = a;
+  if (rank_[a] == rank_[b]) ++rank_[a];
+  return true;
+}
+
+bool UnionFind::same(std::size_t a, std::size_t b) {
+  return find(a) == find(b);
+}
+
+}  // namespace sable

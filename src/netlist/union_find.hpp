@@ -1,0 +1,27 @@
+// Union-find (disjoint set) with path halving and union by size.
+// Used for conduction queries: which nodes are shorted together by the
+// switches that conduct under one input assignment.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sable {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  std::size_t find(std::size_t x);
+  /// Merges the sets of a and b; returns true if they were disjoint.
+  bool unite(std::size_t a, std::size_t b);
+  bool same(std::size_t a, std::size_t b);
+
+  std::size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> rank_;
+};
+
+}  // namespace sable

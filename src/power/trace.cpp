@@ -1,0 +1,26 @@
+#include "power/trace.hpp"
+
+#include "util/error.hpp"
+
+namespace sable {
+
+void MultiTraceSet::add(std::uint8_t pt, const std::vector<double>& row) {
+  if (width == 0) width = row.size();
+  SABLE_REQUIRE(row.size() == width,
+                "all traces must have the same sample count");
+  plaintexts.push_back(pt);
+  samples.insert(samples.end(), row.begin(), row.end());
+}
+
+TraceSet MultiTraceSet::column(std::size_t sample) const {
+  SABLE_REQUIRE(sample < width, "sample index out of range");
+  TraceSet out;
+  out.plaintexts = plaintexts;
+  out.samples.reserve(size());
+  for (std::size_t t = 0; t < size(); ++t) {
+    out.samples.push_back(at(t, sample));
+  }
+  return out;
+}
+
+}  // namespace sable

@@ -1,0 +1,41 @@
+// Power trace containers for side-channel experiments.
+//
+// One encryption produces one scalar sample (total energy of the S-box
+// evaluation cycle). A TraceSet pairs samples with the plaintexts that
+// produced them — everything a first-order DPA/CPA attack consumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sable {
+
+struct TraceSet {
+  std::vector<std::uint8_t> plaintexts;
+  std::vector<double> samples;
+
+  std::size_t size() const { return samples.size(); }
+  void add(std::uint8_t pt, double sample) {
+    plaintexts.push_back(pt);
+    samples.push_back(sample);
+  }
+};
+
+/// Time-resolved traces: `width` samples per encryption (row-major). This
+/// is the shape a sampling oscilloscope produces; attacks scan the sample
+/// axis and keep the best distinguisher value per key guess.
+struct MultiTraceSet {
+  std::size_t width = 0;
+  std::vector<std::uint8_t> plaintexts;
+  std::vector<double> samples;  // size() * width values
+
+  std::size_t size() const { return plaintexts.size(); }
+  void add(std::uint8_t pt, const std::vector<double>& row);
+  double at(std::size_t trace, std::size_t sample) const {
+    return samples[trace * width + sample];
+  }
+  /// The single-sample set of column `sample` (for reusing scalar attacks).
+  TraceSet column(std::size_t sample) const;
+};
+
+}  // namespace sable

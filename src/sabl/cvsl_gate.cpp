@@ -1,0 +1,63 @@
+#include "sabl/cvsl_gate.hpp"
+
+#include "tech/capacitance.hpp"
+
+namespace sable {
+
+CvslGateCircuit assemble_cvsl_gate(const DpdnNetwork& net,
+                                   const VarTable& vars,
+                                   const Technology& tech,
+                                   const SizingPlan& sizing) {
+  CvslGateCircuit gate;
+  spice::Circuit& ckt = gate.circuit;
+
+  gate.dpdn_node_names.resize(net.node_count());
+  for (NodeId n = 0; n < net.node_count(); ++n) {
+    switch (net.node_kind(n)) {
+      case NodeKind::kX:
+        gate.dpdn_node_names[n] = "nq";  // f pulls the complement output low
+        break;
+      case NodeKind::kY:
+        gate.dpdn_node_names[n] = "q";   // f' pulls the true output low
+        break;
+      case NodeKind::kZ:
+        gate.dpdn_node_names[n] = "0";   // CVSL has no clocked foot
+        break;
+      case NodeKind::kInternal:
+        gate.dpdn_node_names[n] = "n_" + net.node_name(n);
+        break;
+    }
+  }
+  for (VarId v = 0; v < net.num_vars(); ++v) {
+    gate.input_true.push_back("in_" + vars.name(v));
+    gate.input_false.push_back("inb_" + vars.name(v));
+  }
+
+  const double l = sizing.length;
+  ckt.add_mosfet("mp_cc_q", spice::MosType::kPmos, "q", "nq", "vdd", tech.pmos,
+                 sizing.sense_p_width, l);
+  ckt.add_mosfet("mp_cc_nq", spice::MosType::kPmos, "nq", "q", "vdd",
+                 tech.pmos, sizing.sense_p_width, l);
+
+  std::size_t dev_index = 0;
+  for (const auto& d : net.devices()) {
+    const std::string gate_node = d.gate.positive
+                                      ? gate.input_true[d.gate.var]
+                                      : gate.input_false[d.gate.var];
+    ckt.add_mosfet("mn_dpdn_" + std::to_string(dev_index++),
+                   spice::MosType::kNmos, gate.dpdn_node_names[d.a], gate_node,
+                   gate.dpdn_node_names[d.b], tech.nmos, sizing.dpdn_width, l);
+  }
+
+  auto caps = dpdn_node_capacitances(net, tech, sizing);
+  const double jp = tech.pmos.cj_per_width + tech.pmos.cov_per_width;
+  caps[DpdnNetwork::kNodeX] += jp * sizing.sense_p_width + sizing.output_load;
+  caps[DpdnNetwork::kNodeY] += jp * sizing.sense_p_width + sizing.output_load;
+  for (NodeId n = 0; n < net.node_count(); ++n) {
+    if (n == DpdnNetwork::kNodeZ) continue;  // grounded
+    ckt.add_capacitor(gate.dpdn_node_names[n], "0", caps[n]);
+  }
+  return gate;
+}
+
+}  // namespace sable

@@ -1,0 +1,33 @@
+// Static CVSL (cascode voltage switch logic) gate assembly — the baseline
+// whose AND-NAND power varies "as large as 50%" with the input event (§2,
+// citing [10]/[14]).
+//
+// Topology: the DPDN's X branch pulls the complement output low when f = 1
+// and the Y branch pulls the true output low when f' = 1; a cross-coupled
+// PMOS pair restores the high side. Inputs are static full-swing signals
+// (no precharge phase), so the energy of an input *transition* depends on
+// which parasitic capacitances move — the data dependence DPA exploits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/network.hpp"
+#include "spice/circuit.hpp"
+#include "tech/technology.hpp"
+
+namespace sable {
+
+struct CvslGateCircuit {
+  spice::Circuit circuit;
+  std::vector<std::string> dpdn_node_names;  // X -> "nq", Y -> "q", Z -> "0"
+  std::vector<std::string> input_true;
+  std::vector<std::string> input_false;
+};
+
+CvslGateCircuit assemble_cvsl_gate(const DpdnNetwork& net,
+                                   const VarTable& vars,
+                                   const Technology& tech,
+                                   const SizingPlan& sizing);
+
+}  // namespace sable

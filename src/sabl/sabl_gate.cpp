@@ -1,0 +1,122 @@
+#include "sabl/sabl_gate.hpp"
+
+#include "tech/capacitance.hpp"
+#include "util/error.hpp"
+
+namespace sable {
+
+SablGateCircuit assemble_sabl_gate(const DpdnNetwork& net,
+                                   const VarTable& vars,
+                                   const Technology& tech,
+                                   const SizingPlan& sizing) {
+  SablGateCircuit gate;
+  spice::Circuit& ckt = gate.circuit;
+
+  // DPDN node naming: externals get fixed names, internals keep theirs.
+  gate.dpdn_node_names.resize(net.node_count());
+  for (NodeId n = 0; n < net.node_count(); ++n) {
+    switch (net.node_kind(n)) {
+      case NodeKind::kX:
+        gate.dpdn_node_names[n] = "x";
+        break;
+      case NodeKind::kY:
+        gate.dpdn_node_names[n] = "y";
+        break;
+      case NodeKind::kZ:
+        gate.dpdn_node_names[n] = "z";
+        break;
+      case NodeKind::kInternal:
+        gate.dpdn_node_names[n] = "n_" + net.node_name(n);
+        break;
+    }
+  }
+
+  // Input rails.
+  for (VarId v = 0; v < net.num_vars(); ++v) {
+    gate.input_true.push_back("in_" + vars.name(v));
+    gate.input_false.push_back("inb_" + vars.name(v));
+  }
+
+  const double l = sizing.length;
+
+  // Sense amplifier.
+  ckt.add_mosfet("mp_pre_s", spice::MosType::kPmos, "s", "clk", "vdd",
+                 tech.pmos, sizing.precharge_width, l);
+  ckt.add_mosfet("mp_pre_sb", spice::MosType::kPmos, "sb", "clk", "vdd",
+                 tech.pmos, sizing.precharge_width, l);
+  ckt.add_mosfet("mp_cc_s", spice::MosType::kPmos, "s", "sb", "vdd",
+                 tech.pmos, sizing.sense_p_width, l);
+  ckt.add_mosfet("mp_cc_sb", spice::MosType::kPmos, "sb", "s", "vdd",
+                 tech.pmos, sizing.sense_p_width, l);
+  ckt.add_mosfet("mn_cc_s", spice::MosType::kNmos, "s", "sb", "x", tech.nmos,
+                 sizing.sense_n_width, l);
+  ckt.add_mosfet("mn_cc_sb", spice::MosType::kNmos, "sb", "s", "y", tech.nmos,
+                 sizing.sense_n_width, l);
+
+  // Bridge M1 and clocked foot.
+  ckt.add_mosfet("m1_bridge", spice::MosType::kNmos, "x", "clk", "y",
+                 tech.nmos, sizing.bridge_width, l);
+  ckt.add_mosfet("mn_foot", spice::MosType::kNmos, "z", "clk", "0", tech.nmos,
+                 sizing.foot_width, l);
+
+  // DPDN switches.
+  std::size_t dev_index = 0;
+  for (const auto& d : net.devices()) {
+    const std::string gate_node = d.gate.positive
+                                      ? gate.input_true[d.gate.var]
+                                      : gate.input_false[d.gate.var];
+    ckt.add_mosfet("mn_dpdn_" + std::to_string(dev_index++),
+                   spice::MosType::kNmos, gate.dpdn_node_names[d.a], gate_node,
+                   gate.dpdn_node_names[d.b], tech.nmos, sizing.dpdn_width, l);
+  }
+
+  // Output inverters. When f = 1 the X side fires and sense node s falls,
+  // so out = inv(s) goes high: out follows f, outb = inv(sb) follows f'.
+  // Both outputs precharge low (s, sb precharge high), which is what lets
+  // cascaded gates hold their inputs at 0 during precharge.
+  ckt.add_mosfet("mp_inv_out", spice::MosType::kPmos, "out", "s", "vdd",
+                 tech.pmos, sizing.inv_p_width, l);
+  ckt.add_mosfet("mn_inv_out", spice::MosType::kNmos, "out", "s", "0",
+                 tech.nmos, sizing.inv_n_width, l);
+  ckt.add_mosfet("mp_inv_outb", spice::MosType::kPmos, "outb", "sb", "vdd",
+                 tech.pmos, sizing.inv_p_width, l);
+  ckt.add_mosfet("mn_inv_outb", spice::MosType::kNmos, "outb", "sb", "0",
+                 tech.nmos, sizing.inv_n_width, l);
+
+  // Explicit node capacitances. DPDN nodes from extraction, with the sense
+  // NMOS / bridge / foot junctions added to x, y, z.
+  gate.dpdn_node_caps = dpdn_node_capacitances(net, tech, sizing);
+  const double jn = tech.nmos.cj_per_width + tech.nmos.cov_per_width;
+  const double jp = tech.pmos.cj_per_width + tech.pmos.cov_per_width;
+  gate.dpdn_node_caps[DpdnNetwork::kNodeX] +=
+      jn * (sizing.sense_n_width + sizing.bridge_width);
+  gate.dpdn_node_caps[DpdnNetwork::kNodeY] +=
+      jn * (sizing.sense_n_width + sizing.bridge_width);
+  gate.dpdn_node_caps[DpdnNetwork::kNodeZ] += jn * sizing.foot_width;
+  for (NodeId n = 0; n < net.node_count(); ++n) {
+    ckt.add_capacitor(gate.dpdn_node_names[n], "0", gate.dpdn_node_caps[n]);
+  }
+
+  // Sense nodes: precharge + cross pair junctions + inverter gate load.
+  const double inv_gate_cap =
+      (tech.nmos.cgate_per_area * sizing.inv_n_width +
+       tech.pmos.cgate_per_area * sizing.inv_p_width) *
+          l +
+      2.0 * tech.nmos.cov_per_width * sizing.inv_n_width +
+      2.0 * tech.pmos.cov_per_width * sizing.inv_p_width;
+  const double sense_cap = jp * (sizing.precharge_width + sizing.sense_p_width) +
+                           jn * sizing.sense_n_width + inv_gate_cap +
+                           tech.wire_cap_per_node;
+  ckt.add_capacitor("s", "0", sense_cap);
+  ckt.add_capacitor("sb", "0", sense_cap);
+
+  // Outputs: inverter junctions + external load.
+  const double out_cap = jn * sizing.inv_n_width + jp * sizing.inv_p_width +
+                         sizing.output_load;
+  ckt.add_capacitor("out", "0", out_cap);
+  ckt.add_capacitor("outb", "0", out_cap);
+
+  return gate;
+}
+
+}  // namespace sable

@@ -1,0 +1,46 @@
+// Transistor-level assembly of the generic SABL gate (Fig. 1).
+//
+// Topology (StrongArm-flip-flop sense amplifier, per the paper):
+//   - clk-gated PMOS precharge devices on the internal sense nodes s / sb;
+//   - cross-coupled inverter pair: PMOS (vdd->s gated by sb, vdd->sb gated
+//     by s) and NMOS (s->X gated by sb, sb->Y gated by s);
+//   - bridge transistor M1 between X and Y, gated by clk, which guarantees
+//     both DPDN output nodes discharge whichever branch is on;
+//   - the DPDN under X / Y with common node Z;
+//   - clk-gated foot NMOS from Z to ground;
+//   - output inverters out = inv(sb), outb = inv(s) so that cascaded gates
+//     see inputs precharged to 0 (the timing §2 relies on).
+//
+// All parasitic capacitances are explicit linear capacitors at the nodes
+// (extracted via tech/capacitance); the level-1 devices carry no intrinsic
+// charge, so every coulomb the supply delivers is accounted to a node.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/network.hpp"
+#include "spice/circuit.hpp"
+#include "tech/technology.hpp"
+
+namespace sable {
+
+struct SablGateCircuit {
+  spice::Circuit circuit;
+  /// spice node name of each DPDN node, indexed by NodeId.
+  std::vector<std::string> dpdn_node_names;
+  /// Explicit capacitance placed at each DPDN node [F].
+  std::vector<double> dpdn_node_caps;
+  /// Input signal node names per variable: true and complement rails.
+  std::vector<std::string> input_true;
+  std::vector<std::string> input_false;
+};
+
+/// Builds the SABL gate circuit for `net`. Supplies and stimuli are *not*
+/// included; the testbench adds them (see sabl/testbench.hpp).
+SablGateCircuit assemble_sabl_gate(const DpdnNetwork& net,
+                                   const VarTable& vars,
+                                   const Technology& tech,
+                                   const SizingPlan& sizing);
+
+}  // namespace sable

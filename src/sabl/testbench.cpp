@@ -1,0 +1,157 @@
+#include "sabl/testbench.hpp"
+
+#include "spice/measure.hpp"
+#include "util/error.hpp"
+
+namespace sable {
+
+namespace {
+
+// PWL rail for one input literal over the padded input sequence.
+// For cycle k the literal is `level` during the window
+// [kT + d, kT + T/2 + d] (d = input_delay), with `edge`-long transitions.
+spice::Waveform input_waveform(const std::vector<bool>& level_per_cycle,
+                               double vdd, const TestbenchOptions& opt) {
+  // Dynamic-logic rails return to 0 every precharge, so the high windows of
+  // consecutive cycles never abut: each active cycle is a separate pulse.
+  std::vector<std::pair<double, double>> pts;
+  pts.emplace_back(0.0, 0.0);
+  for (std::size_t k = 0; k < level_per_cycle.size(); ++k) {
+    if (!level_per_cycle[k]) continue;
+    const double t0 = static_cast<double>(k) * opt.period + opt.input_delay;
+    const double t1 = t0 + opt.period / 2;  // hold into the precharge phase
+    pts.emplace_back(t0, 0.0);
+    pts.emplace_back(t0 + opt.edge, vdd);
+    pts.emplace_back(t1, vdd);
+    pts.emplace_back(t1 + opt.edge, 0.0);
+  }
+  return spice::Waveform::pwl(std::move(pts));
+}
+
+// Full-swing rail for CVSL: holds the cycle's level for the whole period.
+spice::Waveform static_waveform(const std::vector<bool>& level_per_cycle,
+                                double vdd, const TestbenchOptions& opt) {
+  std::vector<std::pair<double, double>> pts;
+  double current = level_per_cycle.empty() || !level_per_cycle[0] ? 0.0 : vdd;
+  pts.emplace_back(0.0, current);
+  for (std::size_t k = 1; k < level_per_cycle.size(); ++k) {
+    const double target = level_per_cycle[k] ? vdd : 0.0;
+    if (target == current) continue;
+    const double t = static_cast<double>(k) * opt.period;
+    pts.emplace_back(t, current);
+    pts.emplace_back(t + opt.edge, target);
+    current = target;
+  }
+  return spice::Waveform::pwl(std::move(pts));
+}
+
+std::vector<std::uint64_t> pad_warmup(const std::vector<std::uint64_t>& inputs,
+                                      std::size_t warmup) {
+  SABLE_REQUIRE(!inputs.empty(), "testbench requires at least one input");
+  std::vector<std::uint64_t> padded(warmup, inputs.front());
+  padded.insert(padded.end(), inputs.begin(), inputs.end());
+  return padded;
+}
+
+void measure_cycles(const spice::TranResult& waves,
+                    const std::vector<std::uint64_t>& inputs,
+                    std::size_t warmup, double vdd,
+                    const TestbenchOptions& opt, bool dynamic_precharge,
+                    SablRunResult& out) {
+  for (std::size_t k = warmup; k < inputs.size(); ++k) {
+    const double t0 = static_cast<double>(k) * opt.period;
+    const double t1 = t0 + opt.period;
+    CycleMeasurement m;
+    m.assignment = inputs[k];
+    m.energy = spice::delivered_energy(waves, "vdd", t0, t1);
+    m.charge = spice::delivered_charge(waves, "vdd", t0, t1);
+    m.peak_current = spice::peak_delivered_current(waves, "vdd", t0, t1);
+    if (dynamic_precharge) {
+      m.recharged_capacitance =
+          spice::delivered_charge(waves, "vdd", t0 + opt.period / 2, t1) / vdd;
+    }
+    out.cycles.push_back(m);
+    out.cycle_start.push_back(t0);
+  }
+}
+
+}  // namespace
+
+SablRunResult run_sabl_sequence(const DpdnNetwork& net, const VarTable& vars,
+                                const Technology& tech,
+                                const SizingPlan& sizing,
+                                const std::vector<std::uint64_t>& inputs,
+                                const TestbenchOptions& options) {
+  const auto padded = pad_warmup(inputs, options.warmup_cycles);
+  SablGateCircuit gate = assemble_sabl_gate(net, vars, tech, sizing);
+  spice::Circuit& ckt = gate.circuit;
+
+  ckt.add_vsource("vdd", "vdd", "0", spice::Waveform::dc(tech.vdd));
+  // clk: high (evaluation) during the first half of each period.
+  ckt.add_vsource("clk", "clk", "0",
+                  spice::Waveform::pulse(0.0, tech.vdd, 0.0, options.edge,
+                                         options.edge,
+                                         options.period / 2 - options.edge,
+                                         options.period));
+  for (VarId v = 0; v < net.num_vars(); ++v) {
+    std::vector<bool> lvl_true;
+    std::vector<bool> lvl_false;
+    lvl_true.reserve(padded.size());
+    for (std::uint64_t a : padded) {
+      const bool bit = (a >> v) & 1u;
+      lvl_true.push_back(bit);
+      lvl_false.push_back(!bit);
+    }
+    ckt.add_vsource("v" + gate.input_true[v], gate.input_true[v], "0",
+                    input_waveform(lvl_true, tech.vdd, options));
+    ckt.add_vsource("v" + gate.input_false[v], gate.input_false[v], "0",
+                    input_waveform(lvl_false, tech.vdd, options));
+  }
+
+  spice::TransientOptions tran;
+  tran.t_stop = static_cast<double>(padded.size()) * options.period;
+  tran.dt = options.dt;
+  SablRunResult result;
+  result.period = options.period;
+  result.waves = spice::run_transient(ckt, tran);
+  measure_cycles(result.waves, padded, options.warmup_cycles, tech.vdd,
+                 options, /*dynamic_precharge=*/true, result);
+  return result;
+}
+
+SablRunResult run_cvsl_sequence(const DpdnNetwork& net, const VarTable& vars,
+                                const Technology& tech,
+                                const SizingPlan& sizing,
+                                const std::vector<std::uint64_t>& inputs,
+                                const TestbenchOptions& options) {
+  const auto padded = pad_warmup(inputs, options.warmup_cycles);
+  CvslGateCircuit gate = assemble_cvsl_gate(net, vars, tech, sizing);
+  spice::Circuit& ckt = gate.circuit;
+
+  ckt.add_vsource("vdd", "vdd", "0", spice::Waveform::dc(tech.vdd));
+  for (VarId v = 0; v < net.num_vars(); ++v) {
+    std::vector<bool> lvl_true;
+    std::vector<bool> lvl_false;
+    for (std::uint64_t a : padded) {
+      const bool bit = (a >> v) & 1u;
+      lvl_true.push_back(bit);
+      lvl_false.push_back(!bit);
+    }
+    ckt.add_vsource("v" + gate.input_true[v], gate.input_true[v], "0",
+                    static_waveform(lvl_true, tech.vdd, options));
+    ckt.add_vsource("v" + gate.input_false[v], gate.input_false[v], "0",
+                    static_waveform(lvl_false, tech.vdd, options));
+  }
+
+  spice::TransientOptions tran;
+  tran.t_stop = static_cast<double>(padded.size()) * options.period;
+  tran.dt = options.dt;
+  SablRunResult result;
+  result.period = options.period;
+  result.waves = spice::run_transient(ckt, tran);
+  measure_cycles(result.waves, padded, options.warmup_cycles, tech.vdd,
+                 options, /*dynamic_precharge=*/false, result);
+  return result;
+}
+
+}  // namespace sable

@@ -1,0 +1,92 @@
+#include "spice/dc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spice/linear.hpp"
+
+namespace sable::spice {
+
+namespace {
+
+bool newton_dc(const Circuit& ckt, double gmin, const DcOptions& opt,
+               std::vector<double>& x) {
+  MnaSystem mna(ckt.node_count(), ckt.vsources().size());
+  auto volt = [&](SpiceNode n) {
+    return n == kGround ? 0.0 : x[mna.node_unknown(n)];
+  };
+  std::vector<double> solution;
+  for (int iter = 0; iter < opt.max_newton; ++iter) {
+    mna.clear();
+    for (SpiceNode n = 1; n < ckt.node_count(); ++n) {
+      mna.stamp_conductance(n, kGround, gmin);
+    }
+    for (const auto& r : ckt.resistors()) {
+      mna.stamp_conductance(r.a, r.b, 1.0 / r.resistance);
+    }
+    for (std::size_t s = 0; s < ckt.vsources().size(); ++s) {
+      const auto& src = ckt.vsources()[s];
+      mna.stamp_vsource(s, src.positive, src.negative, src.waveform.at(0.0));
+    }
+    for (const auto& m : ckt.mosfets()) {
+      const double vd = volt(m.drain);
+      const double vg = volt(m.gate);
+      const double vs = volt(m.source);
+      const MosLinearization lin =
+          mos_linearize(m.type, m.params, vd, vg, vs, m.width, m.length);
+      mna.stamp_jacobian(m.drain, m.drain, lin.did_dvd);
+      mna.stamp_jacobian(m.drain, m.gate, lin.did_dvg);
+      mna.stamp_jacobian(m.drain, m.source, lin.did_dvs);
+      mna.stamp_jacobian(m.source, m.drain, -lin.did_dvd);
+      mna.stamp_jacobian(m.source, m.gate, -lin.did_dvg);
+      mna.stamp_jacobian(m.source, m.source, -lin.did_dvs);
+      const double linear_part =
+          lin.did_dvd * vd + lin.did_dvg * vg + lin.did_dvs * vs;
+      mna.stamp_current_into(m.drain, linear_part - lin.id);
+      mna.stamp_current_into(m.source, lin.id - linear_part);
+    }
+    if (!mna.solve(solution)) return false;
+    double max_dv = 0.0;
+    const std::size_t num_v = ckt.node_count() - 1;
+    for (std::size_t k = 0; k < mna.unknown_count(); ++k) {
+      double delta = solution[k] - x[k];
+      if (k < num_v) {
+        delta = std::clamp(delta, -opt.damping_clamp, opt.damping_clamp);
+        max_dv = std::max(max_dv, std::fabs(delta));
+      }
+      x[k] += delta;
+    }
+    if (max_dv < opt.vtol) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+DcResult dc_operating_point(const Circuit& circuit, const DcOptions& options) {
+  MnaSystem layout(circuit.node_count(), circuit.vsources().size());
+  std::vector<double> x(layout.unknown_count(), 0.0);
+
+  DcResult result;
+  // gmin continuation: solve with a heavy shunt first, then relax it.
+  bool ok = false;
+  for (double gmin = options.gmin_initial; gmin >= options.gmin_final * 0.99;
+       gmin /= 10.0) {
+    ok = newton_dc(circuit, gmin, options, x);
+    if (!ok) break;
+  }
+  result.converged = ok;
+  result.node_voltage.assign(circuit.node_count(), 0.0);
+  result.source_current.assign(circuit.vsources().size(), 0.0);
+  if (ok) {
+    for (SpiceNode n = 1; n < circuit.node_count(); ++n) {
+      result.node_voltage[n] = x[layout.node_unknown(n)];
+    }
+    for (std::size_t s = 0; s < circuit.vsources().size(); ++s) {
+      result.source_current[s] = x[layout.source_unknown(s)];
+    }
+  }
+  return result;
+}
+
+}  // namespace sable::spice

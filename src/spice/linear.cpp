@@ -1,0 +1,55 @@
+#include "spice/linear.hpp"
+
+namespace sable::spice {
+
+MnaSystem::MnaSystem(std::size_t num_nodes, std::size_t num_vsources)
+    : num_nodes_(num_nodes),
+      unknowns_(num_nodes - 1 + num_vsources),
+      a_(unknowns_, unknowns_),
+      b_(unknowns_, 0.0) {}
+
+void MnaSystem::clear() {
+  a_.fill(0.0);
+  std::fill(b_.begin(), b_.end(), 0.0);
+}
+
+void MnaSystem::stamp_conductance(SpiceNode a, SpiceNode b, double g) {
+  if (a != kGround) a_.at(node_unknown(a), node_unknown(a)) += g;
+  if (b != kGround) a_.at(node_unknown(b), node_unknown(b)) += g;
+  if (a != kGround && b != kGround) {
+    a_.at(node_unknown(a), node_unknown(b)) -= g;
+    a_.at(node_unknown(b), node_unknown(a)) -= g;
+  }
+}
+
+void MnaSystem::stamp_current_into(SpiceNode n, double amps) {
+  if (n != kGround) b_[node_unknown(n)] += amps;
+}
+
+void MnaSystem::stamp_jacobian(SpiceNode row, SpiceNode col, double g) {
+  if (row != kGround && col != kGround) {
+    a_.at(node_unknown(row), node_unknown(col)) += g;
+  }
+}
+
+void MnaSystem::stamp_vsource(std::size_t src, SpiceNode pos, SpiceNode neg,
+                              double volts) {
+  const std::size_t r = source_unknown(src);
+  if (pos != kGround) {
+    a_.at(r, node_unknown(pos)) += 1.0;
+    a_.at(node_unknown(pos), r) += 1.0;
+  }
+  if (neg != kGround) {
+    a_.at(r, node_unknown(neg)) -= 1.0;
+    a_.at(node_unknown(neg), r) -= 1.0;
+  }
+  b_[r] += volts;
+}
+
+bool MnaSystem::solve(std::vector<double>& solution) {
+  DenseMatrix a = a_;  // keep the assembled system intact for re-stamping
+  solution = b_;
+  return lu_solve(a, solution);
+}
+
+}  // namespace sable::spice

@@ -1,0 +1,51 @@
+// Modified nodal analysis (MNA) system for one Newton iteration.
+//
+// Unknown ordering: node voltages v_1..v_{N-1} (ground excluded) followed by
+// one branch current per voltage source. Convention: the branch current of a
+// source flows *into* its positive terminal, so the current a supply
+// delivers to the circuit is the negative of its branch current.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "util/matrix.hpp"
+
+namespace sable::spice {
+
+class MnaSystem {
+ public:
+  MnaSystem(std::size_t num_nodes, std::size_t num_vsources);
+
+  std::size_t unknown_count() const { return unknowns_; }
+  std::size_t node_unknown(SpiceNode n) const { return n - 1; }
+  std::size_t source_unknown(std::size_t src) const {
+    return num_nodes_ - 1 + src;
+  }
+
+  /// Zeroes matrix and right-hand side for a fresh iteration.
+  void clear();
+
+  /// Two-terminal conductance between nodes a and b.
+  void stamp_conductance(SpiceNode a, SpiceNode b, double g);
+  /// Constant current `amps` injected INTO node n.
+  void stamp_current_into(SpiceNode n, double amps);
+  /// Jacobian entry: d(current leaving `row`)/d(v of `col`).
+  void stamp_jacobian(SpiceNode row, SpiceNode col, double g);
+  /// Voltage source `src` forcing v_pos - v_neg = volts.
+  void stamp_vsource(std::size_t src, SpiceNode pos, SpiceNode neg,
+                     double volts);
+
+  /// Solves the assembled system; `solution` gets unknown_count() values.
+  /// Returns false when the matrix is singular.
+  bool solve(std::vector<double>& solution);
+
+ private:
+  std::size_t num_nodes_;
+  std::size_t unknowns_;
+  DenseMatrix a_;
+  std::vector<double> b_;
+};
+
+}  // namespace sable::spice

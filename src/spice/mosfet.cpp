@@ -1,0 +1,81 @@
+#include "spice/mosfet.hpp"
+
+#include <cmath>
+
+namespace sable::spice {
+
+namespace {
+
+// Forward-mode NMOS evaluation with vds >= 0: returns ids, gm = d/dvgs,
+// gds = d/dvds.
+struct ForwardEval {
+  double ids = 0.0;
+  double gm = 0.0;
+  double gds = 0.0;
+};
+
+ForwardEval nmos_forward(const MosModelParams& p, double vgs, double vds,
+                         double beta) {
+  ForwardEval e;
+  const double vt = p.vt0;
+  const double vov = vgs - vt;
+  if (vov <= 0.0) {
+    return e;  // cut-off
+  }
+  const double clm = 1.0 + p.lambda * vds;
+  if (vds < vov) {
+    // Triode.
+    const double core = vov * vds - 0.5 * vds * vds;
+    e.ids = beta * core * clm;
+    e.gm = beta * vds * clm;
+    e.gds = beta * ((vov - vds) * clm + core * p.lambda);
+  } else {
+    // Saturation.
+    const double core = 0.5 * vov * vov;
+    e.ids = beta * core * clm;
+    e.gm = beta * vov * clm;
+    e.gds = beta * core * p.lambda;
+  }
+  return e;
+}
+
+}  // namespace
+
+MosLinearization mos_linearize(MosType type, const MosModelParams& params,
+                               double vd, double vg, double vs, double w,
+                               double l) {
+  if (type == MosType::kPmos) {
+    // id_p(v) = -id_n(-v) with the magnitude-parameter NMOS model; the
+    // chain rule cancels both sign flips in the derivatives.
+    MosModelParams np = params;
+    np.vt0 = std::fabs(params.vt0);
+    const MosLinearization n = mos_linearize(MosType::kNmos, np, -vd, -vg,
+                                             -vs, w, l);
+    MosLinearization out;
+    out.id = -n.id;
+    out.did_dvd = n.did_dvd;
+    out.did_dvg = n.did_dvg;
+    out.did_dvs = n.did_dvs;
+    return out;
+  }
+
+  const double beta = params.kp * (w / l);
+  MosLinearization out;
+  if (vd >= vs) {
+    const ForwardEval e = nmos_forward(params, vg - vs, vd - vs, beta);
+    out.id = e.ids;
+    out.did_dvd = e.gds;
+    out.did_dvg = e.gm;
+    out.did_dvs = -(e.gm + e.gds);
+  } else {
+    // Source and drain exchange roles; current through the channel reverses.
+    const ForwardEval e = nmos_forward(params, vg - vd, vs - vd, beta);
+    out.id = -e.ids;
+    out.did_dvg = -e.gm;
+    out.did_dvs = -e.gds;
+    out.did_dvd = e.gm + e.gds;
+  }
+  return out;
+}
+
+}  // namespace sable::spice

@@ -1,0 +1,34 @@
+// Level-1 (Shichman-Hodges) MOSFET evaluation.
+//
+// The model captures what the paper's figures depend on: conduction vs.
+// cut-off, triode/saturation current drive, and the regenerative behaviour
+// of the cross-coupled sense amplifier. Channel-length modulation is
+// included for stable Newton iterations; body effect is not (sources of
+// stacked NMOS devices ride above ground, so absolute thresholds are
+// slightly optimistic — a documented calibration-level simplification).
+#pragma once
+
+#include "tech/technology.hpp"
+
+namespace sable::spice {
+
+enum class MosType { kNmos, kPmos };
+
+/// Linearization of the drain current around a terminal-voltage operating
+/// point: id plus its partial derivatives w.r.t. the drain, gate and source
+/// voltages. `id` is the current flowing drain -> channel -> source.
+struct MosLinearization {
+  double id = 0.0;
+  double did_dvd = 0.0;
+  double did_dvg = 0.0;
+  double did_dvs = 0.0;
+};
+
+/// Evaluates the level-1 model at terminal voltages (vd, vg, vs) for a
+/// device of width `w` and length `l`. Handles source/drain reversal and
+/// PMOS polarity internally.
+MosLinearization mos_linearize(MosType type, const MosModelParams& params,
+                               double vd, double vg, double vs, double w,
+                               double l);
+
+}  // namespace sable::spice

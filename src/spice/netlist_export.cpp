@@ -1,0 +1,101 @@
+#include "spice/netlist_export.hpp"
+
+#include <cstdio>
+#include <vector>
+
+namespace sable::spice {
+
+namespace {
+
+std::string num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string waveform_text(const Waveform& w) {
+  switch (w.kind) {
+    case WaveformKind::kDc:
+      return "DC " + num(w.dc_value);
+    case WaveformKind::kPulse:
+      return "PULSE(" + num(w.v1) + " " + num(w.v2) + " " + num(w.delay) +
+             " " + num(w.rise) + " " + num(w.fall) + " " + num(w.width) +
+             " " + num(w.period) + ")";
+    case WaveformKind::kPwl: {
+      std::string out = "PWL(";
+      for (std::size_t i = 0; i < w.points.size(); ++i) {
+        if (i != 0) out += ' ';
+        out += num(w.points[i].first) + " " + num(w.points[i].second);
+      }
+      return out + ")";
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string to_spice_deck(const Circuit& circuit,
+                          const ExportOptions& options) {
+  std::string deck = "* " + options.title + "\n";
+
+  // Collect distinct MOS models.
+  struct ModelRef {
+    MosType type;
+    MosModelParams params;
+  };
+  std::vector<ModelRef> models;
+  auto model_name = [&](const Mosfet& m) {
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      const ModelRef& r = models[i];
+      if (r.type == m.type && r.params.vt0 == m.params.vt0 &&
+          r.params.kp == m.params.kp && r.params.lambda == m.params.lambda) {
+        return (r.type == MosType::kNmos ? "nmos" : "pmos") +
+               std::to_string(i);
+      }
+    }
+    models.push_back(ModelRef{m.type, m.params});
+    return (m.type == MosType::kNmos ? "nmos" : "pmos") +
+           std::to_string(models.size() - 1);
+  };
+
+  std::size_t idx = 0;
+  for (const auto& r : circuit.resistors()) {
+    deck += "R" + std::to_string(idx++) + " " + circuit.node_name(r.a) + " " +
+            circuit.node_name(r.b) + " " + num(r.resistance) + "\n";
+  }
+  idx = 0;
+  for (const auto& c : circuit.capacitors()) {
+    deck += "C" + std::to_string(idx++) + " " + circuit.node_name(c.a) + " " +
+            circuit.node_name(c.b) + " " + num(c.capacitance) + "\n";
+  }
+  for (const auto& v : circuit.vsources()) {
+    deck += "V" + v.name + " " + circuit.node_name(v.positive) + " " +
+            circuit.node_name(v.negative) + " " + waveform_text(v.waveform) +
+            "\n";
+  }
+  for (const auto& m : circuit.mosfets()) {
+    // Bulk tied to source (the internal engine has no body effect either).
+    deck += "M" + m.name + " " + circuit.node_name(m.drain) + " " +
+            circuit.node_name(m.gate) + " " + circuit.node_name(m.source) +
+            " " + circuit.node_name(m.source) + " " + model_name(m) + " W=" +
+            num(m.width) + " L=" + num(m.length) + "\n";
+  }
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    const ModelRef& r = models[i];
+    deck += ".model " +
+            ((r.type == MosType::kNmos ? "nmos" : "pmos") +
+             std::to_string(i)) +
+            (r.type == MosType::kNmos ? " NMOS(" : " PMOS(") +
+            "LEVEL=1 VTO=" + num(r.params.vt0) + " KP=" + num(r.params.kp) +
+            " LAMBDA=" + num(r.params.lambda) + ")\n";
+  }
+  if (options.tran_stop > 0.0) {
+    deck += ".tran " + num(options.tran_step) + " " + num(options.tran_stop) +
+            "\n";
+  }
+  deck += ".end\n";
+  return deck;
+}
+
+}  // namespace sable::spice

@@ -1,0 +1,26 @@
+// Export of circuits to a SPICE deck (ngspice-compatible).
+//
+// Everything this library simulates internally can be re-run in ngspice for
+// cross-validation: level-1 .model cards carry the same parameters the
+// internal engine uses, and PULSE/PWL sources are emitted verbatim.
+#pragma once
+
+#include <string>
+
+#include "spice/circuit.hpp"
+
+namespace sable::spice {
+
+struct ExportOptions {
+  std::string title = "sable export";
+  /// Transient card parameters; tstop <= 0 omits the .tran card.
+  double tran_step = 2e-12;
+  double tran_stop = 0.0;
+};
+
+/// Renders the circuit as a SPICE deck. Distinct MOSFET parameter sets get
+/// numbered .model cards (nmos0, pmos0, ...).
+std::string to_spice_deck(const Circuit& circuit,
+                          const ExportOptions& options = {});
+
+}  // namespace sable::spice

@@ -1,0 +1,40 @@
+// Source waveforms: DC, PULSE and PWL, mirroring the SPICE primitives the
+// paper's testbench would use for clock and complementary input stimuli.
+#pragma once
+
+#include <vector>
+
+namespace sable::spice {
+
+enum class WaveformKind { kDc, kPulse, kPwl };
+
+/// Time-value waveform. PULSE follows SPICE semantics (v1, v2, delay, rise,
+/// fall, width, period); PWL linearly interpolates between (t, v) points and
+/// holds the last value.
+struct Waveform {
+  WaveformKind kind = WaveformKind::kDc;
+
+  double dc_value = 0.0;
+
+  // PULSE parameters.
+  double v1 = 0.0;
+  double v2 = 0.0;
+  double delay = 0.0;
+  double rise = 0.0;
+  double fall = 0.0;
+  double width = 0.0;
+  double period = 0.0;
+
+  // PWL points, strictly increasing in time.
+  std::vector<std::pair<double, double>> points;
+
+  static Waveform dc(double value);
+  static Waveform pulse(double v1, double v2, double delay, double rise,
+                        double fall, double width, double period);
+  static Waveform pwl(std::vector<std::pair<double, double>> points);
+
+  /// Value at time `t` (t >= 0).
+  double at(double t) const;
+};
+
+}  // namespace sable::spice

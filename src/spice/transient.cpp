@@ -1,0 +1,160 @@
+#include "spice/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spice/linear.hpp"
+#include "util/error.hpp"
+
+namespace sable::spice {
+
+namespace {
+
+class TransientEngine {
+ public:
+  TransientEngine(const Circuit& ckt, const TransientOptions& opt)
+      : ckt_(ckt),
+        opt_(opt),
+        mna_(ckt.node_count(), ckt.vsources().size()),
+        state_(mna_.unknown_count(), 0.0) {
+    for (const auto& [name, volts] : opt.initial_voltages) {
+      const SpiceNode n = ckt_.find_node(name);
+      SABLE_REQUIRE(n != kGround, "cannot set the initial voltage of ground");
+      state_[mna_.node_unknown(n)] = volts;
+    }
+  }
+
+  TranResult run() {
+    TranResult result;
+    for (SpiceNode n = 0; n < ckt_.node_count(); ++n) {
+      result.node_names.push_back(ckt_.node_name(n));
+    }
+    result.voltage.resize(ckt_.node_count());
+    for (const auto& src : ckt_.vsources()) {
+      result.source_names.push_back(src.name);
+    }
+    result.branch_current.resize(ckt_.vsources().size());
+
+    record(result, 0.0);
+    double t = 0.0;
+    std::size_t accepted = 0;
+    while (t < opt_.t_stop - 0.5 * opt_.dt) {
+      advance(t, opt_.dt, 0);
+      t += opt_.dt;
+      if (++accepted % static_cast<std::size_t>(opt_.record_every) == 0) {
+        record(result, t);
+      }
+    }
+    return result;
+  }
+
+ private:
+  // Advances the state by `dt` from time `t`, recursively halving on
+  // Newton failure.
+  void advance(double t, double dt, int depth) {
+    std::vector<double> next = state_;  // warm start from previous state
+    if (newton_solve(t + dt, dt, next)) {
+      state_ = std::move(next);
+      return;
+    }
+    SABLE_REQUIRE(depth < opt_.max_halvings,
+                  "transient failed to converge at minimum step size");
+    advance(t, dt / 2, depth + 1);
+    advance(t + dt / 2, dt / 2, depth + 1);
+  }
+
+  bool newton_solve(double t_new, double dt, std::vector<double>& x) {
+    std::vector<double> solution;
+    for (int iter = 0; iter < opt_.max_newton; ++iter) {
+      assemble(t_new, dt, x);
+      if (!mna_.solve(solution)) return false;
+      // Damped update on the voltage unknowns.
+      double max_dv = 0.0;
+      const std::size_t num_v = ckt_.node_count() - 1;
+      for (std::size_t k = 0; k < mna_.unknown_count(); ++k) {
+        double delta = solution[k] - x[k];
+        if (k < num_v) {
+          delta = std::clamp(delta, -opt_.damping_clamp, opt_.damping_clamp);
+          max_dv = std::max(max_dv, std::fabs(delta));
+        }
+        x[k] += delta;
+      }
+      if (max_dv < opt_.vtol) return true;
+    }
+    return false;
+  }
+
+  // Builds the linearized MNA system around iterate `x`; capacitor
+  // companion models reference the accepted state at the previous step.
+  void assemble(double t_new, double dt, const std::vector<double>& x) {
+    mna_.clear();
+    auto volt = [&](const std::vector<double>& vec, SpiceNode n) {
+      return n == kGround ? 0.0 : vec[mna_.node_unknown(n)];
+    };
+
+    for (SpiceNode n = 1; n < ckt_.node_count(); ++n) {
+      mna_.stamp_conductance(n, kGround, opt_.gmin);
+    }
+    for (const auto& r : ckt_.resistors()) {
+      mna_.stamp_conductance(r.a, r.b, 1.0 / r.resistance);
+    }
+    for (const auto& c : ckt_.capacitors()) {
+      const double g = c.capacitance / dt;
+      mna_.stamp_conductance(c.a, c.b, g);
+      const double v_prev = volt(state_, c.a) - volt(state_, c.b);
+      mna_.stamp_current_into(c.a, g * v_prev);
+      mna_.stamp_current_into(c.b, -g * v_prev);
+    }
+    for (std::size_t s = 0; s < ckt_.vsources().size(); ++s) {
+      const auto& src = ckt_.vsources()[s];
+      mna_.stamp_vsource(s, src.positive, src.negative,
+                         src.waveform.at(t_new));
+    }
+    for (const auto& m : ckt_.mosfets()) {
+      const double vd = volt(x, m.drain);
+      const double vg = volt(x, m.gate);
+      const double vs = volt(x, m.source);
+      const MosLinearization lin =
+          mos_linearize(m.type, m.params, vd, vg, vs, m.width, m.length);
+      // Drain current leaves the drain node and enters the source node.
+      mna_.stamp_jacobian(m.drain, m.drain, lin.did_dvd);
+      mna_.stamp_jacobian(m.drain, m.gate, lin.did_dvg);
+      mna_.stamp_jacobian(m.drain, m.source, lin.did_dvs);
+      mna_.stamp_jacobian(m.source, m.drain, -lin.did_dvd);
+      mna_.stamp_jacobian(m.source, m.gate, -lin.did_dvg);
+      mna_.stamp_jacobian(m.source, m.source, -lin.did_dvs);
+      const double linear_part =
+          lin.did_dvd * vd + lin.did_dvg * vg + lin.did_dvs * vs;
+      mna_.stamp_current_into(m.drain, linear_part - lin.id);
+      mna_.stamp_current_into(m.source, lin.id - linear_part);
+    }
+  }
+
+  void record(TranResult& out, double t) {
+    out.time.push_back(t);
+    for (SpiceNode n = 0; n < ckt_.node_count(); ++n) {
+      out.voltage[n].push_back(
+          n == kGround ? 0.0 : state_[mna_.node_unknown(n)]);
+    }
+    for (std::size_t s = 0; s < ckt_.vsources().size(); ++s) {
+      out.branch_current[s].push_back(state_[mna_.source_unknown(s)]);
+    }
+  }
+
+  const Circuit& ckt_;
+  const TransientOptions& opt_;
+  MnaSystem mna_;
+  std::vector<double> state_;
+};
+
+}  // namespace
+
+TranResult run_transient(const Circuit& circuit,
+                         const TransientOptions& options) {
+  SABLE_REQUIRE(options.t_stop > 0.0 && options.dt > 0.0,
+                "transient requires positive t_stop and dt");
+  TransientEngine engine(circuit, options);
+  return engine.run();
+}
+
+}  // namespace sable::spice

@@ -1,0 +1,29 @@
+#include "spice/waveform.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace sable::spice {
+
+const std::vector<double>& TranResult::v(const std::string& node) const {
+  for (std::size_t n = 0; n < node_names.size(); ++n) {
+    if (node_names[n] == node) return voltage[n];
+  }
+  throw InvalidArgument("no such node in results: " + node);
+}
+
+const std::vector<double>& TranResult::i(const std::string& source) const {
+  for (std::size_t s = 0; s < source_names.size(); ++s) {
+    if (source_names[s] == source) return branch_current[s];
+  }
+  throw InvalidArgument("no such source in results: " + source);
+}
+
+std::size_t TranResult::sample_at(double t) const {
+  const auto it = std::lower_bound(time.begin(), time.end(), t);
+  if (it == time.end()) return time.size() - 1;
+  return static_cast<std::size_t>(it - time.begin());
+}
+
+}  // namespace sable::spice

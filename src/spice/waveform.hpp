@@ -1,0 +1,28 @@
+// Simulation results: sampled node voltages and source branch currents.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sable::spice {
+
+class TranResult {
+ public:
+  std::vector<double> time;
+  /// voltage[node][sample]; node 0 is ground (all zeros).
+  std::vector<std::vector<double>> voltage;
+  /// branch_current[source][sample]; positive = into the + terminal.
+  std::vector<std::vector<double>> branch_current;
+  std::vector<std::string> node_names;
+  std::vector<std::string> source_names;
+
+  /// Voltage samples of a named node.
+  const std::vector<double>& v(const std::string& node) const;
+  /// Branch current samples of a named source.
+  const std::vector<double>& i(const std::string& source) const;
+
+  /// Index of the first sample with time >= t (clamped to the last sample).
+  std::size_t sample_at(double t) const;
+};
+
+}  // namespace sable::spice

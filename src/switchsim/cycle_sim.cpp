@@ -1,0 +1,51 @@
+#include "switchsim/cycle_sim.hpp"
+
+#include "netlist/conduction.hpp"
+#include "util/error.hpp"
+
+namespace sable {
+
+SablGateSim::SablGateSim(const DpdnNetwork& net, GateEnergyModel model)
+    : net_(net), model_(std::move(model)) {
+  SABLE_ASSERT(model_.node_cap.size() == net_.node_count(),
+               "gate model capacitance table size mismatch");
+  charged_.assign(net_.node_count(), true);
+}
+
+double SablGateSim::cycle(std::uint64_t assignment) {
+  const std::vector<bool> connected = connected_to_external(net_, assignment);
+
+  // Evaluation: connected nodes discharge to ground. (Whether they were
+  // charged or floating-low, they end at 0; the charge flows to ground, not
+  // from the supply.)
+  for (NodeId n = 0; n < net_.node_count(); ++n) {
+    if (connected[n]) charged_[n] = false;
+  }
+
+  // Precharge with input overlap: the same connected set recharges from the
+  // supply. Supply charge = sum C * VDD over recharged nodes; floating
+  // nodes stay at their held level and cost nothing.
+  double energy = model_.constant_energy;
+  for (NodeId n = 0; n < net_.node_count(); ++n) {
+    if (!connected[n]) continue;
+    energy += model_.node_cap[n] * model_.vdd * model_.vdd;
+    charged_[n] = true;
+  }
+
+  // The firing output rail charges its extra (routing) load: the true rail
+  // when f = 1, the false rail otherwise. Balanced extras cancel the data
+  // dependence; mismatched ones leak (§2).
+  if (model_.out_true_extra != 0.0 || model_.out_false_extra != 0.0) {
+    const bool f = conducts(net_, assignment, DpdnNetwork::kNodeX,
+                            DpdnNetwork::kNodeZ);
+    energy += (f ? model_.out_true_extra : model_.out_false_extra) *
+              model_.vdd * model_.vdd;
+  }
+  return energy;
+}
+
+void SablGateSim::reset(bool charged) {
+  charged_.assign(net_.node_count(), charged);
+}
+
+}  // namespace sable

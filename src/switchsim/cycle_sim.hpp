@@ -1,0 +1,45 @@
+// Cycle-accurate switch-level simulation of a dynamic differential gate.
+//
+// Timing model (matches the SPICE testbench in src/sabl):
+//   evaluation : clk high, inputs complementary; every DPDN node connected
+//                to {X, Y, Z} discharges (X and Y always discharge — one
+//                through its branch, the other through bridge M1).
+//   precharge  : clk low; during the input-overlap window the old inputs
+//                are still complementary, so the same connected set
+//                recharges from the supply through the precharge devices;
+//                then all inputs return to 0 and disconnected (floating)
+//                nodes keep whatever charge they hold.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/network.hpp"
+#include "switchsim/gate_model.hpp"
+
+namespace sable {
+
+class SablGateSim {
+ public:
+  SablGateSim(const DpdnNetwork& net, GateEnergyModel model);
+
+  /// Runs one full clock cycle with complementary input `assignment`.
+  /// Returns the supply energy drawn during the cycle [J].
+  double cycle(std::uint64_t assignment);
+
+  /// Forces every DPDN node charged (`true`) or discharged (`false`).
+  void reset(bool charged);
+
+  /// Charge state per node after the last cycle (true = at VDD level).
+  const std::vector<bool>& node_state() const { return charged_; }
+
+  const DpdnNetwork& network() const { return net_; }
+  const GateEnergyModel& model() const { return model_; }
+
+ private:
+  const DpdnNetwork& net_;
+  GateEnergyModel model_;
+  std::vector<bool> charged_;
+};
+
+}  // namespace sable

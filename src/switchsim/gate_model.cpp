@@ -1,0 +1,33 @@
+#include "switchsim/gate_model.hpp"
+
+#include "tech/capacitance.hpp"
+
+namespace sable {
+
+GateEnergyModel build_gate_model(const DpdnNetwork& net,
+                                 const Technology& tech,
+                                 const SizingPlan& sizing) {
+  GateEnergyModel model;
+  model.vdd = tech.vdd;
+  model.node_cap = dpdn_node_capacitances(net, tech, sizing);
+
+  // Constant term: one differential output swings every cycle (load +
+  // inverter input + sense-node parasitics); both sense nodes and the
+  // cross-coupled pair contribute fixed junction/gate caps.
+  const double inv_gate_cap =
+      (tech.nmos.cgate_per_area * sizing.inv_n_width +
+       tech.pmos.cgate_per_area * sizing.inv_p_width) *
+      sizing.length;
+  const double sense_node_cap =
+      (tech.nmos.cj_per_width + tech.nmos.cov_per_width) *
+          (sizing.sense_n_width + sizing.precharge_width) +
+      (tech.pmos.cj_per_width + tech.pmos.cov_per_width) *
+          sizing.sense_p_width +
+      inv_gate_cap;
+  const double output_cap = sizing.output_load + inv_gate_cap;
+  model.constant_energy =
+      (output_cap + sense_node_cap) * tech.vdd * tech.vdd;
+  return model;
+}
+
+}  // namespace sable

@@ -1,0 +1,43 @@
+// Switch-level energy model of one dynamic differential (SABL-style) gate.
+//
+// Abstraction (§2 of the paper): per clock cycle the gate performs exactly
+// one discharge/charge event. The supply energy of the cycle is
+//
+//   E(cycle) = E_const + VDD^2 * sum of C(n) over every DPDN node n that is
+//              connected to {X, Y, Z} under the applied input,
+//
+// where E_const covers the balanced output capacitances and the sense
+// amplifier internals (input-independent by construction of SABL), and the
+// sum is input-dependent exactly when the network is not fully connected.
+// Floating nodes keep their charge (the §2 memory effect) and contribute
+// nothing to the cycle's energy.
+#pragma once
+
+#include <vector>
+
+#include "netlist/network.hpp"
+#include "tech/technology.hpp"
+
+namespace sable {
+
+struct GateEnergyModel {
+  double vdd = 0.0;
+  /// Per-DPDN-node capacitance [F], indexed by NodeId.
+  std::vector<double> node_cap;
+  /// Constant per-cycle energy: output swing + sense amplifier [J].
+  double constant_energy = 0.0;
+  /// Extra load on the true/false output rails beyond the balanced part
+  /// folded into constant_energy. §2 requires these to match; a mismatch
+  /// (unbalanced routing) makes the cycle energy depend on which rail
+  /// fires — the leak the balancing pass in src/balance removes.
+  double out_true_extra = 0.0;
+  double out_false_extra = 0.0;
+};
+
+/// Builds the model from extracted capacitances. The constant term charges
+/// one output load plus the sense internal capacitance each cycle.
+GateEnergyModel build_gate_model(const DpdnNetwork& net,
+                                 const Technology& tech,
+                                 const SizingPlan& sizing);
+
+}  // namespace sable

@@ -1,0 +1,39 @@
+#include "tech/capacitance.hpp"
+
+namespace sable {
+
+std::vector<double> dpdn_node_capacitances(const DpdnNetwork& net,
+                                           const Technology& tech,
+                                           const SizingPlan& sizing) {
+  std::vector<double> cap(net.node_count(), tech.wire_cap_per_node);
+  const double per_terminal =
+      (tech.nmos.cj_per_width + tech.nmos.cov_per_width) * sizing.dpdn_width;
+  for (const auto& d : net.devices()) {
+    cap[d.a] += per_terminal;
+    cap[d.b] += per_terminal;
+  }
+  return cap;
+}
+
+double total_internal_capacitance(const DpdnNetwork& net,
+                                  const Technology& tech,
+                                  const SizingPlan& sizing) {
+  const auto caps = dpdn_node_capacitances(net, tech, sizing);
+  double total = 0.0;
+  for (NodeId n : net.internal_nodes()) total += caps[n];
+  return total;
+}
+
+double input_capacitance(const DpdnNetwork& net, const Technology& tech,
+                         const SizingPlan& sizing, VarId var, bool positive) {
+  const double gate_cap =
+      tech.nmos.cgate_per_area * sizing.dpdn_width * sizing.length +
+      2.0 * tech.nmos.cov_per_width * sizing.dpdn_width;
+  double total = 0.0;
+  for (const auto& d : net.devices()) {
+    if (d.gate.var == var && d.gate.positive == positive) total += gate_cap;
+  }
+  return total;
+}
+
+}  // namespace sable

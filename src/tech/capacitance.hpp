@@ -1,0 +1,33 @@
+// Parasitic capacitance extraction for DPDN nodes.
+//
+// Each DPDN node carries: the junction capacitance of every source/drain
+// terminal attached to it, the gate-overlap capacitance of those terminals,
+// and a lumped wire capacitance. These per-node values are the C's that the
+// paper sums in Fig. 4 ("C_tot") and that the switch-level energy model
+// recharges every precharge phase.
+#pragma once
+
+#include <vector>
+
+#include "netlist/network.hpp"
+#include "tech/technology.hpp"
+
+namespace sable {
+
+/// Capacitance of every DPDN node (indexed by NodeId; X=0, Y=1, Z=2, then
+/// internals) for DPDN devices of width `sizing.dpdn_width`.
+std::vector<double> dpdn_node_capacitances(const DpdnNetwork& net,
+                                           const Technology& tech,
+                                           const SizingPlan& sizing);
+
+/// Sum of the internal-node capacitances (excludes X, Y, Z).
+double total_internal_capacitance(const DpdnNetwork& net,
+                                  const Technology& tech,
+                                  const SizingPlan& sizing);
+
+/// Gate capacitance presented to one input literal polarity: the sum of
+/// gate caps of devices driven by that literal.
+double input_capacitance(const DpdnNetwork& net, const Technology& tech,
+                         const SizingPlan& sizing, VarId var, bool positive);
+
+}  // namespace sable

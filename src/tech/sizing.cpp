@@ -1,0 +1,16 @@
+#include "tech/sizing.hpp"
+
+#include "core/depth_analysis.hpp"
+
+namespace sable {
+
+SizingPlan size_for_network(const DpdnNetwork& net, const Technology& tech) {
+  SizingPlan plan = SizingPlan::defaults(tech);
+  const DepthReport depth = analyze_evaluation_depth(net);
+  if (depth.max_depth > 1) {
+    plan.dpdn_width *= static_cast<double>(depth.max_depth);
+  }
+  return plan;
+}
+
+}  // namespace sable

@@ -1,0 +1,20 @@
+// Sizing heuristics for differential gates.
+//
+// DyCML (ref [13] of the paper) sizes transistors from the post-layout
+// output capacitance; SABL deliberately avoids that coupling. The rules
+// here are simple ratioed-logic defaults: wider foot than DPDN devices,
+// sense amplifier sized to regenerate quickly against the worst-case
+// series stack.
+#pragma once
+
+#include "netlist/network.hpp"
+#include "tech/technology.hpp"
+
+namespace sable {
+
+/// Scales the default sizing so the worst-case DPDN stack (deepest
+/// satisfiable path) presents roughly the same on-resistance as a single
+/// reference device: width = base * depth.
+SizingPlan size_for_network(const DpdnNetwork& net, const Technology& tech);
+
+}  // namespace sable

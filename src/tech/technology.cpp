@@ -1,0 +1,43 @@
+#include "tech/technology.hpp"
+
+namespace sable {
+
+Technology Technology::generic_180nm() {
+  Technology tech;
+  tech.name = "generic-180nm";
+  tech.vdd = 1.8;
+  tech.min_length = 0.18e-6;
+  tech.wire_cap_per_node = 0.4e-15;  // short local route
+
+  tech.nmos.vt0 = 0.45;
+  tech.nmos.kp = 300e-6;
+  tech.nmos.lambda = 0.08;
+  tech.nmos.cgate_per_area = 8.4e-3;  // ~8.4 fF/um^2
+  tech.nmos.cov_per_width = 0.35e-9;  // 0.35 fF/um
+  tech.nmos.cj_per_width = 0.80e-9;   // 0.80 fF/um per junction
+
+  tech.pmos.vt0 = -0.48;
+  tech.pmos.kp = 75e-6;
+  tech.pmos.lambda = 0.10;
+  tech.pmos.cgate_per_area = 8.4e-3;
+  tech.pmos.cov_per_width = 0.35e-9;
+  tech.pmos.cj_per_width = 0.85e-9;
+  return tech;
+}
+
+SizingPlan SizingPlan::defaults(const Technology& tech) {
+  SizingPlan plan;
+  plan.length = tech.min_length;
+  plan.dpdn_width = 1.0e-6;
+  plan.bridge_width = 0.5e-6;
+  plan.foot_width = 3.0e-6;
+  plan.sense_n_width = 1.5e-6;
+  plan.sense_p_width = 2.0e-6;
+  plan.precharge_width = 1.5e-6;
+  plan.inv_n_width = 1.0e-6;
+  plan.inv_p_width = 2.0e-6;
+  plan.output_load = 3.0e-15;
+  return plan;
+}
+
+}  // namespace sable

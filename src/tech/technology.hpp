@@ -1,0 +1,55 @@
+// Generic technology description.
+//
+// The paper's experiments used a commercial 0.18 um-class process behind
+// SPICE; that kit is proprietary, so this module provides an openly
+// documented level-1 parameter set with the same orders of magnitude
+// (VDD = 1.8 V, fF-scale node capacitances). The figures we reproduce
+// depend on *which* capacitances discharge through *which* paths, not on
+// short-channel accuracy; these parameters are calibration constants.
+#pragma once
+
+#include <string>
+
+namespace sable {
+
+/// Level-1 (Shichman-Hodges) MOSFET model parameters. PMOS parameters are
+/// expressed for the usual source-referenced convention (vt0 < 0).
+struct MosModelParams {
+  double vt0 = 0.0;      ///< threshold voltage [V]
+  double kp = 0.0;       ///< transconductance mu*Cox [A/V^2]
+  double lambda = 0.0;   ///< channel-length modulation [1/V]
+  double cgate_per_area = 0.0;   ///< gate capacitance [F/m^2]
+  double cov_per_width = 0.0;    ///< gate-source/drain overlap [F/m]
+  double cj_per_width = 0.0;     ///< junction cap per terminal [F/m]
+};
+
+struct Technology {
+  std::string name;
+  double vdd = 1.8;          ///< supply [V]
+  double min_length = 0.0;   ///< minimum channel length [m]
+  double wire_cap_per_node = 0.0;  ///< lumped local-routing cap [F]
+  MosModelParams nmos;
+  MosModelParams pmos;
+
+  /// The library's reference process: a generic 0.18 um-class technology.
+  static Technology generic_180nm();
+};
+
+/// Transistor sizing used when assembling SABL/CVSL gates. Widths in meters.
+struct SizingPlan {
+  double length = 0.0;          ///< channel length for all devices
+  double dpdn_width = 0.0;      ///< DPDN logic and pass-gate NMOS
+  double bridge_width = 0.0;    ///< M1 between X and Y
+  double foot_width = 0.0;      ///< clocked foot NMOS (Z to ground)
+  double sense_n_width = 0.0;   ///< cross-coupled NMOS
+  double sense_p_width = 0.0;   ///< cross-coupled PMOS
+  double precharge_width = 0.0; ///< clk precharge PMOS
+  double inv_n_width = 0.0;     ///< output inverter NMOS
+  double inv_p_width = 0.0;     ///< output inverter PMOS
+  double output_load = 0.0;     ///< external load per output [F]
+
+  /// Default sizing for the reference process.
+  static SizingPlan defaults(const Technology& tech);
+};
+
+}  // namespace sable

@@ -1,0 +1,15 @@
+#include "util/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sable::detail {
+
+void assert_fail(const char* cond, const char* file, int line,
+                 const std::string& msg) {
+  std::fprintf(stderr, "sable: assertion failed: %s\n  at %s:%d\n  %s\n", cond,
+               file, line, msg.c_str());
+  std::abort();
+}
+
+}  // namespace sable::detail

@@ -1,0 +1,62 @@
+#include "util/matrix.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace sable {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+void DenseMatrix::fill(double value) {
+  for (auto& x : data_) x = value;
+}
+
+bool lu_solve(DenseMatrix& a, std::vector<double>& b) {
+  const std::size_t n = a.rows();
+  SABLE_ASSERT(a.cols() == n, "lu_solve requires a square matrix");
+  SABLE_ASSERT(b.size() == n, "lu_solve rhs size mismatch");
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting.
+    std::size_t pivot = k;
+    double best = std::fabs(a.at(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::fabs(a.at(r, k));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) return false;
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a.at(k, c), a.at(pivot, c));
+      }
+      std::swap(b[k], b[pivot]);
+    }
+    const double inv = 1.0 / a.at(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = a.at(r, k) * inv;
+      if (factor == 0.0) continue;
+      a.at(r, k) = 0.0;
+      for (std::size_t c = k + 1; c < n; ++c) {
+        a.at(r, c) -= factor * a.at(k, c);
+      }
+      b[r] -= factor * b[k];
+    }
+  }
+  // Back substitution.
+  for (std::size_t k = n; k-- > 0;) {
+    double sum = b[k];
+    for (std::size_t c = k + 1; c < n; ++c) {
+      sum -= a.at(k, c) * b[c];
+    }
+    b[k] = sum / a.at(k, k);
+  }
+  return true;
+}
+
+}  // namespace sable

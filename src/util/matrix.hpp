@@ -1,0 +1,35 @@
+// Small dense linear algebra: row-major matrix and LU solve with partial
+// pivoting. The circuits this library analyzes have tens of nodes, so dense
+// factorization is the right tool (no sparse machinery needed).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sable {
+
+/// Row-major dense matrix of doubles.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  void fill(double value);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b in place (A and b are overwritten); returns false if the
+/// matrix is numerically singular. A must be square, b.size() == A.rows().
+bool lu_solve(DenseMatrix& a, std::vector<double>& b);
+
+}  // namespace sable

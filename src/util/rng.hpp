@@ -1,0 +1,38 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// xoshiro256** (Blackman & Vigna) — fast, high-quality, and identical output
+// on every platform, which matters because the DPA experiments must be
+// re-runnable bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace sable {
+
+/// Deterministic 64-bit PRNG (xoshiro256**), seedable via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5ab1e5ab1e5ab1e5ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound) using Lemire rejection; bound > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Standard normal variate (Box–Muller; caches the spare value).
+  double gaussian();
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p);
+
+ private:
+  std::uint64_t s_[4];
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace sable

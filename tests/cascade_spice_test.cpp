@@ -1,0 +1,177 @@
+// Integration test: two cascaded SABL gates at transistor level.
+//
+// The §2/§3 story depends on a cascade property: during precharge the
+// upstream gate's outputs return to 0 only after a stage delay, so the
+// downstream gate recharges its DPDN through the still-complementary old
+// inputs. This testbench builds gate1 (AND) feeding gate2 (OR with an
+// external input) inside one SPICE circuit — no behavioural shortcuts —
+// and checks functionality plus per-cycle supply-energy constancy of the
+// two-gate pipeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/fc_synthesizer.hpp"
+#include "expr/parser.hpp"
+#include "expr/truth_table.hpp"
+#include "sabl/sabl_gate.hpp"
+#include "spice/measure.hpp"
+#include "spice/transient.hpp"
+
+namespace sable {
+namespace {
+
+// Builds a two-stage pipeline: g1 = A.B (SABL), g2 = g1 + C (SABL), with
+// g2's first input wired to g1's out/outb nodes.
+struct Pipeline {
+  spice::Circuit circuit;
+  double period = 4e-9;
+  double edge = 50e-12;
+  double delay = 250e-12;
+};
+
+Pipeline build_pipeline(const Technology& tech,
+                        const std::vector<std::uint64_t>& abc_sequence) {
+  Pipeline pipe;
+  VarTable vars1;
+  const ExprPtr f1 = parse_expression("A.B", vars1);
+  VarTable vars2;
+  const ExprPtr f2 = parse_expression("G + C", vars2);
+  const SizingPlan sizing = SizingPlan::defaults(tech);
+
+  // Assemble both gates into one circuit by namespacing node names.
+  const DpdnNetwork net1 = synthesize_fc_dpdn(f1, 2);
+  const DpdnNetwork net2 = synthesize_fc_dpdn(f2, 2);
+  const SablGateCircuit g1 = assemble_sabl_gate(net1, vars1, tech, sizing);
+  const SablGateCircuit g2 = assemble_sabl_gate(net2, vars2, tech, sizing);
+
+  auto merge = [&](const spice::Circuit& src, const std::string& prefix,
+                   const std::map<std::string, std::string>& rewires) {
+    auto rename = [&](const std::string& node) -> std::string {
+      if (node == "0" || node == "vdd" || node == "clk") return node;
+      const auto it = rewires.find(node);
+      if (it != rewires.end()) return it->second;
+      return prefix + node;
+    };
+    for (const auto& r : src.resistors()) {
+      pipe.circuit.add_resistor(rename(src.node_name(r.a)),
+                                rename(src.node_name(r.b)), r.resistance);
+    }
+    for (const auto& c : src.capacitors()) {
+      pipe.circuit.add_capacitor(rename(src.node_name(c.a)),
+                                 rename(src.node_name(c.b)), c.capacitance);
+    }
+    for (const auto& m : src.mosfets()) {
+      pipe.circuit.add_mosfet(prefix + m.name, m.type,
+                              rename(src.node_name(m.drain)),
+                              rename(src.node_name(m.gate)),
+                              rename(src.node_name(m.source)), m.params,
+                              m.width, m.length);
+    }
+  };
+  merge(g1.circuit, "g1_", {});
+  // Gate 2's differential input G comes from gate 1's outputs.
+  merge(g2.circuit, "g2_",
+        {{"in_G", "g1_out"}, {"inb_G", "g1_outb"}});
+
+  pipe.circuit.add_vsource("vdd", "vdd", "0", spice::Waveform::dc(tech.vdd));
+  pipe.circuit.add_vsource(
+      "clk", "clk", "0",
+      spice::Waveform::pulse(0.0, tech.vdd, 0.0, pipe.edge, pipe.edge,
+                             pipe.period / 2 - pipe.edge, pipe.period));
+
+  // Primary inputs A, B (gate 1) and C (gate 2). C arrives one stage
+  // later than A/B would in a real pipeline; giving it the same timing is
+  // conservative for the constancy check.
+  auto rail = [&](auto bit_of) {
+    std::vector<std::pair<double, double>> pts = {{0.0, 0.0}};
+    for (std::size_t k = 0; k < abc_sequence.size(); ++k) {
+      if (!bit_of(abc_sequence[k])) continue;
+      const double t0 = static_cast<double>(k) * pipe.period + pipe.delay;
+      pts.push_back({t0, 0.0});
+      pts.push_back({t0 + pipe.edge, tech.vdd});
+      pts.push_back({t0 + pipe.period / 2, tech.vdd});
+      pts.push_back({t0 + pipe.period / 2 + pipe.edge, 0.0});
+    }
+    return spice::Waveform::pwl(std::move(pts));
+  };
+  auto add_input = [&](const std::string& name, int bit) {
+    pipe.circuit.add_vsource(
+        "v" + name, "g1_" + name, "0",
+        rail([bit](std::uint64_t a) { return ((a >> bit) & 1u) != 0; }));
+    pipe.circuit.add_vsource(
+        "v" + name + "b", "g1_" + name + "b", "0",
+        rail([bit](std::uint64_t a) { return ((a >> bit) & 1u) == 0; }));
+  };
+  // Gate-1 input node names are g1_in_A etc.; build them directly.
+  pipe.circuit.add_vsource(
+      "vin_A", "g1_in_A", "0",
+      rail([](std::uint64_t a) { return (a & 1u) != 0; }));
+  pipe.circuit.add_vsource(
+      "vinb_A", "g1_inb_A", "0",
+      rail([](std::uint64_t a) { return (a & 1u) == 0; }));
+  pipe.circuit.add_vsource(
+      "vin_B", "g1_in_B", "0",
+      rail([](std::uint64_t a) { return (a & 2u) != 0; }));
+  pipe.circuit.add_vsource(
+      "vinb_B", "g1_inb_B", "0",
+      rail([](std::uint64_t a) { return (a & 2u) == 0; }));
+  pipe.circuit.add_vsource(
+      "vin_C", "g2_in_C", "0",
+      rail([](std::uint64_t a) { return (a & 4u) != 0; }));
+  pipe.circuit.add_vsource(
+      "vinb_C", "g2_inb_C", "0",
+      rail([](std::uint64_t a) { return (a & 4u) == 0; }));
+  (void)add_input;
+  return pipe;
+}
+
+TEST(CascadeSpiceTest, PipelineComputesAndStaysConstantPower) {
+  const Technology tech = Technology::generic_180nm();
+  // (A,B,C) assignments; two warm-up cycles then the measured ones.
+  const std::vector<std::uint64_t> seq = {0b011, 0b011, 0b000, 0b011,
+                                          0b100, 0b111, 0b001, 0b010};
+  Pipeline pipe = build_pipeline(tech, seq);
+
+  spice::TransientOptions tran;
+  tran.t_stop = static_cast<double>(seq.size()) * pipe.period;
+  tran.dt = 2e-12;
+  const spice::TranResult waves = spice::run_transient(pipe.circuit, tran);
+
+  // Functional check: sample g2 outputs late in each evaluation phase.
+  // Stage 2 sees stage 1's *current-cycle* output (domino style within the
+  // same clock phase), so out2 = (A.B) + C of the same cycle.
+  for (std::size_t k = 2; k < seq.size(); ++k) {
+    const double t =
+        static_cast<double>(k) * pipe.period + pipe.period * 0.48;
+    const std::size_t s = waves.sample_at(t);
+    const bool a = (seq[k] & 1) != 0;
+    const bool b = (seq[k] & 2) != 0;
+    const bool c = (seq[k] & 4) != 0;
+    const bool expected = (a && b) || c;
+    EXPECT_NEAR(waves.v("g2_out")[s], expected ? tech.vdd : 0.0, 0.15)
+        << "cycle " << k;
+    EXPECT_NEAR(waves.v("g1_out")[s], (a && b) ? tech.vdd : 0.0, 0.15)
+        << "cycle " << k;
+  }
+
+  // Constant power: per-cycle supply energy of the whole pipeline. The
+  // residual spread of a *non-enhanced* FC cascade is a few percent: gate 2
+  // evaluates early when C alone decides it, so its current profile shifts
+  // with data — exactly the effect the §5 enhancement targets. Assert the
+  // spread stays in that few-percent band (the memory effect it cures is an
+  // order of magnitude larger, see fig2/fig4 benches).
+  double lo = 1e9;
+  double hi = 0.0;
+  for (std::size_t k = 2; k < seq.size(); ++k) {
+    const double t0 = static_cast<double>(k) * pipe.period;
+    const double e =
+        spice::delivered_energy(waves, "vdd", t0, t0 + pipe.period);
+    lo = std::min(lo, e);
+    hi = std::max(hi, e);
+  }
+  EXPECT_LT((hi - lo) / hi, 0.06);
+}
+
+}  // namespace
+}  // namespace sable

@@ -1,0 +1,102 @@
+// Tests for the §5 early-propagation analysis and the WDDL baseline model.
+#include <gtest/gtest.h>
+
+#include "cell/builder.hpp"
+#include "cell/wddl.hpp"
+#include "core/early_propagation.hpp"
+#include "core/enhancer.hpp"
+#include "core/fc_synthesizer.hpp"
+#include "core/genuine_builder.hpp"
+#include "expr/parser.hpp"
+
+namespace sable {
+namespace {
+
+const Technology kTech = Technology::generic_180nm();
+
+TEST(EarlyPropagationTest, GenuineAndNandEvaluatesEarly) {
+  VarTable vars;
+  const ExprPtr f = parse_expression("A.B", vars);
+  const DpdnNetwork net = build_genuine_dpdn(f, 2);
+  const EarlyPropagationReport report = analyze_early_propagation(net);
+  EXPECT_FALSE(report.free_of_early_propagation);
+  // Witness: B' alone (A not arrived) already discharges the Y branch.
+  EXPECT_GT(report.early_scenarios, 0u);
+  EXPECT_NE(report.witness_arrived_mask, 3u);  // strict subset
+}
+
+TEST(EarlyPropagationTest, FullyConnectedStillEvaluatesEarly) {
+  // §5: the plain FC network fixes the memory effect but not early
+  // propagation — the B' device still connects Y to Z by itself.
+  VarTable vars;
+  const ExprPtr f = parse_expression("A.B", vars);
+  const DpdnNetwork net = synthesize_fc_dpdn(f, 2);
+  EXPECT_FALSE(analyze_early_propagation(net).free_of_early_propagation);
+}
+
+TEST(EarlyPropagationTest, EnhancedNetworkNeverEvaluatesEarly) {
+  VarTable vars;
+  const char* cases[] = {"A.B", "A + B", "(A+B).(C+D)", "A.B + C.D",
+                         "A.(B + C)"};
+  for (const char* text : cases) {
+    const ExprPtr f = parse_expression(text, vars);
+    const auto n = f->variables().size();
+    const DpdnNetwork net = synthesize_enhanced_dpdn(f, n);
+    const EarlyPropagationReport report = analyze_early_propagation(net);
+    EXPECT_TRUE(report.free_of_early_propagation)
+        << text << ": witness arrived=" << report.witness_arrived_mask
+        << " values=" << report.witness_values;
+  }
+}
+
+TEST(EarlyPropagationTest, ScenarioCountMatchesFormula) {
+  VarTable vars;
+  const ExprPtr f = parse_expression("A.B", vars);
+  const DpdnNetwork net = build_genuine_dpdn(f, 2);
+  const EarlyPropagationReport report = analyze_early_propagation(net);
+  // Strict subsets of 2 inputs: sum over |S| < 2 of 2^|S| = 1 + 2*2 = 5.
+  EXPECT_EQ(report.total_scenarios, 5u);
+}
+
+TEST(WddlTest, BalancedWddlIsConstantEnergy) {
+  VarTable vars;
+  const ExprPtr f = parse_expression("A.(B + C.D) + B'.D", vars);
+  const GateCircuit circuit =
+      build_from_expressions({f}, 4, NetworkVariant::kFullyConnected, kTech);
+  WddlCircuitSim sim(circuit, kTech, /*mismatch=*/0.0);
+  const double e0 = sim.cycle(0).energy;
+  for (std::uint64_t a = 1; a < 16; ++a) {
+    EXPECT_DOUBLE_EQ(sim.cycle(a).energy, e0) << a;
+  }
+}
+
+TEST(WddlTest, MismatchedWddlLeaks) {
+  VarTable vars;
+  const ExprPtr f = parse_expression("A.(B + C.D) + B'.D", vars);
+  const GateCircuit circuit =
+      build_from_expressions({f}, 4, NetworkVariant::kFullyConnected, kTech);
+  WddlCircuitSim sim(circuit, kTech, /*mismatch=*/0.05);
+  double lo = 1e9;
+  double hi = 0.0;
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    const double e = sim.cycle(a).energy;
+    lo = std::min(lo, e);
+    hi = std::max(hi, e);
+  }
+  EXPECT_GT(hi, lo);  // rail imbalance makes energy data-dependent
+}
+
+TEST(WddlTest, OutputsMatchDifferentialSim) {
+  VarTable vars;
+  const ExprPtr f = parse_expression("A ^ B ^ C", vars);
+  const GateCircuit circuit =
+      build_from_expressions({f}, 3, NetworkVariant::kFullyConnected, kTech);
+  WddlCircuitSim wddl(circuit, kTech, 0.05);
+  DifferentialCircuitSim diff(circuit);
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    EXPECT_EQ(wddl.cycle(a).outputs, diff.cycle(a).outputs) << a;
+  }
+}
+
+}  // namespace
+}  // namespace sable

@@ -1,0 +1,126 @@
+// Tests for DPDN netlist I/O and the ngspice deck exporter.
+#include <gtest/gtest.h>
+
+#include "core/enhancer.hpp"
+#include "core/fc_synthesizer.hpp"
+#include "core/genuine_builder.hpp"
+#include "core/transformer.hpp"
+#include "expr/parser.hpp"
+#include "netlist/io.hpp"
+#include "sabl/sabl_gate.hpp"
+#include "spice/netlist_export.hpp"
+#include "util/error.hpp"
+
+namespace sable {
+namespace {
+
+TEST(DpdnIoTest, RoundTripFc) {
+  VarTable vars;
+  const ExprPtr f = parse_expression("(A+B).(C+D)", vars);
+  const DpdnNetwork net = synthesize_fc_dpdn(f, 4);
+  const std::string text = write_dpdn(net, vars);
+
+  VarTable vars2;
+  const DpdnNetwork back = read_dpdn(text, vars2);
+  ASSERT_EQ(back.device_count(), net.device_count());
+  ASSERT_EQ(back.node_count(), net.node_count());
+  for (std::size_t i = 0; i < net.devices().size(); ++i) {
+    EXPECT_EQ(back.devices()[i].gate, net.devices()[i].gate);
+    EXPECT_EQ(back.devices()[i].a, net.devices()[i].a);
+    EXPECT_EQ(back.devices()[i].b, net.devices()[i].b);
+    EXPECT_EQ(back.devices()[i].role, net.devices()[i].role);
+  }
+  EXPECT_EQ(vars2.name(0), "A");
+}
+
+TEST(DpdnIoTest, RoundTripEnhancedKeepsPassGates) {
+  VarTable vars;
+  const ExprPtr f = parse_expression("A.B", vars);
+  const DpdnNetwork net = synthesize_enhanced_dpdn(f, 2);
+  const std::string text = write_dpdn(net, vars);
+  EXPECT_NE(text.find("passgate A"), std::string::npos);
+
+  VarTable vars2;
+  const DpdnNetwork back = read_dpdn(text, vars2);
+  EXPECT_EQ(back.pass_gate_device_count(), net.pass_gate_device_count());
+  EXPECT_EQ(back.device_count(), net.device_count());
+}
+
+TEST(DpdnIoTest, ReadFeedsTheTransformer) {
+  // A hand-written schematic in the file format is a valid §4.2 input.
+  const char* text = R"(
+# genuine AND-NAND, Fig. 2 left
+dpdn 2
+var A
+var B
+node W
+switch A  X W
+switch B  W Z
+switch A' Y Z
+switch B' Y Z
+)";
+  VarTable vars;
+  const DpdnNetwork genuine = read_dpdn(text, vars);
+  const TransformResult result = transform_to_fully_connected(genuine, vars);
+  EXPECT_TRUE(result.branches_complementary);
+  EXPECT_TRUE(result.device_count_preserved);
+}
+
+TEST(DpdnIoTest, RejectsMalformedInput) {
+  VarTable vars;
+  EXPECT_THROW(read_dpdn("switch A X Z", vars), ParseError);  // no header
+  EXPECT_THROW(read_dpdn("dpdn 0", vars), ParseError);
+  EXPECT_THROW(read_dpdn("dpdn 2\nvar A\nswitch B X Z", vars), ParseError);
+  EXPECT_THROW(read_dpdn("dpdn 2\nvar A\nswitch A X Q", vars), ParseError);
+  EXPECT_THROW(read_dpdn("dpdn 2\nfrobnicate", vars), ParseError);
+}
+
+TEST(SpiceExportTest, EmitsElementsAndModels) {
+  spice::Circuit ckt;
+  ckt.add_vsource("vdd", "vdd", "0", spice::Waveform::dc(1.8));
+  ckt.add_vsource("clk", "clk", "0",
+                  spice::Waveform::pulse(0, 1.8, 0, 50e-12, 50e-12, 1.9e-9,
+                                         4e-9));
+  ckt.add_resistor("vdd", "a", 1000.0);
+  ckt.add_capacitor("a", "0", 5e-15);
+  const Technology tech = Technology::generic_180nm();
+  ckt.add_mosfet("m0", spice::MosType::kNmos, "a", "clk", "0", tech.nmos,
+                 1e-6, 0.18e-6);
+  ckt.add_mosfet("m1", spice::MosType::kPmos, "a", "clk", "vdd", tech.pmos,
+                 2e-6, 0.18e-6);
+
+  spice::ExportOptions opt;
+  opt.tran_stop = 8e-9;
+  const std::string deck = to_spice_deck(ckt, opt);
+  EXPECT_NE(deck.find("Vvdd vdd 0 DC 1.8"), std::string::npos);
+  EXPECT_NE(deck.find("PULSE(0 1.8 0"), std::string::npos);
+  EXPECT_NE(deck.find("R0 vdd a 1000"), std::string::npos);
+  EXPECT_NE(deck.find("C0 a 0 5e-15"), std::string::npos);
+  EXPECT_NE(deck.find("Mm0 a clk 0 0 nmos0"), std::string::npos);
+  EXPECT_NE(deck.find(".model nmos0 NMOS(LEVEL=1"), std::string::npos);
+  EXPECT_NE(deck.find(".model pmos1 PMOS(LEVEL=1"), std::string::npos);
+  EXPECT_NE(deck.find(".tran "), std::string::npos);
+  EXPECT_NE(deck.find(".end"), std::string::npos);
+}
+
+TEST(SpiceExportTest, SablGateDeckIsComplete) {
+  VarTable vars;
+  const ExprPtr f = parse_expression("A.B", vars);
+  const DpdnNetwork net = synthesize_fc_dpdn(f, 2);
+  const Technology tech = Technology::generic_180nm();
+  const SablGateCircuit gate =
+      assemble_sabl_gate(net, vars, tech, SizingPlan::defaults(tech));
+  const std::string deck = to_spice_deck(gate.circuit);
+  // One MOSFET line per device: 4 DPDN + 6 sense + bridge + foot + 4 inv.
+  std::size_t mos_lines = 0;
+  for (std::size_t pos = deck.find("\nM"); pos != std::string::npos;
+       pos = deck.find("\nM", pos + 1)) {
+    ++mos_lines;
+  }
+  EXPECT_EQ(mos_lines, 16u);
+  EXPECT_NE(deck.find("Mmn_dpdn_0"), std::string::npos);
+  EXPECT_NE(deck.find("Mm1_bridge x clk y"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sable

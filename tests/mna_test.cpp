@@ -1,0 +1,98 @@
+// Unit tests for the MNA assembly layer — the one part of the SPICE engine
+// otherwise only covered indirectly through full simulations.
+#include <gtest/gtest.h>
+
+#include "spice/linear.hpp"
+
+namespace sable::spice {
+namespace {
+
+TEST(MnaTest, UnknownLayout) {
+  // 4 nodes (incl. ground) + 2 sources: 3 voltage + 2 current unknowns.
+  MnaSystem mna(4, 2);
+  EXPECT_EQ(mna.unknown_count(), 5u);
+  EXPECT_EQ(mna.node_unknown(1), 0u);
+  EXPECT_EQ(mna.node_unknown(3), 2u);
+  EXPECT_EQ(mna.source_unknown(0), 3u);
+  EXPECT_EQ(mna.source_unknown(1), 4u);
+}
+
+TEST(MnaTest, VoltageDividerByHand) {
+  // v1 --1k-- v2 --1k-- gnd, source 2 V at v1.
+  MnaSystem mna(3, 1);
+  mna.clear();
+  mna.stamp_conductance(1, 2, 1e-3);
+  mna.stamp_conductance(2, kGround, 1e-3);
+  mna.stamp_vsource(0, 1, kGround, 2.0);
+  std::vector<double> x;
+  ASSERT_TRUE(mna.solve(x));
+  EXPECT_NEAR(x[mna.node_unknown(1)], 2.0, 1e-12);
+  EXPECT_NEAR(x[mna.node_unknown(2)], 1.0, 1e-12);
+  // Branch current into the + terminal: the source *delivers* 1 mA.
+  EXPECT_NEAR(x[mna.source_unknown(0)], -1e-3, 1e-12);
+}
+
+TEST(MnaTest, CurrentInjection) {
+  // 1 mA into node 1 through 1k to ground: v1 = 1 V.
+  MnaSystem mna(2, 0);
+  mna.clear();
+  mna.stamp_conductance(1, kGround, 1e-3);
+  mna.stamp_current_into(1, 1e-3);
+  std::vector<double> x;
+  ASSERT_TRUE(mna.solve(x));
+  EXPECT_NEAR(x[mna.node_unknown(1)], 1.0, 1e-12);
+}
+
+TEST(MnaTest, GroundStampsAreDropped) {
+  // Stamps touching ground must not corrupt the reduced system.
+  MnaSystem mna(2, 0);
+  mna.clear();
+  mna.stamp_conductance(kGround, kGround, 123.0);  // no-op
+  mna.stamp_current_into(kGround, 1.0);            // no-op
+  mna.stamp_conductance(1, kGround, 1.0);
+  mna.stamp_current_into(1, 2.0);
+  std::vector<double> x;
+  ASSERT_TRUE(mna.solve(x));
+  EXPECT_NEAR(x[mna.node_unknown(1)], 2.0, 1e-12);
+}
+
+TEST(MnaTest, SingularWithoutAnyPathToGround) {
+  // A node with no conductance anywhere is singular.
+  MnaSystem mna(2, 0);
+  mna.clear();
+  std::vector<double> x;
+  EXPECT_FALSE(mna.solve(x));
+}
+
+TEST(MnaTest, SolvePreservesAssembledSystem) {
+  // solve() may be called repeatedly on the same assembly (Newton re-use).
+  MnaSystem mna(2, 0);
+  mna.clear();
+  mna.stamp_conductance(1, kGround, 2.0);
+  mna.stamp_current_into(1, 4.0);
+  std::vector<double> x1;
+  std::vector<double> x2;
+  ASSERT_TRUE(mna.solve(x1));
+  ASSERT_TRUE(mna.solve(x2));
+  EXPECT_EQ(x1, x2);
+}
+
+TEST(MnaTest, TwoSourcesSuperpose) {
+  // v1 and v2 forced independently; resistor between them carries the
+  // difference.
+  MnaSystem mna(3, 2);
+  mna.clear();
+  mna.stamp_conductance(1, 2, 1.0);  // 1 ohm
+  mna.stamp_vsource(0, 1, kGround, 3.0);
+  mna.stamp_vsource(1, 2, kGround, 1.0);
+  std::vector<double> x;
+  ASSERT_TRUE(mna.solve(x));
+  EXPECT_NEAR(x[mna.node_unknown(1)], 3.0, 1e-12);
+  EXPECT_NEAR(x[mna.node_unknown(2)], 1.0, 1e-12);
+  // 2 A flows from node 1 to node 2: source 0 delivers it, source 1 sinks.
+  EXPECT_NEAR(x[mna.source_unknown(0)], -2.0, 1e-12);
+  EXPECT_NEAR(x[mna.source_unknown(1)], 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace sable::spice

@@ -1,0 +1,113 @@
+// Tests for two-level minimization and algebraic factoring.
+#include <gtest/gtest.h>
+
+#include "crypto/sboxes.hpp"
+#include "expr/factoring.hpp"
+#include "expr/parser.hpp"
+#include "expr/quine_mccluskey.hpp"
+#include "expr/truth_table.hpp"
+
+namespace sable {
+namespace {
+
+TruthTable table_from(const char* text, std::size_t n) {
+  VarTable vars = VarTable::alphabetic(n);
+  return table_of(parse_expression(text, vars), n);
+}
+
+TEST(CubeTest, CoversAndLiteralCount) {
+  // Cube A.B' over 3 vars: value 0b001, mask 0b100 (C is don't-care).
+  const Cube c{0b001, 0b100};
+  EXPECT_TRUE(c.covers(0b001));
+  EXPECT_TRUE(c.covers(0b101));
+  EXPECT_FALSE(c.covers(0b011));
+  EXPECT_EQ(c.literal_count(3), 2u);
+}
+
+TEST(QuineMcCluskeyTest, MinimizesClassicExample) {
+  // f = A.B + A.B' == A: one prime implicant with one literal.
+  const TruthTable t = table_from("A.B + A.B'", 2);
+  const auto cover = minimize(t);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].literal_count(2), 1u);
+  EXPECT_EQ(table_of(cubes_to_expr(cover, 2), 2), t);
+}
+
+TEST(QuineMcCluskeyTest, MinimizedSopMatchesTable) {
+  const char* cases[] = {"A.B + C.D", "(A+B).(C+D)", "A ^ B ^ C",
+                         "A.B + B.C + A.C", "A.(B + C.D) + A'.B'"};
+  for (const char* text : cases) {
+    const TruthTable t = table_from(text, 4);
+    const ExprPtr sop = minimized_sop(t);
+    EXPECT_EQ(table_of(sop, 4), t) << text;
+  }
+}
+
+TEST(QuineMcCluskeyTest, ConstantFunctions) {
+  TruthTable zero(3);
+  EXPECT_EQ(minimized_sop(zero), Expr::constant(false));
+  TruthTable one = zero.complemented();
+  EXPECT_EQ(minimized_sop(one), Expr::constant(true));
+}
+
+TEST(QuineMcCluskeyTest, PrimeImplicantsCoverOnSet) {
+  const TruthTable t = table_from("A.B' + A'.C + B.C'", 3);
+  const auto primes = prime_implicants(t);
+  for (std::size_t row = 0; row < t.num_rows(); ++row) {
+    if (!t.get(row)) continue;
+    bool covered = false;
+    for (const auto& p : primes) {
+      covered = covered || p.covers(static_cast<std::uint32_t>(row));
+    }
+    EXPECT_TRUE(covered) << "minterm " << row;
+  }
+}
+
+TEST(QuineMcCluskeyTest, XorNeedsAllMinterms) {
+  // XOR has no combinable adjacent minterms: cover size = 2^(n-1).
+  const TruthTable t = table_from("A ^ B ^ C", 3);
+  EXPECT_EQ(minimize(t).size(), 4u);
+}
+
+// Every 2-input function must minimize to an equivalent cover.
+class AllTwoInputFunctions : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllTwoInputFunctions, MinimizeIsExactOnEveryFunction) {
+  TruthTable t(2);
+  for (std::size_t row = 0; row < 4; ++row) {
+    t.set(row, (GetParam() >> row) & 1);
+  }
+  EXPECT_EQ(table_of(minimized_sop(t), 2), t);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSixteen, AllTwoInputFunctions,
+                         ::testing::Range(0, 16));
+
+TEST(FactoringTest, FactorsSharedLiteral) {
+  const TruthTable t = table_from("A.B + A.C", 3);
+  const ExprPtr f = factored_form(t);
+  EXPECT_EQ(table_of(f, 3), t);
+  // A.(B + C): 3 literals instead of 4.
+  EXPECT_LE(f->literal_count(), 3u);
+}
+
+TEST(FactoringTest, FactoredFormsStayEquivalent) {
+  const char* cases[] = {"A.B + C.D", "(A+B).(C+D)", "A ^ B",
+                         "A.B.C + A.B.D' + A'.C.D"};
+  for (const char* text : cases) {
+    const TruthTable t = table_from(text, 4);
+    EXPECT_EQ(table_of(factored_form(t), 4), t) << text;
+  }
+}
+
+TEST(FactoringTest, SboxBitsFactorCorrectly) {
+  const SboxSpec spec = present_spec();
+  for (std::size_t bit = 0; bit < spec.out_bits; ++bit) {
+    const TruthTable t = sbox_output_bit(spec, bit);
+    EXPECT_EQ(table_of(factored_form(t), spec.in_bits), t) << "bit " << bit;
+    EXPECT_EQ(table_of(minimized_sop(t), spec.in_bits), t) << "bit " << bit;
+  }
+}
+
+}  // namespace
+}  // namespace sable

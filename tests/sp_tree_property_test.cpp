@@ -1,0 +1,104 @@
+// Property tests for series-parallel extraction: round-trips through the
+// genuine builder for random expressions, order preservation, and the
+// reversal invariants the §4.2 transformer depends on.
+#include <gtest/gtest.h>
+
+#include "core/genuine_builder.hpp"
+#include "expr/parser.hpp"
+#include "expr/printer.hpp"
+#include "expr/random_expr.hpp"
+#include "expr/transforms.hpp"
+#include "expr/truth_table.hpp"
+#include "netlist/sp_tree.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sable {
+namespace {
+
+class SpTreeRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpTreeRoundTrip, ExtractionInvertsConstruction) {
+  Rng rng(0x7EE + static_cast<std::uint64_t>(GetParam()));
+  RandomExprOptions opt;
+  opt.num_vars = 5;
+  opt.num_literals = 10;
+  const ExprPtr f = random_nnf(rng, opt);
+  const DpdnNetwork genuine = build_genuine_dpdn(f, opt.num_vars);
+  const BranchPartition part = partition_branches(genuine);
+  const ExprPtr fx =
+      extract_sp_expression(genuine, part.x_branch, DpdnNetwork::kNodeX);
+  const ExprPtr fy =
+      extract_sp_expression(genuine, part.y_branch, DpdnNetwork::kNodeY);
+
+  // Semantics: fx == f, fy == f'.
+  EXPECT_TRUE(equivalent(fx, f, opt.num_vars));
+  EXPECT_TRUE(equivalent(fy, Expr::negate(f), opt.num_vars));
+  // Inventory: one literal per device.
+  EXPECT_EQ(fx->literal_count(), part.x_branch.size());
+  EXPECT_EQ(fy->literal_count(), part.y_branch.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpTreeRoundTrip, ::testing::Range(0, 20));
+
+TEST(SpTreeOrderTest, SeriesOrderIsTopToBottom) {
+  VarTable vars;
+  // A at the top of the chain (next to X), D at the bottom (next to Z).
+  const ExprPtr f = parse_expression("A.B.C.D", vars);
+  const DpdnNetwork genuine = build_genuine_dpdn(f, 4);
+  const BranchPartition part = partition_branches(genuine);
+  const ExprPtr fx =
+      extract_sp_expression(genuine, part.x_branch, DpdnNetwork::kNodeX);
+  EXPECT_EQ(to_string(fx, vars), "A.B.C.D");
+}
+
+TEST(SpTreeOrderTest, NestedStructureSurvives) {
+  VarTable vars;
+  const ExprPtr f = parse_expression("(A + B.C).(D + B)", vars);
+  const DpdnNetwork genuine = build_genuine_dpdn(f, 4);
+  const BranchPartition part = partition_branches(genuine);
+  const ExprPtr fx =
+      extract_sp_expression(genuine, part.x_branch, DpdnNetwork::kNodeX);
+  // The AND chain order is preserved exactly; OR operand order within a
+  // parallel group is not semantically meaningful but the structure is.
+  ASSERT_EQ(fx->kind(), ExprKind::kAnd);
+  EXPECT_TRUE(equivalent(fx->operands()[0],
+                         parse_expression("A + B.C", vars), 4));
+  EXPECT_TRUE(equivalent(fx->operands()[1],
+                         parse_expression("D + B", vars), 4));
+}
+
+TEST(SpTreeOrderTest, SingleDeviceBranch) {
+  VarTable vars;
+  const ExprPtr f = parse_expression("A", vars);
+  const DpdnNetwork genuine = build_genuine_dpdn(f, 1);
+  const BranchPartition part = partition_branches(genuine);
+  EXPECT_EQ(part.x_branch.size(), 1u);
+  const ExprPtr fx =
+      extract_sp_expression(genuine, part.x_branch, DpdnNetwork::kNodeX);
+  EXPECT_EQ(to_string(fx, vars), "A");
+}
+
+TEST(SpTreeErrorTest, NonSpBranchIsRejected) {
+  // A bridge (Wheatstone) topology is not series-parallel reducible.
+  DpdnNetwork net(5);
+  const NodeId u = net.add_internal_node();
+  const NodeId v = net.add_internal_node();
+  net.add_switch(SignalLiteral{0, true}, DpdnNetwork::kNodeX, u);
+  net.add_switch(SignalLiteral{1, true}, DpdnNetwork::kNodeX, v);
+  net.add_switch(SignalLiteral{2, true}, u, v);  // the bridge
+  net.add_switch(SignalLiteral{3, true}, u, DpdnNetwork::kNodeZ);
+  net.add_switch(SignalLiteral{4, true}, v, DpdnNetwork::kNodeZ);
+  std::vector<std::size_t> branch = {0, 1, 2, 3, 4};
+  EXPECT_THROW(extract_sp_expression(net, branch, DpdnNetwork::kNodeX),
+               InvalidArgument);
+}
+
+TEST(SpTreeErrorTest, EmptyBranchIsRejected) {
+  DpdnNetwork net(1);
+  EXPECT_THROW(extract_sp_expression(net, {}, DpdnNetwork::kNodeX),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sable

@@ -1,0 +1,108 @@
+// Tests for utility primitives: RNG determinism and distributions, string
+// helpers, and error types.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace sable {
+namespace {
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BelowIsInRangeAndCoversValues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(StringsTest, JoinAndSplit) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  hello \t"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringsTest, FormatEng) {
+  EXPECT_EQ(format_eng(19.32e-15, "F"), "19.32fF");
+  EXPECT_EQ(format_eng(0.0, "A"), "0A");
+  EXPECT_EQ(format_eng(1.8, "V"), "1.8V");
+  EXPECT_EQ(format_eng(624.8e-6, "A"), "624.8uA");
+}
+
+TEST(ErrorTest, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(
+      [] { SABLE_REQUIRE(false, "precondition failed"); }(),
+      InvalidArgument);
+  EXPECT_NO_THROW([] { SABLE_REQUIRE(true, "fine"); }());
+}
+
+TEST(ErrorTest, HierarchyIsCatchable) {
+  try {
+    throw ParseError("bad token");
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad token"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace sable
