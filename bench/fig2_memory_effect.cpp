@@ -37,32 +37,27 @@ void part1_switch_level() {
                                             : build_genuine_dpdn(f, 2);
     const MemoryEffectReport mem = analyze_memory_effect(net);
     const GateEnergyModel model = build_gate_model(net, tech, sizing);
+    // Batch-backed profile: all four assignments run as lanes of a single
+    // bit-parallel cycle, as does the discharge-set query below.
     const EnergyProfile profile = profile_gate_energy(net, model);
+    const std::uint64_t assignments[4] = {0, 1, 2, 3};  // lane = assignment
+    std::vector<std::uint64_t> var_words(2, 0);
+    pack_lane_words(assignments, 4, var_words);
+    const auto connected = connected_to_external_batch(net, var_words);
 
     std::printf("\n%s AND-NAND network:\n",
                 fully_connected ? "fully connected" : "genuine");
     std::printf("  input (A,B)   W discharges   cycle energy\n");
     for (std::uint64_t a = 0; a < 4; ++a) {
-      const auto connected = connected_to_external(net, a);
       std::printf("  (%llu,%llu)         %-3s            %s\n",
                   (unsigned long long)(a & 1), (unsigned long long)(a >> 1),
-                  connected[3] ? "yes" : "NO",
+                  ((connected[3] >> a) & 1u) != 0 ? "yes" : "NO",
                   format_eng(profile.energy_per_input[a], "J").c_str());
     }
     std::printf("  memoryless: %s | discharge classes: %zu | NED = %.2f%%\n",
                 mem.memoryless ? "yes" : "NO", mem.num_discharge_classes,
                 profile.ned * 100.0);
   }
-}
-
-double cycle_ned(const std::vector<CycleMeasurement>& cycles) {
-  double lo = cycles.front().energy;
-  double hi = lo;
-  for (const auto& c : cycles) {
-    lo = std::min(lo, c.energy);
-    hi = std::max(hi, c.energy);
-  }
-  return (hi - lo) / hi;
 }
 
 void part2_spice_cvsl() {
@@ -89,13 +84,11 @@ void part2_spice_cvsl() {
                 (unsigned long long)(cvsl.cycles[k].assignment >> 1),
                 format_eng(cvsl.cycles[k].energy, "J").c_str());
   }
-  std::vector<double> cvsl_all;
+  const std::vector<double> energies = cycle_energies(cvsl);
+  std::vector<double> cvsl_all(energies.begin() + 1, energies.end());
   std::vector<double> cvsl_consuming;
-  for (std::size_t k = 1; k < cvsl.cycles.size(); ++k) {
-    cvsl_all.push_back(cvsl.cycles[k].energy);
-    if (cvsl.cycles[k].energy > 1e-15) {
-      cvsl_consuming.push_back(cvsl.cycles[k].energy);
-    }
+  for (double e : cvsl_all) {
+    if (e > 1e-15) cvsl_consuming.push_back(e);
   }
   const SpreadMetrics m_all = spread_metrics(cvsl_all);
   const SpreadMetrics m_consuming = spread_metrics(cvsl_consuming);
@@ -112,7 +105,7 @@ void part2_spice_cvsl() {
   const SablRunResult sabl = run_sabl_sequence(fc, vars, tech, sizing, seq);
   std::printf("\nSABL with fully connected DPDN (dynamic):\n");
   std::printf("  per-cycle energy NED: %.2f%%\n",
-              cycle_ned(sabl.cycles) * 100.0);
+              spread_metrics(cycle_energies(sabl)).ned * 100.0);
 }
 
 }  // namespace

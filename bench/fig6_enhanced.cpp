@@ -13,6 +13,7 @@
 #include "core/resistance.hpp"
 #include "expr/parser.hpp"
 #include "sabl/testbench.hpp"
+#include "switchsim/energy.hpp"
 #include "tech/capacitance.hpp"
 #include "util/strings.hpp"
 
@@ -92,6 +93,18 @@ int main() {
               format_eng(c_fc, "F").c_str(), format_eng(c_en, "F").c_str());
   std::printf("%-34s %13.1f%% %13.1f%%\n", "area/cap overhead vs FC", 0.0,
               (c_en / c_fc - 1.0) * 100.0);
+
+  // Switch-level energy constancy over every assignment, computed with the
+  // bit-parallel engine (all assignments run as lanes of one batch cycle).
+  const EnergyProfile ep_fc =
+      profile_gate_energy(fc, build_gate_model(fc, tech, sizing));
+  const EnergyProfile ep_en =
+      profile_gate_energy(enhanced, build_gate_model(enhanced, tech, sizing));
+  std::printf("%-34s %13.2f%% %13.2f%%\n", "switch-level energy NED",
+              ep_fc.ned * 100.0, ep_en.ned * 100.0);
+  std::printf("%-34s %14s %14s\n", "mean cycle energy",
+              format_eng(ep_fc.mean_energy, "J").c_str(),
+              format_eng(ep_en.mean_energy, "J").c_str());
 
   // Transistor-level: gate decision delay per input event (the §5 claim:
   // "each gate has a constant delay as now both the resistance and the

@@ -1,5 +1,7 @@
 #include "cell/circuit_sim.hpp"
 
+#include <bit>
+
 #include "expr/truth_table.hpp"
 #include "util/error.hpp"
 
@@ -8,11 +10,9 @@ namespace sable {
 namespace {
 
 // Computes all gate output values for one input vector; returns the vector
-// of gate values and fills `assignments` (per-gate input assignment) when
-// non-null.
+// of gate values (scalar reference path used by evaluate_circuit).
 std::vector<bool> evaluate_gates(const GateCircuit& circuit,
-                                 std::uint64_t input_bits,
-                                 std::vector<std::uint64_t>* assignments) {
+                                 std::uint64_t input_bits) {
   std::vector<bool> value(circuit.gates().size(), false);
   auto resolve = [&](const SignalRef& ref) {
     const bool raw = ref.kind == SignalRef::Kind::kInput
@@ -28,7 +28,6 @@ std::vector<bool> evaluate_gates(const GateCircuit& circuit,
       if (resolve(inst.inputs[k])) assignment |= std::uint64_t{1} << k;
     }
     value[g] = evaluate(cell.function, assignment);
-    if (assignments != nullptr) (*assignments)[g] = assignment;
   }
   return value;
 }
@@ -61,8 +60,70 @@ std::vector<std::size_t> gate_levels(const GateCircuit& circuit) {
   return levels;
 }
 
-DifferentialCircuitSim::DifferentialCircuitSim(const GateCircuit& circuit)
+BatchGateEvaluator::BatchGateEvaluator(const GateCircuit& circuit)
     : circuit_(circuit) {
+  minterms_.resize(circuit.gates().size());
+  gate_inputs_.resize(circuit.gates().size());
+  values_.assign(circuit.gates().size(), 0);
+  primary_.assign(circuit.num_primary_inputs(), 0);
+  for (std::size_t g = 0; g < circuit.gates().size(); ++g) {
+    const GateInstance& inst = circuit.gates()[g];
+    const Cell& cell = circuit.cells()[inst.cell_index];
+    gate_inputs_[g].assign(inst.inputs.size(), 0);
+    const std::size_t rows = std::size_t{1} << cell.num_inputs;
+    for (std::size_t m = 0; m < rows; ++m) {
+      // Qualified: the member evaluate() shadows the truth-table helper.
+      if (sable::evaluate(cell.function, m)) {
+        minterms_[g].push_back(static_cast<std::uint8_t>(m));
+      }
+    }
+  }
+}
+
+void BatchGateEvaluator::evaluate(
+    const std::vector<std::uint64_t>& input_words) {
+  SABLE_ASSERT(input_words.size() >= circuit_.num_primary_inputs(),
+               "one lane word per primary input required");
+  for (std::size_t i = 0; i < primary_.size(); ++i) {
+    primary_[i] = input_words[i];
+  }
+  for (std::size_t g = 0; g < circuit_.gates().size(); ++g) {
+    const GateInstance& inst = circuit_.gates()[g];
+    std::vector<std::uint64_t>& in = gate_inputs_[g];
+    for (std::size_t k = 0; k < inst.inputs.size(); ++k) {
+      const SignalRef& ref = inst.inputs[k];
+      const std::uint64_t raw = ref.kind == SignalRef::Kind::kInput
+                                    ? primary_[ref.index]
+                                    : values_[ref.index];
+      in[k] = ref.positive ? raw : ~raw;
+    }
+    // Sum of minterms over lane words: a lane is 1 iff its cell-input
+    // assignment is one of the function's satisfying rows.
+    std::uint64_t value = 0;
+    for (const std::uint8_t m : minterms_[g]) {
+      std::uint64_t term = ~std::uint64_t{0};
+      for (std::size_t k = 0; k < in.size(); ++k) {
+        term &= ((m >> k) & 1u) != 0 ? in[k] : ~in[k];
+      }
+      value |= term;
+    }
+    values_[g] = value;
+  }
+}
+
+std::uint64_t BatchGateEvaluator::output_word(std::size_t i) const {
+  const SignalRef& ref = circuit_.outputs()[i];
+  const std::uint64_t raw = ref.kind == SignalRef::Kind::kInput
+                                ? primary_[ref.index]
+                                : values_[ref.index];
+  return ref.positive ? raw : ~raw;
+}
+
+// ---- DifferentialCircuitSimBatch ------------------------------------------
+
+DifferentialCircuitSimBatch::DifferentialCircuitSimBatch(
+    const GateCircuit& circuit)
+    : circuit_(circuit), eval_(circuit) {
   gate_sims_.reserve(circuit.gates().size());
   for (const auto& inst : circuit.gates()) {
     const Cell& cell = circuit.cells()[inst.cell_index];
@@ -72,9 +133,9 @@ DifferentialCircuitSim::DifferentialCircuitSim(const GateCircuit& circuit)
   for (std::size_t l : levels_) num_levels_ = std::max(num_levels_, l);
 }
 
-DifferentialCircuitSim::DifferentialCircuitSim(
+DifferentialCircuitSimBatch::DifferentialCircuitSimBatch(
     const GateCircuit& circuit, std::vector<GateEnergyModel> models)
-    : circuit_(circuit) {
+    : circuit_(circuit), eval_(circuit) {
   SABLE_REQUIRE(models.size() == circuit.gates().size(),
                 "one energy model per gate instance required");
   gate_sims_.reserve(circuit.gates().size());
@@ -86,58 +147,164 @@ DifferentialCircuitSim::DifferentialCircuitSim(
   for (std::size_t l : levels_) num_levels_ = std::max(num_levels_, l);
 }
 
-SampledCycleResult DifferentialCircuitSim::cycle_sampled(
-    std::uint64_t input_bits) {
-  std::vector<std::uint64_t> assignments(circuit_.gates().size(), 0);
-  const std::vector<bool> values =
-      evaluate_gates(circuit_, input_bits, &assignments);
-  SampledCycleResult result;
-  result.level_energy.assign(num_levels_, 0.0);
-  for (std::size_t g = 0; g < gate_sims_.size(); ++g) {
-    result.level_energy[levels_[g] - 1] += gate_sims_[g].cycle(assignments[g]);
+void DifferentialCircuitSimBatch::cycle(
+    const std::vector<std::uint64_t>& input_words, std::uint64_t lane_mask,
+    BatchCycleResult& out) {
+  eval_.evaluate(input_words);
+  const bool full_mask = lane_mask == ~std::uint64_t{0};
+  if (full_mask) {
+    out.energy.fill(0.0);
+  } else {
+    for (std::uint64_t m = lane_mask; m != 0; m &= m - 1) {
+      out.energy[std::countr_zero(m)] = 0.0;
+    }
   }
-  result.outputs = collect_outputs(circuit_, input_bits, values);
-  return result;
+  for (std::size_t g = 0; g < gate_sims_.size(); ++g) {
+    gate_sims_[g].cycle(eval_.gate_input_words(g), lane_mask,
+                        gate_energy_.data());
+    if (full_mask) {
+      for (std::size_t lane = 0; lane < SablGateSimBatch::kLanes; ++lane) {
+        out.energy[lane] += gate_energy_[lane];
+      }
+    } else {
+      for (std::uint64_t m = lane_mask; m != 0; m &= m - 1) {
+        const std::size_t lane = std::countr_zero(m);
+        out.energy[lane] += gate_energy_[lane];
+      }
+    }
+  }
+  out.output_words.resize(circuit_.outputs().size());
+  for (std::size_t i = 0; i < circuit_.outputs().size(); ++i) {
+    out.output_words[i] = eval_.output_word(i);
+  }
 }
 
-CycleResult DifferentialCircuitSim::cycle(std::uint64_t input_bits) {
-  std::vector<std::uint64_t> assignments(circuit_.gates().size(), 0);
-  const std::vector<bool> values =
-      evaluate_gates(circuit_, input_bits, &assignments);
-  CycleResult result;
-  for (std::size_t g = 0; g < gate_sims_.size(); ++g) {
-    result.energy += gate_sims_[g].cycle(assignments[g]);
+void DifferentialCircuitSimBatch::reset() {
+  for (SablGateSimBatch& sim : gate_sims_) sim.reset(true);
+}
+
+void DifferentialCircuitSimBatch::cycle_sampled(
+    const std::vector<std::uint64_t>& input_words, std::uint64_t lane_mask,
+    SampledBatchCycleResult& out) {
+  eval_.evaluate(input_words);
+  out.level_energy.resize(num_levels_);
+  for (auto& row : out.level_energy) {
+    for (std::uint64_t m = lane_mask; m != 0; m &= m - 1) {
+      row[std::countr_zero(m)] = 0.0;
+    }
   }
-  result.outputs = collect_outputs(circuit_, input_bits, values);
+  for (std::size_t g = 0; g < gate_sims_.size(); ++g) {
+    gate_sims_[g].cycle(eval_.gate_input_words(g), lane_mask,
+                        gate_energy_.data());
+    auto& row = out.level_energy[levels_[g] - 1];
+    for (std::uint64_t m = lane_mask; m != 0; m &= m - 1) {
+      const std::size_t lane = std::countr_zero(m);
+      row[lane] += gate_energy_[lane];
+    }
+  }
+  out.output_words.resize(circuit_.outputs().size());
+  for (std::size_t i = 0; i < circuit_.outputs().size(); ++i) {
+    out.output_words[i] = eval_.output_word(i);
+  }
+}
+
+// ---- CmosCircuitSimBatch --------------------------------------------------
+
+CmosCircuitSimBatch::CmosCircuitSimBatch(const GateCircuit& circuit,
+                                         double switch_energy)
+    : circuit_(circuit), eval_(circuit), switch_energy_(switch_energy) {
+  previous_values_.assign(circuit.gates().size(), 0);
+}
+
+void CmosCircuitSimBatch::cycle(const std::vector<std::uint64_t>& input_words,
+                                std::uint64_t lane_mask,
+                                BatchCycleResult& out) {
+  eval_.evaluate(input_words);
+  if (lane_mask == ~std::uint64_t{0}) {
+    out.energy.fill(0.0);
+  } else {
+    for (std::uint64_t m = lane_mask; m != 0; m &= m - 1) {
+      out.energy[std::countr_zero(m)] = 0.0;
+    }
+  }
+  for (std::size_t g = 0; g < circuit_.gates().size(); ++g) {
+    const std::uint64_t value = eval_.value_word(g);
+    // Static CMOS draws supply energy when the output rises: the lane has
+    // no history yet, or its previous value was 0.
+    const std::uint64_t rising =
+        value & ~(previous_values_[g] & seen_mask_) & lane_mask;
+    for (std::uint64_t w = rising; w != 0; w &= w - 1) {
+      out.energy[std::countr_zero(w)] += switch_energy_;
+    }
+    previous_values_[g] =
+        (previous_values_[g] & ~lane_mask) | (value & lane_mask);
+  }
+  seen_mask_ |= lane_mask;
+  out.output_words.resize(circuit_.outputs().size());
+  for (std::size_t i = 0; i < circuit_.outputs().size(); ++i) {
+    out.output_words[i] = eval_.output_word(i);
+  }
+}
+
+void CmosCircuitSimBatch::reset() {
+  previous_values_.assign(circuit_.gates().size(), 0);
+  seen_mask_ = 0;
+}
+
+std::uint64_t outputs_for_lane(
+    const std::vector<std::uint64_t>& output_words, std::size_t lane) {
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < output_words.size(); ++i) {
+    if (((output_words[i] >> lane) & 1u) != 0) out |= std::uint64_t{1} << i;
+  }
+  return out;
+}
+
+// ---- scalar wrappers (width-1 case of the batch kernels) ------------------
+
+DifferentialCircuitSim::DifferentialCircuitSim(const GateCircuit& circuit)
+    : batch_(circuit), words_(circuit.num_primary_inputs(), 0) {}
+
+DifferentialCircuitSim::DifferentialCircuitSim(
+    const GateCircuit& circuit, std::vector<GateEnergyModel> models)
+    : batch_(circuit, std::move(models)),
+      words_(circuit.num_primary_inputs(), 0) {}
+
+CycleResult DifferentialCircuitSim::cycle(std::uint64_t input_bits) {
+  pack_lane_words(&input_bits, 1, words_);
+  batch_.cycle(words_, 1u, scratch_);
+  return CycleResult{outputs_for_lane(scratch_.output_words, 0),
+                     scratch_.energy[0]};
+}
+
+SampledCycleResult DifferentialCircuitSim::cycle_sampled(
+    std::uint64_t input_bits) {
+  pack_lane_words(&input_bits, 1, words_);
+  batch_.cycle_sampled(words_, 1u, sampled_scratch_);
+  SampledCycleResult result;
+  result.level_energy.reserve(sampled_scratch_.level_energy.size());
+  for (const auto& row : sampled_scratch_.level_energy) {
+    result.level_energy.push_back(row[0]);
+  }
+  result.outputs = outputs_for_lane(sampled_scratch_.output_words, 0);
   return result;
 }
 
 CmosCircuitSim::CmosCircuitSim(const GateCircuit& circuit,
                                double switch_energy)
-    : circuit_(circuit), switch_energy_(switch_energy) {
-  previous_values_.assign(circuit.gates().size(), false);
-}
+    : batch_(circuit, switch_energy),
+      words_(circuit.num_primary_inputs(), 0) {}
 
 CycleResult CmosCircuitSim::cycle(std::uint64_t input_bits) {
-  const std::vector<bool> values =
-      evaluate_gates(circuit_, input_bits, nullptr);
-  CycleResult result;
-  for (std::size_t g = 0; g < values.size(); ++g) {
-    // Static CMOS draws supply energy when the output rises.
-    if (values[g] && (!has_previous_ || !previous_values_[g])) {
-      result.energy += switch_energy_;
-    }
-  }
-  previous_values_ = values;
-  has_previous_ = true;
-  result.outputs = collect_outputs(circuit_, input_bits, values);
-  return result;
+  pack_lane_words(&input_bits, 1, words_);
+  batch_.cycle(words_, 1u, scratch_);
+  return CycleResult{outputs_for_lane(scratch_.output_words, 0),
+                     scratch_.energy[0]};
 }
 
 std::uint64_t evaluate_circuit(const GateCircuit& circuit,
                                std::uint64_t input_bits) {
-  const std::vector<bool> values =
-      evaluate_gates(circuit, input_bits, nullptr);
+  const std::vector<bool> values = evaluate_gates(circuit, input_bits);
   return collect_outputs(circuit, input_bits, values);
 }
 

@@ -8,8 +8,15 @@
 //  - CmosCircuitSim: the industry-baseline model — static CMOS gates
 //    consume C*VDD^2 on every 0->1 output transition (Hamming-distance
 //    leakage); this is the reference DPA-vulnerable implementation.
+//
+// Each simulator exists in two widths sharing one kernel: the *Batch
+// variants evaluate 64 independent circuit instances bit-parallel (lane L
+// of every word is instance L), and the scalar classes are their width-1
+// case. Lane arithmetic is ordered so that lane L of a batch cycle is
+// bit-identical to a width-1 run fed the same assignment sequence.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -35,13 +42,115 @@ struct SampledCycleResult {
 /// one past its deepest input). Returned per gate instance.
 std::vector<std::size_t> gate_levels(const GateCircuit& circuit);
 
+/// Bit-parallel functional evaluation of a gate circuit: computes the
+/// 64-lane value word of every gate in one forward sweep. `input_words[i]`
+/// bit L is primary input i of circuit instance L; gate functions are
+/// applied as sum-of-minterms over the lane words.
+class BatchGateEvaluator {
+ public:
+  explicit BatchGateEvaluator(const GateCircuit& circuit);
+
+  /// Evaluates every gate for the 64 assignments in `input_words`.
+  void evaluate(const std::vector<std::uint64_t>& input_words);
+
+  /// Lane word of gate g's output value (valid after evaluate()).
+  std::uint64_t value_word(std::size_t gate) const { return values_[gate]; }
+
+  /// Lane words of gate g's cell inputs, polarity already resolved — the
+  /// per-variable assignment words the switch-level gate model consumes.
+  const std::vector<std::uint64_t>& gate_input_words(std::size_t gate) const {
+    return gate_inputs_[gate];
+  }
+
+  /// Lane word of circuit output i (valid after evaluate()).
+  std::uint64_t output_word(std::size_t i) const;
+
+ private:
+  const GateCircuit& circuit_;
+  std::vector<std::vector<std::uint8_t>> minterms_;    // per gate: rows = 1
+  std::vector<std::vector<std::uint64_t>> gate_inputs_;
+  std::vector<std::uint64_t> values_;
+  std::vector<std::uint64_t> primary_;
+};
+
+/// Per-lane results of one batched cycle.
+struct BatchCycleResult {
+  /// Lane word per circuit output: bit L = output i of instance L.
+  std::vector<std::uint64_t> output_words;
+  /// Supply energy of instance L in energy[L] (selected lanes only).
+  std::array<double, SablGateSimBatch::kLanes> energy;
+};
+
+/// Batched time-resolved results: level_energy[l][L] is the energy drawn
+/// at logic level l by instance L.
+struct SampledBatchCycleResult {
+  std::vector<std::uint64_t> output_words;
+  std::vector<std::array<double, SablGateSimBatch::kLanes>> level_energy;
+};
+
+/// Collapses per-output lane words into the scalar output bitmask of one
+/// lane — the width-1 wrappers' view of a batch result.
+std::uint64_t outputs_for_lane(
+    const std::vector<std::uint64_t>& output_words, std::size_t lane);
+
+class DifferentialCircuitSimBatch {
+ public:
+  explicit DifferentialCircuitSimBatch(const GateCircuit& circuit);
+
+  /// As above, but with one energy model per gate *instance* (e.g. with
+  /// per-instance routing loads from src/balance).
+  DifferentialCircuitSimBatch(const GateCircuit& circuit,
+                              std::vector<GateEnergyModel> models);
+
+  /// Evaluates one clock cycle of every lane in `lane_mask`.
+  void cycle(const std::vector<std::uint64_t>& input_words,
+             std::uint64_t lane_mask, BatchCycleResult& out);
+
+  /// As cycle(), with the energy split per logic level.
+  void cycle_sampled(const std::vector<std::uint64_t>& input_words,
+                     std::uint64_t lane_mask, SampledBatchCycleResult& out);
+
+  /// Restores the fresh-construction state (every node charged) in every
+  /// lane, so a new campaign starts from a reproducible state.
+  void reset();
+
+  std::size_t num_levels() const { return num_levels_; }
+  const GateCircuit& circuit() const { return circuit_; }
+
+ private:
+  const GateCircuit& circuit_;
+  BatchGateEvaluator eval_;
+  std::vector<SablGateSimBatch> gate_sims_;  // one per gate instance
+  std::vector<std::size_t> levels_;
+  std::size_t num_levels_ = 0;
+  std::array<double, SablGateSimBatch::kLanes> gate_energy_;
+};
+
+class CmosCircuitSimBatch {
+ public:
+  /// `switch_energy` is the energy of one output 0->1 transition [J].
+  CmosCircuitSimBatch(const GateCircuit& circuit, double switch_energy);
+
+  /// One cycle per selected lane; each lane carries its own previous-value
+  /// history (Hamming-distance leakage is per instance).
+  void cycle(const std::vector<std::uint64_t>& input_words,
+             std::uint64_t lane_mask, BatchCycleResult& out);
+
+  /// Clears every lane's transition history (fresh-construction state).
+  void reset();
+
+ private:
+  const GateCircuit& circuit_;
+  BatchGateEvaluator eval_;
+  double switch_energy_;
+  std::vector<std::uint64_t> previous_values_;  // per gate, lane words
+  std::uint64_t seen_mask_ = 0;                 // lanes with history
+};
+
 class DifferentialCircuitSim {
  public:
   explicit DifferentialCircuitSim(const GateCircuit& circuit);
 
-  /// As above, but with one energy model per gate *instance* (e.g. with
-  /// per-instance routing loads from src/balance). `models` must have one
-  /// entry per gate.
   DifferentialCircuitSim(const GateCircuit& circuit,
                          std::vector<GateEnergyModel> models);
 
@@ -52,13 +161,13 @@ class DifferentialCircuitSim {
   SampledCycleResult cycle_sampled(std::uint64_t input_bits);
 
   /// Number of logic levels (= samples per cycle).
-  std::size_t num_levels() const { return num_levels_; }
+  std::size_t num_levels() const { return batch_.num_levels(); }
 
  private:
-  const GateCircuit& circuit_;
-  std::vector<SablGateSim> gate_sims_;  // one per gate instance
-  std::vector<std::size_t> levels_;
-  std::size_t num_levels_ = 0;
+  DifferentialCircuitSimBatch batch_;  // lane 0 carries this instance
+  std::vector<std::uint64_t> words_;
+  BatchCycleResult scratch_;
+  SampledBatchCycleResult sampled_scratch_;
 };
 
 class CmosCircuitSim {
@@ -69,10 +178,9 @@ class CmosCircuitSim {
   CycleResult cycle(std::uint64_t input_bits);
 
  private:
-  const GateCircuit& circuit_;
-  double switch_energy_;
-  std::vector<bool> previous_values_;
-  bool has_previous_ = false;
+  CmosCircuitSimBatch batch_;  // lane 0 carries this instance
+  std::vector<std::uint64_t> words_;
+  BatchCycleResult scratch_;
 };
 
 /// Pure functional evaluation (no energy), for reference checks.

@@ -1,13 +1,13 @@
 #include "cell/wddl.hpp"
 
-#include "expr/truth_table.hpp"
+#include <bit>
 
 namespace sable {
 
-WddlCircuitSim::WddlCircuitSim(const GateCircuit& circuit,
-                               const Technology& tech, double mismatch,
-                               std::uint64_t seed)
-    : circuit_(circuit), vdd_(tech.vdd) {
+WddlCircuitSimBatch::WddlCircuitSimBatch(const GateCircuit& circuit,
+                                         const Technology& tech,
+                                         double mismatch, std::uint64_t seed)
+    : circuit_(circuit), eval_(circuit), vdd_(tech.vdd) {
   Rng rng(seed);
   models_.reserve(circuit.gates().size());
   // Nominal rail load: one standard-cell output (junctions + fanout wire).
@@ -18,36 +18,55 @@ WddlCircuitSim::WddlCircuitSim(const GateCircuit& circuit,
     models_.push_back(WddlGateModel{nominal * (1.0 + delta),
                                     nominal * (1.0 - delta)});
   }
+  // Cycle energy decomposes as (sum of false-rail loads) plus the
+  // true/false delta of every gate whose true rail fired — the constant
+  // base is hoisted so the per-cycle work is proportional to the firing
+  // gates only.
+  rail_delta_.reserve(models_.size());
+  for (const WddlGateModel& m : models_) {
+    const double e_false = m.c_false * vdd_ * vdd_;
+    base_energy_ += e_false;
+    rail_delta_.push_back(m.c_true * vdd_ * vdd_ - e_false);
+  }
 }
 
-CycleResult WddlCircuitSim::cycle(std::uint64_t input_bits) {
-  // Evaluate gate values (same functional semantics as the differential
-  // simulator: WDDL pairs compute the same function).
-  std::vector<bool> value(circuit_.gates().size(), false);
-  auto resolve = [&](const SignalRef& ref) {
-    const bool raw = ref.kind == SignalRef::Kind::kInput
-                         ? ((input_bits >> ref.index) & 1u) != 0
-                         : value[ref.index];
-    return raw == ref.positive;
-  };
-  CycleResult result;
-  for (std::size_t g = 0; g < circuit_.gates().size(); ++g) {
-    const GateInstance& inst = circuit_.gates()[g];
-    const Cell& cell = circuit_.cells()[inst.cell_index];
-    std::uint64_t assignment = 0;
-    for (std::size_t k = 0; k < inst.inputs.size(); ++k) {
-      if (resolve(inst.inputs[k])) assignment |= std::uint64_t{1} << k;
+void WddlCircuitSimBatch::cycle(const std::vector<std::uint64_t>& input_words,
+                                std::uint64_t lane_mask,
+                                BatchCycleResult& out) {
+  eval_.evaluate(input_words);
+  if (lane_mask == ~std::uint64_t{0}) {
+    out.energy.fill(base_energy_);
+  } else {
+    for (std::uint64_t m = lane_mask; m != 0; m &= m - 1) {
+      out.energy[std::countr_zero(m)] = base_energy_;
     }
-    value[g] = evaluate(cell.function, assignment);
-    // Exactly one rail rises from the precharge wave and is charged.
-    const double c = value[g] ? models_[g].c_true : models_[g].c_false;
-    result.energy += c * vdd_ * vdd_;
   }
+  for (std::size_t g = 0; g < circuit_.gates().size(); ++g) {
+    // Exactly one rail rises from the precharge wave and is charged; only
+    // lanes whose true rail fired carry this gate's rail delta.
+    const double delta = rail_delta_[g];
+    for (std::uint64_t w = eval_.value_word(g) & lane_mask; w != 0;
+         w &= w - 1) {
+      out.energy[std::countr_zero(w)] += delta;
+    }
+  }
+  out.output_words.resize(circuit_.outputs().size());
   for (std::size_t i = 0; i < circuit_.outputs().size(); ++i) {
-    const SignalRef& ref = circuit_.outputs()[i];
-    if (resolve(ref)) result.outputs |= std::uint64_t{1} << i;
+    out.output_words[i] = eval_.output_word(i);
   }
-  return result;
+}
+
+WddlCircuitSim::WddlCircuitSim(const GateCircuit& circuit,
+                               const Technology& tech, double mismatch,
+                               std::uint64_t seed)
+    : batch_(circuit, tech, mismatch, seed),
+      words_(circuit.num_primary_inputs(), 0) {}
+
+CycleResult WddlCircuitSim::cycle(std::uint64_t input_bits) {
+  pack_lane_words(&input_bits, 1, words_);
+  batch_.cycle(words_, 1u, scratch_);
+  return CycleResult{outputs_for_lane(scratch_.output_words, 0),
+                     scratch_.energy[0]};
 }
 
 }  // namespace sable

@@ -14,6 +14,9 @@
 // false rails carry capacitances c_true / c_false; a `mismatch` fraction of
 // deterministic per-gate imbalance emulates unbalanced placement/routing.
 // mismatch = 0 is the ideal (perfectly balanced back-end) WDDL.
+//
+// WddlCircuitSimBatch evaluates 64 independent circuit instances
+// bit-parallel; the scalar WddlCircuitSim is its width-1 case.
 #pragma once
 
 #include <cstdint>
@@ -29,10 +32,31 @@ struct WddlGateModel {
   double c_false = 0.0;  ///< load on the false output rail [F]
 };
 
-class WddlCircuitSim {
+class WddlCircuitSimBatch {
  public:
   /// `mismatch` is the relative rail imbalance (0 = balanced; 0.05 = 5%
   /// per-gate random imbalance, deterministic via `seed`).
+  WddlCircuitSimBatch(const GateCircuit& circuit, const Technology& tech,
+                      double mismatch, std::uint64_t seed = 0x3DD1);
+
+  /// One precharge/evaluate cycle per selected lane; energy charges exactly
+  /// one rail load per gate (the rail whose value is 1 after evaluation).
+  void cycle(const std::vector<std::uint64_t>& input_words,
+             std::uint64_t lane_mask, BatchCycleResult& out);
+
+  const std::vector<WddlGateModel>& gate_models() const { return models_; }
+
+ private:
+  const GateCircuit& circuit_;
+  BatchGateEvaluator eval_;
+  double vdd_;
+  std::vector<WddlGateModel> models_;
+  double base_energy_ = 0.0;          // sum of false-rail energies
+  std::vector<double> rail_delta_;    // per gate: true minus false rail
+};
+
+class WddlCircuitSim {
+ public:
   WddlCircuitSim(const GateCircuit& circuit, const Technology& tech,
                  double mismatch, std::uint64_t seed = 0x3DD1);
 
@@ -40,12 +64,14 @@ class WddlCircuitSim {
   /// per gate (the rail whose value is 1 after evaluation).
   CycleResult cycle(std::uint64_t input_bits);
 
-  const std::vector<WddlGateModel>& gate_models() const { return models_; }
+  const std::vector<WddlGateModel>& gate_models() const {
+    return batch_.gate_models();
+  }
 
  private:
-  const GateCircuit& circuit_;
-  double vdd_;
-  std::vector<WddlGateModel> models_;
+  WddlCircuitSimBatch batch_;  // lane 0 carries this instance
+  std::vector<std::uint64_t> words_;
+  BatchCycleResult scratch_;
 };
 
 }  // namespace sable

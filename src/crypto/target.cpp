@@ -1,5 +1,7 @@
 #include "crypto/target.hpp"
 
+#include <algorithm>
+
 #include "cell/builder.hpp"
 #include "expr/factoring.hpp"
 #include "util/error.hpp"
@@ -57,41 +59,83 @@ GateCircuit build_sbox_circuit(const SboxSpec& spec, LogicStyle style,
 SboxTarget::SboxTarget(const SboxSpec& spec, LogicStyle style,
                        const Technology& tech)
     : spec_(spec), style_(style),
-      circuit_(build_sbox_circuit(spec, style, tech)) {
+      circuit_(build_sbox_circuit(spec, style, tech)),
+      words_(spec.in_bits, 0) {
   switch (style) {
     case LogicStyle::kStaticCmos: {
       // One transition's worth of switching energy for a typical cell load:
       // ~5 fF at the reference VDD.
       const double c_sw = 5e-15;
-      cmos_sim_ = std::make_unique<CmosCircuitSim>(
+      cmos_sim_ = std::make_unique<CmosCircuitSimBatch>(
           circuit_, c_sw * tech.vdd * tech.vdd);
       break;
     }
     case LogicStyle::kWddlBalanced:
-      wddl_sim_ = std::make_unique<WddlCircuitSim>(circuit_, tech, 0.0);
+      wddl_sim_ = std::make_unique<WddlCircuitSimBatch>(circuit_, tech, 0.0);
       break;
     case LogicStyle::kWddlMismatched:
-      wddl_sim_ = std::make_unique<WddlCircuitSim>(circuit_, tech, 0.05);
+      wddl_sim_ = std::make_unique<WddlCircuitSimBatch>(circuit_, tech, 0.05);
       break;
     default:
-      diff_sim_ = std::make_unique<DifferentialCircuitSim>(circuit_);
+      diff_sim_ = std::make_unique<DifferentialCircuitSimBatch>(circuit_);
       break;
   }
 }
 
+void SboxTarget::cycle_batch(const std::vector<std::uint64_t>& input_words,
+                             std::uint64_t lane_mask, BatchCycleResult& out) {
+  if (diff_sim_) {
+    diff_sim_->cycle(input_words, lane_mask, out);
+  } else if (wddl_sim_) {
+    wddl_sim_->cycle(input_words, lane_mask, out);
+  } else {
+    cmos_sim_->cycle(input_words, lane_mask, out);
+  }
+}
+
+void SboxTarget::reset_state() {
+  if (diff_sim_) {
+    diff_sim_->reset();
+  } else if (cmos_sim_) {
+    cmos_sim_->reset();
+  }
+  // WDDL carries no cross-cycle state.
+}
+
 double SboxTarget::trace(std::uint8_t pt, std::uint8_t key,
                          double noise_sigma, Rng& rng) {
-  const std::uint8_t x = static_cast<std::uint8_t>(
-      (pt ^ key) & ((1u << spec_.in_bits) - 1u));
-  double energy = 0.0;
-  if (diff_sim_) {
-    energy = diff_sim_->cycle(x).energy;
-  } else if (wddl_sim_) {
-    energy = wddl_sim_->cycle(x).energy;
-  } else {
-    energy = cmos_sim_->cycle(x).energy;
+  const std::uint64_t x = (pt ^ key) & ((1u << spec_.in_bits) - 1u);
+  pack_lane_words(&x, 1, words_);
+  cycle_batch(words_, 1u, scratch_);
+  return scratch_.energy[0] + noise_sigma * rng.gaussian();
+}
+
+void SboxTarget::trace_batch(const std::uint8_t* pts, std::size_t count,
+                             std::uint8_t key, double noise_sigma, Rng& rng,
+                             double* out) {
+  constexpr std::size_t kLanes = SablGateSimBatch::kLanes;
+  const std::uint8_t in_mask =
+      static_cast<std::uint8_t>((1u << spec_.in_bits) - 1u);
+  for (std::size_t base = 0; base < count; base += kLanes) {
+    const std::size_t lanes = std::min(kLanes, count - base);
+    const std::uint64_t lane_mask =
+        lanes == kLanes ? ~std::uint64_t{0}
+                        : (std::uint64_t{1} << lanes) - 1u;
+    std::uint64_t xs[kLanes];
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      xs[lane] = (pts[base + lane] ^ key) & in_mask;
+    }
+    pack_lane_words(xs, lanes, words_);
+    cycle_batch(words_, lane_mask, scratch_);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      out[base + lane] = scratch_.energy[lane];
+    }
   }
-  return energy + noise_sigma * rng.gaussian();
+  if (noise_sigma != 0.0) {
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] += noise_sigma * rng.gaussian();
+    }
+  }
 }
 
 std::uint8_t SboxTarget::reference(std::uint8_t pt, std::uint8_t key) const {

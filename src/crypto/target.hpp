@@ -5,6 +5,11 @@
 // stimulus (x = pt XOR key), which models the standard first-order DPA
 // setting where the attacker predicts S-box output bits from plaintext and
 // key guess.
+//
+// Encryptions run through the 64-wide bit-parallel circuit simulators:
+// trace_batch() simulates 64 plaintexts per clock cycle (lane L of step k
+// is trace k*64 + L, so a history-bearing style like static CMOS carries
+// per-lane history), and the scalar trace() is the width-1 case.
 #pragma once
 
 #include <cstdint>
@@ -37,19 +42,38 @@ class SboxTarget {
   double trace(std::uint8_t pt, std::uint8_t key, double noise_sigma,
                Rng& rng);
 
+  /// Batched encryptions, 64 per simulated cycle: writes one power sample
+  /// per plaintext into `out[0..count)`. Noise is drawn from `rng` in
+  /// ascending trace order, so a campaign is reproducible regardless of
+  /// the internal batch width.
+  void trace_batch(const std::uint8_t* pts, std::size_t count,
+                   std::uint8_t key, double noise_sigma, Rng& rng,
+                   double* out);
+
+  /// Restores the fresh-construction simulator state in every lane (CMOS
+  /// transition history, SABL node charge), so campaigns with the same
+  /// seed reproduce the same traces no matter what ran before.
+  void reset_state();
+
   /// Reference S-box output for functional checks.
   std::uint8_t reference(std::uint8_t pt, std::uint8_t key) const;
 
   const GateCircuit& circuit() const { return circuit_; }
+  const SboxSpec& spec() const { return spec_; }
   LogicStyle style() const { return style_; }
 
  private:
+  void cycle_batch(const std::vector<std::uint64_t>& input_words,
+                   std::uint64_t lane_mask, BatchCycleResult& out);
+
   SboxSpec spec_;
   LogicStyle style_;
   GateCircuit circuit_;
-  std::unique_ptr<DifferentialCircuitSim> diff_sim_;
-  std::unique_ptr<CmosCircuitSim> cmos_sim_;
-  std::unique_ptr<WddlCircuitSim> wddl_sim_;
+  std::unique_ptr<DifferentialCircuitSimBatch> diff_sim_;
+  std::unique_ptr<CmosCircuitSimBatch> cmos_sim_;
+  std::unique_ptr<WddlCircuitSimBatch> wddl_sim_;
+  std::vector<std::uint64_t> words_;
+  BatchCycleResult scratch_;
 };
 
 }  // namespace sable

@@ -1,9 +1,6 @@
 #include "dpa/attack.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "power/stats.hpp"
+#include "dpa/streaming.hpp"
 #include "util/error.hpp"
 
 namespace sable {
@@ -12,14 +9,19 @@ std::size_t AttackResult::rank_of(std::uint8_t key) const {
   SABLE_ASSERT(key < score.size(), "key out of range for ranking");
   std::size_t rank = 0;
   for (std::size_t g = 0; g < score.size(); ++g) {
-    if (g != key && score[g] > score[key]) ++rank;
+    if (g == key) continue;
+    // Strictly better scores outrank; exact ties resolve by guess index so
+    // the ranking is a deterministic total order.
+    if (score[g] > score[key] || (score[g] == score[key] && g < key)) {
+      ++rank;
+    }
   }
   return rank;
 }
 
-namespace {
-
-void finalize(AttackResult& result) {
+AttackResult make_attack_result(std::vector<double> scores) {
+  AttackResult result;
+  result.score = std::move(scores);
   double best = -1.0;
   double second = -1.0;
   for (std::size_t g = 0; g < result.score.size(); ++g) {
@@ -32,26 +34,16 @@ void finalize(AttackResult& result) {
     }
   }
   result.margin = second < 0.0 ? best : best - second;
+  return result;
 }
-
-}  // namespace
 
 AttackResult cpa_attack(const TraceSet& traces, const SboxSpec& spec,
                         PowerModel model, std::size_t bit) {
   SABLE_REQUIRE(traces.size() >= 2, "CPA requires at least two traces");
-  const std::size_t num_guesses = std::size_t{1} << spec.in_bits;
-  AttackResult result;
-  result.score.resize(num_guesses, 0.0);
-  std::vector<double> prediction(traces.size());
-  for (std::size_t g = 0; g < num_guesses; ++g) {
-    for (std::size_t t = 0; t < traces.size(); ++t) {
-      prediction[t] = predict_leakage(spec, model, traces.plaintexts[t],
-                                      static_cast<std::uint8_t>(g), bit);
-    }
-    result.score[g] = std::fabs(pearson(prediction, traces.samples));
-  }
-  finalize(result);
-  return result;
+  StreamingCpa acc(spec, model, bit);
+  acc.add_batch(traces.plaintexts.data(), traces.samples.data(),
+                traces.size());
+  return acc.result();
 }
 
 MultiAttackResult cpa_attack_multisample(const MultiTraceSet& traces,
@@ -59,57 +51,20 @@ MultiAttackResult cpa_attack_multisample(const MultiTraceSet& traces,
                                          PowerModel model, std::size_t bit) {
   SABLE_REQUIRE(traces.width > 0 && traces.size() >= 2,
                 "multisample CPA requires non-empty traces");
-  MultiAttackResult result;
-  result.combined.score.assign(std::size_t{1} << spec.in_bits, 0.0);
-  double global_best = -1.0;
-  for (std::size_t s = 0; s < traces.width; ++s) {
-    const AttackResult column = cpa_attack(traces.column(s), spec, model, bit);
-    for (std::size_t g = 0; g < column.score.size(); ++g) {
-      result.combined.score[g] =
-          std::max(result.combined.score[g], column.score[g]);
-      if (column.score[g] > global_best) {
-        global_best = column.score[g];
-        result.best_sample = s;
-      }
-    }
+  StreamingMultiCpa acc(spec, model, traces.width, bit);
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    acc.add(traces.plaintexts[t], traces.samples.data() + t * traces.width);
   }
-  finalize(result.combined);
-  return result;
+  return acc.result();
 }
 
 AttackResult dom_attack(const TraceSet& traces, const SboxSpec& spec,
                         std::size_t bit) {
   SABLE_REQUIRE(traces.size() >= 2, "DPA requires at least two traces");
-  const std::size_t num_guesses = std::size_t{1} << spec.in_bits;
-  AttackResult result;
-  result.score.resize(num_guesses, 0.0);
-  for (std::size_t g = 0; g < num_guesses; ++g) {
-    double sum1 = 0.0;
-    double sum0 = 0.0;
-    std::size_t n1 = 0;
-    std::size_t n0 = 0;
-    for (std::size_t t = 0; t < traces.size(); ++t) {
-      const double pred =
-          predict_leakage(spec, PowerModel::kSboxOutputBit,
-                          traces.plaintexts[t], static_cast<std::uint8_t>(g),
-                          bit);
-      if (pred > 0.5) {
-        sum1 += traces.samples[t];
-        ++n1;
-      } else {
-        sum0 += traces.samples[t];
-        ++n0;
-      }
-    }
-    if (n1 == 0 || n0 == 0) {
-      result.score[g] = 0.0;
-      continue;
-    }
-    result.score[g] = std::fabs(sum1 / static_cast<double>(n1) -
-                                sum0 / static_cast<double>(n0));
-  }
-  finalize(result);
-  return result;
+  StreamingDom acc(spec, bit);
+  acc.add_batch(traces.plaintexts.data(), traces.samples.data(),
+                traces.size());
+  return acc.result();
 }
 
 }  // namespace sable

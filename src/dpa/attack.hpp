@@ -22,8 +22,14 @@ struct AttackResult {
   /// Best score minus runner-up score (confidence margin).
   double margin = 0.0;
   /// Rank of `correct_key` if provided to the ranking helper (0 = best).
+  /// Ties are broken deterministically toward the lower guess index, so a
+  /// flat score vector ranks every guess by index instead of all-zero.
   std::size_t rank_of(std::uint8_t key) const;
 };
+
+/// Builds an AttackResult from raw per-guess scores: fills best_guess (ties
+/// resolved to the lowest index) and the margin.
+AttackResult make_attack_result(std::vector<double> scores);
 
 /// Correlation power analysis over all 2^in_bits key guesses.
 AttackResult cpa_attack(const TraceSet& traces, const SboxSpec& spec,

@@ -1,14 +1,33 @@
 #include "dpa/mtd.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace sable {
+
+MtdResult mtd_from_history(
+    std::vector<std::pair<std::size_t, std::size_t>> rank_history) {
+  MtdResult result;
+  result.rank_history = std::move(rank_history);
+  // MTD: first checkpoint from which the rank stays 0 to the end.
+  std::size_t stable_from = result.rank_history.size();
+  for (std::size_t i = result.rank_history.size(); i-- > 0;) {
+    if (result.rank_history[i].second != 0) break;
+    stable_from = i;
+  }
+  if (stable_from < result.rank_history.size()) {
+    result.disclosed = true;
+    result.mtd = result.rank_history[stable_from].first;
+  }
+  return result;
+}
 
 MtdResult measurements_to_disclosure(
     const TraceSet& traces, std::uint8_t correct_key,
     const std::vector<std::size_t>& checkpoints,
     const std::function<AttackResult(const TraceSet&)>& attack) {
-  MtdResult result;
+  std::vector<std::pair<std::size_t, std::size_t>> history;
   for (std::size_t n : checkpoints) {
     if (n > traces.size() || n < 2) continue;
     TraceSet prefix;
@@ -16,24 +35,59 @@ MtdResult measurements_to_disclosure(
                              traces.plaintexts.begin() + n);
     prefix.samples.assign(traces.samples.begin(), traces.samples.begin() + n);
     const AttackResult r = attack(prefix);
-    result.rank_history.emplace_back(n, r.rank_of(correct_key));
+    history.emplace_back(n, r.rank_of(correct_key));
   }
-  // MTD: first checkpoint from which the rank stays 0 to the end.
-  for (std::size_t i = 0; i < result.rank_history.size(); ++i) {
-    bool stable = true;
-    for (std::size_t j = i; j < result.rank_history.size(); ++j) {
-      if (result.rank_history[j].second != 0) {
-        stable = false;
-        break;
-      }
-    }
-    if (stable) {
-      result.disclosed = true;
-      result.mtd = result.rank_history[i].first;
-      break;
-    }
+  return mtd_from_history(std::move(history));
+}
+
+StreamingMtd::StreamingMtd(StreamingCpa attack, std::uint8_t correct_key,
+                           std::vector<std::size_t> checkpoints)
+    : attack_(std::move(attack)),
+      correct_key_(correct_key),
+      checkpoints_(std::move(checkpoints)) {
+  std::sort(checkpoints_.begin(), checkpoints_.end());
+  // Checkpoints below two traces can never be evaluated, and neither can
+  // ones a pre-fed accumulator has already passed; skip both so the
+  // ladder matches the prefix-based driver (and the remaining-distance
+  // arithmetic in add_batch can never underflow).
+  while (next_checkpoint_ < checkpoints_.size() &&
+         (checkpoints_[next_checkpoint_] < 2 ||
+          checkpoints_[next_checkpoint_] < attack_.count())) {
+    ++next_checkpoint_;
   }
-  return result;
+  // A checkpoint sitting exactly at the pre-fed count is due now.
+  snapshot_if_due();
+}
+
+void StreamingMtd::snapshot_if_due() {
+  while (next_checkpoint_ < checkpoints_.size() &&
+         attack_.count() == checkpoints_[next_checkpoint_]) {
+    rank_history_.emplace_back(attack_.count(),
+                               attack_.result().rank_of(correct_key_));
+    ++next_checkpoint_;
+  }
+}
+
+void StreamingMtd::add(std::uint8_t pt, double sample) {
+  attack_.add(pt, sample);
+  snapshot_if_due();
+}
+
+void StreamingMtd::add_batch(const std::uint8_t* pts, const double* samples,
+                             std::size_t count) {
+  std::size_t done = 0;
+  while (done < count) {
+    // Feed up to the next checkpoint in one go, then snapshot.
+    std::size_t chunk = count - done;
+    if (next_checkpoint_ < checkpoints_.size()) {
+      const std::size_t to_checkpoint =
+          checkpoints_[next_checkpoint_] - attack_.count();
+      chunk = std::min(chunk, to_checkpoint);
+    }
+    attack_.add_batch(pts + done, samples + done, chunk);
+    done += chunk;
+    snapshot_if_due();
+  }
 }
 
 std::vector<std::size_t> default_checkpoints(std::size_t max_traces) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "dpa/attack.hpp"
+#include "dpa/streaming.hpp"
 
 namespace sable {
 
@@ -20,12 +21,47 @@ struct MtdResult {
   std::vector<std::pair<std::size_t, std::size_t>> rank_history;
 };
 
+/// Folds a (trace count, rank) history into the MTD verdict: the first
+/// checkpoint from which the rank stays 0 through the end.
+MtdResult mtd_from_history(
+    std::vector<std::pair<std::size_t, std::size_t>> rank_history);
+
 /// Runs `attack` on growing prefixes of the trace set at the given
 /// checkpoints. `attack` maps a TraceSet prefix to an AttackResult.
 MtdResult measurements_to_disclosure(
     const TraceSet& traces, std::uint8_t correct_key,
     const std::vector<std::size_t>& checkpoints,
     const std::function<AttackResult(const TraceSet&)>& attack);
+
+/// Incremental MTD driver over a streaming CPA accumulator: traces are fed
+/// once, the attack is snapshotted as the stream crosses each checkpoint,
+/// and no trace is ever retained — O(guesses) memory however long the MTD
+/// curve runs. Equivalent to measurements_to_disclosure over the same
+/// stream and checkpoints.
+class StreamingMtd {
+ public:
+  StreamingMtd(StreamingCpa attack, std::uint8_t correct_key,
+               std::vector<std::size_t> checkpoints);
+
+  void add(std::uint8_t pt, double sample);
+  void add_batch(const std::uint8_t* pts, const double* samples,
+                 std::size_t count);
+
+  std::size_t count() const { return attack_.count(); }
+  const StreamingCpa& attack() const { return attack_; }
+
+  /// MTD verdict over the checkpoints crossed so far.
+  MtdResult result() const { return mtd_from_history(rank_history_); }
+
+ private:
+  void snapshot_if_due();
+
+  StreamingCpa attack_;
+  std::uint8_t correct_key_;
+  std::vector<std::size_t> checkpoints_;  // sorted, ascending
+  std::size_t next_checkpoint_ = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> rank_history_;
+};
 
 /// Convenience checkpoint ladder: roughly logarithmic up to `max_traces`.
 std::vector<std::size_t> default_checkpoints(std::size_t max_traces);

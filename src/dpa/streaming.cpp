@@ -1,0 +1,171 @@
+#include "dpa/streaming.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sable {
+
+namespace {
+
+// Plaintext-major layout: the per-trace hot loops fix pt and sweep every
+// guess, so the row they read is contiguous.
+std::vector<double> prediction_table(const SboxSpec& spec, PowerModel model,
+                                     std::size_t bit) {
+  const std::size_t num_guesses = std::size_t{1} << spec.in_bits;
+  const std::size_t num_plaintexts = num_guesses;
+  std::vector<double> table(num_guesses * num_plaintexts);
+  for (std::size_t pt = 0; pt < num_plaintexts; ++pt) {
+    for (std::size_t g = 0; g < num_guesses; ++g) {
+      table[pt * num_guesses + g] =
+          predict_leakage(spec, model, static_cast<std::uint8_t>(pt),
+                          static_cast<std::uint8_t>(g), bit);
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+// ---- StreamingCpa ---------------------------------------------------------
+
+StreamingCpa::StreamingCpa(const SboxSpec& spec, PowerModel model,
+                           std::size_t bit)
+    : num_guesses_(std::size_t{1} << spec.in_bits),
+      num_plaintexts_(num_guesses_),
+      predictions_(prediction_table(spec, model, bit)),
+      mean_h_(num_guesses_, 0.0),
+      m2_h_(num_guesses_, 0.0),
+      c_ht_(num_guesses_, 0.0) {}
+
+void StreamingCpa::add(std::uint8_t pt, double sample) {
+  SABLE_REQUIRE(pt < num_plaintexts_, "plaintext out of range");
+  const double dt_new = t_.add(sample);
+  const double inv_n = 1.0 / static_cast<double>(t_.count());
+  const double* pred = predictions_.data() + pt * num_guesses_;
+  for (std::size_t g = 0; g < num_guesses_; ++g) {
+    const double h = pred[g];
+    const double dh = h - mean_h_[g];
+    c_ht_[g] += dh * dt_new;
+    mean_h_[g] += dh * inv_n;
+    m2_h_[g] += dh * (h - mean_h_[g]);
+  }
+}
+
+void StreamingCpa::add_batch(const std::uint8_t* pts, const double* samples,
+                             std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) add(pts[i], samples[i]);
+}
+
+AttackResult StreamingCpa::result() const {
+  std::vector<double> scores(num_guesses_, 0.0);
+  for (std::size_t g = 0; g < num_guesses_; ++g) {
+    if (m2_h_[g] > 0.0 && t_.m2() > 0.0) {
+      scores[g] = std::fabs(c_ht_[g] / std::sqrt(m2_h_[g] * t_.m2()));
+    }
+  }
+  return make_attack_result(std::move(scores));
+}
+
+// ---- StreamingDom ---------------------------------------------------------
+
+StreamingDom::StreamingDom(const SboxSpec& spec, std::size_t bit)
+    : num_guesses_(std::size_t{1} << spec.in_bits),
+      num_plaintexts_(num_guesses_) {
+  const std::vector<double> pred =
+      prediction_table(spec, PowerModel::kSboxOutputBit, bit);
+  predicted_bit_.resize(pred.size());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    predicted_bit_[i] = pred[i] > 0.5 ? 1 : 0;
+  }
+  for (int p : {0, 1}) {
+    sum_[p].assign(num_guesses_, 0.0);
+    cnt_[p].assign(num_guesses_, 0);
+  }
+}
+
+void StreamingDom::add(std::uint8_t pt, double sample) {
+  SABLE_REQUIRE(pt < num_plaintexts_, "plaintext out of range");
+  ++n_;
+  const std::uint8_t* pred = predicted_bit_.data() + pt * num_guesses_;
+  for (std::size_t g = 0; g < num_guesses_; ++g) {
+    const std::uint8_t p = pred[g];
+    sum_[p][g] += sample;
+    ++cnt_[p][g];
+  }
+}
+
+void StreamingDom::add_batch(const std::uint8_t* pts, const double* samples,
+                             std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) add(pts[i], samples[i]);
+}
+
+AttackResult StreamingDom::result() const {
+  std::vector<double> scores(num_guesses_, 0.0);
+  for (std::size_t g = 0; g < num_guesses_; ++g) {
+    if (cnt_[0][g] == 0 || cnt_[1][g] == 0) continue;
+    scores[g] = std::fabs(sum_[1][g] / static_cast<double>(cnt_[1][g]) -
+                          sum_[0][g] / static_cast<double>(cnt_[0][g]));
+  }
+  return make_attack_result(std::move(scores));
+}
+
+// ---- StreamingMultiCpa ----------------------------------------------------
+
+StreamingMultiCpa::StreamingMultiCpa(const SboxSpec& spec, PowerModel model,
+                                     std::size_t width, std::size_t bit)
+    : num_guesses_(std::size_t{1} << spec.in_bits),
+      num_plaintexts_(num_guesses_),
+      width_(width),
+      predictions_(prediction_table(spec, model, bit)),
+      mean_h_(num_guesses_, 0.0),
+      m2_h_(num_guesses_, 0.0),
+      t_(width),
+      c_ht_(width * num_guesses_, 0.0),
+      dt_(width, 0.0) {
+  SABLE_REQUIRE(width > 0, "multisample CPA requires at least one column");
+}
+
+void StreamingMultiCpa::add(std::uint8_t pt, const double* row) {
+  SABLE_REQUIRE(pt < num_plaintexts_, "plaintext out of range");
+  ++n_;
+  const double inv_n = 1.0 / static_cast<double>(n_);
+  for (std::size_t s = 0; s < width_; ++s) {
+    dt_[s] = t_[s].add(row[s]);
+  }
+  const double* pred = predictions_.data() + pt * num_guesses_;
+  for (std::size_t g = 0; g < num_guesses_; ++g) {
+    const double h = pred[g];
+    const double dh = h - mean_h_[g];
+    double* c = c_ht_.data() + g;
+    for (std::size_t s = 0; s < width_; ++s) {
+      c[s * num_guesses_] += dh * dt_[s];
+    }
+    mean_h_[g] += dh * inv_n;
+    m2_h_[g] += dh * (h - mean_h_[g]);
+  }
+}
+
+MultiAttackResult StreamingMultiCpa::result() const {
+  MultiAttackResult result;
+  std::vector<double> combined(num_guesses_, 0.0);
+  double global_best = -1.0;
+  for (std::size_t s = 0; s < width_; ++s) {
+    for (std::size_t g = 0; g < num_guesses_; ++g) {
+      double score = 0.0;
+      if (m2_h_[g] > 0.0 && t_[s].m2() > 0.0) {
+        score = std::fabs(c_ht_[s * num_guesses_ + g] /
+                          std::sqrt(m2_h_[g] * t_[s].m2()));
+      }
+      combined[g] = std::max(combined[g], score);
+      if (score > global_best) {
+        global_best = score;
+        result.best_sample = s;
+      }
+    }
+  }
+  result.combined = make_attack_result(std::move(combined));
+  return result;
+}
+
+}  // namespace sable

@@ -1,0 +1,83 @@
+#include "engine/trace_engine.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace sable {
+
+TraceEngine::TraceEngine(const SboxSpec& spec, LogicStyle style,
+                         const Technology& tech)
+    : target_(spec, style, tech) {}
+
+void TraceEngine::stream(const CampaignOptions& options,
+                         const TraceSink& sink) {
+  SABLE_REQUIRE(options.block_size > 0, "block size must be positive");
+  constexpr std::size_t kLanes = SablGateSimBatch::kLanes;
+  const std::size_t block =
+      std::max<std::size_t>(kLanes, options.block_size / kLanes * kLanes);
+  const std::uint64_t pt_range = std::uint64_t{1} << spec().in_bits;
+
+  // Campaigns are self-contained: simulator state (CMOS transition
+  // history, SABL node charge) restarts fresh so one seed reproduces one
+  // trace sequence regardless of earlier campaigns on this engine.
+  // Plaintexts and noise come from two independent streams derived from
+  // the seed, so the sequence is also invariant to block_size (a pure
+  // performance knob, as documented).
+  target_.reset_state();
+  Rng pt_rng(options.seed);
+  Rng noise_rng(options.seed ^ 0x9E3779B97F4A7C15ULL);
+  std::vector<std::uint8_t> pts(block);
+  std::vector<double> samples(block);
+  std::size_t remaining = options.num_traces;
+  while (remaining > 0) {
+    const std::size_t n = std::min(block, remaining);
+    for (std::size_t i = 0; i < n; ++i) {
+      pts[i] = static_cast<std::uint8_t>(pt_rng.below(pt_range));
+    }
+    target_.trace_batch(pts.data(), n, options.key, options.noise_sigma,
+                        noise_rng, samples.data());
+    sink(pts.data(), samples.data(), n);
+    remaining -= n;
+  }
+}
+
+TraceSet TraceEngine::run(const CampaignOptions& options) {
+  TraceSet traces;
+  traces.reserve(options.num_traces);
+  stream(options, [&](const std::uint8_t* pts, const double* samples,
+                      std::size_t n) { traces.add_batch(pts, samples, n); });
+  return traces;
+}
+
+AttackResult TraceEngine::cpa_campaign(const CampaignOptions& options,
+                                       PowerModel model, std::size_t bit) {
+  SABLE_REQUIRE(options.num_traces >= 2, "CPA requires at least two traces");
+  StreamingCpa acc(spec(), model, bit);
+  stream(options, [&](const std::uint8_t* pts, const double* samples,
+                      std::size_t n) { acc.add_batch(pts, samples, n); });
+  return acc.result();
+}
+
+AttackResult TraceEngine::dom_campaign(const CampaignOptions& options,
+                                       std::size_t bit) {
+  SABLE_REQUIRE(options.num_traces >= 2, "DPA requires at least two traces");
+  StreamingDom acc(spec(), bit);
+  stream(options, [&](const std::uint8_t* pts, const double* samples,
+                      std::size_t n) { acc.add_batch(pts, samples, n); });
+  return acc.result();
+}
+
+MtdResult TraceEngine::mtd_campaign(const CampaignOptions& options,
+                                    PowerModel model,
+                                    const std::vector<std::size_t>& checkpoints,
+                                    std::size_t bit) {
+  SABLE_REQUIRE(options.num_traces >= 2, "MTD requires at least two traces");
+  StreamingMtd driver(StreamingCpa(spec(), model, bit), options.key,
+                      checkpoints);
+  stream(options, [&](const std::uint8_t* pts, const double* samples,
+                      std::size_t n) { driver.add_batch(pts, samples, n); });
+  return driver.result();
+}
+
+}  // namespace sable

@@ -47,6 +47,64 @@ std::vector<bool> connected_to_external(const DpdnNetwork& net,
   return out;
 }
 
+void device_conduction_masks(const DpdnNetwork& net,
+                             const std::vector<std::uint64_t>& var_words,
+                             std::vector<std::uint64_t>& out) {
+  SABLE_ASSERT(var_words.size() >= net.num_vars(),
+               "one lane word per input variable required");
+  out.resize(net.device_count());
+  for (std::size_t d = 0; d < net.device_count(); ++d) {
+    const SignalLiteral& gate = net.devices()[d].gate;
+    const std::uint64_t w = var_words[gate.var];
+    out[d] = gate.positive ? w : ~w;
+  }
+}
+
+void propagate_conduction(const DpdnNetwork& net,
+                          const std::vector<std::uint64_t>& device_masks,
+                          std::vector<std::uint64_t>& reach) {
+  // DPDNs are a handful of nodes, so a few device sweeps reach the fixpoint
+  // faster than any per-lane union-find would.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t d = 0; d < net.device_count(); ++d) {
+      const std::uint64_t m = device_masks[d];
+      if (m == 0) continue;
+      const Switch& sw = net.devices()[d];
+      const std::uint64_t joint = (reach[sw.a] | reach[sw.b]) & m;
+      if ((joint & ~reach[sw.a]) != 0 || (joint & ~reach[sw.b]) != 0) {
+        reach[sw.a] |= joint;
+        reach[sw.b] |= joint;
+        changed = true;
+      }
+    }
+  }
+}
+
+std::vector<std::uint64_t> connected_to_external_batch(
+    const DpdnNetwork& net, const std::vector<std::uint64_t>& var_words) {
+  std::vector<std::uint64_t> masks;
+  device_conduction_masks(net, var_words, masks);
+  std::vector<std::uint64_t> reach(net.node_count(), 0);
+  reach[DpdnNetwork::kNodeX] = ~std::uint64_t{0};
+  reach[DpdnNetwork::kNodeY] = ~std::uint64_t{0};
+  reach[DpdnNetwork::kNodeZ] = ~std::uint64_t{0};
+  propagate_conduction(net, masks, reach);
+  return reach;
+}
+
+std::uint64_t conducts_batch(const DpdnNetwork& net,
+                             const std::vector<std::uint64_t>& var_words,
+                             NodeId from, NodeId to) {
+  std::vector<std::uint64_t> masks;
+  device_conduction_masks(net, var_words, masks);
+  std::vector<std::uint64_t> reach(net.node_count(), 0);
+  reach[to] = ~std::uint64_t{0};
+  propagate_conduction(net, masks, reach);
+  return reach[from];
+}
+
 namespace {
 
 struct PathSearch {

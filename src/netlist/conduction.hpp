@@ -34,6 +34,38 @@ TruthTable conduction_function(const DpdnNetwork& net, NodeId from, NodeId to);
 std::vector<bool> connected_to_external(const DpdnNetwork& net,
                                         std::uint64_t assignment);
 
+// ---- Bit-parallel (64-lane) conduction ------------------------------------
+//
+// A lane is one independent complementary assignment; lane L of
+// `var_words[v]` holds the value of variable v under assignment L. All
+// 64 lanes are analyzed simultaneously with word-wide operations — the
+// bit-parallel engine behind the batched trace simulators.
+
+/// Per-device conduction mask: bit L of `out[d]` is set iff device d
+/// conducts in lane L. `out` is resized to the device count.
+void device_conduction_masks(const DpdnNetwork& net,
+                             const std::vector<std::uint64_t>& var_words,
+                             std::vector<std::uint64_t>& out);
+
+/// Fixpoint closure of per-lane reachability. `reach` has one word per
+/// node, pre-seeded with the source lanes; on return bit L of `reach[n]`
+/// is set iff node n is connected to a seeded node in lane L through
+/// devices whose `device_masks` bit L is set.
+void propagate_conduction(const DpdnNetwork& net,
+                          const std::vector<std::uint64_t>& device_masks,
+                          std::vector<std::uint64_t>& reach);
+
+/// Per-node lane words: bit L set iff the node is connected to an external
+/// node (X, Y or Z) in lane L. The 64-lane form of connected_to_external.
+std::vector<std::uint64_t> connected_to_external_batch(
+    const DpdnNetwork& net, const std::vector<std::uint64_t>& var_words);
+
+/// Lane word of the conduction function between two nodes: bit L set iff
+/// `from` conducts to `to` in lane L. The 64-lane form of conducts().
+std::uint64_t conducts_batch(const DpdnNetwork& net,
+                             const std::vector<std::uint64_t>& var_words,
+                             NodeId from, NodeId to);
+
 /// A structural conduction path: the device indices along a simple path.
 struct ConductionPath {
   std::vector<std::size_t> device_indices;

@@ -40,6 +40,12 @@ double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
   return sxy / std::sqrt(sxx * syy);
 }
 
+double OnlineMoments::variance() const {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double OnlineMoments::stddev() const { return std::sqrt(variance()); }
+
 SpreadMetrics spread_metrics(const std::vector<double>& xs) {
   SABLE_REQUIRE(!xs.empty(), "spread_metrics of empty sample set");
   SpreadMetrics m;

@@ -4,12 +4,24 @@
 
 namespace sable {
 
-void MultiTraceSet::add(std::uint8_t pt, const std::vector<double>& row) {
-  if (width == 0) width = row.size();
-  SABLE_REQUIRE(row.size() == width,
+void TraceSet::add_batch(const std::uint8_t* pts, const double* values,
+                         std::size_t count) {
+  plaintexts.insert(plaintexts.end(), pts, pts + count);
+  samples.insert(samples.end(), values, values + count);
+}
+
+void MultiTraceSet::reserve(std::size_t capacity, std::size_t sample_width) {
+  plaintexts.reserve(capacity);
+  samples.reserve(capacity * sample_width);
+}
+
+void MultiTraceSet::add(std::uint8_t pt, const double* row,
+                        std::size_t row_width) {
+  if (width == 0) width = row_width;
+  SABLE_REQUIRE(row_width == width,
                 "all traces must have the same sample count");
   plaintexts.push_back(pt);
-  samples.insert(samples.end(), row.begin(), row.end());
+  samples.insert(samples.end(), row, row + width);
 }
 
 TraceSet MultiTraceSet::column(std::size_t sample) const {

@@ -3,6 +3,8 @@
 // One encryption produces one scalar sample (total energy of the S-box
 // evaluation cycle). A TraceSet pairs samples with the plaintexts that
 // produced them — everything a first-order DPA/CPA attack consumes.
+// Storage is structure-of-arrays so batched producers (the 64-wide trace
+// engine) can append whole blocks without per-trace bookkeeping.
 #pragma once
 
 #include <cstdint>
@@ -15,10 +17,17 @@ struct TraceSet {
   std::vector<double> samples;
 
   std::size_t size() const { return samples.size(); }
+  void reserve(std::size_t capacity) {
+    plaintexts.reserve(capacity);
+    samples.reserve(capacity);
+  }
   void add(std::uint8_t pt, double sample) {
     plaintexts.push_back(pt);
     samples.push_back(sample);
   }
+  /// Appends `count` traces at once (batched producer path).
+  void add_batch(const std::uint8_t* pts, const double* values,
+                 std::size_t count);
 };
 
 /// Time-resolved traces: `width` samples per encryption (row-major). This
@@ -30,7 +39,13 @@ struct MultiTraceSet {
   std::vector<double> samples;  // size() * width values
 
   std::size_t size() const { return plaintexts.size(); }
-  void add(std::uint8_t pt, const std::vector<double>& row);
+  /// Reserves room for `capacity` traces of `sample_width` samples each.
+  void reserve(std::size_t capacity, std::size_t sample_width);
+  /// Appends one trace row without any per-call allocation.
+  void add(std::uint8_t pt, const double* row, std::size_t row_width);
+  void add(std::uint8_t pt, const std::vector<double>& row) {
+    add(pt, row.data(), row.size());
+  }
   double at(std::size_t trace, std::size_t sample) const {
     return samples[trace * width + sample];
   }

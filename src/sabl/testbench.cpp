@@ -58,6 +58,8 @@ void measure_cycles(const spice::TranResult& waves,
                     std::size_t warmup, double vdd,
                     const TestbenchOptions& opt, bool dynamic_precharge,
                     SablRunResult& out) {
+  out.cycles.reserve(inputs.size() - warmup);
+  out.cycle_start.reserve(inputs.size() - warmup);
   for (std::size_t k = warmup; k < inputs.size(); ++k) {
     const double t0 = static_cast<double>(k) * opt.period;
     const double t1 = t0 + opt.period;
@@ -76,6 +78,13 @@ void measure_cycles(const spice::TranResult& waves,
 }
 
 }  // namespace
+
+std::vector<double> cycle_energies(const SablRunResult& run) {
+  std::vector<double> energies;
+  energies.reserve(run.cycles.size());
+  for (const CycleMeasurement& c : run.cycles) energies.push_back(c.energy);
+  return energies;
+}
 
 SablRunResult run_sabl_sequence(const DpdnNetwork& net, const VarTable& vars,
                                 const Technology& tech,
@@ -97,6 +106,7 @@ SablRunResult run_sabl_sequence(const DpdnNetwork& net, const VarTable& vars,
     std::vector<bool> lvl_true;
     std::vector<bool> lvl_false;
     lvl_true.reserve(padded.size());
+    lvl_false.reserve(padded.size());
     for (std::uint64_t a : padded) {
       const bool bit = (a >> v) & 1u;
       lvl_true.push_back(bit);
@@ -132,6 +142,8 @@ SablRunResult run_cvsl_sequence(const DpdnNetwork& net, const VarTable& vars,
   for (VarId v = 0; v < net.num_vars(); ++v) {
     std::vector<bool> lvl_true;
     std::vector<bool> lvl_false;
+    lvl_true.reserve(padded.size());
+    lvl_false.reserve(padded.size());
     for (std::uint64_t a : padded) {
       const bool bit = (a >> v) & 1u;
       lvl_true.push_back(bit);

@@ -53,6 +53,11 @@ struct SablRunResult {
   double period = 0.0;
 };
 
+/// Per-cycle supply energies of a run in cycle order — the SPICE-level
+/// power-trace samples (the transistor-level counterpart of the switch-
+/// level trace engine's samples; used for calibration and spread metrics).
+std::vector<double> cycle_energies(const SablRunResult& run);
+
 /// Simulates the SABL gate of `net` over the complementary input sequence.
 SablRunResult run_sabl_sequence(const DpdnNetwork& net, const VarTable& vars,
                                 const Technology& tech,

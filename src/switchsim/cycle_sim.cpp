@@ -1,51 +1,131 @@
 #include "switchsim/cycle_sim.hpp"
 
+#include <bit>
+
 #include "netlist/conduction.hpp"
 #include "util/error.hpp"
 
 namespace sable {
 
-SablGateSim::SablGateSim(const DpdnNetwork& net, GateEnergyModel model)
+void pack_lane_words(const std::uint64_t* assignments, std::size_t count,
+                     std::vector<std::uint64_t>& words) {
+  for (std::size_t v = 0; v < words.size(); ++v) {
+    std::uint64_t word = 0;
+    for (std::size_t lane = 0; lane < count; ++lane) {
+      word |= ((assignments[lane] >> v) & 1u) << lane;
+    }
+    words[v] = word;
+  }
+}
+
+SablGateSimBatch::SablGateSimBatch(const DpdnNetwork& net,
+                                   GateEnergyModel model)
     : net_(net), model_(std::move(model)) {
   SABLE_ASSERT(model_.node_cap.size() == net_.node_count(),
                "gate model capacitance table size mismatch");
-  charged_.assign(net_.node_count(), true);
+  charged_.assign(net_.node_count(), ~std::uint64_t{0});
 }
 
-double SablGateSim::cycle(std::uint64_t assignment) {
-  const std::vector<bool> connected = connected_to_external(net_, assignment);
+void SablGateSimBatch::cycle(const std::vector<std::uint64_t>& var_words,
+                             std::uint64_t lane_mask, double* energy) {
+  device_conduction_masks(net_, var_words, masks_);
+  reach_.assign(net_.node_count(), 0);
+  reach_[DpdnNetwork::kNodeX] = lane_mask;
+  reach_[DpdnNetwork::kNodeY] = lane_mask;
+  reach_[DpdnNetwork::kNodeZ] = lane_mask;
+  propagate_conduction(net_, masks_, reach_);
 
-  // Evaluation: connected nodes discharge to ground. (Whether they were
-  // charged or floating-low, they end at 0; the charge flows to ground, not
-  // from the supply.)
-  for (NodeId n = 0; n < net_.node_count(); ++n) {
-    if (connected[n]) charged_[n] = false;
+  // Per lane the arithmetic mirrors the scalar cycle exactly (constant
+  // term, then node capacitances in node order, then the output extra), so
+  // a lane of the batch is bit-identical to a width-1 run. Full words take
+  // plain 0..63 loops (auto-vectorized); sparse ones walk their set bits.
+  const bool full_mask = lane_mask == ~std::uint64_t{0};
+  if (full_mask) {
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      energy[lane] = model_.constant_energy;
+    }
+  } else {
+    for (std::uint64_t m = lane_mask; m != 0; m &= m - 1) {
+      energy[std::countr_zero(m)] = model_.constant_energy;
+    }
   }
 
-  // Precharge with input overlap: the same connected set recharges from the
-  // supply. Supply charge = sum C * VDD over recharged nodes; floating
-  // nodes stay at their held level and cost nothing.
-  double energy = model_.constant_energy;
   for (NodeId n = 0; n < net_.node_count(); ++n) {
-    if (!connected[n]) continue;
-    energy += model_.node_cap[n] * model_.vdd * model_.vdd;
-    charged_[n] = true;
+    // Evaluation: connected nodes discharge to ground; precharge with input
+    // overlap recharges the same set from the supply. Floating nodes keep
+    // their held level and cost nothing.
+    const double e_node = model_.node_cap[n] * model_.vdd * model_.vdd;
+    const std::uint64_t w = reach_[n];
+    if (w == ~std::uint64_t{0}) {
+      // Fully connected nodes (the §4 designs' steady state): plain
+      // vectorizable add across all lanes.
+      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        energy[lane] += e_node;
+      }
+    } else if (full_mask) {
+      // Mixed word (genuine networks): branch-free select; adding the
+      // table's +0.0 for a clear bit leaves a non-negative accumulator
+      // bit-identical to skipping the lane.
+      const double select[2] = {0.0, e_node};
+      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        energy[lane] += select[(w >> lane) & 1u];
+      }
+    } else {
+      for (std::uint64_t rest = w; rest != 0; rest &= rest - 1) {
+        energy[std::countr_zero(rest)] += e_node;
+      }
+    }
+    charged_[n] |= w;  // connected lanes end recharged
   }
 
   // The firing output rail charges its extra (routing) load: the true rail
   // when f = 1, the false rail otherwise. Balanced extras cancel the data
   // dependence; mismatched ones leak (§2).
   if (model_.out_true_extra != 0.0 || model_.out_false_extra != 0.0) {
-    const bool f = conducts(net_, assignment, DpdnNetwork::kNodeX,
-                            DpdnNetwork::kNodeZ);
-    energy += (f ? model_.out_true_extra : model_.out_false_extra) *
-              model_.vdd * model_.vdd;
+    // X–Z closure reusing this cycle's device masks (no reallocation).
+    reach_xz_.assign(net_.node_count(), 0);
+    reach_xz_[DpdnNetwork::kNodeZ] = lane_mask;
+    propagate_conduction(net_, masks_, reach_xz_);
+    const std::uint64_t f = reach_xz_[DpdnNetwork::kNodeX];
+    const double rail[2] = {model_.out_false_extra * model_.vdd * model_.vdd,
+                            model_.out_true_extra * model_.vdd * model_.vdd};
+    if (full_mask) {
+      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        energy[lane] += rail[(f >> lane) & 1u];
+      }
+    } else {
+      for (std::uint64_t m = lane_mask; m != 0; m &= m - 1) {
+        const std::size_t lane = std::countr_zero(m);
+        energy[lane] += rail[(f >> lane) & 1u];
+      }
+    }
   }
-  return energy;
+}
+
+void SablGateSimBatch::reset(bool charged) {
+  charged_.assign(net_.node_count(), charged ? ~std::uint64_t{0} : 0);
+}
+
+SablGateSim::SablGateSim(const DpdnNetwork& net, GateEnergyModel model)
+    : batch_(net, std::move(model)) {
+  charged_.assign(net.node_count(), true);
+  var_words_.assign(net.num_vars(), 0);
+}
+
+double SablGateSim::cycle(std::uint64_t assignment) {
+  pack_lane_words(&assignment, 1, var_words_);
+  double energy[SablGateSimBatch::kLanes];
+  batch_.cycle(var_words_, 1u, energy);
+  const auto& words = batch_.node_state_words();
+  for (NodeId n = 0; n < batch_.network().node_count(); ++n) {
+    charged_[n] = (words[n] & 1u) != 0;
+  }
+  return energy[0];
 }
 
 void SablGateSim::reset(bool charged) {
-  charged_.assign(net_.node_count(), charged);
+  batch_.reset(charged);
+  charged_.assign(batch_.network().node_count(), charged);
 }
 
 }  // namespace sable

@@ -9,6 +9,10 @@
 //                recharges from the supply through the precharge devices;
 //                then all inputs return to 0 and disconnected (floating)
 //                nodes keep whatever charge they hold.
+//
+// Two widths share one kernel: SablGateSimBatch simulates 64 independent
+// gate instances at once (lane L of every word is instance L), and the
+// scalar SablGateSim is its width-1 case.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +22,51 @@
 #include "switchsim/gate_model.hpp"
 
 namespace sable {
+
+/// Transposes a batch of scalar assignments into the lane words every
+/// batch kernel consumes: bit L of `words[v]` is bit v of
+/// `assignments[L]`. `words` must be pre-sized to the variable count;
+/// lanes at `count` and beyond are cleared.
+void pack_lane_words(const std::uint64_t* assignments, std::size_t count,
+                     std::vector<std::uint64_t>& words);
+
+/// 64 independent instances of one gate, simulated bit-parallel: per node
+/// one charge word (bit L = instance L at VDD level), per cycle one
+/// conduction fixpoint over lane words instead of 64 union-finds.
+class SablGateSimBatch {
+ public:
+  static constexpr std::size_t kLanes = 64;
+
+  SablGateSimBatch(const DpdnNetwork& net, GateEnergyModel model);
+
+  /// Runs one full clock cycle in every lane selected by `lane_mask`.
+  /// `var_words[v]` bit L is the value of input v in lane L. Writes the
+  /// supply energy of lane L into `energy[L]` for selected lanes only;
+  /// unselected lanes keep their charge state and energy slot untouched.
+  void cycle(const std::vector<std::uint64_t>& var_words,
+             std::uint64_t lane_mask, double* energy);
+
+  /// Forces every DPDN node charged (`true`) or discharged (`false`) in
+  /// every lane.
+  void reset(bool charged);
+
+  /// Per-node charge words after the last cycle (bit L = lane L at VDD).
+  const std::vector<std::uint64_t>& node_state_words() const {
+    return charged_;
+  }
+
+  const DpdnNetwork& network() const { return net_; }
+  const GateEnergyModel& model() const { return model_; }
+
+ private:
+  const DpdnNetwork& net_;
+  GateEnergyModel model_;
+  std::vector<std::uint64_t> charged_;
+  // Per-cycle scratch, kept across calls so the hot path never allocates.
+  std::vector<std::uint64_t> masks_;
+  std::vector<std::uint64_t> reach_;
+  std::vector<std::uint64_t> reach_xz_;  // X–Z closure for the rail extras
+};
 
 class SablGateSim {
  public:
@@ -33,13 +82,13 @@ class SablGateSim {
   /// Charge state per node after the last cycle (true = at VDD level).
   const std::vector<bool>& node_state() const { return charged_; }
 
-  const DpdnNetwork& network() const { return net_; }
-  const GateEnergyModel& model() const { return model_; }
+  const DpdnNetwork& network() const { return batch_.network(); }
+  const GateEnergyModel& model() const { return batch_.model(); }
 
  private:
-  const DpdnNetwork& net_;
-  GateEnergyModel model_;
+  SablGateSimBatch batch_;  // lane 0 carries this instance
   std::vector<bool> charged_;
+  std::vector<std::uint64_t> var_words_;
 };
 
 }  // namespace sable

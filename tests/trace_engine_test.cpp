@@ -1,0 +1,498 @@
+// Tests for the batched bit-parallel trace engine and the streaming
+// attack accumulators: 64-wide simulation must be bit-exact against the
+// scalar simulators, and one-pass CPA/DoM/MTD must reproduce the batch
+// attack results.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cell/builder.hpp"
+#include "cell/circuit_sim.hpp"
+#include "cell/wddl.hpp"
+#include "core/fc_synthesizer.hpp"
+#include "core/genuine_builder.hpp"
+#include "crypto/target.hpp"
+#include "dpa/attack.hpp"
+#include "dpa/mtd.hpp"
+#include "dpa/streaming.hpp"
+#include "engine/trace_engine.hpp"
+#include "expr/random_expr.hpp"
+#include "expr/truth_table.hpp"
+#include "power/stats.hpp"
+#include "switchsim/energy.hpp"
+#include "util/rng.hpp"
+
+namespace sable {
+namespace {
+
+const Technology kTech = Technology::generic_180nm();
+constexpr std::size_t kLanes = SablGateSimBatch::kLanes;
+
+// Lane words for 64 scalar assignments: word[v] bit L = bit v of plan[L].
+std::vector<std::uint64_t> lane_words(const std::vector<std::uint64_t>& plan,
+                                      std::size_t num_vars) {
+  std::vector<std::uint64_t> words(num_vars, 0);
+  pack_lane_words(plan.data(), plan.size(), words);
+  return words;
+}
+
+TEST(BatchGateSimTest, LanesMatchScalarGateOnRandomNetworks) {
+  Rng rng(0xBA7C);
+  for (int round = 0; round < 6; ++round) {
+    RandomExprOptions options;
+    options.num_vars = 3;
+    options.num_literals = 5;
+    const ExprPtr f = random_nnf(rng, options);
+    const DpdnNetwork net = round % 2 == 0
+                                ? synthesize_fc_dpdn(f, options.num_vars)
+                                : build_genuine_dpdn(f, options.num_vars);
+    const SizingPlan sizing = SizingPlan::defaults(kTech);
+    const GateEnergyModel model = build_gate_model(net, kTech, sizing);
+
+    SablGateSimBatch batch(net, model);
+    std::vector<SablGateSim> scalars;
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      scalars.emplace_back(net, model);
+    }
+
+    for (int cycle = 0; cycle < 4; ++cycle) {
+      std::vector<std::uint64_t> plan(kLanes);
+      for (auto& a : plan) a = rng.below(std::uint64_t{1} << options.num_vars);
+      double energy[kLanes];
+      batch.cycle(lane_words(plan, options.num_vars), ~std::uint64_t{0},
+                  energy);
+      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        EXPECT_EQ(energy[lane], scalars[lane].cycle(plan[lane]))
+            << "round " << round << " cycle " << cycle << " lane " << lane;
+      }
+      // Charge state must agree per lane too (the §2 memory effect).
+      for (NodeId n = 0; n < net.node_count(); ++n) {
+        for (std::size_t lane = 0; lane < kLanes; ++lane) {
+          EXPECT_EQ((batch.node_state_words()[n] >> lane) & 1u,
+                    scalars[lane].node_state()[n] ? 1u : 0u);
+        }
+      }
+    }
+  }
+}
+
+// One randomized circuit shared by the circuit-level bit-exactness tests.
+GateCircuit random_circuit(Rng& rng, std::size_t num_vars,
+                           NetworkVariant variant) {
+  RandomExprOptions options;
+  options.num_vars = num_vars;
+  options.num_literals = 7;
+  std::vector<ExprPtr> outputs;
+  for (int i = 0; i < 3; ++i) outputs.push_back(random_nnf(rng, options));
+  return build_from_expressions(outputs, num_vars, variant, kTech);
+}
+
+TEST(BatchCircuitSimTest, DifferentialLanesMatchScalar) {
+  Rng rng(0x51AB);
+  for (int round = 0; round < 3; ++round) {
+    const auto variant =
+        round == 0 ? NetworkVariant::kGenuine : NetworkVariant::kFullyConnected;
+    const GateCircuit circuit = random_circuit(rng, 4, variant);
+    DifferentialCircuitSimBatch batch(circuit);
+    std::vector<DifferentialCircuitSim> scalars;
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      scalars.emplace_back(circuit);
+    }
+    BatchCycleResult out;
+    for (int cycle = 0; cycle < 3; ++cycle) {
+      std::vector<std::uint64_t> plan(kLanes);
+      for (auto& a : plan) a = rng.below(16);
+      batch.cycle(lane_words(plan, 4), ~std::uint64_t{0}, out);
+      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        const CycleResult ref = scalars[lane].cycle(plan[lane]);
+        EXPECT_EQ(out.energy[lane], ref.energy) << lane;
+        std::uint64_t outputs = 0;
+        for (std::size_t i = 0; i < out.output_words.size(); ++i) {
+          outputs |= ((out.output_words[i] >> lane) & 1u) << i;
+        }
+        EXPECT_EQ(outputs, ref.outputs) << lane;
+        EXPECT_EQ(outputs, evaluate_circuit(circuit, plan[lane])) << lane;
+      }
+    }
+  }
+}
+
+TEST(BatchCircuitSimTest, CmosLanesCarryIndependentHistory) {
+  Rng rng(0xC305);
+  const GateCircuit circuit =
+      random_circuit(rng, 4, NetworkVariant::kFullyConnected);
+  const double e_sw = 5e-15 * kTech.vdd * kTech.vdd;
+  CmosCircuitSimBatch batch(circuit, e_sw);
+  std::vector<CmosCircuitSim> scalars;
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    scalars.emplace_back(circuit, e_sw);
+  }
+  BatchCycleResult out;
+  // Several cycles: Hamming-distance energy depends on each lane's own
+  // previous values, so agreement here proves the histories do not mix.
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    std::vector<std::uint64_t> plan(kLanes);
+    for (auto& a : plan) a = rng.below(16);
+    batch.cycle(lane_words(plan, 4), ~std::uint64_t{0}, out);
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      const CycleResult ref = scalars[lane].cycle(plan[lane]);
+      EXPECT_EQ(out.energy[lane], ref.energy)
+          << "cycle " << cycle << " lane " << lane;
+    }
+  }
+}
+
+TEST(BatchCircuitSimTest, WddlLanesMatchScalar) {
+  Rng rng(0x3DD1);
+  const GateCircuit circuit =
+      random_circuit(rng, 4, NetworkVariant::kFullyConnected);
+  WddlCircuitSimBatch batch(circuit, kTech, 0.05);
+  std::vector<WddlCircuitSim> scalars;
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    scalars.emplace_back(circuit, kTech, 0.05);
+  }
+  BatchCycleResult out;
+  std::vector<std::uint64_t> plan(kLanes);
+  for (auto& a : plan) a = rng.below(16);
+  batch.cycle(lane_words(plan, 4), ~std::uint64_t{0}, out);
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    EXPECT_EQ(out.energy[lane], scalars[lane].cycle(plan[lane]).energy)
+        << lane;
+  }
+}
+
+TEST(BatchCircuitSimTest, PartialLaneMaskLeavesOtherLanesUntouched) {
+  Rng rng(0x9A5C);
+  const GateCircuit circuit =
+      random_circuit(rng, 4, NetworkVariant::kFullyConnected);
+  const double e_sw = 5e-15 * kTech.vdd * kTech.vdd;
+  CmosCircuitSimBatch batch(circuit, e_sw);
+  CmosCircuitSim scalar(circuit, e_sw);
+  BatchCycleResult out;
+  // Lane 0 runs a 3-cycle sequence under a width-1 mask while the word
+  // carries garbage in the other lanes; the result must track the scalar.
+  for (std::uint64_t a : {0b1010ull, 0b0101ull, 0b1010ull}) {
+    std::vector<std::uint64_t> words(4, 0);
+    for (std::size_t v = 0; v < 4; ++v) {
+      words[v] = ((a >> v) & 1u) | (rng.next() << 1);
+    }
+    batch.cycle(words, 1u, out);
+    EXPECT_EQ(out.energy[0], scalar.cycle(a).energy);
+  }
+}
+
+TEST(EnergyProfileTest, BatchProfileMatchesPerAssignmentSimulation) {
+  Rng rng(0x00F1);
+  RandomExprOptions options;
+  options.num_vars = 4;
+  options.num_literals = 6;
+  const ExprPtr f = random_nnf(rng, options);
+  const DpdnNetwork net = build_genuine_dpdn(f, options.num_vars);
+  const SizingPlan sizing = SizingPlan::defaults(kTech);
+  const GateEnergyModel model = build_gate_model(net, kTech, sizing);
+  const EnergyProfile profile = profile_gate_energy(net, model);
+  ASSERT_EQ(profile.energy_per_input.size(), 16u);
+  for (std::size_t a = 0; a < 16; ++a) {
+    SablGateSim sim(net, model);
+    sim.cycle(a);
+    EXPECT_EQ(profile.energy_per_input[a], sim.cycle(a)) << a;
+  }
+}
+
+// ---- streaming accumulators ----------------------------------------------
+
+TraceSet cmos_traces(std::size_t count, std::uint8_t key, std::uint64_t seed) {
+  SboxTarget target(present_spec(), LogicStyle::kStaticCmos, kTech);
+  Rng rng(seed);
+  TraceSet traces;
+  traces.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto pt = static_cast<std::uint8_t>(rng.below(16));
+    traces.add(pt, target.trace(pt, key, 2e-16, rng));
+  }
+  return traces;
+}
+
+// Two-pass reference CPA (the pre-streaming formulation).
+std::vector<double> reference_cpa_scores(const TraceSet& traces,
+                                         const SboxSpec& spec,
+                                         PowerModel model, std::size_t bit) {
+  const std::size_t num_guesses = std::size_t{1} << spec.in_bits;
+  std::vector<double> scores(num_guesses);
+  std::vector<double> prediction(traces.size());
+  for (std::size_t g = 0; g < num_guesses; ++g) {
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+      prediction[t] = predict_leakage(spec, model, traces.plaintexts[t],
+                                      static_cast<std::uint8_t>(g), bit);
+    }
+    scores[g] = std::fabs(pearson(prediction, traces.samples));
+  }
+  return scores;
+}
+
+TEST(StreamingCpaTest, MatchesTwoPassPearson) {
+  const TraceSet traces = cmos_traces(3000, 0xB, 0x7EA5);
+  const SboxSpec spec = present_spec();
+  for (PowerModel model :
+       {PowerModel::kHammingWeight, PowerModel::kSboxOutputBit}) {
+    StreamingCpa acc(spec, model, 1);
+    acc.add_batch(traces.plaintexts.data(), traces.samples.data(),
+                  traces.size());
+    const AttackResult streamed = acc.result();
+    const std::vector<double> reference =
+        reference_cpa_scores(traces, spec, model, 1);
+    ASSERT_EQ(streamed.score.size(), reference.size());
+    for (std::size_t g = 0; g < reference.size(); ++g) {
+      EXPECT_NEAR(streamed.score[g], reference[g], 1e-12) << g;
+    }
+  }
+}
+
+TEST(StreamingCpaTest, SplitFeedEqualsSingleFeed) {
+  const TraceSet traces = cmos_traces(1000, 0x4, 0x5717);
+  const SboxSpec spec = present_spec();
+  StreamingCpa whole(spec, PowerModel::kHammingWeight);
+  whole.add_batch(traces.plaintexts.data(), traces.samples.data(),
+                  traces.size());
+  StreamingCpa split(spec, PowerModel::kHammingWeight);
+  split.add_batch(traces.plaintexts.data(), traces.samples.data(), 311);
+  split.add_batch(traces.plaintexts.data() + 311, traces.samples.data() + 311,
+                  traces.size() - 311);
+  const AttackResult a = whole.result();
+  const AttackResult b = split.result();
+  for (std::size_t g = 0; g < a.score.size(); ++g) {
+    EXPECT_DOUBLE_EQ(a.score[g], b.score[g]);
+  }
+}
+
+TEST(StreamingDomTest, MatchesPartitionMeans) {
+  const TraceSet traces = cmos_traces(2000, 0x6, 0xD0D0);
+  const SboxSpec spec = present_spec();
+  for (std::size_t bit = 0; bit < spec.out_bits; ++bit) {
+    StreamingDom acc(spec, bit);
+    acc.add_batch(traces.plaintexts.data(), traces.samples.data(),
+                  traces.size());
+    const AttackResult streamed = acc.result();
+    for (std::size_t g = 0; g < streamed.score.size(); ++g) {
+      double sum[2] = {0.0, 0.0};
+      std::size_t n[2] = {0, 0};
+      for (std::size_t t = 0; t < traces.size(); ++t) {
+        const double pred = predict_leakage(
+            spec, PowerModel::kSboxOutputBit, traces.plaintexts[t],
+            static_cast<std::uint8_t>(g), bit);
+        const int p = pred > 0.5 ? 1 : 0;
+        sum[p] += traces.samples[t];
+        ++n[p];
+      }
+      const double expected =
+          n[0] == 0 || n[1] == 0
+              ? 0.0
+              : std::fabs(sum[1] / static_cast<double>(n[1]) -
+                          sum[0] / static_cast<double>(n[0]));
+      EXPECT_DOUBLE_EQ(streamed.score[g], expected) << g;
+    }
+  }
+}
+
+TEST(StreamingMultiCpaTest, MatchesPerColumnTwoPass) {
+  const SboxSpec spec = present_spec();
+  SboxTarget target(spec, LogicStyle::kSablGenuine, kTech);
+  DifferentialCircuitSim sim(target.circuit());
+  Rng rng(0x90FF);
+  const std::uint8_t key = 0x9;
+  MultiTraceSet traces;
+  for (std::size_t i = 0; i < 1500; ++i) {
+    const auto pt = static_cast<std::uint8_t>(rng.below(16));
+    SampledCycleResult cycle =
+        sim.cycle_sampled(static_cast<std::uint8_t>(pt ^ key));
+    for (auto& v : cycle.level_energy) v += 1e-16 * rng.gaussian();
+    traces.add(pt, cycle.level_energy);
+  }
+  const MultiAttackResult streamed =
+      cpa_attack_multisample(traces, spec, PowerModel::kHammingWeight);
+  std::vector<double> combined(std::size_t{1} << spec.in_bits, 0.0);
+  for (std::size_t s = 0; s < traces.width; ++s) {
+    const std::vector<double> column = reference_cpa_scores(
+        traces.column(s), spec, PowerModel::kHammingWeight, 0);
+    for (std::size_t g = 0; g < combined.size(); ++g) {
+      combined[g] = std::max(combined[g], column[g]);
+    }
+  }
+  for (std::size_t g = 0; g < combined.size(); ++g) {
+    EXPECT_NEAR(streamed.combined.score[g], combined[g], 1e-12) << g;
+  }
+}
+
+TEST(StreamingMtdTest, MatchesPrefixDriver) {
+  const std::uint8_t key = 0xB;
+  const TraceSet traces = cmos_traces(3000, key, 0x17D7);
+  const SboxSpec spec = present_spec();
+  const auto checkpoints = default_checkpoints(traces.size());
+  const MtdResult prefix = measurements_to_disclosure(
+      traces, key, checkpoints, [&](const TraceSet& t) {
+        return cpa_attack(t, spec, PowerModel::kHammingWeight);
+      });
+  StreamingMtd streaming(StreamingCpa(spec, PowerModel::kHammingWeight), key,
+                         checkpoints);
+  streaming.add_batch(traces.plaintexts.data(), traces.samples.data(),
+                      traces.size());
+  const MtdResult result = streaming.result();
+  EXPECT_EQ(result.disclosed, prefix.disclosed);
+  EXPECT_EQ(result.mtd, prefix.mtd);
+  ASSERT_EQ(result.rank_history.size(), prefix.rank_history.size());
+  for (std::size_t i = 0; i < prefix.rank_history.size(); ++i) {
+    EXPECT_EQ(result.rank_history[i], prefix.rank_history[i]) << i;
+  }
+}
+
+TEST(AttackResultTest, RankOfBreaksTiesByGuessIndex) {
+  AttackResult result = make_attack_result({0.5, 0.5, 0.1, 0.5});
+  EXPECT_EQ(result.best_guess, 0u);
+  EXPECT_EQ(result.rank_of(0), 0u);
+  EXPECT_EQ(result.rank_of(1), 1u);
+  EXPECT_EQ(result.rank_of(3), 2u);
+  EXPECT_EQ(result.rank_of(2), 3u);
+}
+
+// ---- engine ---------------------------------------------------------------
+
+TEST(TraceEngineTest, CampaignMatchesScalarTarget) {
+  // History-free styles: every lane computes the same energy a scalar
+  // simulation of the same plaintext would, so an engine campaign must be
+  // bit-identical to the scalar loop fed the same plaintext/noise stream.
+  for (LogicStyle style :
+       {LogicStyle::kSablFullyConnected, LogicStyle::kSablGenuine,
+        LogicStyle::kWddlMismatched}) {
+    TraceEngine engine(present_spec(), style, kTech);
+    CampaignOptions options;
+    options.num_traces = 500;
+    options.key = 0x7;
+    options.noise_sigma = 2e-16;
+    options.seed = 0xFEED;
+    options.block_size = 128;  // several blocks, one partial tail batch
+    const TraceSet traces = engine.run(options);
+    ASSERT_EQ(traces.size(), options.num_traces);
+
+    // Plaintexts and noise come from independent seed-derived streams, so
+    // the reference reconstruction needs no block structure at all.
+    SboxTarget reference(present_spec(), style, kTech);
+    Rng pt_rng(options.seed);
+    Rng noise_rng(options.seed ^ 0x9E3779B97F4A7C15ULL);
+    Rng no_noise(0);
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      const auto pt = static_cast<std::uint8_t>(pt_rng.below(16));
+      EXPECT_EQ(traces.plaintexts[i], pt);
+      const double energy = reference.trace(pt, options.key, 0.0, no_noise);
+      const double noise = options.noise_sigma * noise_rng.gaussian();
+      EXPECT_EQ(traces.samples[i], energy + noise) << i;
+    }
+
+    // And block_size is a pure performance knob: a different block size
+    // reproduces the identical trace sequence.
+    TraceEngine engine2(present_spec(), style, kTech);
+    CampaignOptions wide = options;
+    wide.block_size = 4096;
+    const TraceSet traces2 = engine2.run(wide);
+    ASSERT_EQ(traces2.size(), traces.size());
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      EXPECT_EQ(traces2.plaintexts[i], traces.plaintexts[i]);
+      EXPECT_EQ(traces2.samples[i], traces.samples[i]) << i;
+    }
+  }
+}
+
+TEST(TraceEngineTest, CmosCampaignMatchesPerLaneScalarHistory) {
+  // Static CMOS leaks through per-instance history: lane L of the engine
+  // is a scalar simulator fed every 64th plaintext.
+  TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, kTech);
+  CampaignOptions options;
+  options.num_traces = 256;
+  options.key = 0x3;
+  options.noise_sigma = 0.0;
+  options.seed = 0xCAFE;
+  const TraceSet traces = engine.run(options);
+
+  Rng rng(options.seed);
+  std::vector<std::uint8_t> pts(options.num_traces);
+  for (auto& pt : pts) pt = static_cast<std::uint8_t>(rng.below(16));
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    SboxTarget reference(present_spec(), LogicStyle::kStaticCmos, kTech);
+    Rng no_noise(0);
+    for (std::size_t t = lane; t < options.num_traces; t += kLanes) {
+      EXPECT_EQ(traces.plaintexts[t], pts[t]);
+      EXPECT_EQ(traces.samples[t],
+                reference.trace(pts[t], options.key, 0.0, no_noise))
+          << "lane " << lane << " trace " << t;
+    }
+  }
+}
+
+TEST(TraceEngineTest, StreamingCampaignEqualsRetainedCampaign) {
+  TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, kTech);
+  CampaignOptions options;
+  options.num_traces = 2000;
+  options.key = 0xB;
+  options.noise_sigma = 2e-16;
+  options.seed = 0xABBA;
+  const TraceSet traces = engine.run(options);
+  const AttackResult batch =
+      cpa_attack(traces, present_spec(), PowerModel::kHammingWeight);
+
+  TraceEngine engine2(present_spec(), LogicStyle::kStaticCmos, kTech);
+  const AttackResult streamed =
+      engine2.cpa_campaign(options, PowerModel::kHammingWeight);
+  ASSERT_EQ(streamed.score.size(), batch.score.size());
+  for (std::size_t g = 0; g < batch.score.size(); ++g) {
+    EXPECT_DOUBLE_EQ(streamed.score[g], batch.score[g]) << g;
+  }
+  EXPECT_EQ(streamed.best_guess, options.key);
+
+  // And the one-pass MTD campaign agrees with the prefix driver over the
+  // retained traces.
+  TraceEngine engine3(present_spec(), LogicStyle::kStaticCmos, kTech);
+  const auto checkpoints = default_checkpoints(options.num_traces);
+  const MtdResult streamed_mtd = engine3.mtd_campaign(
+      options, PowerModel::kHammingWeight, checkpoints);
+  const MtdResult prefix = measurements_to_disclosure(
+      traces, options.key, checkpoints, [&](const TraceSet& t) {
+        return cpa_attack(t, present_spec(), PowerModel::kHammingWeight);
+      });
+  EXPECT_EQ(streamed_mtd.disclosed, prefix.disclosed);
+  EXPECT_EQ(streamed_mtd.mtd, prefix.mtd);
+}
+
+TEST(TraceEngineTest, RepeatedCampaignsOnOneEngineAreReproducible) {
+  // Static CMOS carries per-lane history; stream() must reset it so the
+  // same seed yields the same traces no matter what ran before.
+  TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, kTech);
+  CampaignOptions options;
+  options.num_traces = 300;
+  options.key = 0x9;
+  options.noise_sigma = 0.0;
+  options.seed = 0xD1CE;
+  const TraceSet first = engine.run(options);
+  CampaignOptions other = options;
+  other.seed = 0xBEEF;  // interleave a campaign with a different stream
+  engine.run(other);
+  const TraceSet second = engine.run(options);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first.plaintexts[i], second.plaintexts[i]);
+    EXPECT_EQ(first.samples[i], second.samples[i]) << i;
+  }
+}
+
+TEST(TraceEngineTest, ConstantPowerStylesStayFlatAtScale) {
+  TraceEngine engine(present_spec(), LogicStyle::kSablFullyConnected, kTech);
+  CampaignOptions options;
+  options.num_traces = 4000;
+  options.key = 0x5;
+  options.noise_sigma = 1e-16;
+  options.seed = 0x5AB1;
+  const AttackResult result =
+      engine.cpa_campaign(options, PowerModel::kHammingWeight);
+  EXPECT_LT(result.score[result.best_guess], 0.1);
+}
+
+}  // namespace
+}  // namespace sable
