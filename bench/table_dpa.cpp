@@ -8,6 +8,8 @@
 // no trace retained. Reported: correct-key rank, the leading guess, and
 // measurements-to-disclosure.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "engine/trace_engine.hpp"
 
@@ -25,7 +27,7 @@ struct Row {
 };
 
 Row evaluate_style(LogicStyle style, std::uint8_t key, std::size_t num_traces,
-                   double noise) {
+                   double noise, std::size_t num_threads) {
   const Technology tech = Technology::generic_180nm();
   const SboxSpec spec = present_spec();
   TraceEngine engine(spec, style, tech);
@@ -35,6 +37,7 @@ Row evaluate_style(LogicStyle style, std::uint8_t key, std::size_t num_traces,
   options.key = key;
   options.noise_sigma = noise;
   options.seed = 0xDEC0DE;
+  options.num_threads = num_threads;
 
   // One generation pass feeds every accumulator: CPA, one DoM per output
   // bit, and the MTD snapshotter.
@@ -77,10 +80,20 @@ Row evaluate_style(LogicStyle style, std::uint8_t key, std::size_t num_traces,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const std::uint8_t key = 0x7;
   const std::size_t num_traces = 8000;
   const double noise = 2e-16;
+  std::size_t num_threads = 0;  // 0 = hardware concurrency
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      num_threads =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      return 2;
+    }
+  }
 
   std::printf("== E9: DPA resistance by logic style ========================\n");
   std::printf(
@@ -94,7 +107,7 @@ int main() {
        {LogicStyle::kStaticCmos, LogicStyle::kSablGenuine,
         LogicStyle::kSablFullyConnected, LogicStyle::kSablEnhanced,
         LogicStyle::kWddlBalanced, LogicStyle::kWddlMismatched}) {
-    const Row row = evaluate_style(style, key, num_traces, noise);
+    const Row row = evaluate_style(style, key, num_traces, noise, num_threads);
     char mtd_str[32];
     if (row.disclosed) {
       std::snprintf(mtd_str, sizeof mtd_str, "%zu", row.mtd);
@@ -127,6 +140,7 @@ int main() {
         static_cast<std::uint8_t>(0x2A & ((1u << spec.in_bits) - 1));
     options.noise_sigma = noise;
     options.seed = 0xFACE;
+    options.num_threads = num_threads;
     std::size_t ranks[2] = {0, 0};
     int col = 0;
     for (LogicStyle style :

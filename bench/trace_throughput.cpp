@@ -1,11 +1,21 @@
 // Trace-generation throughput: scalar one-at-a-time simulation vs. the
-// 64-wide bit-parallel trace engine, on the paper's PRESENT S-box target.
+// 64-wide bit-parallel trace engine on one thread vs. the thread-sharded
+// engine on all cores, on the paper's PRESENT S-box target.
 //
 // The engine exists because MTD curves need 10^5–10^7 traces; this bench
-// reports traces/sec for both paths and the speedup (acceptance: >= 10x),
-// plus the end-to-end rate of a fully streaming one-pass CPA campaign.
+// reports traces/sec for all three paths and the speedups (acceptance:
+// batched >= 10x scalar on one thread), plus the end-to-end rate of a
+// fully streaming one-pass CPA campaign. Besides the table it writes
+// BENCH_trace_throughput.json so the perf trajectory is machine-readable
+// across PRs.
+//
+// Usage: bench_trace_throughput [--threads N] [--traces N] [--json PATH]
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "crypto/target.hpp"
 #include "dpa/streaming.hpp"
@@ -23,16 +33,37 @@ double seconds_since(Clock::time_point start) {
 }
 
 struct Throughput {
+  const char* style = nullptr;
   double scalar_tps = 0.0;
-  double batched_tps = 0.0;
+  double batched_1t_tps = 0.0;
+  double batched_nt_tps = 0.0;
   double checksum = 0.0;  // keeps the optimizer honest
 };
 
-Throughput measure_style(LogicStyle style, std::size_t num_traces) {
+double engine_tps(TraceEngine& engine, std::size_t num_traces,
+                  std::size_t threads, double* checksum) {
+  CampaignOptions options;
+  options.num_traces = num_traces;
+  options.key = 0xB;
+  options.seed = 0xBE7C;
+  options.num_threads = threads;
+  double sum = 0.0;
+  const auto start = Clock::now();
+  engine.stream(options, [&](const std::uint8_t*, const double* samples,
+                             std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) sum += samples[i];
+  });
+  *checksum += sum;
+  return static_cast<double>(num_traces) / seconds_since(start);
+}
+
+Throughput measure_style(LogicStyle style, std::size_t num_traces,
+                         std::size_t threads) {
   const Technology tech = Technology::generic_180nm();
   const SboxSpec spec = present_spec();
   const std::uint8_t key = 0xB;
   Throughput result;
+  result.style = to_string(style);
 
   {
     SboxTarget target(spec, style, tech);
@@ -47,63 +78,119 @@ Throughput measure_style(LogicStyle style, std::size_t num_traces) {
     result.checksum += sum;
   }
 
-  {
-    TraceEngine engine(spec, style, tech);
-    CampaignOptions options;
-    options.num_traces = num_traces;
-    options.key = key;
-    options.seed = 0xBE7C;
-    double sum = 0.0;
-    const auto start = Clock::now();
-    engine.stream(options, [&](const std::uint8_t*, const double* samples,
-                               std::size_t n) {
-      for (std::size_t i = 0; i < n; ++i) sum += samples[i];
-    });
-    result.batched_tps = static_cast<double>(num_traces) / seconds_since(start);
-    result.checksum -= sum;
-  }
+  TraceEngine engine(spec, style, tech);
+  result.batched_1t_tps = engine_tps(engine, num_traces, 1, &result.checksum);
+  result.batched_nt_tps =
+      engine_tps(engine, num_traces, threads, &result.checksum);
   return result;
+}
+
+void write_json(const std::string& path, std::size_t num_traces,
+                std::size_t threads, const std::vector<Throughput>& rows,
+                std::size_t cpa_traces, double cpa_seconds) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"trace_throughput\",\n");
+  std::fprintf(f, "  \"num_traces\": %zu,\n", num_traces);
+  std::fprintf(f, "  \"threads\": %zu,\n", threads);
+  std::fprintf(f, "  \"styles\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Throughput& t = rows[i];
+    std::fprintf(f,
+                 "    {\"style\": \"%s\", \"scalar_tps\": %.1f, "
+                 "\"batched_1t_tps\": %.1f, \"batched_nt_tps\": %.1f, "
+                 "\"speedup_batched\": %.2f, \"speedup_threads\": %.2f}%s\n",
+                 t.style, t.scalar_tps, t.batched_1t_tps, t.batched_nt_tps,
+                 t.batched_1t_tps / t.scalar_tps,
+                 t.batched_nt_tps / t.batched_1t_tps,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"streaming_cpa\": {\"num_traces\": %zu, \"seconds\": %.3f, "
+               "\"tps\": %.1f}\n",
+               cpa_traces, cpa_seconds,
+               static_cast<double>(cpa_traces) / cpa_seconds);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
 }
 
 }  // namespace
 
-int main() {
-  const std::size_t num_traces = 200000;
-  std::printf("== trace engine throughput: PRESENT S-box, %zu traces ======\n",
-              num_traces);
-  std::printf("%-22s %14s %14s %9s %8s\n", "logic style", "scalar [tr/s]",
-              "64-wide [tr/s]", "speedup", ">=10x");
+int main(int argc, char** argv) {
+  std::size_t num_traces = 200000;
+  std::size_t threads = campaign_thread_count(CampaignOptions{});
+  std::string json_path = "BENCH_trace_throughput.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--traces") == 0 && i + 1 < argc) {
+      num_traces =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--threads N] [--traces N] [--json PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  // 0 keeps the CampaignOptions contract: hardware concurrency.
+  if (threads == 0) threads = campaign_thread_count(CampaignOptions{});
+
+  std::printf(
+      "== trace engine throughput: PRESENT S-box, %zu traces, %zu threads ==\n",
+      num_traces, threads);
+  std::printf("%-22s %13s %13s %13s %8s %8s %7s\n", "logic style",
+              "scalar [tr/s]", "1-thr [tr/s]", "N-thr [tr/s]", "batched",
+              "threads", ">=10x");
   bool all_pass = true;
+  std::vector<Throughput> rows;
   for (LogicStyle style :
        {LogicStyle::kStaticCmos, LogicStyle::kSablGenuine,
         LogicStyle::kSablFullyConnected, LogicStyle::kSablEnhanced,
         LogicStyle::kWddlBalanced}) {
-    const Throughput t = measure_style(style, num_traces);
-    const double speedup = t.batched_tps / t.scalar_tps;
-    const bool pass = speedup >= 10.0;
+    const Throughput t = measure_style(style, num_traces, threads);
+    const double batched_speedup = t.batched_1t_tps / t.scalar_tps;
+    const double thread_speedup = t.batched_nt_tps / t.batched_1t_tps;
+    const bool pass = batched_speedup >= 10.0;
     all_pass = all_pass && pass;
-    std::printf("%-22s %14.0f %14.0f %8.1fx %8s\n", to_string(style),
-                t.scalar_tps, t.batched_tps, speedup, pass ? "yes" : "NO");
+    std::printf("%-22s %13.0f %13.0f %13.0f %7.1fx %7.2fx %7s\n", t.style,
+                t.scalar_tps, t.batched_1t_tps, t.batched_nt_tps,
+                batched_speedup, thread_speedup, pass ? "yes" : "NO");
+    rows.push_back(t);
   }
 
-  // End-to-end: streaming one-pass CPA at MTD scale, nothing retained.
+  // End-to-end: streaming one-pass CPA at MTD scale, nothing retained,
+  // sharded over all requested threads.
+  const std::size_t cpa_traces = 1000000;
+  double cpa_seconds = 0.0;
   {
     const Technology tech = Technology::generic_180nm();
     TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, tech);
     CampaignOptions options;
-    options.num_traces = 1000000;
+    options.num_traces = cpa_traces;
     options.key = 0x7;
     options.noise_sigma = 2e-16;
+    options.num_threads = threads;
     const auto start = Clock::now();
     const AttackResult r =
         engine.cpa_campaign(options, PowerModel::kHammingWeight);
-    const double dt = seconds_since(start);
+    cpa_seconds = seconds_since(start);
     std::printf(
         "\nstreaming CPA campaign: %zu traces in %.2f s (%.0f traces/s),\n"
         "recovered key 0x%X (rank %zu), O(guesses) memory, one pass\n",
-        options.num_traces, dt,
-        static_cast<double>(options.num_traces) / dt, r.best_guess,
+        cpa_traces, cpa_seconds,
+        static_cast<double>(cpa_traces) / cpa_seconds, r.best_guess,
         r.rank_of(options.key));
   }
+
+  write_json(json_path, num_traces, threads, rows, cpa_traces, cpa_seconds);
+  std::printf("wrote %s\n", json_path.c_str());
   return all_pass ? 0 : 1;
 }

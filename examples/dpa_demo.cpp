@@ -8,6 +8,8 @@
 // and the fully connected SABL implementation holds. No trace is ever
 // retained: the CPA and MTD accumulators consume the stream directly.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "engine/trace_engine.hpp"
 
@@ -16,7 +18,7 @@ using namespace sable;
 namespace {
 
 void attack_style(LogicStyle style, std::uint8_t key, std::size_t num_traces,
-                  double noise) {
+                  double noise, std::size_t num_threads) {
   const Technology tech = Technology::generic_180nm();
   TraceEngine engine(present_spec(), style, tech);
 
@@ -25,6 +27,7 @@ void attack_style(LogicStyle style, std::uint8_t key, std::size_t num_traces,
   options.key = key;
   options.noise_sigma = noise;
   options.seed = 0xA77ACC;
+  options.num_threads = num_threads;
 
   // One generation pass feeds both consumers: the full-campaign CPA and
   // the incremental MTD snapshotter.
@@ -52,21 +55,34 @@ void attack_style(LogicStyle style, std::uint8_t key, std::size_t num_traces,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const std::uint8_t secret_key = 0xB;
   const std::size_t num_traces = 5000;
   const double noise = 2e-16;  // ~0.2 fJ RMS measurement noise
+  std::size_t num_threads = 0;  // 0 = hardware concurrency
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      num_threads =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      return 2;
+    }
+  }
 
   std::printf("CPA attack on PRESENT S-box, secret key = 0x%X, %zu traces\n",
               secret_key, num_traces);
-  std::printf("(batched 64-wide simulation, streaming one-pass attack)\n\n");
-  attack_style(LogicStyle::kStaticCmos, secret_key, num_traces, noise);
-  attack_style(LogicStyle::kSablGenuine, secret_key, num_traces, noise);
-  attack_style(LogicStyle::kSablFullyConnected, secret_key, num_traces,
-               noise);
-  attack_style(LogicStyle::kSablEnhanced, secret_key, num_traces, noise);
-  attack_style(LogicStyle::kWddlBalanced, secret_key, num_traces, noise);
-  attack_style(LogicStyle::kWddlMismatched, secret_key, num_traces, noise);
+  std::printf(
+      "(batched 64-wide simulation sharded over %zu threads, streaming "
+      "one-pass attack)\n\n",
+      num_threads != 0 ? num_threads
+                       : campaign_thread_count(CampaignOptions{}));
+  for (LogicStyle style :
+       {LogicStyle::kStaticCmos, LogicStyle::kSablGenuine,
+        LogicStyle::kSablFullyConnected, LogicStyle::kSablEnhanced,
+        LogicStyle::kWddlBalanced, LogicStyle::kWddlMismatched}) {
+    attack_style(style, secret_key, num_traces, noise, num_threads);
+  }
   std::printf(
       "\nThe fully connected/enhanced gates draw an input-independent charge\n"
       "every cycle, so the correlation for every key guess is noise.\n");

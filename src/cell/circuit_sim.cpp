@@ -183,6 +183,15 @@ void DifferentialCircuitSimBatch::reset() {
   for (SablGateSimBatch& sim : gate_sims_) sim.reset(true);
 }
 
+DifferentialCircuitSimBatch DifferentialCircuitSimBatch::clone_fresh() const {
+  // Rebuilding through the per-instance-model constructor preserves any
+  // custom energy models (e.g. balanced routing loads from src/balance).
+  std::vector<GateEnergyModel> models;
+  models.reserve(gate_sims_.size());
+  for (const SablGateSimBatch& sim : gate_sims_) models.push_back(sim.model());
+  return DifferentialCircuitSimBatch(circuit_, std::move(models));
+}
+
 void DifferentialCircuitSimBatch::cycle_sampled(
     const std::vector<std::uint64_t>& input_words, std::uint64_t lane_mask,
     SampledBatchCycleResult& out) {
@@ -249,6 +258,10 @@ void CmosCircuitSimBatch::cycle(const std::vector<std::uint64_t>& input_words,
 void CmosCircuitSimBatch::reset() {
   previous_values_.assign(circuit_.gates().size(), 0);
   seen_mask_ = 0;
+}
+
+CmosCircuitSimBatch CmosCircuitSimBatch::clone_fresh() const {
+  return CmosCircuitSimBatch(circuit_, switch_energy_);
 }
 
 std::uint64_t outputs_for_lane(

@@ -114,6 +114,12 @@ class DifferentialCircuitSimBatch {
   /// lane, so a new campaign starts from a reproducible state.
   void reset();
 
+  /// Independent simulator over the same circuit with the same per-gate
+  /// energy models, in fresh-construction state. Nothing is shared except
+  /// the referenced circuit (which must outlive the clone), so clones can
+  /// simulate concurrently on worker threads.
+  DifferentialCircuitSimBatch clone_fresh() const;
+
   std::size_t num_levels() const { return num_levels_; }
   const GateCircuit& circuit() const { return circuit_; }
 
@@ -138,6 +144,10 @@ class CmosCircuitSimBatch {
 
   /// Clears every lane's transition history (fresh-construction state).
   void reset();
+
+  /// Independent simulator over the same circuit, fresh history in every
+  /// lane; shares only the referenced circuit (which must outlive it).
+  CmosCircuitSimBatch clone_fresh() const;
 
  private:
   const GateCircuit& circuit_;

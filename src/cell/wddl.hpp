@@ -44,6 +44,12 @@ class WddlCircuitSimBatch {
   void cycle(const std::vector<std::uint64_t>& input_words,
              std::uint64_t lane_mask, BatchCycleResult& out);
 
+  /// Independent simulator with identical (already-derived) rail models.
+  /// WDDL carries no cross-cycle lane state, but the evaluator scratch is
+  /// per-instance, so concurrent workers each need their own clone. Shares
+  /// only the referenced circuit (which must outlive the clone).
+  WddlCircuitSimBatch clone_fresh() const { return *this; }
+
   const std::vector<WddlGateModel>& gate_models() const { return models_; }
 
  private:

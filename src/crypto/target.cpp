@@ -57,29 +57,52 @@ GateCircuit build_sbox_circuit(const SboxSpec& spec, LogicStyle style,
 }  // namespace
 
 SboxTarget::SboxTarget(const SboxSpec& spec, LogicStyle style,
+                       std::shared_ptr<const GateCircuit> circuit)
+    : spec_(spec), style_(style), circuit_(std::move(circuit)),
+      words_(spec.in_bits, 0) {}
+
+SboxTarget::SboxTarget(const SboxSpec& spec, LogicStyle style,
                        const Technology& tech)
-    : spec_(spec), style_(style),
-      circuit_(build_sbox_circuit(spec, style, tech)),
-      words_(spec.in_bits, 0) {
+    : SboxTarget(spec, style,
+                 std::make_shared<const GateCircuit>(
+                     build_sbox_circuit(spec, style, tech))) {
   switch (style) {
     case LogicStyle::kStaticCmos: {
       // One transition's worth of switching energy for a typical cell load:
       // ~5 fF at the reference VDD.
       const double c_sw = 5e-15;
       cmos_sim_ = std::make_unique<CmosCircuitSimBatch>(
-          circuit_, c_sw * tech.vdd * tech.vdd);
+          *circuit_, c_sw * tech.vdd * tech.vdd);
       break;
     }
     case LogicStyle::kWddlBalanced:
-      wddl_sim_ = std::make_unique<WddlCircuitSimBatch>(circuit_, tech, 0.0);
+      wddl_sim_ = std::make_unique<WddlCircuitSimBatch>(*circuit_, tech, 0.0);
       break;
     case LogicStyle::kWddlMismatched:
-      wddl_sim_ = std::make_unique<WddlCircuitSimBatch>(circuit_, tech, 0.05);
+      wddl_sim_ = std::make_unique<WddlCircuitSimBatch>(*circuit_, tech, 0.05);
       break;
     default:
-      diff_sim_ = std::make_unique<DifferentialCircuitSimBatch>(circuit_);
+      diff_sim_ = std::make_unique<DifferentialCircuitSimBatch>(*circuit_);
       break;
   }
+}
+
+SboxTarget SboxTarget::clone() const {
+  SboxTarget copy(spec_, style_, circuit_);
+  // The sims' clone_fresh() preserves derived energy models (WDDL rail
+  // mismatch, custom per-instance models) without needing the Technology
+  // back, and starts from fresh-construction lane state.
+  if (diff_sim_) {
+    copy.diff_sim_ = std::make_unique<DifferentialCircuitSimBatch>(
+        diff_sim_->clone_fresh());
+  } else if (wddl_sim_) {
+    copy.wddl_sim_ =
+        std::make_unique<WddlCircuitSimBatch>(wddl_sim_->clone_fresh());
+  } else {
+    copy.cmos_sim_ =
+        std::make_unique<CmosCircuitSimBatch>(cmos_sim_->clone_fresh());
+  }
+  return copy;
 }
 
 void SboxTarget::cycle_batch(const std::vector<std::uint64_t>& input_words,

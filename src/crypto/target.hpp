@@ -37,6 +37,14 @@ class SboxTarget {
  public:
   SboxTarget(const SboxSpec& spec, LogicStyle style, const Technology& tech);
 
+  /// Independent target over the same synthesized circuit: the (immutable)
+  /// GateCircuit is shared, every piece of mutable simulator state — CMOS
+  /// transition history, SABL node charge, evaluator scratch — is fresh and
+  /// private to the clone. This is the per-worker instance the
+  /// thread-sharded TraceEngine hands each thread, and it skips the
+  /// expression-factoring/synthesis cost of a from-scratch construction.
+  SboxTarget clone() const;
+
   /// One encryption: applies pt XOR key, returns the power sample
   /// (circuit energy plus Gaussian noise of `noise_sigma` joules).
   double trace(std::uint8_t pt, std::uint8_t key, double noise_sigma,
@@ -58,17 +66,23 @@ class SboxTarget {
   /// Reference S-box output for functional checks.
   std::uint8_t reference(std::uint8_t pt, std::uint8_t key) const;
 
-  const GateCircuit& circuit() const { return circuit_; }
+  const GateCircuit& circuit() const { return *circuit_; }
   const SboxSpec& spec() const { return spec_; }
   LogicStyle style() const { return style_; }
 
  private:
+  SboxTarget(const SboxSpec& spec, LogicStyle style,
+             std::shared_ptr<const GateCircuit> circuit);
+
   void cycle_batch(const std::vector<std::uint64_t>& input_words,
                    std::uint64_t lane_mask, BatchCycleResult& out);
 
   SboxSpec spec_;
   LogicStyle style_;
-  GateCircuit circuit_;
+  // Shared and immutable after construction: clones alias it, and the
+  // simulators hold references into it, so it is heap-owned (stable
+  // address under moves) and kept alive by every aliasing target.
+  std::shared_ptr<const GateCircuit> circuit_;
   std::unique_ptr<DifferentialCircuitSimBatch> diff_sim_;
   std::unique_ptr<CmosCircuitSimBatch> cmos_sim_;
   std::unique_ptr<WddlCircuitSimBatch> wddl_sim_;

@@ -34,6 +34,17 @@ AttackResult make_attack_result(std::vector<double> scores) {
     }
   }
   result.margin = second < 0.0 ? best : best - second;
+  // The canonical-ordering contract (see attack.hpp), asserted once here
+  // for every attack path: best_guess is the LOWEST index attaining the
+  // maximum score, and rank_of agrees with it. Merged-accumulator
+  // snapshots route through this constructor too, so a merge that
+  // reordered guesses would trip these instead of silently re-ranking.
+  for (std::size_t g = 0; g < result.best_guess; ++g) {
+    SABLE_ASSERT(result.score[g] < result.score[result.best_guess],
+                 "best_guess must be the lowest index at the maximum score");
+  }
+  SABLE_ASSERT(result.score.empty() || result.rank_of(result.best_guess) == 0,
+               "rank_of must rank best_guess first");
   return result;
 }
 

@@ -15,20 +15,27 @@
 
 namespace sable {
 
+// Canonical score ordering (the contract every attack path — batch,
+// streaming, and merged-accumulator snapshots — relies on): guesses are
+// ordered by descending score, with EXACT ties broken toward the lower
+// guess index. Consequently best_guess is the lowest index attaining the
+// maximum score, rank_of is a deterministic total order consistent with
+// best_guess (rank_of(best_guess) == 0), and a flat score vector ranks
+// guesses by index instead of all-zero. make_attack_result() is the single
+// constructor of AttackResult and asserts this contract centrally, so a
+// reordered merge or snapshot cannot silently change rankings.
 struct AttackResult {
   /// Distinguisher score per key guess (|correlation| or |mean difference|).
   std::vector<double> score;
   std::uint8_t best_guess = 0;
   /// Best score minus runner-up score (confidence margin).
   double margin = 0.0;
-  /// Rank of `correct_key` if provided to the ranking helper (0 = best).
-  /// Ties are broken deterministically toward the lower guess index, so a
-  /// flat score vector ranks every guess by index instead of all-zero.
+  /// Rank of `correct_key` in the canonical ordering (0 = best).
   std::size_t rank_of(std::uint8_t key) const;
 };
 
-/// Builds an AttackResult from raw per-guess scores: fills best_guess (ties
-/// resolved to the lowest index) and the margin.
+/// Builds an AttackResult from raw per-guess scores: fills best_guess and
+/// the margin, and asserts the canonical-ordering contract above.
 AttackResult make_attack_result(std::vector<double> scores);
 
 /// Correlation power analysis over all 2^in_bits key guesses.

@@ -90,6 +90,31 @@ void StreamingMtd::add_batch(const std::uint8_t* pts, const double* samples,
   }
 }
 
+void ShardedMtd::checkpoint(std::size_t count, const StreamingCpa& partial) {
+  SABLE_REQUIRE(rank_history_.empty() || rank_history_.back().first < count,
+                "MTD checkpoints must arrive in ascending trace order");
+  // A merged copy is O(guesses) — the same cost StreamingMtd pays to
+  // snapshot, so checkpoint density is as cheap as in the sequential path.
+  if (!merged_) {
+    rank_history_.emplace_back(count,
+                               partial.result().rank_of(correct_key_));
+    return;
+  }
+  StreamingCpa prefix = *merged_;
+  prefix.merge(partial);
+  SABLE_REQUIRE(prefix.count() == count,
+                "checkpoint count must equal merged prefix trace count");
+  rank_history_.emplace_back(count, prefix.result().rank_of(correct_key_));
+}
+
+void ShardedMtd::append(const StreamingCpa& full) {
+  if (!merged_) {
+    merged_ = full;
+  } else {
+    merged_->merge(full);
+  }
+}
+
 std::vector<std::size_t> default_checkpoints(std::size_t max_traces) {
   std::vector<std::size_t> pts;
   for (std::size_t n = 16; n < max_traces; n = n + (n / 2)) {

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "dpa/attack.hpp"
@@ -60,6 +61,36 @@ class StreamingMtd {
   std::uint8_t correct_key_;
   std::vector<std::size_t> checkpoints_;  // sorted, ascending
   std::size_t next_checkpoint_ = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> rank_history_;
+};
+
+/// Order-correct MTD assembly from per-shard streaming accumulators: the
+/// thread-sharded TraceEngine hands each campaign shard's full accumulator
+/// (append) and, for checkpoints falling inside a shard, the shard's
+/// partial accumulator up to that trace count (checkpoint). Both must
+/// arrive in canonical shard/trace order; each checkpoint is then ranked
+/// from merge(all prior shards, partial) — the exact accumulator state a
+/// sequential StreamingMtd would have held at that count. Because the
+/// shard decomposition and the merge order are fixed by the campaign (not
+/// by the thread count), the resulting MTD curve is bit-identical for any
+/// number of workers, and identical to StreamingMtd for a single shard.
+class ShardedMtd {
+ public:
+  explicit ShardedMtd(std::uint8_t correct_key) : correct_key_(correct_key) {}
+
+  /// Ranks the attack at `count` traces from the merged prefix plus
+  /// `partial` (the current shard's accumulator up to `count`).
+  void checkpoint(std::size_t count, const StreamingCpa& partial);
+
+  /// Folds a completed shard's accumulator into the merged prefix.
+  void append(const StreamingCpa& full);
+
+  std::size_t count() const { return merged_ ? merged_->count() : 0; }
+  MtdResult result() const { return mtd_from_history(rank_history_); }
+
+ private:
+  std::uint8_t correct_key_;
+  std::optional<StreamingCpa> merged_;  // shards appended so far
   std::vector<std::pair<std::size_t, std::size_t>> rank_history_;
 };
 

@@ -33,7 +33,10 @@ StreamingCpa::StreamingCpa(const SboxSpec& spec, PowerModel model,
                            std::size_t bit)
     : num_guesses_(std::size_t{1} << spec.in_bits),
       num_plaintexts_(num_guesses_),
-      predictions_(prediction_table(spec, model, bit)),
+      model_(model),
+      bit_(bit),
+      predictions_(std::make_shared<const std::vector<double>>(
+          prediction_table(spec, model, bit))),
       mean_h_(num_guesses_, 0.0),
       m2_h_(num_guesses_, 0.0),
       c_ht_(num_guesses_, 0.0) {}
@@ -42,7 +45,7 @@ void StreamingCpa::add(std::uint8_t pt, double sample) {
   SABLE_REQUIRE(pt < num_plaintexts_, "plaintext out of range");
   const double dt_new = t_.add(sample);
   const double inv_n = 1.0 / static_cast<double>(t_.count());
-  const double* pred = predictions_.data() + pt * num_guesses_;
+  const double* pred = predictions_->data() + pt * num_guesses_;
   for (std::size_t g = 0; g < num_guesses_; ++g) {
     const double h = pred[g];
     const double dh = h - mean_h_[g];
@@ -55,6 +58,38 @@ void StreamingCpa::add(std::uint8_t pt, double sample) {
 void StreamingCpa::add_batch(const std::uint8_t* pts, const double* samples,
                              std::size_t count) {
   for (std::size_t i = 0; i < count; ++i) add(pts[i], samples[i]);
+}
+
+void StreamingCpa::merge(const StreamingCpa& other) {
+  SABLE_REQUIRE(num_guesses_ == other.num_guesses_ &&
+                    model_ == other.model_ && bit_ == other.bit_,
+                "merge requires identically configured CPA accumulators");
+  // Same-spec check: model/bit alone would let two different same-width
+  // S-boxes merge into meaningless co-moments. Copies of one prototype
+  // share the table, so the pointer comparison is the common fast path.
+  SABLE_REQUIRE(predictions_ == other.predictions_ ||
+                    *predictions_ == *other.predictions_,
+                "merge requires accumulators over the same S-box spec");
+  if (other.t_.count() == 0) return;
+  if (t_.count() == 0) {
+    t_ = other.t_;
+    mean_h_ = other.mean_h_;
+    m2_h_ = other.m2_h_;
+    c_ht_ = other.c_ht_;
+    return;
+  }
+  const double na = static_cast<double>(t_.count());
+  const double nb = static_cast<double>(other.t_.count());
+  const double n = na + nb;
+  const double coeff = na * nb / n;
+  const double dt = other.t_.mean() - t_.mean();
+  for (std::size_t g = 0; g < num_guesses_; ++g) {
+    const double dh = other.mean_h_[g] - mean_h_[g];
+    c_ht_[g] += other.c_ht_[g] + dh * dt * coeff;
+    m2_h_[g] += other.m2_h_[g] + dh * dh * coeff;
+    mean_h_[g] += dh * (nb / n);
+  }
+  t_.merge(other.t_);
 }
 
 AttackResult StreamingCpa::result() const {
@@ -71,13 +106,16 @@ AttackResult StreamingCpa::result() const {
 
 StreamingDom::StreamingDom(const SboxSpec& spec, std::size_t bit)
     : num_guesses_(std::size_t{1} << spec.in_bits),
-      num_plaintexts_(num_guesses_) {
+      num_plaintexts_(num_guesses_),
+      bit_(bit) {
   const std::vector<double> pred =
       prediction_table(spec, PowerModel::kSboxOutputBit, bit);
-  predicted_bit_.resize(pred.size());
+  std::vector<std::uint8_t> bits(pred.size());
   for (std::size_t i = 0; i < pred.size(); ++i) {
-    predicted_bit_[i] = pred[i] > 0.5 ? 1 : 0;
+    bits[i] = pred[i] > 0.5 ? 1 : 0;
   }
+  predicted_bit_ =
+      std::make_shared<const std::vector<std::uint8_t>>(std::move(bits));
   for (int p : {0, 1}) {
     sum_[p].assign(num_guesses_, 0.0);
     cnt_[p].assign(num_guesses_, 0);
@@ -87,7 +125,7 @@ StreamingDom::StreamingDom(const SboxSpec& spec, std::size_t bit)
 void StreamingDom::add(std::uint8_t pt, double sample) {
   SABLE_REQUIRE(pt < num_plaintexts_, "plaintext out of range");
   ++n_;
-  const std::uint8_t* pred = predicted_bit_.data() + pt * num_guesses_;
+  const std::uint8_t* pred = predicted_bit_->data() + pt * num_guesses_;
   for (std::size_t g = 0; g < num_guesses_; ++g) {
     const std::uint8_t p = pred[g];
     sum_[p][g] += sample;
@@ -98,6 +136,21 @@ void StreamingDom::add(std::uint8_t pt, double sample) {
 void StreamingDom::add_batch(const std::uint8_t* pts, const double* samples,
                              std::size_t count) {
   for (std::size_t i = 0; i < count; ++i) add(pts[i], samples[i]);
+}
+
+void StreamingDom::merge(const StreamingDom& other) {
+  SABLE_REQUIRE(num_guesses_ == other.num_guesses_ && bit_ == other.bit_,
+                "merge requires identically configured DoM accumulators");
+  SABLE_REQUIRE(predicted_bit_ == other.predicted_bit_ ||
+                    *predicted_bit_ == *other.predicted_bit_,
+                "merge requires accumulators over the same S-box spec");
+  n_ += other.n_;
+  for (int p : {0, 1}) {
+    for (std::size_t g = 0; g < num_guesses_; ++g) {
+      sum_[p][g] += other.sum_[p][g];
+      cnt_[p][g] += other.cnt_[p][g];
+    }
+  }
 }
 
 AttackResult StreamingDom::result() const {
@@ -117,7 +170,10 @@ StreamingMultiCpa::StreamingMultiCpa(const SboxSpec& spec, PowerModel model,
     : num_guesses_(std::size_t{1} << spec.in_bits),
       num_plaintexts_(num_guesses_),
       width_(width),
-      predictions_(prediction_table(spec, model, bit)),
+      model_(model),
+      bit_(bit),
+      predictions_(std::make_shared<const std::vector<double>>(
+          prediction_table(spec, model, bit))),
       mean_h_(num_guesses_, 0.0),
       m2_h_(num_guesses_, 0.0),
       t_(width),
@@ -133,7 +189,7 @@ void StreamingMultiCpa::add(std::uint8_t pt, const double* row) {
   for (std::size_t s = 0; s < width_; ++s) {
     dt_[s] = t_[s].add(row[s]);
   }
-  const double* pred = predictions_.data() + pt * num_guesses_;
+  const double* pred = predictions_->data() + pt * num_guesses_;
   for (std::size_t g = 0; g < num_guesses_; ++g) {
     const double h = pred[g];
     const double dh = h - mean_h_[g];
@@ -144,6 +200,45 @@ void StreamingMultiCpa::add(std::uint8_t pt, const double* row) {
     mean_h_[g] += dh * inv_n;
     m2_h_[g] += dh * (h - mean_h_[g]);
   }
+}
+
+void StreamingMultiCpa::merge(const StreamingMultiCpa& other) {
+  SABLE_REQUIRE(num_guesses_ == other.num_guesses_ &&
+                    width_ == other.width_ && model_ == other.model_ &&
+                    bit_ == other.bit_,
+                "merge requires identically configured multi-CPA accumulators");
+  SABLE_REQUIRE(predictions_ == other.predictions_ ||
+                    *predictions_ == *other.predictions_,
+                "merge requires accumulators over the same S-box spec");
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    n_ = other.n_;
+    mean_h_ = other.mean_h_;
+    m2_h_ = other.m2_h_;
+    t_ = other.t_;
+    c_ht_ = other.c_ht_;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double n = na + nb;
+  const double coeff = na * nb / n;
+  // Column co-moments first: they need both sides' pre-merge means.
+  for (std::size_t s = 0; s < width_; ++s) {
+    const double dt = other.t_[s].mean() - t_[s].mean();
+    double* c = c_ht_.data() + s * num_guesses_;
+    const double* oc = other.c_ht_.data() + s * num_guesses_;
+    for (std::size_t g = 0; g < num_guesses_; ++g) {
+      c[g] += oc[g] + (other.mean_h_[g] - mean_h_[g]) * dt * coeff;
+    }
+  }
+  for (std::size_t g = 0; g < num_guesses_; ++g) {
+    const double dh = other.mean_h_[g] - mean_h_[g];
+    m2_h_[g] += other.m2_h_[g] + dh * dh * coeff;
+    mean_h_[g] += dh * (nb / n);
+  }
+  for (std::size_t s = 0; s < width_; ++s) t_[s].merge(other.t_[s]);
+  n_ += other.n_;
 }
 
 MultiAttackResult StreamingMultiCpa::result() const {

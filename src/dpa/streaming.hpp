@@ -11,9 +11,16 @@
 // sums), so the scores agree with the two-pass Pearson formulation to
 // ~1e-14 even though trace energies sit at ~1e-13 J with ~1e-15 J of
 // data-dependent variation.
+//
+// Every accumulator is copyable (copies share the immutable prediction
+// table) and mergeable: merge() folds another accumulator over a disjoint
+// trace subset into this one in O(guesses), the primitive under the
+// thread-sharded TraceEngine. Merging in a fixed order is deterministic,
+// so sharded campaigns are bit-identical for any thread count.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "crypto/sboxes.hpp"
@@ -33,6 +40,12 @@ class StreamingCpa {
   void add_batch(const std::uint8_t* pts, const double* samples,
                  std::size_t count);
 
+  /// Folds `other` — an accumulator over a disjoint trace subset with the
+  /// same spec/model/bit configuration — into this one: flat-array
+  /// co-moment merge, O(guesses). The result carries the moments of the
+  /// concatenated streams.
+  void merge(const StreamingCpa& other);
+
   std::size_t count() const { return t_.count(); }
   std::size_t num_guesses() const { return num_guesses_; }
 
@@ -43,8 +56,13 @@ class StreamingCpa {
  private:
   std::size_t num_guesses_;
   std::size_t num_plaintexts_;
-  std::vector<double> predictions_;  // [pt * num_guesses_ + guess]
-  OnlineMoments t_;                  // shared sample-stream moments
+  PowerModel model_;
+  std::size_t bit_;
+  // Immutable and shared between copies: cloning an accumulator for a new
+  // campaign shard costs O(guesses), not O(guesses^2) table rebuilding.
+  std::shared_ptr<const std::vector<double>>
+      predictions_;  // [pt * num_guesses_ + guess]
+  OnlineMoments t_;  // shared sample-stream moments
   // Per-guess prediction moments and co-moments, kept as flat arrays (not
   // one OnlineMoments per guess) so the per-trace guess loop stays tight.
   std::vector<double> mean_h_;
@@ -63,13 +81,19 @@ class StreamingDom {
   void add_batch(const std::uint8_t* pts, const double* samples,
                  std::size_t count);
 
+  /// Folds `other` (disjoint traces, same spec/bit) into this one: the
+  /// partition sums and counts add exactly.
+  void merge(const StreamingDom& other);
+
   std::size_t count() const { return n_; }
   AttackResult result() const;
 
  private:
   std::size_t num_guesses_;
   std::size_t num_plaintexts_;
-  std::vector<std::uint8_t> predicted_bit_;  // [pt * num_guesses_ + guess]
+  std::size_t bit_;
+  std::shared_ptr<const std::vector<std::uint8_t>>
+      predicted_bit_;  // [pt * num_guesses_ + guess]
   std::size_t n_ = 0;
   std::vector<double> sum_[2];
   std::vector<std::size_t> cnt_[2];
@@ -87,13 +111,21 @@ class StreamingMultiCpa {
   std::size_t count() const { return n_; }
   std::size_t width() const { return width_; }
 
+  /// Folds `other` (disjoint traces, same spec/model/width/bit) into this
+  /// one: per-column co-moment merge sharing the per-guess prediction
+  /// moment merge, O(width * guesses).
+  void merge(const StreamingMultiCpa& other);
+
   MultiAttackResult result() const;
 
  private:
   std::size_t num_guesses_;
   std::size_t num_plaintexts_;
   std::size_t width_;
-  std::vector<double> predictions_;  // [pt * num_guesses_ + guess]
+  PowerModel model_;
+  std::size_t bit_;
+  std::shared_ptr<const std::vector<double>>
+      predictions_;  // [pt * num_guesses_ + guess]
   std::size_t n_ = 0;
   std::vector<double> mean_h_;       // per guess (shared across columns)
   std::vector<double> m2_h_;

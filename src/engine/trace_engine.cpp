@@ -1,71 +1,321 @@
 #include "engine/trace_engine.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "util/error.hpp"
 
 namespace sable {
 
+std::size_t campaign_shard_size(const CampaignOptions& options) {
+  SABLE_REQUIRE(options.block_size > 0, "block size must be positive");
+  constexpr std::size_t kLanes = SablGateSimBatch::kLanes;
+  return std::max<std::size_t>(kLanes, options.block_size / kLanes * kLanes);
+}
+
+std::uint64_t campaign_shard_seed(std::uint64_t campaign_seed,
+                                  std::size_t shard, std::size_t stream) {
+  // splitmix64 finalizer over a (seed, shard, stream) counter: every shard
+  // gets a decorrelated sub-stream that is reproducible from the campaign
+  // seed and the shard index alone, no matter which worker runs it.
+  std::uint64_t z =
+      campaign_seed ^
+      (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(shard) + 1)) ^
+      (0xD1B54A32D192ED03ULL * (static_cast<std::uint64_t>(stream) + 1));
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::size_t campaign_thread_count(const CampaignOptions& options) {
+  if (options.num_threads != 0) return options.num_threads;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+namespace {
+
+// Fixed block-granular decomposition of a campaign: shard s covers traces
+// [start(s), start(s) + count(s)) of the canonical trace order.
+struct ShardLayout {
+  std::size_t shard_size = 0;
+  std::size_t num_shards = 0;
+  std::size_t num_traces = 0;
+  std::size_t start(std::size_t s) const { return s * shard_size; }
+  std::size_t count(std::size_t s) const {
+    return std::min(shard_size, num_traces - start(s));
+  }
+};
+
+ShardLayout layout_for(const CampaignOptions& options) {
+  ShardLayout layout;
+  layout.shard_size = campaign_shard_size(options);
+  layout.num_traces = options.num_traces;
+  layout.num_shards =
+      (options.num_traces + layout.shard_size - 1) / layout.shard_size;
+  return layout;
+}
+
+std::size_t resolve_threads(const CampaignOptions& options,
+                            std::size_t num_shards) {
+  return std::max<std::size_t>(
+      1, std::min(campaign_thread_count(options), num_shards));
+}
+
+// Simulates one shard into caller-provided storage: per-shard RNG streams
+// and fresh simulator state make the result a pure function of (options,
+// shard) — the invariant every determinism guarantee rests on.
+void simulate_shard(SboxTarget& target, const CampaignOptions& options,
+                    const ShardLayout& layout, std::size_t shard,
+                    std::uint8_t* pts, double* samples) {
+  const std::size_t count = layout.count(shard);
+  const std::uint64_t pt_range = std::uint64_t{1} << target.spec().in_bits;
+  Rng pt_rng(campaign_shard_seed(options.seed, shard, 0));
+  Rng noise_rng(campaign_shard_seed(options.seed, shard, 1));
+  target.reset_state();
+  for (std::size_t i = 0; i < count; ++i) {
+    pts[i] = static_cast<std::uint8_t>(pt_rng.below(pt_range));
+  }
+  target.trace_batch(pts, count, options.key, options.noise_sigma, noise_rng,
+                     samples);
+}
+
+// Per-worker context: an independent target clone plus optional reusable
+// trace buffers, so the shard loop never allocates or shares mutable
+// state. Buffers are lazy — consumers that simulate into external storage
+// (run's TraceSet slices, stream's per-shard slots) never pay for them.
+struct WorkerCtx {
+  SboxTarget target;
+  std::vector<std::uint8_t> pts;
+  std::vector<double> samples;
+
+  explicit WorkerCtx(const SboxTarget& prototype)
+      : target(prototype.clone()) {}
+
+  void ensure_buffers(std::size_t shard_size) {
+    if (pts.size() < shard_size) {
+      pts.resize(shard_size);
+      samples.resize(shard_size);
+    }
+  }
+};
+
+// Dynamic shard scheduler: `fn(ctx, shard)` runs for every shard index on
+// `threads` workers (inline on the calling thread when threads == 1).
+// fn must only touch ctx and shard-indexed slots, keeping the pool free of
+// locks on the hot path. Worker exceptions are rethrown on the caller.
+template <typename Fn>
+void run_pool(const SboxTarget& prototype, const ShardLayout& layout,
+              std::size_t threads, Fn&& fn) {
+  if (layout.num_shards == 0) return;
+  if (threads <= 1) {
+    WorkerCtx ctx(prototype);
+    for (std::size_t s = 0; s < layout.num_shards; ++s) fn(ctx, s);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      try {
+        WorkerCtx ctx(prototype);
+        for (std::size_t s = next.fetch_add(1); s < layout.num_shards;
+             s = next.fetch_add(1)) {
+          fn(ctx, s);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace
+
 TraceEngine::TraceEngine(const SboxSpec& spec, LogicStyle style,
                          const Technology& tech)
     : target_(spec, style, tech) {}
 
-void TraceEngine::stream(const CampaignOptions& options,
-                         const TraceSink& sink) {
-  SABLE_REQUIRE(options.block_size > 0, "block size must be positive");
-  constexpr std::size_t kLanes = SablGateSimBatch::kLanes;
-  const std::size_t block =
-      std::max<std::size_t>(kLanes, options.block_size / kLanes * kLanes);
-  const std::uint64_t pt_range = std::uint64_t{1} << spec().in_bits;
-
-  // Campaigns are self-contained: simulator state (CMOS transition
-  // history, SABL node charge) restarts fresh so one seed reproduces one
-  // trace sequence regardless of earlier campaigns on this engine.
-  // Plaintexts and noise come from two independent streams derived from
-  // the seed, so the sequence is also invariant to block_size (a pure
-  // performance knob, as documented).
-  target_.reset_state();
-  Rng pt_rng(options.seed);
-  Rng noise_rng(options.seed ^ 0x9E3779B97F4A7C15ULL);
-  std::vector<std::uint8_t> pts(block);
-  std::vector<double> samples(block);
-  std::size_t remaining = options.num_traces;
-  while (remaining > 0) {
-    const std::size_t n = std::min(block, remaining);
-    for (std::size_t i = 0; i < n; ++i) {
-      pts[i] = static_cast<std::uint8_t>(pt_rng.below(pt_range));
-    }
-    target_.trace_batch(pts.data(), n, options.key, options.noise_sigma,
-                        noise_rng, samples.data());
-    sink(pts.data(), samples.data(), n);
-    remaining -= n;
-  }
+TraceSet TraceEngine::run(const CampaignOptions& options) {
+  const ShardLayout layout = layout_for(options);
+  TraceSet traces;
+  traces.plaintexts.resize(options.num_traces);
+  traces.samples.resize(options.num_traces);
+  // Shards map to disjoint slices of the canonical trace order, so workers
+  // simulate straight into the final TraceSet with no ordering hand-off.
+  run_pool(target_, layout, resolve_threads(options, layout.num_shards),
+           [&](WorkerCtx& ctx, std::size_t s) {
+             simulate_shard(ctx.target, options, layout, s,
+                            traces.plaintexts.data() + layout.start(s),
+                            traces.samples.data() + layout.start(s));
+           });
+  return traces;
 }
 
-TraceSet TraceEngine::run(const CampaignOptions& options) {
-  TraceSet traces;
-  traces.reserve(options.num_traces);
-  stream(options, [&](const std::uint8_t* pts, const double* samples,
-                      std::size_t n) { traces.add_batch(pts, samples, n); });
-  return traces;
+void TraceEngine::stream(const CampaignOptions& options,
+                         const TraceSink& sink) {
+  const ShardLayout layout = layout_for(options);
+  if (layout.num_shards == 0) return;
+  const std::size_t threads = resolve_threads(options, layout.num_shards);
+  if (threads <= 1) {
+    WorkerCtx ctx(target_);
+    ctx.ensure_buffers(layout.shard_size);
+    for (std::size_t s = 0; s < layout.num_shards; ++s) {
+      simulate_shard(ctx.target, options, layout, s, ctx.pts.data(),
+                     ctx.samples.data());
+      sink(ctx.pts.data(), ctx.samples.data(), layout.count(s));
+    }
+    return;
+  }
+
+  // Not run_pool: the bounded in-order hand-off needs the emitter to run
+  // on the calling thread CONCURRENTLY with the workers (a blocking pool
+  // helper can't interleave it), and a sink failure must abort workers
+  // waiting on the window — so this path owns its spawn/claim/join cycle.
+
+  // Parallel path: workers fill per-shard slots; the calling thread emits
+  // them to the sink in canonical shard order. Workers stall once they run
+  // `window` shards ahead of the emitter, bounding in-flight storage.
+  struct Slot {
+    std::vector<std::uint8_t> pts;
+    std::vector<double> samples;
+    bool ready = false;
+  };
+  std::vector<Slot> slots(layout.num_shards);
+  std::mutex mutex;
+  std::condition_variable ready_cv;
+  std::condition_variable space_cv;
+  std::size_t emit = 0;
+  bool failed = false;
+  const std::size_t window = 2 * threads + 2;
+  std::exception_ptr sink_error;
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr worker_error;
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      try {
+        // No WorkerCtx here: this path simulates straight into per-shard
+        // Slot buffers (they outlive the shard until emitted), so the
+        // worker needs only its target clone.
+        SboxTarget worker = target_.clone();
+        for (std::size_t s = next.fetch_add(1); s < layout.num_shards;
+             s = next.fetch_add(1)) {
+          {
+            std::unique_lock<std::mutex> lock(mutex);
+            space_cv.wait(lock, [&] { return failed || s < emit + window; });
+            if (failed) return;
+          }
+          Slot slot;
+          slot.pts.resize(layout.count(s));
+          slot.samples.resize(layout.count(s));
+          simulate_shard(worker, options, layout, s, slot.pts.data(),
+                         slot.samples.data());
+          slot.ready = true;
+          {
+            std::lock_guard<std::mutex> lock(mutex);
+            slots[s] = std::move(slot);
+          }
+          ready_cv.notify_all();
+        }
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!worker_error) worker_error = std::current_exception();
+        }
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          failed = true;
+        }
+        ready_cv.notify_all();
+        space_cv.notify_all();
+      }
+    });
+  }
+
+  // Emitter loop (calling thread): strictly in shard order, the sink never
+  // runs concurrently with itself, matching the sequential contract.
+  try {
+    while (emit < layout.num_shards) {
+      Slot slot;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        ready_cv.wait(lock, [&] { return failed || slots[emit].ready; });
+        if (failed) break;
+        slot = std::move(slots[emit]);
+      }
+      sink(slot.pts.data(), slot.samples.data(), slot.pts.size());
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++emit;
+      }
+      space_cv.notify_all();
+    }
+  } catch (...) {
+    sink_error = std::current_exception();
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      failed = true;
+    }
+    space_cv.notify_all();
+  }
+  for (std::thread& worker : pool) worker.join();
+  if (sink_error) std::rethrow_exception(sink_error);
+  if (worker_error) std::rethrow_exception(worker_error);
 }
 
 AttackResult TraceEngine::cpa_campaign(const CampaignOptions& options,
                                        PowerModel model, std::size_t bit) {
   SABLE_REQUIRE(options.num_traces >= 2, "CPA requires at least two traces");
-  StreamingCpa acc(spec(), model, bit);
-  stream(options, [&](const std::uint8_t* pts, const double* samples,
-                      std::size_t n) { acc.add_batch(pts, samples, n); });
-  return acc.result();
+  const ShardLayout layout = layout_for(options);
+  // One accumulator per shard (copies share the prediction table); the
+  // merge below runs in canonical shard order, so the result is
+  // bit-identical for any thread count.
+  StreamingCpa prototype(spec(), model, bit);
+  std::vector<StreamingCpa> shards(layout.num_shards, prototype);
+  run_pool(target_, layout, resolve_threads(options, layout.num_shards),
+           [&](WorkerCtx& ctx, std::size_t s) {
+             ctx.ensure_buffers(layout.shard_size);
+             simulate_shard(ctx.target, options, layout, s, ctx.pts.data(),
+                            ctx.samples.data());
+             shards[s].add_batch(ctx.pts.data(), ctx.samples.data(),
+                                 layout.count(s));
+           });
+  for (const StreamingCpa& shard : shards) prototype.merge(shard);
+  return prototype.result();
 }
 
 AttackResult TraceEngine::dom_campaign(const CampaignOptions& options,
                                        std::size_t bit) {
   SABLE_REQUIRE(options.num_traces >= 2, "DPA requires at least two traces");
-  StreamingDom acc(spec(), bit);
-  stream(options, [&](const std::uint8_t* pts, const double* samples,
-                      std::size_t n) { acc.add_batch(pts, samples, n); });
-  return acc.result();
+  const ShardLayout layout = layout_for(options);
+  StreamingDom prototype(spec(), bit);
+  std::vector<StreamingDom> shards(layout.num_shards, prototype);
+  run_pool(target_, layout, resolve_threads(options, layout.num_shards),
+           [&](WorkerCtx& ctx, std::size_t s) {
+             ctx.ensure_buffers(layout.shard_size);
+             simulate_shard(ctx.target, options, layout, s, ctx.pts.data(),
+                            ctx.samples.data());
+             shards[s].add_batch(ctx.pts.data(), ctx.samples.data(),
+                                 layout.count(s));
+           });
+  for (const StreamingDom& shard : shards) prototype.merge(shard);
+  return prototype.result();
 }
 
 MtdResult TraceEngine::mtd_campaign(const CampaignOptions& options,
@@ -73,10 +323,56 @@ MtdResult TraceEngine::mtd_campaign(const CampaignOptions& options,
                                     const std::vector<std::size_t>& checkpoints,
                                     std::size_t bit) {
   SABLE_REQUIRE(options.num_traces >= 2, "MTD requires at least two traces");
-  StreamingMtd driver(StreamingCpa(spec(), model, bit), options.key,
-                      checkpoints);
-  stream(options, [&](const std::uint8_t* pts, const double* samples,
-                      std::size_t n) { driver.add_batch(pts, samples, n); });
+  const ShardLayout layout = layout_for(options);
+  // Canonical checkpoint ladder: sorted, unique, and restricted to counts
+  // both drivers can evaluate (>= 2 traces, within the campaign).
+  std::vector<std::size_t> ladder = checkpoints;
+  std::sort(ladder.begin(), ladder.end());
+  ladder.erase(std::unique(ladder.begin(), ladder.end()), ladder.end());
+  ladder.erase(std::remove_if(ladder.begin(), ladder.end(),
+                              [&](std::size_t c) {
+                                return c < 2 || c > options.num_traces;
+                              }),
+               ladder.end());
+
+  // Per shard: the full accumulator plus a partial snapshot at every
+  // checkpoint falling inside the shard's trace range.
+  struct MtdShard {
+    std::vector<std::pair<std::size_t, StreamingCpa>> snapshots;
+    std::optional<StreamingCpa> full;
+  };
+  const StreamingCpa prototype(spec(), model, bit);
+  std::vector<MtdShard> shards(layout.num_shards);
+  run_pool(
+      target_, layout, resolve_threads(options, layout.num_shards),
+      [&](WorkerCtx& ctx, std::size_t s) {
+        ctx.ensure_buffers(layout.shard_size);
+        simulate_shard(ctx.target, options, layout, s, ctx.pts.data(),
+                       ctx.samples.data());
+        const std::size_t start = layout.start(s);
+        const std::size_t count = layout.count(s);
+        StreamingCpa acc = prototype;
+        std::size_t done = 0;
+        for (auto it = std::upper_bound(ladder.begin(), ladder.end(), start);
+             it != ladder.end() && *it <= start + count; ++it) {
+          const std::size_t upto = *it - start;
+          acc.add_batch(ctx.pts.data() + done, ctx.samples.data() + done,
+                        upto - done);
+          done = upto;
+          shards[s].snapshots.emplace_back(*it, acc);
+        }
+        acc.add_batch(ctx.pts.data() + done, ctx.samples.data() + done,
+                      count - done);
+        shards[s].full = std::move(acc);
+      });
+
+  ShardedMtd driver(options.key);
+  for (MtdShard& shard : shards) {
+    for (const auto& [count, snapshot] : shard.snapshots) {
+      driver.checkpoint(count, snapshot);
+    }
+    driver.append(*shard.full);
+  }
   return driver.result();
 }
 

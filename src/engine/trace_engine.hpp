@@ -1,13 +1,25 @@
-// TraceEngine — batched bit-parallel trace generation with streaming
+// TraceEngine — batched, thread-sharded trace generation with streaming
 // consumption.
 //
 // The engine turns an S-box target into power-trace campaigns at MTD
-// scale: plaintexts are drawn in blocks, simulated 64 encryptions per
-// clock cycle through the bit-parallel circuit simulators, and either
-// retained in a TraceSet (run) or handed block-by-block to streaming
-// consumers (stream) — StreamingCpa / StreamingDom / StreamingMtd — so an
-// attack over 10^7 traces needs O(guesses) memory, one pass, and roughly
-// 1/64th of the scalar simulation time.
+// scale. Two axes of parallelism compose: within a shard, plaintexts are
+// simulated 64 encryptions per clock cycle through the bit-parallel
+// circuit simulators; across shards, a worker pool spreads the campaign
+// over cores. Traces are either retained in a TraceSet (run) or handed
+// block-by-block in canonical order to streaming consumers (stream) — and
+// the attack campaigns (cpa/dom/mtd) skip the hand-off entirely by
+// accumulating per shard and merging, so an attack over 10^7 traces needs
+// O(guesses) memory per shard, one pass, and 1/(64 * cores) of the scalar
+// simulation time.
+//
+// Determinism: a campaign is defined as a sequence of fixed-size shards
+// (block_size traces, rounded to whole 64-lane words). Shard s draws its
+// plaintexts and noise from counter-derived sub-streams
+// campaign_shard_seed(seed, s, ·) and starts from fresh simulator state,
+// so its traces depend only on (options, s) — never on which worker ran
+// it or how many there were. Results are bit-identical for any
+// num_threads, including 1. block_size is therefore part of the stream
+// definition (it sets the shard boundaries), not a pure performance knob.
 #pragma once
 
 #include <cstdint>
@@ -25,12 +37,30 @@ struct CampaignOptions {
   std::uint8_t key = 0;
   /// Gaussian measurement noise RMS [J] added per trace.
   double noise_sigma = 0.0;
-  /// Seed of the campaign's plaintext/noise stream; one seed reproduces
+  /// Seed of the campaign's plaintext/noise streams; one seed reproduces
   /// the exact trace sequence bit for bit.
   std::uint64_t seed = 0xA77ACC;
-  /// Traces simulated per stream block (rounded to whole 64-lane words).
+  /// Traces per campaign shard (rounded down to whole 64-lane words).
+  /// Shards are the unit of parallel scheduling AND of the stream
+  /// definition: changing block_size changes the generated traces.
   std::size_t block_size = 4096;
+  /// Worker threads the campaign shards are scheduled over.
+  /// 0 = hardware concurrency. Any value yields bit-identical results.
+  std::size_t num_threads = 0;
 };
+
+/// Shard granularity of a campaign: block_size rounded down to whole
+/// 64-lane words (at least one word).
+std::size_t campaign_shard_size(const CampaignOptions& options);
+
+/// Seed of shard `shard`'s sub-stream `stream` (0 = plaintexts, 1 =
+/// noise): a splitmix64-style mix of the campaign seed and a counter, so
+/// shards are decorrelated yet reproducible from (seed, shard) alone.
+std::uint64_t campaign_shard_seed(std::uint64_t campaign_seed,
+                                  std::size_t shard, std::size_t stream);
+
+/// Worker threads a campaign resolves to (0 = hardware concurrency).
+std::size_t campaign_thread_count(const CampaignOptions& options);
 
 /// Receives (plaintexts, samples, count) blocks as the campaign streams.
 using TraceSink =
@@ -41,25 +71,31 @@ class TraceEngine {
   TraceEngine(const SboxSpec& spec, LogicStyle style, const Technology& tech);
 
   /// Runs the campaign and retains every trace (for batch-style consumers
-  /// and offline re-analysis).
+  /// and offline re-analysis). Shards are simulated in parallel and land
+  /// directly in their canonical-order slice of the TraceSet.
   TraceSet run(const CampaignOptions& options);
 
-  /// Runs the campaign without retaining traces: each block of at most
-  /// `options.block_size` traces is simulated bit-parallel and handed to
-  /// `sink`, then its storage is reused.
+  /// Runs the campaign without retaining traces: each shard of at most
+  /// `options.block_size` traces is simulated bit-parallel (in parallel
+  /// across shards) and handed to `sink` in canonical shard order on the
+  /// calling thread, then its storage is released. In-flight shards are
+  /// bounded, so a slow sink cannot accumulate unbounded buffers.
   void stream(const CampaignOptions& options, const TraceSink& sink);
 
-  /// One-pass CPA over a streamed campaign.
+  /// One-pass CPA over a streamed campaign: per-shard accumulators on the
+  /// worker pool, merged in canonical shard order.
   AttackResult cpa_campaign(const CampaignOptions& options, PowerModel model,
                             std::size_t bit = 0);
 
-  /// One-pass difference-of-means over a streamed campaign.
+  /// One-pass difference-of-means over a streamed campaign (sharded).
   AttackResult dom_campaign(const CampaignOptions& options, std::size_t bit);
 
-  /// Incremental MTD curve: the CPA attack is snapshotted at each
-  /// checkpoint while the campaign streams — the full measurements-to-
-  /// disclosure experiment in a single pass over generated-and-dropped
-  /// traces.
+  /// Incremental MTD curve: workers snapshot each shard's partial
+  /// accumulator at the checkpoints falling inside it; the snapshots are
+  /// then ranked in order against the merged prefix (ShardedMtd) — the
+  /// full measurements-to-disclosure experiment in a single parallel pass
+  /// over generated-and-dropped traces. Duplicate checkpoints are
+  /// evaluated once.
   MtdResult mtd_campaign(const CampaignOptions& options, PowerModel model,
                          const std::vector<std::size_t>& checkpoints,
                          std::size_t bit = 0);

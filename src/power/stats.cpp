@@ -40,6 +40,21 @@ double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
   return sxy / std::sqrt(sxx * syy);
 }
 
+void OnlineMoments::merge(const OnlineMoments& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double n = na + nb;
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * (nb / n);
+  m2_ += other.m2_ + delta * delta * (na * nb / n);
+  n_ += other.n_;
+}
+
 double OnlineMoments::variance() const {
   return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
 }

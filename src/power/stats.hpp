@@ -41,6 +41,14 @@ class OnlineMoments {
     return d_new;
   }
 
+  /// Folds another accumulator into this one (Chan et al. pairwise
+  /// update): the result holds the moments of the concatenated sample
+  /// streams in O(1), which is what lets campaign shards accumulate
+  /// independently on worker threads and combine afterwards. Merging is
+  /// deterministic — a fixed merge order gives bit-identical results
+  /// regardless of which thread produced which operand.
+  void merge(const OnlineMoments& other);
+
   std::size_t count() const { return n_; }
   double mean() const { return mean_; }
   /// Sum of squared deviations from the running mean.

@@ -50,6 +50,15 @@ class SablGateSimBatch {
   /// every lane.
   void reset(bool charged);
 
+  /// Independent simulator instance over the same network and energy
+  /// model, in fresh-construction state — no lane state or scratch is
+  /// shared with this instance, so the clone can run on another thread.
+  /// The referenced DpdnNetwork must outlive the clone (the sharded
+  /// TraceEngine guarantees this by sharing the owning circuit).
+  SablGateSimBatch clone_fresh() const {
+    return SablGateSimBatch(net_, model_);
+  }
+
   /// Per-node charge words after the last cycle (bit L = lane L at VDD).
   const std::vector<std::uint64_t>& node_state_words() const {
     return charged_;

@@ -1,0 +1,353 @@
+// Thread-count invariance of the sharded TraceEngine and correctness of
+// the mergeable streaming accumulators.
+//
+// The contract under test: a campaign is a fixed sequence of shards whose
+// traces and accumulator merges depend only on the campaign options —
+// never on the worker count or scheduling — so every result below must be
+// bit-identical across num_threads ∈ {1, 2, 7, hardware_concurrency}; and
+// merge() must agree with sequential accumulation to ~1e-12 relative.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <thread>
+#include <vector>
+
+#include "crypto/target.hpp"
+#include "dpa/attack.hpp"
+#include "dpa/mtd.hpp"
+#include "dpa/streaming.hpp"
+#include "engine/trace_engine.hpp"
+#include "power/stats.hpp"
+#include "util/rng.hpp"
+
+namespace sable {
+namespace {
+
+const Technology kTech = Technology::generic_180nm();
+
+std::vector<std::size_t> thread_counts_under_test() {
+  return {1, 2, 7,
+          std::max<std::size_t>(1, std::thread::hardware_concurrency())};
+}
+
+// Multi-shard campaign: 3000 traces over 448-trace shards = 7 shards, one
+// partial tail, so the merge path is genuinely exercised.
+CampaignOptions sharded_options() {
+  CampaignOptions options;
+  options.num_traces = 3000;
+  options.key = 0xB;
+  options.noise_sigma = 2e-16;
+  options.seed = 0x5EED;
+  options.block_size = 448;
+  return options;
+}
+
+TEST(EngineDeterminismTest, RunIsBitIdenticalAcrossThreadCounts) {
+  TraceEngine reference_engine(present_spec(), LogicStyle::kStaticCmos,
+                               kTech);
+  CampaignOptions options = sharded_options();
+  options.num_threads = 1;
+  const TraceSet reference = reference_engine.run(options);
+  for (std::size_t threads : thread_counts_under_test()) {
+    TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, kTech);
+    options.num_threads = threads;
+    const TraceSet traces = engine.run(options);
+    ASSERT_EQ(traces.size(), reference.size()) << threads;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_EQ(traces.plaintexts[i], reference.plaintexts[i])
+          << "threads " << threads << " trace " << i;
+      ASSERT_EQ(traces.samples[i], reference.samples[i])
+          << "threads " << threads << " trace " << i;
+    }
+  }
+}
+
+TEST(EngineDeterminismTest, StreamDeliversCanonicalOrderAcrossThreadCounts) {
+  CampaignOptions options = sharded_options();
+  options.num_threads = 1;
+  TraceEngine reference_engine(present_spec(), LogicStyle::kSablGenuine,
+                               kTech);
+  const TraceSet reference = reference_engine.run(options);
+  for (std::size_t threads : thread_counts_under_test()) {
+    TraceEngine engine(present_spec(), LogicStyle::kSablGenuine, kTech);
+    options.num_threads = threads;
+    TraceSet collected;
+    collected.reserve(options.num_traces);
+    engine.stream(options,
+                  [&](const std::uint8_t* pts, const double* samples,
+                      std::size_t n) { collected.add_batch(pts, samples, n); });
+    ASSERT_EQ(collected.size(), reference.size()) << threads;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_EQ(collected.plaintexts[i], reference.plaintexts[i])
+          << "threads " << threads << " trace " << i;
+      ASSERT_EQ(collected.samples[i], reference.samples[i])
+          << "threads " << threads << " trace " << i;
+    }
+  }
+}
+
+TEST(EngineDeterminismTest, CpaCampaignIsBitIdenticalAcrossThreadCounts) {
+  CampaignOptions options = sharded_options();
+  options.num_threads = 1;
+  TraceEngine reference_engine(present_spec(), LogicStyle::kStaticCmos,
+                               kTech);
+  const AttackResult reference =
+      reference_engine.cpa_campaign(options, PowerModel::kHammingWeight);
+  EXPECT_EQ(reference.best_guess, options.key);
+  for (std::size_t threads : thread_counts_under_test()) {
+    TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, kTech);
+    options.num_threads = threads;
+    const AttackResult result =
+        engine.cpa_campaign(options, PowerModel::kHammingWeight);
+    ASSERT_EQ(result.score.size(), reference.score.size());
+    for (std::size_t g = 0; g < reference.score.size(); ++g) {
+      // EXPECT_EQ on doubles is exact equality: bit-identical, not close.
+      EXPECT_EQ(result.score[g], reference.score[g])
+          << "threads " << threads << " guess " << g;
+    }
+    EXPECT_EQ(result.best_guess, reference.best_guess) << threads;
+    EXPECT_EQ(result.margin, reference.margin) << threads;
+  }
+}
+
+TEST(EngineDeterminismTest, DomCampaignIsBitIdenticalAcrossThreadCounts) {
+  CampaignOptions options = sharded_options();
+  options.num_threads = 1;
+  TraceEngine reference_engine(present_spec(), LogicStyle::kStaticCmos,
+                               kTech);
+  const AttackResult reference = reference_engine.dom_campaign(options, 0);
+  for (std::size_t threads : thread_counts_under_test()) {
+    TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, kTech);
+    options.num_threads = threads;
+    const AttackResult result = engine.dom_campaign(options, 0);
+    ASSERT_EQ(result.score.size(), reference.score.size());
+    for (std::size_t g = 0; g < reference.score.size(); ++g) {
+      EXPECT_EQ(result.score[g], reference.score[g])
+          << "threads " << threads << " guess " << g;
+    }
+  }
+}
+
+TEST(EngineDeterminismTest, MtdCampaignIsBitIdenticalAcrossThreadCounts) {
+  CampaignOptions options = sharded_options();
+  options.num_threads = 1;
+  const auto checkpoints = default_checkpoints(options.num_traces);
+  TraceEngine reference_engine(present_spec(), LogicStyle::kStaticCmos,
+                               kTech);
+  const MtdResult reference = reference_engine.mtd_campaign(
+      options, PowerModel::kHammingWeight, checkpoints);
+  EXPECT_TRUE(reference.disclosed);
+  for (std::size_t threads : thread_counts_under_test()) {
+    TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, kTech);
+    options.num_threads = threads;
+    const MtdResult result =
+        engine.mtd_campaign(options, PowerModel::kHammingWeight, checkpoints);
+    EXPECT_EQ(result.disclosed, reference.disclosed) << threads;
+    EXPECT_EQ(result.mtd, reference.mtd) << threads;
+    ASSERT_EQ(result.rank_history.size(), reference.rank_history.size());
+    for (std::size_t i = 0; i < reference.rank_history.size(); ++i) {
+      EXPECT_EQ(result.rank_history[i], reference.rank_history[i])
+          << "threads " << threads << " checkpoint " << i;
+    }
+  }
+}
+
+// ---- accumulator merges ---------------------------------------------------
+
+TraceSet cmos_traces(std::size_t count, std::uint8_t key, std::uint64_t seed) {
+  SboxTarget target(present_spec(), LogicStyle::kStaticCmos, kTech);
+  Rng rng(seed);
+  TraceSet traces;
+  traces.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto pt = static_cast<std::uint8_t>(rng.below(16));
+    traces.add(pt, target.trace(pt, key, 2e-16, rng));
+  }
+  return traces;
+}
+
+TEST(MergeTest, OnlineMomentsMergeMatchesSequential) {
+  Rng rng(0x9011);
+  std::vector<double> xs(5000);
+  // Trace-scale magnitudes: ~1e-13 with ~1e-15 variation, the regime the
+  // merged co-moments must survive.
+  for (auto& x : xs) x = 1e-13 + 1e-15 * rng.gaussian();
+  OnlineMoments sequential;
+  for (double x : xs) sequential.add(x);
+  OnlineMoments merged;
+  for (std::size_t start : {std::size_t{0}, std::size_t{1111},
+                            std::size_t{1112}, std::size_t{4000}}) {
+    // uneven, adjacent partitions
+    const std::size_t end =
+        start == 0 ? 1111 : start == 1111 ? 1112 : start == 1112 ? 4000 : 5000;
+    OnlineMoments part;
+    for (std::size_t i = start; i < end; ++i) part.add(xs[i]);
+    merged.merge(part);
+  }
+  EXPECT_EQ(merged.count(), sequential.count());
+  EXPECT_NEAR(merged.mean(), sequential.mean(),
+              1e-12 * std::fabs(sequential.mean()));
+  EXPECT_NEAR(merged.m2(), sequential.m2(),
+              1e-12 * std::fabs(sequential.m2()));
+}
+
+TEST(MergeTest, StreamingCpaMergeMatchesSequential) {
+  const SboxSpec spec = present_spec();
+  const TraceSet traces = cmos_traces(4000, 0x6, 0xCAB1E);
+  StreamingCpa sequential(spec, PowerModel::kHammingWeight);
+  sequential.add_batch(traces.plaintexts.data(), traces.samples.data(),
+                       traces.size());
+  StreamingCpa merged(spec, PowerModel::kHammingWeight);
+  const std::size_t bounds[] = {0, 700, 701, 2048, 4000};
+  for (std::size_t p = 0; p + 1 < std::size(bounds); ++p) {
+    StreamingCpa part(spec, PowerModel::kHammingWeight);
+    part.add_batch(traces.plaintexts.data() + bounds[p],
+                   traces.samples.data() + bounds[p],
+                   bounds[p + 1] - bounds[p]);
+    merged.merge(part);
+  }
+  EXPECT_EQ(merged.count(), sequential.count());
+  const AttackResult a = merged.result();
+  const AttackResult b = sequential.result();
+  ASSERT_EQ(a.score.size(), b.score.size());
+  for (std::size_t g = 0; g < b.score.size(); ++g) {
+    EXPECT_NEAR(a.score[g], b.score[g], 1e-12) << g;
+  }
+  EXPECT_EQ(a.best_guess, b.best_guess);
+}
+
+TEST(MergeTest, StreamingDomMergeMatchesSequential) {
+  const SboxSpec spec = present_spec();
+  const TraceSet traces = cmos_traces(3000, 0x9, 0xD0D1);
+  for (std::size_t bit = 0; bit < 2; ++bit) {
+    StreamingDom sequential(spec, bit);
+    sequential.add_batch(traces.plaintexts.data(), traces.samples.data(),
+                         traces.size());
+    StreamingDom merged(spec, bit);
+    const std::size_t bounds[] = {0, 123, 2000, 3000};
+    for (std::size_t p = 0; p + 1 < std::size(bounds); ++p) {
+      StreamingDom part(spec, bit);
+      part.add_batch(traces.plaintexts.data() + bounds[p],
+                     traces.samples.data() + bounds[p],
+                     bounds[p + 1] - bounds[p]);
+      merged.merge(part);
+    }
+    EXPECT_EQ(merged.count(), sequential.count());
+    const AttackResult a = merged.result();
+    const AttackResult b = sequential.result();
+    for (std::size_t g = 0; g < b.score.size(); ++g) {
+      EXPECT_NEAR(a.score[g], b.score[g], 1e-12 * (1.0 + b.score[g])) << g;
+    }
+  }
+}
+
+TEST(MergeTest, StreamingMultiCpaMergeMatchesSequential) {
+  const SboxSpec spec = present_spec();
+  SboxTarget target(spec, LogicStyle::kSablGenuine, kTech);
+  DifferentialCircuitSim sim(target.circuit());
+  Rng rng(0x3317);
+  const std::uint8_t key = 0x4;
+  MultiTraceSet traces;
+  for (std::size_t i = 0; i < 1200; ++i) {
+    const auto pt = static_cast<std::uint8_t>(rng.below(16));
+    SampledCycleResult cycle =
+        sim.cycle_sampled(static_cast<std::uint8_t>(pt ^ key));
+    for (auto& v : cycle.level_energy) v += 1e-16 * rng.gaussian();
+    traces.add(pt, cycle.level_energy);
+  }
+  StreamingMultiCpa sequential(spec, PowerModel::kHammingWeight,
+                               traces.width);
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    sequential.add(traces.plaintexts[t],
+                   traces.samples.data() + t * traces.width);
+  }
+  StreamingMultiCpa merged(spec, PowerModel::kHammingWeight, traces.width);
+  const std::size_t bounds[] = {0, 311, 900, 1200};
+  for (std::size_t p = 0; p + 1 < std::size(bounds); ++p) {
+    StreamingMultiCpa part(spec, PowerModel::kHammingWeight, traces.width);
+    for (std::size_t t = bounds[p]; t < bounds[p + 1]; ++t) {
+      part.add(traces.plaintexts[t], traces.samples.data() + t * traces.width);
+    }
+    merged.merge(part);
+  }
+  const MultiAttackResult a = merged.result();
+  const MultiAttackResult b = sequential.result();
+  ASSERT_EQ(a.combined.score.size(), b.combined.score.size());
+  for (std::size_t g = 0; g < b.combined.score.size(); ++g) {
+    EXPECT_NEAR(a.combined.score[g], b.combined.score[g], 1e-12) << g;
+  }
+  EXPECT_EQ(a.best_sample, b.best_sample);
+}
+
+TEST(MergeTest, ShardedMtdMatchesStreamingMtd) {
+  const SboxSpec spec = present_spec();
+  const std::uint8_t key = 0xB;
+  const TraceSet traces = cmos_traces(3000, key, 0x17D8);
+  const auto checkpoints = default_checkpoints(traces.size());
+
+  StreamingMtd sequential(StreamingCpa(spec, PowerModel::kHammingWeight), key,
+                          checkpoints);
+  sequential.add_batch(traces.plaintexts.data(), traces.samples.data(),
+                       traces.size());
+  const MtdResult reference = sequential.result();
+
+  // Feed ShardedMtd exactly as the engine does: 512-trace shards, partial
+  // snapshots at in-shard checkpoints, full accumulators appended after.
+  ShardedMtd sharded(key);
+  const std::size_t shard_size = 512;
+  std::vector<std::size_t> ladder(checkpoints);
+  std::sort(ladder.begin(), ladder.end());
+  for (std::size_t start = 0; start < traces.size(); start += shard_size) {
+    const std::size_t count = std::min(shard_size, traces.size() - start);
+    StreamingCpa acc(spec, PowerModel::kHammingWeight);
+    std::size_t done = 0;
+    for (std::size_t c : ladder) {
+      if (c <= start || c > start + count || c < 2) continue;
+      acc.add_batch(traces.plaintexts.data() + start + done,
+                    traces.samples.data() + start + done, c - start - done);
+      done = c - start;
+      sharded.checkpoint(c, acc);
+    }
+    acc.add_batch(traces.plaintexts.data() + start + done,
+                  traces.samples.data() + start + done, count - done);
+    sharded.append(acc);
+  }
+  const MtdResult result = sharded.result();
+  EXPECT_EQ(result.disclosed, reference.disclosed);
+  EXPECT_EQ(result.mtd, reference.mtd);
+  ASSERT_EQ(result.rank_history.size(), reference.rank_history.size());
+  for (std::size_t i = 0; i < reference.rank_history.size(); ++i) {
+    EXPECT_EQ(result.rank_history[i], reference.rank_history[i]) << i;
+  }
+}
+
+// clone() must produce a target whose traces match a freshly constructed
+// one — no hidden shared state with its source.
+TEST(CloneTest, ClonedTargetMatchesFreshTarget) {
+  for (LogicStyle style :
+       {LogicStyle::kStaticCmos, LogicStyle::kSablGenuine,
+        LogicStyle::kSablFullyConnected, LogicStyle::kWddlMismatched}) {
+    SboxTarget original(present_spec(), style, kTech);
+    // Disturb the original's state so a state-sharing clone would differ.
+    Rng warmup(0x11);
+    for (int i = 0; i < 10; ++i) {
+      original.trace(static_cast<std::uint8_t>(warmup.below(16)), 0x5, 0.0,
+                     warmup);
+    }
+    SboxTarget cloned = original.clone();
+    SboxTarget fresh(present_spec(), style, kTech);
+    Rng rng_a(0x22);
+    Rng rng_b(0x22);
+    for (int i = 0; i < 64; ++i) {
+      const auto pt = static_cast<std::uint8_t>(i % 16);
+      EXPECT_EQ(cloned.trace(pt, 0x5, 1e-16, rng_a),
+                fresh.trace(pt, 0x5, 1e-16, rng_b))
+          << to_string(style) << " trace " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sable

@@ -359,7 +359,8 @@ TEST(AttackResultTest, RankOfBreaksTiesByGuessIndex) {
 TEST(TraceEngineTest, CampaignMatchesScalarTarget) {
   // History-free styles: every lane computes the same energy a scalar
   // simulation of the same plaintext would, so an engine campaign must be
-  // bit-identical to the scalar loop fed the same plaintext/noise stream.
+  // bit-identical to a scalar loop fed the same shard-derived
+  // plaintext/noise streams in shard order.
   for (LogicStyle style :
        {LogicStyle::kSablFullyConnected, LogicStyle::kSablGenuine,
         LogicStyle::kWddlMismatched}) {
@@ -369,34 +370,45 @@ TEST(TraceEngineTest, CampaignMatchesScalarTarget) {
     options.key = 0x7;
     options.noise_sigma = 2e-16;
     options.seed = 0xFEED;
-    options.block_size = 128;  // several blocks, one partial tail batch
+    options.block_size = 128;  // several shards, one partial tail shard
     const TraceSet traces = engine.run(options);
     ASSERT_EQ(traces.size(), options.num_traces);
 
-    // Plaintexts and noise come from independent seed-derived streams, so
-    // the reference reconstruction needs no block structure at all.
+    // The stream is defined shard by shard: shard s draws plaintexts and
+    // noise from campaign_shard_seed(seed, s, ·) and starts from fresh
+    // simulator state, independent of every other shard.
+    const std::size_t shard_size = campaign_shard_size(options);
+    ASSERT_EQ(shard_size, 128u);
     SboxTarget reference(present_spec(), style, kTech);
-    Rng pt_rng(options.seed);
-    Rng noise_rng(options.seed ^ 0x9E3779B97F4A7C15ULL);
     Rng no_noise(0);
-    for (std::size_t i = 0; i < traces.size(); ++i) {
-      const auto pt = static_cast<std::uint8_t>(pt_rng.below(16));
-      EXPECT_EQ(traces.plaintexts[i], pt);
-      const double energy = reference.trace(pt, options.key, 0.0, no_noise);
-      const double noise = options.noise_sigma * noise_rng.gaussian();
-      EXPECT_EQ(traces.samples[i], energy + noise) << i;
+    for (std::size_t start = 0, shard = 0; start < options.num_traces;
+         start += shard_size, ++shard) {
+      const std::size_t count =
+          std::min(shard_size, options.num_traces - start);
+      Rng pt_rng(campaign_shard_seed(options.seed, shard, 0));
+      Rng noise_rng(campaign_shard_seed(options.seed, shard, 1));
+      reference.reset_state();
+      for (std::size_t i = 0; i < count; ++i) {
+        const auto pt = static_cast<std::uint8_t>(pt_rng.below(16));
+        EXPECT_EQ(traces.plaintexts[start + i], pt);
+        const double energy = reference.trace(pt, options.key, 0.0, no_noise);
+        const double noise = options.noise_sigma * noise_rng.gaussian();
+        EXPECT_EQ(traces.samples[start + i], energy + noise) << start + i;
+      }
     }
 
-    // And block_size is a pure performance knob: a different block size
+    // The thread count is a pure performance knob: any worker count
     // reproduces the identical trace sequence.
-    TraceEngine engine2(present_spec(), style, kTech);
-    CampaignOptions wide = options;
-    wide.block_size = 4096;
-    const TraceSet traces2 = engine2.run(wide);
-    ASSERT_EQ(traces2.size(), traces.size());
-    for (std::size_t i = 0; i < traces.size(); ++i) {
-      EXPECT_EQ(traces2.plaintexts[i], traces.plaintexts[i]);
-      EXPECT_EQ(traces2.samples[i], traces.samples[i]) << i;
+    for (std::size_t threads : {std::size_t{2}, std::size_t{5}}) {
+      TraceEngine engine2(present_spec(), style, kTech);
+      CampaignOptions parallel = options;
+      parallel.num_threads = threads;
+      const TraceSet traces2 = engine2.run(parallel);
+      ASSERT_EQ(traces2.size(), traces.size());
+      for (std::size_t i = 0; i < traces.size(); ++i) {
+        EXPECT_EQ(traces2.plaintexts[i], traces.plaintexts[i]);
+        EXPECT_EQ(traces2.samples[i], traces.samples[i]) << i;
+      }
     }
   }
 }
@@ -412,7 +424,9 @@ TEST(TraceEngineTest, CmosCampaignMatchesPerLaneScalarHistory) {
   options.seed = 0xCAFE;
   const TraceSet traces = engine.run(options);
 
-  Rng rng(options.seed);
+  // 256 traces fit one default-size shard, so the whole campaign draws
+  // from shard 0's plaintext stream.
+  Rng rng(campaign_shard_seed(options.seed, 0, 0));
   std::vector<std::uint8_t> pts(options.num_traces);
   for (auto& pt : pts) pt = static_cast<std::uint8_t>(rng.below(16));
   for (std::size_t lane = 0; lane < kLanes; ++lane) {
