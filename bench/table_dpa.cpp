@@ -2,14 +2,17 @@
 //
 // The paper's motivating threat: first-order power attacks on a cipher's
 // nonlinear layer. For each logic style the batched trace engine streams
-// simulated traces of a PRESENT S-box with a secret key through a bank of
-// one-pass accumulators — CPA (Hamming-weight model), DoM on every output
-// bit, and the incremental MTD driver — in a single generation pass with
-// no trace retained. Reported: correct-key rank, the leading guess, and
-// measurements-to-disclosure.
+// simulated traces of a `--round N`-instance PRESENT layer (default 1)
+// with a secret round key through a bank of one-pass accumulators — CPA
+// (Hamming-weight model) on the `--attack-sbox i` subkey, DoM on every
+// output bit of that instance, and the incremental MTD driver — in a
+// single generation pass with no trace retained. The unattacked instances
+// contribute algorithmic noise. Reported: correct-subkey rank, the
+// leading guess, and measurements-to-disclosure.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "engine/trace_engine.hpp"
 
@@ -26,39 +29,51 @@ struct Row {
   std::size_t mtd = 0;
 };
 
-Row evaluate_style(LogicStyle style, std::uint8_t key, std::size_t num_traces,
+std::vector<std::size_t> table_subkeys(std::size_t n) {
+  std::vector<std::size_t> keys(n);
+  for (std::size_t j = 0; j < n; ++j) keys[j] = (0x7 + 5 * j) & 0xF;
+  return keys;
+}
+
+Row evaluate_style(LogicStyle style, std::size_t round_size,
+                   std::size_t attack_sbox, std::size_t num_traces,
                    double noise, std::size_t num_threads) {
   const Technology tech = Technology::generic_180nm();
-  const SboxSpec spec = present_spec();
-  TraceEngine engine(spec, style, tech);
+  const RoundSpec round = present_round(round_size, style);
+  const SboxSpec& spec = round.sboxes[attack_sbox];
+  TraceEngine engine(round, tech);
 
   CampaignOptions options;
   options.num_traces = num_traces;
-  options.key = key;
+  options.key = round.pack_subkeys(table_subkeys(round_size));
   options.noise_sigma = noise;
   options.seed = 0xDEC0DE;
   options.num_threads = num_threads;
+  const std::size_t subkey = round.sub_word(options.key.data(), attack_sbox);
 
   // One generation pass feeds every accumulator: CPA, one DoM per output
-  // bit, and the MTD snapshotter.
+  // bit, and the MTD snapshotter — all on the attacked instance's
+  // sub-plaintexts.
   StreamingCpa cpa(spec, PowerModel::kHammingWeight);
   std::vector<StreamingDom> dom;
   for (std::size_t bit = 0; bit < spec.out_bits; ++bit) {
     dom.emplace_back(spec, bit);
   }
-  StreamingMtd mtd(StreamingCpa(spec, PowerModel::kHammingWeight), key,
+  StreamingMtd mtd(StreamingCpa(spec, PowerModel::kHammingWeight), subkey,
                    default_checkpoints(num_traces));
+  std::vector<std::uint8_t> sub_pts(campaign_shard_size(options));
   engine.stream(options, [&](const std::uint8_t* pts, const double* samples,
                              std::size_t n) {
-    cpa.add_batch(pts, samples, n);
-    for (auto& d : dom) d.add_batch(pts, samples, n);
-    mtd.add_batch(pts, samples, n);
+    round.sub_words(pts, n, attack_sbox, sub_pts.data());
+    cpa.add_batch(sub_pts.data(), samples, n);
+    for (auto& d : dom) d.add_batch(sub_pts.data(), samples, n);
+    mtd.add_batch(sub_pts.data(), samples, n);
   });
 
   Row row{style};
   const AttackResult cpa_result = cpa.result();
-  row.cpa_rank = cpa_result.rank_of(key);
-  row.cpa_rho = cpa_result.score[key];
+  row.cpa_rank = cpa_result.rank_of(subkey);
+  row.cpa_rho = cpa_result.score[subkey];
 
   // Combine the per-bit difference-of-means scores by taking, for every
   // guess, its strongest bias over the output bits (the attacker does not
@@ -70,7 +85,7 @@ Row evaluate_style(LogicStyle style, std::uint8_t key, std::size_t num_traces,
       combined[g] = std::max(combined[g], result.score[g]);
     }
   }
-  row.dom_rank = make_attack_result(std::move(combined)).rank_of(key);
+  row.dom_rank = make_attack_result(std::move(combined)).rank_of(subkey);
 
   const MtdResult mtd_result = mtd.result();
   row.disclosed = mtd_result.disclosed;
@@ -81,25 +96,44 @@ Row evaluate_style(LogicStyle style, std::uint8_t key, std::size_t num_traces,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::uint8_t key = 0x7;
   const std::size_t num_traces = 8000;
   const double noise = 2e-16;
   std::size_t num_threads = 0;  // 0 = hardware concurrency
+  std::size_t round_size = 1;
+  std::size_t attack_sbox = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       num_threads =
           static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--round") == 0 && i + 1 < argc) {
+      round_size =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--attack-sbox") == 0 && i + 1 < argc) {
+      attack_sbox =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else {
-      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--threads N] [--round N] [--attack-sbox I]\n",
+                   argv[0]);
       return 2;
     }
   }
+  if (round_size == 0 || attack_sbox >= round_size) {
+    std::fprintf(stderr, "--attack-sbox must address one of the --round %zu "
+                         "instances\n",
+                 round_size);
+    return 2;
+  }
+  const std::size_t subkey = table_subkeys(round_size)[attack_sbox];
 
   std::printf("== E9: DPA resistance by logic style ========================\n");
   std::printf(
-      "PRESENT S-box, key=0x%X, %zu traces, noise %.0e J RMS\n"
-      "(streamed one-pass: CPA + 4x DoM + MTD per style, nothing retained)\n\n",
-      key, num_traces, noise);
+      "%zu-S-box PRESENT round, attacked S-box %zu (subkey 0x%zX), %zu "
+      "traces, noise %.0e J RMS\n"
+      "(streamed one-pass: CPA + %zux DoM + MTD per style, nothing "
+      "retained)\n\n",
+      round_size, attack_sbox, subkey, num_traces, noise,
+      present_spec().out_bits);
   std::printf("%-22s %9s %10s %9s %12s\n", "logic style", "CPA rank",
               "|rho(key)|", "DoM rank", "MTD");
 
@@ -107,7 +141,8 @@ int main(int argc, char** argv) {
        {LogicStyle::kStaticCmos, LogicStyle::kSablGenuine,
         LogicStyle::kSablFullyConnected, LogicStyle::kSablEnhanced,
         LogicStyle::kWddlBalanced, LogicStyle::kWddlMismatched}) {
-    const Row row = evaluate_style(style, key, num_traces, noise, num_threads);
+    const Row row = evaluate_style(style, round_size, attack_sbox, num_traces,
+                                   noise, num_threads);
     char mtd_str[32];
     if (row.disclosed) {
       std::snprintf(mtd_str, sizeof mtd_str, "%zu", row.mtd);
@@ -136,8 +171,8 @@ int main(int argc, char** argv) {
     const Technology tech = Technology::generic_180nm();
     CampaignOptions options;
     options.num_traces = 4000;
-    options.key =
-        static_cast<std::uint8_t>(0x2A & ((1u << spec.in_bits) - 1));
+    options.key = {
+        static_cast<std::uint8_t>(0x2A & ((1u << spec.in_bits) - 1))};
     options.noise_sigma = noise;
     options.seed = 0xFACE;
     options.num_threads = num_threads;
@@ -146,8 +181,11 @@ int main(int argc, char** argv) {
     for (LogicStyle style :
          {LogicStyle::kStaticCmos, LogicStyle::kSablFullyConnected}) {
       TraceEngine engine(spec, style, tech);
-      ranks[col++] = engine.cpa_campaign(options, PowerModel::kHammingWeight)
-                         .rank_of(options.key);
+      ranks[col++] =
+          engine
+              .cpa_campaign(options,
+                            AttackSelector{.model = PowerModel::kHammingWeight})
+              .rank_of(options.key[0]);
     }
     std::printf("%-10s %8zu %22zu %22zu\n", spec.name,
                 std::size_t{1} << spec.in_bits, ranks[0], ranks[1]);

@@ -9,7 +9,13 @@
 // BENCH_trace_throughput.json so the perf trajectory is machine-readable
 // across PRs.
 //
-// Usage: bench_trace_throughput [--threads N] [--traces N] [--json PATH]
+// `--round N` also sweeps multi-S-box round targets (1, 2, 4, … up to N
+// PRESENT instances side by side) and reports traces/sec per instance
+// count — the cost of realistic algorithmic noise. Both tables land in
+// the JSON.
+//
+// Usage: bench_trace_throughput [--threads N] [--traces N] [--round N]
+//                               [--json PATH]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -44,7 +50,7 @@ double engine_tps(TraceEngine& engine, std::size_t num_traces,
                   std::size_t threads, double* checksum) {
   CampaignOptions options;
   options.num_traces = num_traces;
-  options.key = 0xB;
+  options.key = {0xB};
   options.seed = 0xBE7C;
   options.num_threads = threads;
   double sum = 0.0;
@@ -85,8 +91,46 @@ Throughput measure_style(LogicStyle style, std::size_t num_traces,
   return result;
 }
 
+struct RoundThroughput {
+  std::size_t num_sboxes = 0;
+  double tps = 0.0;
+};
+
+// Streamed-campaign throughput of an N-instance PRESENT round: every
+// instance is simulated per trace, so traces/sec is expected to fall
+// roughly as 1/N while traces·instances/sec stays flat.
+std::vector<RoundThroughput> measure_round_scaling(std::size_t max_round,
+                                                   std::size_t num_traces,
+                                                   std::size_t threads) {
+  const Technology tech = Technology::generic_180nm();
+  std::vector<std::size_t> counts;
+  for (std::size_t n = 1; n < max_round; n *= 2) counts.push_back(n);
+  counts.push_back(max_round);
+  std::vector<RoundThroughput> rows;
+  for (std::size_t n : counts) {
+    const RoundSpec round = present_round(n, LogicStyle::kStaticCmos);
+    TraceEngine engine(round, tech);
+    CampaignOptions options;
+    options.num_traces = num_traces;
+    options.key.assign(round.state_bytes(), 0x5A);
+    options.seed = 0xBE7C;
+    options.num_threads = threads;
+    double sum = 0.0;
+    const auto start = Clock::now();
+    engine.stream(options, [&](const std::uint8_t*, const double* samples,
+                               std::size_t count) {
+      for (std::size_t i = 0; i < count; ++i) sum += samples[i];
+    });
+    const double seconds = seconds_since(start);
+    rows.push_back({n, static_cast<double>(num_traces) / seconds});
+    if (sum == 0.0) std::fprintf(stderr, "unexpected zero checksum\n");
+  }
+  return rows;
+}
+
 void write_json(const std::string& path, std::size_t num_traces,
                 std::size_t threads, const std::vector<Throughput>& rows,
+                const std::vector<RoundThroughput>& round_rows,
                 std::size_t cpa_traces, double cpa_seconds) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
@@ -110,6 +154,17 @@ void write_json(const std::string& path, std::size_t num_traces,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"round_scaling\": [\n");
+  for (std::size_t i = 0; i < round_rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"num_sboxes\": %zu, \"tps\": %.1f, "
+                 "\"sbox_tps\": %.1f}%s\n",
+                 round_rows[i].num_sboxes, round_rows[i].tps,
+                 round_rows[i].tps *
+                     static_cast<double>(round_rows[i].num_sboxes),
+                 i + 1 < round_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   std::fprintf(f,
                "  \"streaming_cpa\": {\"num_traces\": %zu, \"seconds\": %.3f, "
                "\"tps\": %.1f}\n",
@@ -124,6 +179,7 @@ void write_json(const std::string& path, std::size_t num_traces,
 int main(int argc, char** argv) {
   std::size_t num_traces = 200000;
   std::size_t threads = campaign_thread_count(CampaignOptions{});
+  std::size_t max_round = 4;  // CI default: small sweep, still in the JSON
   std::string json_path = "BENCH_trace_throughput.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -131,15 +187,20 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--traces") == 0 && i + 1 < argc) {
       num_traces =
           static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--round") == 0 && i + 1 < argc) {
+      max_round =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--threads N] [--traces N] [--json PATH]\n",
+                   "usage: %s [--threads N] [--traces N] [--round N] "
+                   "[--json PATH]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (max_round == 0) max_round = 1;
   // 0 keeps the CampaignOptions contract: hardware concurrency.
   if (threads == 0) threads = campaign_thread_count(CampaignOptions{});
 
@@ -166,6 +227,19 @@ int main(int argc, char** argv) {
     rows.push_back(t);
   }
 
+  // Round targets: throughput vs. instance count (algorithmic-noise cost).
+  const std::size_t round_traces = std::min<std::size_t>(num_traces, 50000);
+  const std::vector<RoundThroughput> round_rows =
+      measure_round_scaling(max_round, round_traces, threads);
+  std::printf(
+      "\nround targets (static CMOS, %zu traces, %zu threads):\n"
+      "%10s %13s %16s\n",
+      round_traces, threads, "S-boxes", "traces/s", "S-box evals/s");
+  for (const RoundThroughput& r : round_rows) {
+    std::printf("%10zu %13.0f %16.0f\n", r.num_sboxes, r.tps,
+                r.tps * static_cast<double>(r.num_sboxes));
+  }
+
   // End-to-end: streaming one-pass CPA at MTD scale, nothing retained,
   // sharded over all requested threads.
   const std::size_t cpa_traces = 1000000;
@@ -175,22 +249,24 @@ int main(int argc, char** argv) {
     TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, tech);
     CampaignOptions options;
     options.num_traces = cpa_traces;
-    options.key = 0x7;
+    options.key = {0x7};
     options.noise_sigma = 2e-16;
     options.num_threads = threads;
     const auto start = Clock::now();
     const AttackResult r =
-        engine.cpa_campaign(options, PowerModel::kHammingWeight);
+        engine.cpa_campaign(
+            options, AttackSelector{.model = PowerModel::kHammingWeight});
     cpa_seconds = seconds_since(start);
     std::printf(
         "\nstreaming CPA campaign: %zu traces in %.2f s (%.0f traces/s),\n"
-        "recovered key 0x%X (rank %zu), O(guesses) memory, one pass\n",
+        "recovered key 0x%zX (rank %zu), O(guesses) memory, one pass\n",
         cpa_traces, cpa_seconds,
         static_cast<double>(cpa_traces) / cpa_seconds, r.best_guess,
-        r.rank_of(options.key));
+        r.rank_of(options.key[0]));
   }
 
-  write_json(json_path, num_traces, threads, rows, cpa_traces, cpa_seconds);
+  write_json(json_path, num_traces, threads, rows, round_rows, cpa_traces,
+             cpa_seconds);
   std::printf("wrote %s\n", json_path.c_str());
   return all_pass ? 0 : 1;
 }

@@ -1,15 +1,20 @@
 // Differential power analysis demo: the attack the paper defends against.
 //
-// Simulates a PRESENT S-box with a secret key in every logic style through
-// the batched trace engine (64 encryptions per simulated cycle), runs a
-// one-pass streaming correlation attack for every key guess, and reports
-// whether the secret leaks. Static CMOS falls quickly, the genuine dynamic
+// Simulates the nonlinear layer of a cipher round — `--round N` PRESENT
+// S-box instances side by side (default 1) with a secret round key — in
+// every logic style through the batched trace engine (64 encryptions per
+// simulated cycle), runs a one-pass streaming correlation attack on the
+// `--attack-sbox i` subkey for every guess, and reports whether that
+// subkey leaks. The other N-1 instances switch on their own data and act
+// as algorithmic noise on the shared supply, exactly like the neighbours
+// of a real datapath. Static CMOS falls quickly, the genuine dynamic
 // differential implementation leaks through its floating internal nodes,
 // and the fully connected SABL implementation holds. No trace is ever
 // retained: the CPA and MTD accumulators consume the stream directly.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "engine/trace_engine.hpp"
 
@@ -17,71 +22,104 @@ using namespace sable;
 
 namespace {
 
-void attack_style(LogicStyle style, std::uint8_t key, std::size_t num_traces,
+// Deterministic distinct subkeys: instance j's nibble of the round key.
+std::vector<std::size_t> demo_subkeys(std::size_t n) {
+  std::vector<std::size_t> keys(n);
+  for (std::size_t j = 0; j < n; ++j) keys[j] = (0xB + 3 * j) & 0xF;
+  return keys;
+}
+
+void attack_style(LogicStyle style, std::size_t round_size,
+                  std::size_t attack_sbox, std::size_t num_traces,
                   double noise, std::size_t num_threads) {
   const Technology tech = Technology::generic_180nm();
-  TraceEngine engine(present_spec(), style, tech);
+  const RoundSpec round = present_round(round_size, style);
+  TraceEngine engine(round, tech);
 
   CampaignOptions options;
   options.num_traces = num_traces;
-  options.key = key;
+  options.key = round.pack_subkeys(demo_subkeys(round_size));
   options.noise_sigma = noise;
   options.seed = 0xA77ACC;
   options.num_threads = num_threads;
+  const std::size_t subkey = round.sub_word(options.key.data(), attack_sbox);
 
   // One generation pass feeds both consumers: the full-campaign CPA and
-  // the incremental MTD snapshotter.
-  StreamingCpa cpa(engine.spec(), PowerModel::kHammingWeight);
-  StreamingMtd mtd_driver(StreamingCpa(engine.spec(),
-                                       PowerModel::kHammingWeight),
-                          key, default_checkpoints(num_traces));
+  // the incremental MTD snapshotter, each over the attacked instance's
+  // sub-plaintexts extracted from the streamed wide states.
+  StreamingCpa cpa(engine.spec(attack_sbox), PowerModel::kHammingWeight);
+  StreamingMtd mtd_driver(
+      StreamingCpa(engine.spec(attack_sbox), PowerModel::kHammingWeight),
+      subkey, default_checkpoints(num_traces));
+  std::vector<std::uint8_t> sub_pts(campaign_shard_size(options));
   engine.stream(options, [&](const std::uint8_t* pts, const double* samples,
                              std::size_t n) {
-    cpa.add_batch(pts, samples, n);
-    mtd_driver.add_batch(pts, samples, n);
+    round.sub_words(pts, n, attack_sbox, sub_pts.data());
+    cpa.add_batch(sub_pts.data(), samples, n);
+    mtd_driver.add_batch(sub_pts.data(), samples, n);
   });
   const AttackResult result = cpa.result();
   const MtdResult mtd = mtd_driver.result();
 
-  std::printf("%-22s best guess = 0x%X (|rho| = %.3f), correct key rank %zu",
+  std::printf("%-22s best guess = 0x%zX (|rho| = %.3f), correct subkey rank "
+              "%zu",
               to_string(style), result.best_guess,
-              result.score[result.best_guess], result.rank_of(key));
+              result.score[result.best_guess], result.rank_of(subkey));
   if (mtd.disclosed) {
     std::printf(", DISCLOSED after ~%zu traces\n", mtd.mtd);
   } else {
-    std::printf(", key NOT disclosed in %zu traces\n", num_traces);
+    std::printf(", subkey NOT disclosed in %zu traces\n", num_traces);
   }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::uint8_t secret_key = 0xB;
   const std::size_t num_traces = 5000;
   const double noise = 2e-16;  // ~0.2 fJ RMS measurement noise
   std::size_t num_threads = 0;  // 0 = hardware concurrency
+  std::size_t round_size = 1;
+  std::size_t attack_sbox = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       num_threads =
           static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--round") == 0 && i + 1 < argc) {
+      round_size =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--attack-sbox") == 0 && i + 1 < argc) {
+      attack_sbox =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else {
-      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--threads N] [--round N] [--attack-sbox I]\n",
+                   argv[0]);
       return 2;
     }
   }
+  if (round_size == 0 || attack_sbox >= round_size) {
+    std::fprintf(stderr, "--attack-sbox must address one of the --round %zu "
+                         "instances\n",
+                 round_size);
+    return 2;
+  }
 
-  std::printf("CPA attack on PRESENT S-box, secret key = 0x%X, %zu traces\n",
-              secret_key, num_traces);
+  const std::size_t subkey = demo_subkeys(round_size)[attack_sbox];
+  std::printf("CPA attack on a %zu-S-box PRESENT round, attacking S-box %zu "
+              "(secret subkey 0x%zX), %zu traces\n",
+              round_size, attack_sbox, subkey, num_traces);
   std::printf(
       "(batched 64-wide simulation sharded over %zu threads, streaming "
-      "one-pass attack)\n\n",
+      "one-pass attack%s)\n\n",
       num_threads != 0 ? num_threads
-                       : campaign_thread_count(CampaignOptions{}));
+                       : campaign_thread_count(CampaignOptions{}),
+      round_size > 1 ? "; the other instances are algorithmic noise" : "");
   for (LogicStyle style :
        {LogicStyle::kStaticCmos, LogicStyle::kSablGenuine,
         LogicStyle::kSablFullyConnected, LogicStyle::kSablEnhanced,
         LogicStyle::kWddlBalanced, LogicStyle::kWddlMismatched}) {
-    attack_style(style, secret_key, num_traces, noise, num_threads);
+    attack_style(style, round_size, attack_sbox, num_traces, noise,
+                 num_threads);
   }
   std::printf(
       "\nThe fully connected/enhanced gates draw an input-independent charge\n"

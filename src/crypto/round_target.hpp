@@ -1,0 +1,172 @@
+// Width-generic round targets: N S-box instances synthesized side by side
+// in one logic style, consuming a wide plaintext state XOR a wide round
+// key and emitting the *summed* per-cycle power across all instances.
+//
+// This is the paper's real threat model: the attacked S-box of a cipher
+// round sits beside its neighbours, whose data-dependent switching acts as
+// algorithmic noise on the shared supply. A RoundTarget generalizes the
+// single-S-box target — an attack selects one instance (one subkey) while
+// every other instance contributes realistic noise.
+//
+// State layout: the wide plaintext / round key is a byte span of
+// state_bytes() bytes. Instance i's input sub-word occupies state bits
+// [bit_offset(i), bit_offset(i) + in_bits_i), packed LSB-first in instance
+// order — so sixteen 4-bit PRESENT S-boxes nibble-pack into 8 bytes, and
+// sixteen AES S-boxes byte-pack into 16. Heterogeneous specs (mixed
+// widths) pack the same way.
+//
+// Encryptions run through the 64-wide bit-parallel circuit simulators:
+// trace_batch() simulates 64 wide plaintexts per clock cycle (lane L of
+// step k is trace k*64 + L, so history-bearing styles carry per-lane,
+// per-instance history), and the scalar trace() is the width-1 case.
+// Identical (spec, style) instances share one synthesized circuit; every
+// instance owns its mutable simulator state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cell/circuit_sim.hpp"
+#include "cell/wddl.hpp"
+#include "crypto/sboxes.hpp"
+#include "util/rng.hpp"
+
+namespace sable {
+
+enum class LogicStyle {
+  kStaticCmos,        // HD-leaking baseline
+  kSablGenuine,       // dynamic differential with genuine DPDNs (§2 leak)
+  kSablFullyConnected,  // §4 networks
+  kSablEnhanced,      // §5 networks
+  kWddlBalanced,      // standard-cell pair logic, ideal back-end (ref [8])
+  kWddlMismatched,    // WDDL with 5% rail-capacitance imbalance
+};
+
+const char* to_string(LogicStyle style);
+
+/// A round's nonlinear layer: the S-box instances (possibly heterogeneous,
+/// each 1–8 input bits) and the logic style they are all implemented in.
+struct RoundSpec {
+  std::vector<SboxSpec> sboxes;
+  LogicStyle style = LogicStyle::kStaticCmos;
+
+  std::size_t num_sboxes() const { return sboxes.size(); }
+  /// Total input width of the round (sum of per-instance in_bits).
+  std::size_t state_bits() const;
+  /// Bytes of a packed plaintext/round-key state: ceil(state_bits / 8).
+  std::size_t state_bytes() const { return (state_bits() + 7) / 8; }
+  /// First state bit of instance `index`'s input sub-word.
+  std::size_t bit_offset(std::size_t index) const;
+
+  /// Instance `index`'s input sub-word of a packed state.
+  std::size_t sub_word(const std::uint8_t* state, std::size_t index) const;
+  /// Writes instance `index`'s input sub-word into a packed state.
+  void set_sub_word(std::uint8_t* state, std::size_t index,
+                    std::size_t value) const;
+  /// Batch extraction: out[t] = sub_word(states + t * state_bytes(), index)
+  /// for `count` packed states — the per-trace sub-plaintexts an attack on
+  /// instance `index` consumes.
+  void sub_words(const std::uint8_t* states, std::size_t count,
+                 std::size_t index, std::uint8_t* out) const;
+  /// Packs one subkey per instance into a round-key byte vector.
+  std::vector<std::uint8_t> pack_subkeys(
+      const std::vector<std::size_t>& subkeys) const;
+  /// Fills `count` packed states (count * state_bytes() bytes) with
+  /// uniform random sub-words: per state, one below(2^in_bits) draw per
+  /// instance in instance order — the campaign plaintext stream
+  /// primitive. For a single byte-wide S-box this is one draw per trace,
+  /// bit-compatible with the historic single-S-box stream.
+  void fill_random_states(Rng& rng, std::size_t count,
+                          std::uint8_t* states) const;
+};
+
+/// The N = 1 round of a single S-box (what SboxTarget adapts).
+RoundSpec single_sbox_round(const SboxSpec& spec, LogicStyle style);
+/// `num_sboxes` PRESENT S-boxes side by side (nibble-packed state) — the
+/// full 16-instance nonlinear layer of PRESENT at num_sboxes = 16.
+RoundSpec present_round(std::size_t num_sboxes, LogicStyle style);
+/// `num_sboxes` AES S-boxes side by side (byte-packed state) — the AES
+/// SubBytes layer at num_sboxes = 16.
+RoundSpec aes_subbytes_round(std::size_t num_sboxes, LogicStyle style);
+
+class RoundTarget {
+ public:
+  RoundTarget(const RoundSpec& round, const Technology& tech);
+
+  /// Independent target over the same synthesized circuits: the
+  /// (immutable) GateCircuits are shared, every piece of mutable simulator
+  /// state — CMOS transition history, SABL node charge, evaluator scratch —
+  /// is fresh and private to the clone. This is the per-worker instance
+  /// the thread-sharded TraceEngine hands each thread.
+  RoundTarget clone() const;
+
+  /// One encryption of the whole round: applies pt XOR key per instance
+  /// (both `state_bytes()` packed bytes) and returns the summed power
+  /// sample plus Gaussian noise of `noise_sigma` joules.
+  double trace(const std::uint8_t* pt, const std::uint8_t* key,
+               double noise_sigma, Rng& rng);
+
+  /// Batched encryptions, 64 per simulated cycle: `pts` holds `count`
+  /// packed states of `state_bytes()` bytes each; writes one summed power
+  /// sample per state into `out[0..count)`. Noise is drawn from `rng` in
+  /// ascending trace order, so a campaign is reproducible regardless of
+  /// the internal batch width.
+  void trace_batch(const std::uint8_t* pts, std::size_t count,
+                   const std::uint8_t* key, double noise_sigma, Rng& rng,
+                   double* out);
+
+  /// Time-resolved variant: writes `count` rows of `num_levels()` summed
+  /// per-logic-level energies (row-major) into `rows`; gates at the same
+  /// topological depth across all instances switch together. Per-sample
+  /// Gaussian noise is drawn in trace-major, level-minor order. Requires a
+  /// differential (SABL-family) style.
+  void trace_batch_sampled(const std::uint8_t* pts, std::size_t count,
+                           const std::uint8_t* key, double noise_sigma,
+                           Rng& rng, double* rows);
+
+  /// Restores the fresh-construction simulator state of every instance
+  /// (CMOS transition history, SABL node charge) in every lane.
+  void reset_state();
+
+  /// Reference output of instance `index` for functional checks.
+  std::uint8_t reference(std::size_t index, const std::uint8_t* pt,
+                         const std::uint8_t* key) const;
+
+  const RoundSpec& round() const { return round_; }
+  const GateCircuit& circuit(std::size_t index) const;
+  /// Samples per trace_batch_sampled row: the maximum logic depth over the
+  /// instances (0 for non-differential styles).
+  std::size_t num_levels() const { return num_levels_; }
+
+ private:
+  // One synthesized S-box beside its peers: shared immutable circuit,
+  // private mutable simulator (exactly one of the three styles is set).
+  struct Instance {
+    std::shared_ptr<const GateCircuit> circuit;
+    std::unique_ptr<DifferentialCircuitSimBatch> diff_sim;
+    std::unique_ptr<CmosCircuitSimBatch> cmos_sim;
+    std::unique_ptr<WddlCircuitSimBatch> wddl_sim;
+    std::size_t bit_offset = 0;
+  };
+
+  RoundTarget(RoundSpec round, std::vector<Instance> instances);
+
+  void cycle_instance(Instance& instance,
+                      const std::vector<std::uint64_t>& input_words,
+                      std::uint64_t lane_mask, BatchCycleResult& out);
+  /// Packs instance `index`'s (pt XOR key) sub-words of `lanes` adjacent
+  /// states into `words_`.
+  void pack_instance_lanes(const Instance& instance, const SboxSpec& spec,
+                           const std::uint8_t* pts, std::size_t base,
+                           std::size_t lanes, const std::uint8_t* key);
+
+  RoundSpec round_;
+  std::vector<Instance> instances_;
+  std::size_t num_levels_ = 0;
+  std::vector<std::uint64_t> words_;
+  BatchCycleResult scratch_;
+  SampledBatchCycleResult sampled_scratch_;
+};
+
+}  // namespace sable

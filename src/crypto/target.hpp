@@ -1,54 +1,37 @@
-// DPA attack targets: an S-box evaluated as y = S(x XOR key) in a chosen
-// logic style, producing one power sample per encryption.
+// Single-S-box DPA attack target: the N = 1 case of the width-generic
+// RoundTarget, kept as a thin adapter so byte-wide callers stay simple.
 //
 // The circuit computes the S-box only; the key addition happens at the
 // stimulus (x = pt XOR key), which models the standard first-order DPA
 // setting where the attacker predicts S-box output bits from plaintext and
-// key guess.
-//
-// Encryptions run through the 64-wide bit-parallel circuit simulators:
-// trace_batch() simulates 64 plaintexts per clock cycle (lane L of step k
-// is trace k*64 + L, so a history-bearing style like static CMOS carries
-// per-lane history), and the scalar trace() is the width-1 case.
+// key guess. Encryptions run through the 64-wide bit-parallel circuit
+// simulators via the underlying RoundTarget; for specs of up to 8 input
+// bits the packed one-byte round state IS the plaintext byte, so the
+// adapter forwards pointers without repacking.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 
-#include "cell/circuit_sim.hpp"
-#include "cell/wddl.hpp"
-#include "crypto/sboxes.hpp"
-#include "util/rng.hpp"
+#include "crypto/round_target.hpp"
 
 namespace sable {
 
-enum class LogicStyle {
-  kStaticCmos,        // HD-leaking baseline
-  kSablGenuine,       // dynamic differential with genuine DPDNs (§2 leak)
-  kSablFullyConnected,  // §4 networks
-  kSablEnhanced,      // §5 networks
-  kWddlBalanced,      // standard-cell pair logic, ideal back-end (ref [8])
-  kWddlMismatched,    // WDDL with 5% rail-capacitance imbalance
-};
-
-const char* to_string(LogicStyle style);
-
 class SboxTarget {
  public:
-  SboxTarget(const SboxSpec& spec, LogicStyle style, const Technology& tech);
+  SboxTarget(const SboxSpec& spec, LogicStyle style, const Technology& tech)
+      : round_(single_sbox_round(spec, style), tech) {}
 
   /// Independent target over the same synthesized circuit: the (immutable)
-  /// GateCircuit is shared, every piece of mutable simulator state — CMOS
-  /// transition history, SABL node charge, evaluator scratch — is fresh and
-  /// private to the clone. This is the per-worker instance the
-  /// thread-sharded TraceEngine hands each thread, and it skips the
-  /// expression-factoring/synthesis cost of a from-scratch construction.
-  SboxTarget clone() const;
+  /// GateCircuit is shared, every piece of mutable simulator state is
+  /// fresh and private to the clone (see RoundTarget::clone()).
+  SboxTarget clone() const { return SboxTarget(round_.clone()); }
 
   /// One encryption: applies pt XOR key, returns the power sample
   /// (circuit energy plus Gaussian noise of `noise_sigma` joules).
   double trace(std::uint8_t pt, std::uint8_t key, double noise_sigma,
-               Rng& rng);
+               Rng& rng) {
+    return round_.trace(&pt, &key, noise_sigma, rng);
+  }
 
   /// Batched encryptions, 64 per simulated cycle: writes one power sample
   /// per plaintext into `out[0..count)`. Noise is drawn from `rng` in
@@ -56,38 +39,28 @@ class SboxTarget {
   /// the internal batch width.
   void trace_batch(const std::uint8_t* pts, std::size_t count,
                    std::uint8_t key, double noise_sigma, Rng& rng,
-                   double* out);
+                   double* out) {
+    round_.trace_batch(pts, count, &key, noise_sigma, rng, out);
+  }
 
   /// Restores the fresh-construction simulator state in every lane (CMOS
   /// transition history, SABL node charge), so campaigns with the same
   /// seed reproduce the same traces no matter what ran before.
-  void reset_state();
+  void reset_state() { round_.reset_state(); }
 
   /// Reference S-box output for functional checks.
-  std::uint8_t reference(std::uint8_t pt, std::uint8_t key) const;
+  std::uint8_t reference(std::uint8_t pt, std::uint8_t key) const {
+    return round_.reference(0, &pt, &key);
+  }
 
-  const GateCircuit& circuit() const { return *circuit_; }
-  const SboxSpec& spec() const { return spec_; }
-  LogicStyle style() const { return style_; }
+  const GateCircuit& circuit() const { return round_.circuit(0); }
+  const SboxSpec& spec() const { return round_.round().sboxes.front(); }
+  LogicStyle style() const { return round_.round().style; }
 
  private:
-  SboxTarget(const SboxSpec& spec, LogicStyle style,
-             std::shared_ptr<const GateCircuit> circuit);
+  explicit SboxTarget(RoundTarget round) : round_(std::move(round)) {}
 
-  void cycle_batch(const std::vector<std::uint64_t>& input_words,
-                   std::uint64_t lane_mask, BatchCycleResult& out);
-
-  SboxSpec spec_;
-  LogicStyle style_;
-  // Shared and immutable after construction: clones alias it, and the
-  // simulators hold references into it, so it is heap-owned (stable
-  // address under moves) and kept alive by every aliasing target.
-  std::shared_ptr<const GateCircuit> circuit_;
-  std::unique_ptr<DifferentialCircuitSimBatch> diff_sim_;
-  std::unique_ptr<CmosCircuitSimBatch> cmos_sim_;
-  std::unique_ptr<WddlCircuitSimBatch> wddl_sim_;
-  std::vector<std::uint64_t> words_;
-  BatchCycleResult scratch_;
+  RoundTarget round_;
 };
 
 }  // namespace sable

@@ -5,7 +5,7 @@
 
 namespace sable {
 
-std::size_t AttackResult::rank_of(std::uint8_t key) const {
+std::size_t AttackResult::rank_of(std::size_t key) const {
   SABLE_ASSERT(key < score.size(), "key out of range for ranking");
   std::size_t rank = 0;
   for (std::size_t g = 0; g < score.size(); ++g) {
@@ -28,7 +28,7 @@ AttackResult make_attack_result(std::vector<double> scores) {
     if (result.score[g] > best) {
       second = best;
       best = result.score[g];
-      result.best_guess = static_cast<std::uint8_t>(g);
+      result.best_guess = g;
     } else if (result.score[g] > second) {
       second = result.score[g];
     }
@@ -51,6 +51,9 @@ AttackResult make_attack_result(std::vector<double> scores) {
 AttackResult cpa_attack(const TraceSet& traces, const SboxSpec& spec,
                         PowerModel model, std::size_t bit) {
   SABLE_REQUIRE(traces.size() >= 2, "CPA requires at least two traces");
+  SABLE_REQUIRE(traces.pt_width == 1,
+                "attacks consume sub-plaintexts: extract the attacked "
+                "instance's bytes (RoundSpec::sub_words) first");
   StreamingCpa acc(spec, model, bit);
   acc.add_batch(traces.plaintexts.data(), traces.samples.data(),
                 traces.size());
@@ -72,6 +75,9 @@ MultiAttackResult cpa_attack_multisample(const MultiTraceSet& traces,
 AttackResult dom_attack(const TraceSet& traces, const SboxSpec& spec,
                         std::size_t bit) {
   SABLE_REQUIRE(traces.size() >= 2, "DPA requires at least two traces");
+  SABLE_REQUIRE(traces.pt_width == 1,
+                "attacks consume sub-plaintexts: extract the attacked "
+                "instance's bytes (RoundSpec::sub_words) first");
   StreamingDom acc(spec, bit);
   acc.add_batch(traces.plaintexts.data(), traces.samples.data(),
                 traces.size());

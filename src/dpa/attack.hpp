@@ -24,14 +24,17 @@ namespace sable {
 // guesses by index instead of all-zero. make_attack_result() is the single
 // constructor of AttackResult and asserts this contract centrally, so a
 // reordered merge or snapshot cannot silently change rankings.
+// Guess indices are std::size_t so 4-bit (16-guess), 8-bit (256-guess)
+// and wider future subkey spaces are first-class — no caller-side byte
+// truncation.
 struct AttackResult {
   /// Distinguisher score per key guess (|correlation| or |mean difference|).
   std::vector<double> score;
-  std::uint8_t best_guess = 0;
+  std::size_t best_guess = 0;
   /// Best score minus runner-up score (confidence margin).
   double margin = 0.0;
-  /// Rank of `correct_key` in the canonical ordering (0 = best).
-  std::size_t rank_of(std::uint8_t key) const;
+  /// Rank of guess `key` in the canonical ordering (0 = best).
+  std::size_t rank_of(std::size_t key) const;
 };
 
 /// Builds an AttackResult from raw per-guess scores: fills best_guess and

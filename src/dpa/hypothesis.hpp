@@ -19,6 +19,17 @@ enum class PowerModel {
 
 const char* to_string(PowerModel model);
 
+/// What a round-level attack targets: one S-box instance (one subkey) of a
+/// RoundSpec, with the leakage model predicting that instance's output.
+/// Every other instance of the round contributes algorithmic noise. `bit`
+/// selects the predicted output bit for kSboxOutputBit (and for DoM) and
+/// is ignored for Hamming weight.
+struct AttackSelector {
+  std::size_t sbox_index = 0;
+  PowerModel model = PowerModel::kHammingWeight;
+  std::size_t bit = 0;
+};
+
 /// Predicted leakage for (pt, guess). `bit` selects the output bit for the
 /// single-bit model and is ignored for Hamming weight.
 double predict_leakage(const SboxSpec& spec, PowerModel model,

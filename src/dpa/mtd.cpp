@@ -24,15 +24,18 @@ MtdResult mtd_from_history(
 }
 
 MtdResult measurements_to_disclosure(
-    const TraceSet& traces, std::uint8_t correct_key,
+    const TraceSet& traces, std::size_t correct_key,
     const std::vector<std::size_t>& checkpoints,
     const std::function<AttackResult(const TraceSet&)>& attack) {
   std::vector<std::pair<std::size_t, std::size_t>> history;
   for (std::size_t n : checkpoints) {
     if (n > traces.size() || n < 2) continue;
     TraceSet prefix;
-    prefix.plaintexts.assign(traces.plaintexts.begin(),
-                             traces.plaintexts.begin() + n);
+    prefix.pt_width = traces.pt_width;
+    prefix.plaintexts.assign(
+        traces.plaintexts.begin(),
+        traces.plaintexts.begin() +
+            static_cast<std::ptrdiff_t>(n * traces.pt_width));
     prefix.samples.assign(traces.samples.begin(), traces.samples.begin() + n);
     const AttackResult r = attack(prefix);
     history.emplace_back(n, r.rank_of(correct_key));
@@ -40,7 +43,7 @@ MtdResult measurements_to_disclosure(
   return mtd_from_history(std::move(history));
 }
 
-StreamingMtd::StreamingMtd(StreamingCpa attack, std::uint8_t correct_key,
+StreamingMtd::StreamingMtd(StreamingCpa attack, std::size_t correct_key,
                            std::vector<std::size_t> checkpoints)
     : attack_(std::move(attack)),
       correct_key_(correct_key),

@@ -30,7 +30,7 @@ MtdResult mtd_from_history(
 /// Runs `attack` on growing prefixes of the trace set at the given
 /// checkpoints. `attack` maps a TraceSet prefix to an AttackResult.
 MtdResult measurements_to_disclosure(
-    const TraceSet& traces, std::uint8_t correct_key,
+    const TraceSet& traces, std::size_t correct_key,
     const std::vector<std::size_t>& checkpoints,
     const std::function<AttackResult(const TraceSet&)>& attack);
 
@@ -41,7 +41,7 @@ MtdResult measurements_to_disclosure(
 /// stream and checkpoints.
 class StreamingMtd {
  public:
-  StreamingMtd(StreamingCpa attack, std::uint8_t correct_key,
+  StreamingMtd(StreamingCpa attack, std::size_t correct_key,
                std::vector<std::size_t> checkpoints);
 
   void add(std::uint8_t pt, double sample);
@@ -58,7 +58,7 @@ class StreamingMtd {
   void snapshot_if_due();
 
   StreamingCpa attack_;
-  std::uint8_t correct_key_;
+  std::size_t correct_key_;
   std::vector<std::size_t> checkpoints_;  // sorted, ascending
   std::size_t next_checkpoint_ = 0;
   std::vector<std::pair<std::size_t, std::size_t>> rank_history_;
@@ -76,7 +76,7 @@ class StreamingMtd {
 /// number of workers, and identical to StreamingMtd for a single shard.
 class ShardedMtd {
  public:
-  explicit ShardedMtd(std::uint8_t correct_key) : correct_key_(correct_key) {}
+  explicit ShardedMtd(std::size_t correct_key) : correct_key_(correct_key) {}
 
   /// Ranks the attack at `count` traces from the merged prefix plus
   /// `partial` (the current shard's accumulator up to `count`).
@@ -89,7 +89,7 @@ class ShardedMtd {
   MtdResult result() const { return mtd_from_history(rank_history_); }
 
  private:
-  std::uint8_t correct_key_;
+  std::size_t correct_key_;
   std::optional<StreamingCpa> merged_;  // shards appended so far
   std::vector<std::pair<std::size_t, std::size_t>> rank_history_;
 };

@@ -68,40 +68,82 @@ std::size_t resolve_threads(const CampaignOptions& options,
       1, std::min(campaign_thread_count(options), num_shards));
 }
 
+void validate_key(const RoundSpec& round, const CampaignOptions& options) {
+  SABLE_REQUIRE(options.key.size() == round.state_bytes(),
+                "CampaignOptions::key must hold round().state_bytes() packed "
+                "bytes (use RoundSpec::pack_subkeys)");
+}
+
+void validate_selector(const RoundSpec& round, const AttackSelector& sel,
+                       bool bit_model) {
+  SABLE_REQUIRE(sel.sbox_index < round.num_sboxes(),
+                "AttackSelector::sbox_index out of range for the round");
+  if (bit_model || sel.model == PowerModel::kSboxOutputBit) {
+    SABLE_REQUIRE(sel.bit < round.sboxes[sel.sbox_index].out_bits,
+                  "AttackSelector::bit out of range for the attacked S-box");
+  }
+}
+
+// Shard s's wide plaintexts: RoundSpec::fill_random_states over the
+// shard's counter-derived plaintext sub-stream — for a single byte-wide
+// S-box this is the historic one-draw-per-trace stream, bit for bit.
+void generate_shard_plaintexts(const RoundSpec& round,
+                               const CampaignOptions& options,
+                               std::size_t shard, std::size_t count,
+                               std::uint8_t* pts) {
+  Rng pt_rng(campaign_shard_seed(options.seed, shard, 0));
+  round.fill_random_states(pt_rng, count, pts);
+}
+
 // Simulates one shard into caller-provided storage: per-shard RNG streams
 // and fresh simulator state make the result a pure function of (options,
 // shard) — the invariant every determinism guarantee rests on.
-void simulate_shard(SboxTarget& target, const CampaignOptions& options,
+void simulate_shard(RoundTarget& target, const CampaignOptions& options,
                     const ShardLayout& layout, std::size_t shard,
                     std::uint8_t* pts, double* samples) {
   const std::size_t count = layout.count(shard);
-  const std::uint64_t pt_range = std::uint64_t{1} << target.spec().in_bits;
-  Rng pt_rng(campaign_shard_seed(options.seed, shard, 0));
+  generate_shard_plaintexts(target.round(), options, shard, count, pts);
   Rng noise_rng(campaign_shard_seed(options.seed, shard, 1));
   target.reset_state();
-  for (std::size_t i = 0; i < count; ++i) {
-    pts[i] = static_cast<std::uint8_t>(pt_rng.below(pt_range));
-  }
-  target.trace_batch(pts, count, options.key, options.noise_sigma, noise_rng,
-                     samples);
+  target.trace_batch(pts, count, options.key.data(), options.noise_sigma,
+                     noise_rng, samples);
+}
+
+// Time-resolved sibling: `rows` holds count rows of num_levels() samples.
+void simulate_shard_sampled(RoundTarget& target,
+                            const CampaignOptions& options,
+                            const ShardLayout& layout, std::size_t shard,
+                            std::uint8_t* pts, double* rows) {
+  const std::size_t count = layout.count(shard);
+  generate_shard_plaintexts(target.round(), options, shard, count, pts);
+  Rng noise_rng(campaign_shard_seed(options.seed, shard, 1));
+  target.reset_state();
+  target.trace_batch_sampled(pts, count, options.key.data(),
+                             options.noise_sigma, noise_rng, rows);
 }
 
 // Per-worker context: an independent target clone plus optional reusable
 // trace buffers, so the shard loop never allocates or shares mutable
 // state. Buffers are lazy — consumers that simulate into external storage
-// (run's TraceSet slices, stream's per-shard slots) never pay for them.
+// (run's TraceSet slices, the stream paths' per-shard slots) never pay for
+// them. `sample_width` is 1 for scalar campaigns and num_levels() for
+// time-resolved ones; `sub_pts` holds the attacked instance's
+// sub-plaintexts on the attack paths.
 struct WorkerCtx {
-  SboxTarget target;
+  RoundTarget target;
   std::vector<std::uint8_t> pts;
   std::vector<double> samples;
+  std::vector<std::uint8_t> sub_pts;
 
-  explicit WorkerCtx(const SboxTarget& prototype)
+  explicit WorkerCtx(const RoundTarget& prototype)
       : target(prototype.clone()) {}
 
-  void ensure_buffers(std::size_t shard_size) {
-    if (pts.size() < shard_size) {
-      pts.resize(shard_size);
-      samples.resize(shard_size);
+  void ensure_buffers(std::size_t shard_size, std::size_t pt_stride,
+                      std::size_t sample_width) {
+    if (pts.size() < shard_size * pt_stride) {
+      pts.resize(shard_size * pt_stride);
+      samples.resize(shard_size * sample_width);
+      sub_pts.resize(shard_size);
     }
   }
 };
@@ -111,7 +153,7 @@ struct WorkerCtx {
 // fn must only touch ctx and shard-indexed slots, keeping the pool free of
 // locks on the hot path. Worker exceptions are rethrown on the caller.
 template <typename Fn>
-void run_pool(const SboxTarget& prototype, const ShardLayout& layout,
+void run_pool(const RoundTarget& prototype, const ShardLayout& layout,
               std::size_t threads, Fn&& fn) {
   if (layout.num_shards == 0) return;
   if (threads <= 1) {
@@ -142,39 +184,24 @@ void run_pool(const SboxTarget& prototype, const ShardLayout& layout,
   if (error) std::rethrow_exception(error);
 }
 
-}  // namespace
-
-TraceEngine::TraceEngine(const SboxSpec& spec, LogicStyle style,
-                         const Technology& tech)
-    : target_(spec, style, tech) {}
-
-TraceSet TraceEngine::run(const CampaignOptions& options) {
-  const ShardLayout layout = layout_for(options);
-  TraceSet traces;
-  traces.plaintexts.resize(options.num_traces);
-  traces.samples.resize(options.num_traces);
-  // Shards map to disjoint slices of the canonical trace order, so workers
-  // simulate straight into the final TraceSet with no ordering hand-off.
-  run_pool(target_, layout, resolve_threads(options, layout.num_shards),
-           [&](WorkerCtx& ctx, std::size_t s) {
-             simulate_shard(ctx.target, options, layout, s,
-                            traces.plaintexts.data() + layout.start(s),
-                            traces.samples.data() + layout.start(s));
-           });
-  return traces;
-}
-
-void TraceEngine::stream(const CampaignOptions& options,
-                         const TraceSink& sink) {
+// Shared machinery of stream() and stream_sampled(): workers fill
+// per-shard slots via `simulate(target, shard, pts, samples)`; the calling
+// thread emits them to `sink` in canonical shard order. `pt_stride` /
+// `sample_width` size the per-trace storage. Workers stall once they run
+// `window` shards ahead of the emitter, bounding in-flight storage.
+template <typename SimulateFn>
+void stream_shards(const RoundTarget& prototype,
+                   const CampaignOptions& options, std::size_t pt_stride,
+                   std::size_t sample_width, SimulateFn&& simulate,
+                   const TraceSink& sink) {
   const ShardLayout layout = layout_for(options);
   if (layout.num_shards == 0) return;
   const std::size_t threads = resolve_threads(options, layout.num_shards);
   if (threads <= 1) {
-    WorkerCtx ctx(target_);
-    ctx.ensure_buffers(layout.shard_size);
+    WorkerCtx ctx(prototype);
+    ctx.ensure_buffers(layout.shard_size, pt_stride, sample_width);
     for (std::size_t s = 0; s < layout.num_shards; ++s) {
-      simulate_shard(ctx.target, options, layout, s, ctx.pts.data(),
-                     ctx.samples.data());
+      simulate(ctx.target, s, ctx.pts.data(), ctx.samples.data());
       sink(ctx.pts.data(), ctx.samples.data(), layout.count(s));
     }
     return;
@@ -184,13 +211,10 @@ void TraceEngine::stream(const CampaignOptions& options,
   // on the calling thread CONCURRENTLY with the workers (a blocking pool
   // helper can't interleave it), and a sink failure must abort workers
   // waiting on the window — so this path owns its spawn/claim/join cycle.
-
-  // Parallel path: workers fill per-shard slots; the calling thread emits
-  // them to the sink in canonical shard order. Workers stall once they run
-  // `window` shards ahead of the emitter, bounding in-flight storage.
   struct Slot {
     std::vector<std::uint8_t> pts;
     std::vector<double> samples;
+    std::size_t count = 0;
     bool ready = false;
   };
   std::vector<Slot> slots(layout.num_shards);
@@ -213,7 +237,7 @@ void TraceEngine::stream(const CampaignOptions& options,
         // No WorkerCtx here: this path simulates straight into per-shard
         // Slot buffers (they outlive the shard until emitted), so the
         // worker needs only its target clone.
-        SboxTarget worker = target_.clone();
+        RoundTarget worker = prototype.clone();
         for (std::size_t s = next.fetch_add(1); s < layout.num_shards;
              s = next.fetch_add(1)) {
           {
@@ -222,10 +246,10 @@ void TraceEngine::stream(const CampaignOptions& options,
             if (failed) return;
           }
           Slot slot;
-          slot.pts.resize(layout.count(s));
-          slot.samples.resize(layout.count(s));
-          simulate_shard(worker, options, layout, s, slot.pts.data(),
-                         slot.samples.data());
+          slot.count = layout.count(s);
+          slot.pts.resize(slot.count * pt_stride);
+          slot.samples.resize(slot.count * sample_width);
+          simulate(worker, s, slot.pts.data(), slot.samples.data());
           slot.ready = true;
           {
             std::lock_guard<std::mutex> lock(mutex);
@@ -259,7 +283,7 @@ void TraceEngine::stream(const CampaignOptions& options,
         if (failed) break;
         slot = std::move(slots[emit]);
       }
-      sink(slot.pts.data(), slot.samples.data(), slot.pts.size());
+      sink(slot.pts.data(), slot.samples.data(), slot.count);
       {
         std::lock_guard<std::mutex> lock(mutex);
         ++emit;
@@ -279,51 +303,118 @@ void TraceEngine::stream(const CampaignOptions& options,
   if (worker_error) std::rethrow_exception(worker_error);
 }
 
-AttackResult TraceEngine::cpa_campaign(const CampaignOptions& options,
-                                       PowerModel model, std::size_t bit) {
-  SABLE_REQUIRE(options.num_traces >= 2, "CPA requires at least two traces");
+}  // namespace
+
+const SboxSpec& TraceEngine::spec(std::size_t sbox_index) const {
+  SABLE_REQUIRE(sbox_index < round().num_sboxes(),
+                "S-box index out of range for the round");
+  return round().sboxes[sbox_index];
+}
+
+TraceSet TraceEngine::run(const CampaignOptions& options) {
+  validate_key(round(), options);
   const ShardLayout layout = layout_for(options);
-  // One accumulator per shard (copies share the prediction table); the
-  // merge below runs in canonical shard order, so the result is
-  // bit-identical for any thread count.
-  StreamingCpa prototype(spec(), model, bit);
+  const std::size_t stride = round().state_bytes();
+  TraceSet traces;
+  traces.pt_width = stride;
+  traces.plaintexts.resize(options.num_traces * stride);
+  traces.samples.resize(options.num_traces);
+  // Shards map to disjoint slices of the canonical trace order, so workers
+  // simulate straight into the final TraceSet with no ordering hand-off.
+  run_pool(target_, layout, resolve_threads(options, layout.num_shards),
+           [&](WorkerCtx& ctx, std::size_t s) {
+             simulate_shard(ctx.target, options, layout, s,
+                            traces.plaintexts.data() + layout.start(s) * stride,
+                            traces.samples.data() + layout.start(s));
+           });
+  return traces;
+}
+
+void TraceEngine::stream(const CampaignOptions& options,
+                         const TraceSink& sink) {
+  validate_key(round(), options);
+  const ShardLayout layout = layout_for(options);
+  stream_shards(target_, options, round().state_bytes(), 1,
+                [&](RoundTarget& target, std::size_t s, std::uint8_t* pts,
+                    double* samples) {
+                  simulate_shard(target, options, layout, s, pts, samples);
+                },
+                sink);
+}
+
+void TraceEngine::stream_sampled(const CampaignOptions& options,
+                                 const SampledTraceSink& sink) {
+  validate_key(round(), options);
+  SABLE_REQUIRE(target_.num_levels() > 0,
+                "time-resolved campaigns require a differential (SABL) style");
+  const ShardLayout layout = layout_for(options);
+  stream_shards(target_, options, round().state_bytes(),
+                target_.num_levels(),
+                [&](RoundTarget& target, std::size_t s, std::uint8_t* pts,
+                    double* rows) {
+                  simulate_shard_sampled(target, options, layout, s, pts,
+                                         rows);
+                },
+                sink);
+}
+
+AttackResult TraceEngine::cpa_campaign(const CampaignOptions& options,
+                                       const AttackSelector& selector) {
+  SABLE_REQUIRE(options.num_traces >= 2, "CPA requires at least two traces");
+  validate_key(round(), options);
+  validate_selector(round(), selector, /*bit_model=*/false);
+  const ShardLayout layout = layout_for(options);
+  const std::size_t stride = round().state_bytes();
+  // One accumulator per shard (copies share the prediction table), fed the
+  // attacked instance's sub-plaintexts; the fixed-shape tree reduction
+  // below depends only on the shard count, so the result is bit-identical
+  // for any thread count.
+  StreamingCpa prototype(spec(selector.sbox_index), selector.model,
+                         selector.bit);
   std::vector<StreamingCpa> shards(layout.num_shards, prototype);
   run_pool(target_, layout, resolve_threads(options, layout.num_shards),
            [&](WorkerCtx& ctx, std::size_t s) {
-             ctx.ensure_buffers(layout.shard_size);
+             ctx.ensure_buffers(layout.shard_size, stride, 1);
              simulate_shard(ctx.target, options, layout, s, ctx.pts.data(),
                             ctx.samples.data());
-             shards[s].add_batch(ctx.pts.data(), ctx.samples.data(),
+             round().sub_words(ctx.pts.data(), layout.count(s),
+                               selector.sbox_index, ctx.sub_pts.data());
+             shards[s].add_batch(ctx.sub_pts.data(), ctx.samples.data(),
                                  layout.count(s));
            });
-  for (const StreamingCpa& shard : shards) prototype.merge(shard);
-  return prototype.result();
+  return merge_shard_tree(std::move(shards)).result();
 }
 
 AttackResult TraceEngine::dom_campaign(const CampaignOptions& options,
-                                       std::size_t bit) {
+                                       const AttackSelector& selector) {
   SABLE_REQUIRE(options.num_traces >= 2, "DPA requires at least two traces");
+  validate_key(round(), options);
+  validate_selector(round(), selector, /*bit_model=*/true);
   const ShardLayout layout = layout_for(options);
-  StreamingDom prototype(spec(), bit);
+  const std::size_t stride = round().state_bytes();
+  StreamingDom prototype(spec(selector.sbox_index), selector.bit);
   std::vector<StreamingDom> shards(layout.num_shards, prototype);
   run_pool(target_, layout, resolve_threads(options, layout.num_shards),
            [&](WorkerCtx& ctx, std::size_t s) {
-             ctx.ensure_buffers(layout.shard_size);
+             ctx.ensure_buffers(layout.shard_size, stride, 1);
              simulate_shard(ctx.target, options, layout, s, ctx.pts.data(),
                             ctx.samples.data());
-             shards[s].add_batch(ctx.pts.data(), ctx.samples.data(),
+             round().sub_words(ctx.pts.data(), layout.count(s),
+                               selector.sbox_index, ctx.sub_pts.data());
+             shards[s].add_batch(ctx.sub_pts.data(), ctx.samples.data(),
                                  layout.count(s));
            });
-  for (const StreamingDom& shard : shards) prototype.merge(shard);
-  return prototype.result();
+  return merge_shard_tree(std::move(shards)).result();
 }
 
 MtdResult TraceEngine::mtd_campaign(const CampaignOptions& options,
-                                    PowerModel model,
-                                    const std::vector<std::size_t>& checkpoints,
-                                    std::size_t bit) {
+                                    const AttackSelector& selector,
+                                    const std::vector<std::size_t>& checkpoints) {
   SABLE_REQUIRE(options.num_traces >= 2, "MTD requires at least two traces");
+  validate_key(round(), options);
+  validate_selector(round(), selector, /*bit_model=*/false);
   const ShardLayout layout = layout_for(options);
+  const std::size_t stride = round().state_bytes();
   // Canonical checkpoint ladder: sorted, unique, and restricted to counts
   // both drivers can evaluate (>= 2 traces, within the campaign).
   std::vector<std::size_t> ladder = checkpoints;
@@ -341,14 +432,17 @@ MtdResult TraceEngine::mtd_campaign(const CampaignOptions& options,
     std::vector<std::pair<std::size_t, StreamingCpa>> snapshots;
     std::optional<StreamingCpa> full;
   };
-  const StreamingCpa prototype(spec(), model, bit);
+  const StreamingCpa prototype(spec(selector.sbox_index), selector.model,
+                               selector.bit);
   std::vector<MtdShard> shards(layout.num_shards);
   run_pool(
       target_, layout, resolve_threads(options, layout.num_shards),
       [&](WorkerCtx& ctx, std::size_t s) {
-        ctx.ensure_buffers(layout.shard_size);
+        ctx.ensure_buffers(layout.shard_size, stride, 1);
         simulate_shard(ctx.target, options, layout, s, ctx.pts.data(),
                        ctx.samples.data());
+        round().sub_words(ctx.pts.data(), layout.count(s),
+                          selector.sbox_index, ctx.sub_pts.data());
         const std::size_t start = layout.start(s);
         const std::size_t count = layout.count(s);
         StreamingCpa acc = prototype;
@@ -356,17 +450,19 @@ MtdResult TraceEngine::mtd_campaign(const CampaignOptions& options,
         for (auto it = std::upper_bound(ladder.begin(), ladder.end(), start);
              it != ladder.end() && *it <= start + count; ++it) {
           const std::size_t upto = *it - start;
-          acc.add_batch(ctx.pts.data() + done, ctx.samples.data() + done,
+          acc.add_batch(ctx.sub_pts.data() + done, ctx.samples.data() + done,
                         upto - done);
           done = upto;
           shards[s].snapshots.emplace_back(*it, acc);
         }
-        acc.add_batch(ctx.pts.data() + done, ctx.samples.data() + done,
+        acc.add_batch(ctx.sub_pts.data() + done, ctx.samples.data() + done,
                       count - done);
         shards[s].full = std::move(acc);
       });
 
-  ShardedMtd driver(options.key);
+  // The MTD prefix semantics need the strict shard order, so this reduction
+  // stays a left fold (unlike the attack campaigns' merge tree).
+  ShardedMtd driver(round().sub_word(options.key.data(), selector.sbox_index));
   for (MtdShard& shard : shards) {
     for (const auto& [count, snapshot] : shard.snapshots) {
       driver.checkpoint(count, snapshot);
@@ -374,6 +470,36 @@ MtdResult TraceEngine::mtd_campaign(const CampaignOptions& options,
     driver.append(*shard.full);
   }
   return driver.result();
+}
+
+MultiAttackResult TraceEngine::multi_cpa_campaign(
+    const CampaignOptions& options, const AttackSelector& selector) {
+  SABLE_REQUIRE(options.num_traces >= 2,
+                "multisample CPA requires at least two traces");
+  validate_key(round(), options);
+  validate_selector(round(), selector, /*bit_model=*/false);
+  const std::size_t width = target_.num_levels();
+  SABLE_REQUIRE(width > 0,
+                "time-resolved campaigns require a differential (SABL) style");
+  const ShardLayout layout = layout_for(options);
+  const std::size_t stride = round().state_bytes();
+  StreamingMultiCpa prototype(spec(selector.sbox_index), selector.model,
+                              width, selector.bit);
+  std::vector<StreamingMultiCpa> shards(layout.num_shards, prototype);
+  run_pool(target_, layout, resolve_threads(options, layout.num_shards),
+           [&](WorkerCtx& ctx, std::size_t s) {
+             ctx.ensure_buffers(layout.shard_size, stride, width);
+             simulate_shard_sampled(ctx.target, options, layout, s,
+                                    ctx.pts.data(), ctx.samples.data());
+             const std::size_t count = layout.count(s);
+             round().sub_words(ctx.pts.data(), count, selector.sbox_index,
+                               ctx.sub_pts.data());
+             for (std::size_t t = 0; t < count; ++t) {
+               shards[s].add(ctx.sub_pts[t],
+                             ctx.samples.data() + t * width);
+             }
+           });
+  return merge_shard_tree(std::move(shards)).result();
 }
 
 }  // namespace sable

@@ -1,41 +1,58 @@
 // TraceEngine — batched, thread-sharded trace generation with streaming
-// consumption.
+// consumption, over width-generic round targets.
 //
-// The engine turns an S-box target into power-trace campaigns at MTD
-// scale. Two axes of parallelism compose: within a shard, plaintexts are
+// The engine turns a RoundSpec — N S-box instances synthesized side by
+// side in one logic style — into power-trace campaigns at MTD scale. Two
+// axes of parallelism compose: within a shard, wide plaintexts are
 // simulated 64 encryptions per clock cycle through the bit-parallel
-// circuit simulators; across shards, a worker pool spreads the campaign
-// over cores. Traces are either retained in a TraceSet (run) or handed
-// block-by-block in canonical order to streaming consumers (stream) — and
-// the attack campaigns (cpa/dom/mtd) skip the hand-off entirely by
-// accumulating per shard and merging, so an attack over 10^7 traces needs
-// O(guesses) memory per shard, one pass, and 1/(64 * cores) of the scalar
-// simulation time.
+// circuit simulators (every instance, summed power); across shards, a
+// worker pool spreads the campaign over cores. Traces are either retained
+// in a TraceSet (run) or handed block-by-block in canonical order to
+// streaming consumers (stream / stream_sampled) — and the attack
+// campaigns (cpa/dom/mtd/multi_cpa) skip the hand-off entirely by
+// accumulating per shard and reducing through a fixed-shape binary merge
+// tree, so an attack over 10^7 traces needs O(guesses) memory per shard,
+// one pass, and 1/(64 * cores) of the scalar simulation time.
+//
+// Attacks select one instance via AttackSelector{sbox_index, model, bit}:
+// the accumulators consume that instance's sub-plaintexts and guess its
+// subkey while the other N-1 instances contribute algorithmic noise — the
+// paper's real threat model for a cipher's nonlinear layer.
 //
 // Determinism: a campaign is defined as a sequence of fixed-size shards
 // (block_size traces, rounded to whole 64-lane words). Shard s draws its
 // plaintexts and noise from counter-derived sub-streams
 // campaign_shard_seed(seed, s, ·) and starts from fresh simulator state,
 // so its traces depend only on (options, s) — never on which worker ran
-// it or how many there were. Results are bit-identical for any
-// num_threads, including 1. block_size is therefore part of the stream
-// definition (it sets the shard boundaries), not a pure performance knob.
+// it or how many there were. The merge tree's shape depends only on the
+// shard count. Results are bit-identical for any num_threads, including
+// 1. block_size is therefore part of the stream definition (it sets the
+// shard boundaries), not a pure performance knob.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <utility>
+#include <vector>
 
+#include "crypto/round_target.hpp"
 #include "crypto/target.hpp"
 #include "dpa/mtd.hpp"
 #include "dpa/streaming.hpp"
 #include "power/trace.hpp"
+#include "util/error.hpp"
 
 namespace sable {
 
 struct CampaignOptions {
   std::size_t num_traces = 0;
-  std::uint8_t key = 0;
-  /// Gaussian measurement noise RMS [J] added per trace.
+  /// Packed round key: one sub-key per S-box instance, LSB-first in
+  /// instance order (nibble-packed for 4-bit S-boxes; see
+  /// RoundSpec::pack_subkeys). Must be round().state_bytes() long — the
+  /// default single zero byte fits any single-S-box target.
+  std::vector<std::uint8_t> key = {0};
+  /// Gaussian measurement noise RMS [J] added per trace (per sample for
+  /// time-resolved campaigns).
   double noise_sigma = 0.0;
   /// Seed of the campaign's plaintext/noise streams; one seed reproduces
   /// the exact trace sequence bit for bit.
@@ -62,17 +79,53 @@ std::uint64_t campaign_shard_seed(std::uint64_t campaign_seed,
 /// Worker threads a campaign resolves to (0 = hardware concurrency).
 std::size_t campaign_thread_count(const CampaignOptions& options);
 
+/// Deterministic fixed-shape binary reduction of per-shard accumulators:
+/// round r merges shard i + 2^r into shard i for every i ≡ 0 (mod
+/// 2^(r+1)), so each intermediate accumulator always covers a contiguous
+/// canonical shard range with the earlier range on the left — the same
+/// ordering semantics as a sequential left fold, at O(log shards) merge
+/// depth instead of O(shards). The tree shape depends only on the shard
+/// count, never on the thread count, so campaign results stay
+/// bit-identical for any num_threads.
+template <typename Accumulator>
+Accumulator merge_shard_tree(std::vector<Accumulator> shards) {
+  SABLE_REQUIRE(!shards.empty(), "merge tree needs at least one shard");
+  for (std::size_t stride = 1; stride < shards.size(); stride *= 2) {
+    for (std::size_t i = 0; i + stride < shards.size(); i += 2 * stride) {
+      shards[i].merge(shards[i + stride]);
+    }
+  }
+  return std::move(shards.front());
+}
+
 /// Receives (plaintexts, samples, count) blocks as the campaign streams.
+/// `plaintexts` holds count * round().state_bytes() packed bytes — one
+/// byte per trace for single-S-box targets, the wide state for rounds
+/// (extract an instance's sub-plaintexts with RoundSpec::sub_words).
 using TraceSink =
+    std::function<void(const std::uint8_t*, const double*, std::size_t)>;
+
+/// Receives (plaintexts, rows, count) blocks of time-resolved traces:
+/// `rows` holds count rows of target().num_levels() samples each.
+using SampledTraceSink =
     std::function<void(const std::uint8_t*, const double*, std::size_t)>;
 
 class TraceEngine {
  public:
-  TraceEngine(const SboxSpec& spec, LogicStyle style, const Technology& tech);
+  /// An engine over a full round: every instance of `round` is
+  /// synthesized (identical specs share a circuit) and simulated side by
+  /// side, emitting summed power.
+  TraceEngine(const RoundSpec& round, const Technology& tech)
+      : target_(round, tech) {}
+
+  /// Single-S-box adapter (the historic constructor): the N = 1 round.
+  TraceEngine(const SboxSpec& spec, LogicStyle style, const Technology& tech)
+      : target_(single_sbox_round(spec, style), tech) {}
 
   /// Runs the campaign and retains every trace (for batch-style consumers
   /// and offline re-analysis). Shards are simulated in parallel and land
-  /// directly in their canonical-order slice of the TraceSet.
+  /// directly in their canonical-order slice of the TraceSet, whose
+  /// pt_width is the round's packed state width.
   TraceSet run(const CampaignOptions& options);
 
   /// Runs the campaign without retaining traces: each shard of at most
@@ -82,29 +135,50 @@ class TraceEngine {
   /// bounded, so a slow sink cannot accumulate unbounded buffers.
   void stream(const CampaignOptions& options, const TraceSink& sink);
 
-  /// One-pass CPA over a streamed campaign: per-shard accumulators on the
-  /// worker pool, merged in canonical shard order.
-  AttackResult cpa_campaign(const CampaignOptions& options, PowerModel model,
-                            std::size_t bit = 0);
+  /// As stream(), but time-resolved: each trace is a row of
+  /// target().num_levels() per-logic-level samples. Requires a
+  /// differential (SABL-family) style.
+  void stream_sampled(const CampaignOptions& options,
+                      const SampledTraceSink& sink);
 
-  /// One-pass difference-of-means over a streamed campaign (sharded).
-  AttackResult dom_campaign(const CampaignOptions& options, std::size_t bit);
+  /// One-pass CPA on the selected instance's subkey over a streamed
+  /// campaign: per-shard accumulators on the worker pool, reduced through
+  /// the fixed-shape merge tree.
+  AttackResult cpa_campaign(const CampaignOptions& options,
+                            const AttackSelector& selector);
 
-  /// Incremental MTD curve: workers snapshot each shard's partial
-  /// accumulator at the checkpoints falling inside it; the snapshots are
-  /// then ranked in order against the merged prefix (ShardedMtd) — the
-  /// full measurements-to-disclosure experiment in a single parallel pass
-  /// over generated-and-dropped traces. Duplicate checkpoints are
-  /// evaluated once.
-  MtdResult mtd_campaign(const CampaignOptions& options, PowerModel model,
-                         const std::vector<std::size_t>& checkpoints,
-                         std::size_t bit = 0);
+  /// One-pass difference-of-means on the selected instance's output bit
+  /// over a streamed campaign (sharded; selector.model is ignored — DoM
+  /// is inherently the single-bit model).
+  AttackResult dom_campaign(const CampaignOptions& options,
+                            const AttackSelector& selector);
 
-  SboxTarget& target() { return target_; }
-  const SboxSpec& spec() const { return target_.spec(); }
+  /// Incremental MTD curve for the selected subkey: workers snapshot each
+  /// shard's partial accumulator at the checkpoints falling inside it;
+  /// the snapshots are then ranked in order against the merged prefix
+  /// (ShardedMtd) — the full measurements-to-disclosure experiment in a
+  /// single parallel pass over generated-and-dropped traces. The correct
+  /// subkey is read from options.key. Duplicate checkpoints are evaluated
+  /// once.
+  MtdResult mtd_campaign(const CampaignOptions& options,
+                         const AttackSelector& selector,
+                         const std::vector<std::size_t>& checkpoints);
+
+  /// Time-resolved one-pass CPA over `cycle_sampled` batches: one
+  /// correlation accumulator per logic level (StreamingMultiCpa), sharded
+  /// and tree-merged like cpa_campaign. Keeps, per guess, the largest
+  /// |rho| over the sample axis — the oscilloscope-style attack. Requires
+  /// a differential (SABL-family) style.
+  MultiAttackResult multi_cpa_campaign(const CampaignOptions& options,
+                                       const AttackSelector& selector);
+
+  RoundTarget& target() { return target_; }
+  const RoundSpec& round() const { return target_.round(); }
+  /// Spec of one S-box instance (the attacked one, usually).
+  const SboxSpec& spec(std::size_t sbox_index = 0) const;
 
  private:
-  SboxTarget target_;
+  RoundTarget target_;
 };
 
 }  // namespace sable

@@ -4,9 +4,16 @@
 
 namespace sable {
 
+void TraceSet::add(std::uint8_t pt, double sample) {
+  SABLE_REQUIRE(pt_width == 1,
+                "byte-wide add() requires a 1-byte plaintext layout");
+  plaintexts.push_back(pt);
+  samples.push_back(sample);
+}
+
 void TraceSet::add_batch(const std::uint8_t* pts, const double* values,
                          std::size_t count) {
-  plaintexts.insert(plaintexts.end(), pts, pts + count);
+  plaintexts.insert(plaintexts.end(), pts, pts + count * pt_width);
   samples.insert(samples.end(), values, values + count);
 }
 

@@ -13,19 +13,26 @@
 namespace sable {
 
 struct TraceSet {
-  std::vector<std::uint8_t> plaintexts;
+  /// Bytes per plaintext. 1 for single-S-box targets (the historic
+  /// layout); round targets store their packed wide state — `pt_width` =
+  /// `RoundSpec::state_bytes()` bytes per trace, row-major.
+  std::size_t pt_width = 1;
+  std::vector<std::uint8_t> plaintexts;  // size() * pt_width bytes
   std::vector<double> samples;
 
   std::size_t size() const { return samples.size(); }
+  /// Packed plaintext state of one trace (pt_width bytes).
+  const std::uint8_t* pt(std::size_t trace) const {
+    return plaintexts.data() + trace * pt_width;
+  }
   void reserve(std::size_t capacity) {
-    plaintexts.reserve(capacity);
+    plaintexts.reserve(capacity * pt_width);
     samples.reserve(capacity);
   }
-  void add(std::uint8_t pt, double sample) {
-    plaintexts.push_back(pt);
-    samples.push_back(sample);
-  }
-  /// Appends `count` traces at once (batched producer path).
+  /// Byte-wide convenience append (requires pt_width == 1).
+  void add(std::uint8_t pt, double sample);
+  /// Appends `count` traces at once (batched producer path); `pts` holds
+  /// count * pt_width bytes.
   void add_batch(const std::uint8_t* pts, const double* values,
                  std::size_t count);
 };

@@ -37,7 +37,7 @@ std::vector<std::size_t> thread_counts_under_test() {
 CampaignOptions sharded_options() {
   CampaignOptions options;
   options.num_traces = 3000;
-  options.key = 0xB;
+  options.key = {0xB};
   options.noise_sigma = 2e-16;
   options.seed = 0x5EED;
   options.block_size = 448;
@@ -91,16 +91,16 @@ TEST(EngineDeterminismTest, StreamDeliversCanonicalOrderAcrossThreadCounts) {
 TEST(EngineDeterminismTest, CpaCampaignIsBitIdenticalAcrossThreadCounts) {
   CampaignOptions options = sharded_options();
   options.num_threads = 1;
+  const AttackSelector selector{.model = PowerModel::kHammingWeight};
   TraceEngine reference_engine(present_spec(), LogicStyle::kStaticCmos,
                                kTech);
   const AttackResult reference =
-      reference_engine.cpa_campaign(options, PowerModel::kHammingWeight);
-  EXPECT_EQ(reference.best_guess, options.key);
+      reference_engine.cpa_campaign(options, selector);
+  EXPECT_EQ(reference.best_guess, options.key[0]);
   for (std::size_t threads : thread_counts_under_test()) {
     TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, kTech);
     options.num_threads = threads;
-    const AttackResult result =
-        engine.cpa_campaign(options, PowerModel::kHammingWeight);
+    const AttackResult result = engine.cpa_campaign(options, selector);
     ASSERT_EQ(result.score.size(), reference.score.size());
     for (std::size_t g = 0; g < reference.score.size(); ++g) {
       // EXPECT_EQ on doubles is exact equality: bit-identical, not close.
@@ -117,11 +117,13 @@ TEST(EngineDeterminismTest, DomCampaignIsBitIdenticalAcrossThreadCounts) {
   options.num_threads = 1;
   TraceEngine reference_engine(present_spec(), LogicStyle::kStaticCmos,
                                kTech);
-  const AttackResult reference = reference_engine.dom_campaign(options, 0);
+  const AttackResult reference =
+      reference_engine.dom_campaign(options, AttackSelector{.bit = 0});
   for (std::size_t threads : thread_counts_under_test()) {
     TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, kTech);
     options.num_threads = threads;
-    const AttackResult result = engine.dom_campaign(options, 0);
+    const AttackResult result =
+        engine.dom_campaign(options, AttackSelector{.bit = 0});
     ASSERT_EQ(result.score.size(), reference.score.size());
     for (std::size_t g = 0; g < reference.score.size(); ++g) {
       EXPECT_EQ(result.score[g], reference.score[g])
@@ -136,14 +138,15 @@ TEST(EngineDeterminismTest, MtdCampaignIsBitIdenticalAcrossThreadCounts) {
   const auto checkpoints = default_checkpoints(options.num_traces);
   TraceEngine reference_engine(present_spec(), LogicStyle::kStaticCmos,
                                kTech);
-  const MtdResult reference = reference_engine.mtd_campaign(
-      options, PowerModel::kHammingWeight, checkpoints);
+  const AttackSelector selector{.model = PowerModel::kHammingWeight};
+  const MtdResult reference =
+      reference_engine.mtd_campaign(options, selector, checkpoints);
   EXPECT_TRUE(reference.disclosed);
   for (std::size_t threads : thread_counts_under_test()) {
     TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, kTech);
     options.num_threads = threads;
     const MtdResult result =
-        engine.mtd_campaign(options, PowerModel::kHammingWeight, checkpoints);
+        engine.mtd_campaign(options, selector, checkpoints);
     EXPECT_EQ(result.disclosed, reference.disclosed) << threads;
     EXPECT_EQ(result.mtd, reference.mtd) << threads;
     ASSERT_EQ(result.rank_history.size(), reference.rank_history.size());
@@ -320,6 +323,113 @@ TEST(MergeTest, ShardedMtdMatchesStreamingMtd) {
   ASSERT_EQ(result.rank_history.size(), reference.rank_history.size());
   for (std::size_t i = 0; i < reference.rank_history.size(); ++i) {
     EXPECT_EQ(result.rank_history[i], reference.rank_history[i]) << i;
+  }
+}
+
+// The engine's attack reduction is the fixed-shape binary merge tree —
+// not a left fold — and must be reproducible from the per-shard
+// accumulators alone: accumulate every shard by hand in canonical order,
+// reduce with merge_shard_tree, and require BIT-IDENTICAL scores.
+TEST(MergeTest, EngineCpaEqualsFixedShapeTreeMerge) {
+  const SboxSpec spec = present_spec();
+  CampaignOptions options = sharded_options();
+  TraceEngine engine(spec, LogicStyle::kStaticCmos, kTech);
+  const TraceSet traces = engine.run(options);
+
+  const std::size_t shard_size = campaign_shard_size(options);
+  std::vector<StreamingCpa> shards;
+  for (std::size_t start = 0; start < traces.size(); start += shard_size) {
+    const std::size_t count = std::min(shard_size, traces.size() - start);
+    StreamingCpa acc(spec, PowerModel::kHammingWeight);
+    acc.add_batch(traces.plaintexts.data() + start,
+                  traces.samples.data() + start, count);
+    shards.push_back(std::move(acc));
+  }
+  ASSERT_GT(shards.size(), 2u);
+  const AttackResult tree = merge_shard_tree(std::move(shards)).result();
+
+  TraceEngine engine2(spec, LogicStyle::kStaticCmos, kTech);
+  const AttackResult campaign = engine2.cpa_campaign(
+      options, AttackSelector{.model = PowerModel::kHammingWeight});
+  ASSERT_EQ(campaign.score.size(), tree.score.size());
+  for (std::size_t g = 0; g < tree.score.size(); ++g) {
+    EXPECT_EQ(campaign.score[g], tree.score[g]) << g;
+  }
+  EXPECT_EQ(campaign.best_guess, tree.best_guess);
+  EXPECT_EQ(campaign.margin, tree.margin);
+}
+
+// ---- round targets --------------------------------------------------------
+
+// Distinct subkeys so attacking instance i is distinguishable from
+// attacking any other instance.
+std::vector<std::size_t> round_subkeys(std::size_t n) {
+  std::vector<std::size_t> keys(n);
+  for (std::size_t i = 0; i < n; ++i) keys[i] = (i * 7 + 3) & 0xF;
+  return keys;
+}
+
+// The acceptance contract of the round-target redesign: a full 16-S-box
+// PRESENT layer in the paper's enhanced style, attacked on one subkey
+// through the selector API, is bit-identical for any worker count. Every
+// worker runs a RoundTarget::clone(), so this also pins clone() fidelity
+// under threading.
+TEST(EngineDeterminismTest, RoundCpaCampaignBitIdenticalAcrossThreadCounts) {
+  const RoundSpec round = present_round(16, LogicStyle::kSablEnhanced);
+  CampaignOptions options;
+  options.num_traces = 1500;
+  options.key = round.pack_subkeys(round_subkeys(16));
+  options.noise_sigma = 2e-16;
+  options.seed = 0x16BEEF;
+  options.block_size = 448;
+  options.num_threads = 1;
+  const AttackSelector selector{.sbox_index = 3,
+                                .model = PowerModel::kHammingWeight};
+  TraceEngine reference_engine(round, kTech);
+  const AttackResult reference =
+      reference_engine.cpa_campaign(options, selector);
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, hw}) {
+    TraceEngine engine(round, kTech);
+    options.num_threads = threads;
+    const AttackResult result = engine.cpa_campaign(options, selector);
+    ASSERT_EQ(result.score.size(), reference.score.size());
+    for (std::size_t g = 0; g < reference.score.size(); ++g) {
+      EXPECT_EQ(result.score[g], reference.score[g])
+          << "threads " << threads << " guess " << g;
+    }
+    EXPECT_EQ(result.best_guess, reference.best_guess) << threads;
+    EXPECT_EQ(result.margin, reference.margin) << threads;
+  }
+}
+
+// RoundTarget::clone() must be state-free: after disturbing the original,
+// a clone's traces equal a freshly constructed target's, bit for bit.
+TEST(CloneTest, ClonedRoundTargetMatchesFreshTarget) {
+  const RoundSpec round = present_round(3, LogicStyle::kStaticCmos);
+  const std::vector<std::uint8_t> key = round.pack_subkeys({0x2, 0xB, 0x5});
+  RoundTarget original(round, kTech);
+  Rng warmup(0x77);
+  std::vector<std::uint8_t> state(round.state_bytes(), 0);
+  for (int i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < round.num_sboxes(); ++j) {
+      round.set_sub_word(state.data(), j, warmup.below(16));
+    }
+    original.trace(state.data(), key.data(), 0.0, warmup);
+  }
+  RoundTarget cloned = original.clone();
+  RoundTarget fresh(round, kTech);
+  Rng rng_a(0x88);
+  Rng rng_b(0x88);
+  Rng pts(0x99);
+  for (int i = 0; i < 64; ++i) {
+    for (std::size_t j = 0; j < round.num_sboxes(); ++j) {
+      round.set_sub_word(state.data(), j, pts.below(16));
+    }
+    EXPECT_EQ(cloned.trace(state.data(), key.data(), 1e-16, rng_a),
+              fresh.trace(state.data(), key.data(), 1e-16, rng_b))
+        << i;
   }
 }
 

@@ -1,0 +1,281 @@
+// Width-generic round targets: N S-boxes side by side with summed power.
+//
+// Under test: the packed-state layout (nibble packing for 4-bit S-boxes,
+// heterogeneous widths), per-instance functional correctness, summed
+// power against the single-S-box targets, per-subkey attack selection,
+// algorithmic-noise MTD monotonicity, and the time-resolved
+// multi_cpa_campaign against the retained-trace multisample attack.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cell/circuit_sim.hpp"
+#include "crypto/round_target.hpp"
+#include "crypto/target.hpp"
+#include "dpa/attack.hpp"
+#include "dpa/mtd.hpp"
+#include "engine/trace_engine.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sable {
+namespace {
+
+const Technology kTech = Technology::generic_180nm();
+
+TEST(RoundSpecTest, PackedStateLayout) {
+  // 16 PRESENT nibbles pack into 8 bytes; mixed widths pack LSB-first.
+  const RoundSpec present16 = present_round(16, LogicStyle::kStaticCmos);
+  EXPECT_EQ(present16.state_bits(), 64u);
+  EXPECT_EQ(present16.state_bytes(), 8u);
+  EXPECT_EQ(present16.bit_offset(3), 12u);
+
+  RoundSpec mixed;
+  mixed.sboxes = {present_spec(), des1_spec(), aes_spec()};
+  mixed.style = LogicStyle::kStaticCmos;
+  EXPECT_EQ(mixed.state_bits(), 4u + 6u + 8u);
+  EXPECT_EQ(mixed.state_bytes(), 3u);
+
+  // Round-trip every instance through set_sub_word / sub_word.
+  std::vector<std::uint8_t> state(mixed.state_bytes(), 0);
+  mixed.set_sub_word(state.data(), 0, 0xA);
+  mixed.set_sub_word(state.data(), 1, 0x2B);
+  mixed.set_sub_word(state.data(), 2, 0xC4);
+  EXPECT_EQ(mixed.sub_word(state.data(), 0), 0xAu);
+  EXPECT_EQ(mixed.sub_word(state.data(), 1), 0x2Bu);
+  EXPECT_EQ(mixed.sub_word(state.data(), 2), 0xC4u);
+  // Nibble packing: instance 0 is the low nibble, instance 1 straddles
+  // the byte boundary.
+  EXPECT_EQ(state[0], 0xA | ((0x2B & 0xF) << 4));
+
+  // Overwriting one sub-word leaves the neighbours intact.
+  mixed.set_sub_word(state.data(), 1, 0x15);
+  EXPECT_EQ(mixed.sub_word(state.data(), 0), 0xAu);
+  EXPECT_EQ(mixed.sub_word(state.data(), 1), 0x15u);
+  EXPECT_EQ(mixed.sub_word(state.data(), 2), 0xC4u);
+
+  const std::vector<std::uint8_t> packed =
+      mixed.pack_subkeys({0x7, 0x3F, 0x80});
+  EXPECT_EQ(mixed.sub_word(packed.data(), 0), 0x7u);
+  EXPECT_EQ(mixed.sub_word(packed.data(), 1), 0x3Fu);
+  EXPECT_EQ(mixed.sub_word(packed.data(), 2), 0x80u);
+  EXPECT_THROW(mixed.pack_subkeys({0x7, 0x3F}), InvalidArgument);
+  EXPECT_THROW(mixed.set_sub_word(state.data(), 0, 0x10), InvalidArgument);
+}
+
+TEST(RoundTargetTest, EveryInstanceComputesItsReferenceSbox) {
+  // Heterogeneous round: each instance's synthesized circuit must realize
+  // its own S-box table, independent of the neighbours.
+  RoundSpec round;
+  round.sboxes = {present_spec(), des1_spec(), present_spec()};
+  round.style = LogicStyle::kSablFullyConnected;
+  RoundTarget target(round, kTech);
+  for (std::size_t i = 0; i < round.num_sboxes(); ++i) {
+    const SboxSpec& spec = round.sboxes[i];
+    for (std::uint64_t x = 0; x < (std::uint64_t{1} << spec.in_bits); ++x) {
+      EXPECT_EQ(evaluate_circuit(target.circuit(i), x),
+                spec.apply(static_cast<std::uint8_t>(x)))
+          << "instance " << i << " input " << x;
+    }
+  }
+  // reference() applies the per-instance subkey of the packed round key.
+  const std::vector<std::uint8_t> key = round.pack_subkeys({0x3, 0x2A, 0xC});
+  std::vector<std::uint8_t> pt(round.state_bytes(), 0);
+  round.set_sub_word(pt.data(), 0, 0x9);
+  round.set_sub_word(pt.data(), 1, 0x11);
+  round.set_sub_word(pt.data(), 2, 0x5);
+  EXPECT_EQ(target.reference(0, pt.data(), key.data()),
+            present_sbox(0x9 ^ 0x3));
+  EXPECT_EQ(target.reference(1, pt.data(), key.data()),
+            des_sbox1(0x11 ^ 0x2A));
+  EXPECT_EQ(target.reference(2, pt.data(), key.data()),
+            present_sbox(0x5 ^ 0xC));
+}
+
+TEST(RoundTargetTest, SummedPowerEqualsSumOfSingleTargets) {
+  // History-free style: the round's power sample must equal the sum of
+  // independent single-S-box targets fed the matching sub-words.
+  RoundSpec round;
+  round.sboxes = {present_spec(), des1_spec()};
+  round.style = LogicStyle::kSablFullyConnected;
+  RoundTarget target(round, kTech);
+  SboxTarget a(present_spec(), LogicStyle::kSablFullyConnected, kTech);
+  SboxTarget b(des1_spec(), LogicStyle::kSablFullyConnected, kTech);
+  const std::vector<std::uint8_t> key = round.pack_subkeys({0x6, 0x19});
+  Rng pts(0x1234);
+  Rng no_noise(0);
+  std::vector<std::uint8_t> state(round.state_bytes(), 0);
+  for (int i = 0; i < 100; ++i) {
+    const auto pa = static_cast<std::uint8_t>(pts.below(16));
+    const auto pb = static_cast<std::uint8_t>(pts.below(64));
+    round.set_sub_word(state.data(), 0, pa);
+    round.set_sub_word(state.data(), 1, pb);
+    const double summed = target.trace(state.data(), key.data(), 0.0,
+                                       no_noise);
+    const double expected = a.trace(pa, 0x6, 0.0, no_noise) +
+                            b.trace(pb, 0x19, 0.0, no_noise);
+    EXPECT_DOUBLE_EQ(summed, expected) << i;
+  }
+}
+
+TEST(RoundTargetTest, BatchedRoundTracesMatchScalar) {
+  // CMOS carries per-lane history, so lane L of a batch must track a
+  // scalar target fed every 64th wide plaintext.
+  const RoundSpec round = present_round(2, LogicStyle::kStaticCmos);
+  RoundTarget batch(round, kTech);
+  const std::vector<std::uint8_t> key = round.pack_subkeys({0x4, 0xD});
+  const std::size_t count = 192;
+  const std::size_t stride = round.state_bytes();
+  Rng pts_rng(0xABC);
+  std::vector<std::uint8_t> pts(count * stride, 0);
+  for (std::size_t t = 0; t < count; ++t) {
+    for (std::size_t j = 0; j < round.num_sboxes(); ++j) {
+      round.set_sub_word(pts.data() + t * stride, j, pts_rng.below(16));
+    }
+  }
+  std::vector<double> out(count);
+  Rng no_noise(0);
+  batch.trace_batch(pts.data(), count, key.data(), 0.0, no_noise, out.data());
+  constexpr std::size_t kLanes = SablGateSimBatch::kLanes;
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    RoundTarget scalar(round, kTech);
+    for (std::size_t t = lane; t < count; t += kLanes) {
+      EXPECT_EQ(out[t],
+                scalar.trace(pts.data() + t * stride, key.data(), 0.0,
+                             no_noise))
+          << "lane " << lane << " trace " << t;
+    }
+  }
+}
+
+TEST(RoundEngineTest, CpaCampaignRecoversTheSelectedSubkey) {
+  // Four PRESENT instances with distinct subkeys: attacking instance i
+  // must recover subkey i — not any neighbour's — through 3 instances'
+  // worth of algorithmic noise.
+  const RoundSpec round = present_round(4, LogicStyle::kStaticCmos);
+  const std::vector<std::size_t> subkeys = {0x3, 0xE, 0x8, 0x6};
+  TraceEngine engine(round, kTech);
+  CampaignOptions options;
+  options.num_traces = 6000;
+  options.key = round.pack_subkeys(subkeys);
+  options.noise_sigma = 1e-16;
+  options.seed = 0x40D;
+  for (std::size_t i : {std::size_t{0}, std::size_t{2}}) {
+    const AttackResult result = engine.cpa_campaign(
+        options,
+        AttackSelector{.sbox_index = i, .model = PowerModel::kHammingWeight});
+    EXPECT_EQ(result.score.size(), 16u);
+    EXPECT_EQ(result.best_guess, subkeys[i]) << "attacked instance " << i;
+  }
+}
+
+TEST(RoundEngineTest, AlgorithmicNoiseGrowsMtdWithRoundSize) {
+  // The neighbours' switching is algorithmic noise: disclosing the same
+  // subkey must take more traces the more instances surround it.
+  std::vector<std::size_t> mtds;
+  for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    const RoundSpec round = present_round(n, LogicStyle::kStaticCmos);
+    std::vector<std::size_t> subkeys(n);
+    for (std::size_t j = 0; j < n; ++j) subkeys[j] = (0xB + 5 * j) & 0xF;
+    TraceEngine engine(round, kTech);
+    CampaignOptions options;
+    options.num_traces = 20000;
+    options.key = round.pack_subkeys(subkeys);
+    options.noise_sigma = 2e-16;
+    options.seed = 0x3D7;
+    const MtdResult mtd = engine.mtd_campaign(
+        options, AttackSelector{.model = PowerModel::kHammingWeight},
+        default_checkpoints(options.num_traces));
+    ASSERT_TRUE(mtd.disclosed) << "round size " << n;
+    mtds.push_back(mtd.mtd);
+  }
+  EXPECT_LE(mtds[0], mtds[1]);
+  EXPECT_LE(mtds[1], mtds[2]);
+  EXPECT_LT(mtds[0], mtds[2]);
+}
+
+TEST(RoundEngineTest, MultiCpaCampaignMatchesRetainedMultisampleAttack) {
+  // The time-resolved sharded campaign must agree with the batch
+  // multisample attack over the identical retained traces to 1e-12.
+  const RoundSpec round = present_round(3, LogicStyle::kSablGenuine);
+  const std::vector<std::size_t> subkeys = {0x9, 0x4, 0xD};
+  const AttackSelector selector{.sbox_index = 1,
+                                .model = PowerModel::kHammingWeight};
+  CampaignOptions options;
+  options.num_traces = 1500;
+  options.key = round.pack_subkeys(subkeys);
+  options.noise_sigma = 1e-16;
+  options.seed = 0x3117;
+  options.block_size = 448;  // several shards, one partial tail
+
+  TraceEngine engine(round, kTech);
+  const MultiAttackResult streamed =
+      engine.multi_cpa_campaign(options, selector);
+
+  // Retain the same campaign via stream_sampled and run the batch attack
+  // on the attacked instance's sub-plaintexts.
+  TraceEngine engine2(round, kTech);
+  const std::size_t width = engine2.target().num_levels();
+  ASSERT_GT(width, 1u);
+  MultiTraceSet retained;
+  retained.reserve(options.num_traces, width);
+  std::vector<std::uint8_t> sub_pts(campaign_shard_size(options));
+  engine2.stream_sampled(
+      options, [&](const std::uint8_t* pts, const double* rows,
+                   std::size_t count) {
+        round.sub_words(pts, count, selector.sbox_index, sub_pts.data());
+        for (std::size_t t = 0; t < count; ++t) {
+          retained.add(sub_pts[t], rows + t * width, width);
+        }
+      });
+  ASSERT_EQ(retained.size(), options.num_traces);
+  const MultiAttackResult batch = cpa_attack_multisample(
+      retained, round.sboxes[selector.sbox_index], selector.model,
+      selector.bit);
+
+  ASSERT_EQ(streamed.combined.score.size(), batch.combined.score.size());
+  for (std::size_t g = 0; g < batch.combined.score.size(); ++g) {
+    EXPECT_NEAR(streamed.combined.score[g], batch.combined.score[g], 1e-12)
+        << g;
+  }
+  EXPECT_EQ(streamed.combined.best_guess, batch.combined.best_guess);
+  EXPECT_EQ(streamed.best_sample, batch.best_sample);
+}
+
+TEST(RoundEngineTest, RunRetainsWideStatesAndStreamMatches) {
+  const RoundSpec round = present_round(5, LogicStyle::kSablFullyConnected);
+  TraceEngine engine(round, kTech);
+  CampaignOptions options;
+  options.num_traces = 300;
+  options.key = round.pack_subkeys({1, 2, 3, 4, 5});
+  options.noise_sigma = 1e-16;
+  options.seed = 0xF00D;
+  options.block_size = 128;
+  const TraceSet traces = engine.run(options);
+  EXPECT_EQ(traces.pt_width, round.state_bytes());
+  EXPECT_EQ(traces.plaintexts.size(),
+            options.num_traces * round.state_bytes());
+  ASSERT_EQ(traces.size(), options.num_traces);
+
+  TraceEngine engine2(round, kTech);
+  TraceSet collected;
+  collected.pt_width = round.state_bytes();
+  collected.reserve(options.num_traces);
+  engine2.stream(options,
+                 [&](const std::uint8_t* pts, const double* samples,
+                     std::size_t n) { collected.add_batch(pts, samples, n); });
+  ASSERT_EQ(collected.size(), traces.size());
+  EXPECT_EQ(collected.plaintexts, traces.plaintexts);
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    EXPECT_EQ(collected.samples[i], traces.samples[i]) << i;
+  }
+
+  // The campaign key must match the round's packed width.
+  CampaignOptions bad = options;
+  bad.key = {0x1};
+  EXPECT_THROW(engine.run(bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sable

@@ -367,7 +367,7 @@ TEST(TraceEngineTest, CampaignMatchesScalarTarget) {
     TraceEngine engine(present_spec(), style, kTech);
     CampaignOptions options;
     options.num_traces = 500;
-    options.key = 0x7;
+    options.key = {0x7};
     options.noise_sigma = 2e-16;
     options.seed = 0xFEED;
     options.block_size = 128;  // several shards, one partial tail shard
@@ -391,7 +391,7 @@ TEST(TraceEngineTest, CampaignMatchesScalarTarget) {
       for (std::size_t i = 0; i < count; ++i) {
         const auto pt = static_cast<std::uint8_t>(pt_rng.below(16));
         EXPECT_EQ(traces.plaintexts[start + i], pt);
-        const double energy = reference.trace(pt, options.key, 0.0, no_noise);
+        const double energy = reference.trace(pt, options.key[0], 0.0, no_noise);
         const double noise = options.noise_sigma * noise_rng.gaussian();
         EXPECT_EQ(traces.samples[start + i], energy + noise) << start + i;
       }
@@ -419,7 +419,7 @@ TEST(TraceEngineTest, CmosCampaignMatchesPerLaneScalarHistory) {
   TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, kTech);
   CampaignOptions options;
   options.num_traces = 256;
-  options.key = 0x3;
+  options.key = {0x3};
   options.noise_sigma = 0.0;
   options.seed = 0xCAFE;
   const TraceSet traces = engine.run(options);
@@ -435,7 +435,7 @@ TEST(TraceEngineTest, CmosCampaignMatchesPerLaneScalarHistory) {
     for (std::size_t t = lane; t < options.num_traces; t += kLanes) {
       EXPECT_EQ(traces.plaintexts[t], pts[t]);
       EXPECT_EQ(traces.samples[t],
-                reference.trace(pts[t], options.key, 0.0, no_noise))
+                reference.trace(pts[t], options.key[0], 0.0, no_noise))
           << "lane " << lane << " trace " << t;
     }
   }
@@ -445,7 +445,7 @@ TEST(TraceEngineTest, StreamingCampaignEqualsRetainedCampaign) {
   TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, kTech);
   CampaignOptions options;
   options.num_traces = 2000;
-  options.key = 0xB;
+  options.key = {0xB};
   options.noise_sigma = 2e-16;
   options.seed = 0xABBA;
   const TraceSet traces = engine.run(options);
@@ -454,21 +454,21 @@ TEST(TraceEngineTest, StreamingCampaignEqualsRetainedCampaign) {
 
   TraceEngine engine2(present_spec(), LogicStyle::kStaticCmos, kTech);
   const AttackResult streamed =
-      engine2.cpa_campaign(options, PowerModel::kHammingWeight);
+      engine2.cpa_campaign(options, AttackSelector{.model = PowerModel::kHammingWeight});
   ASSERT_EQ(streamed.score.size(), batch.score.size());
   for (std::size_t g = 0; g < batch.score.size(); ++g) {
     EXPECT_DOUBLE_EQ(streamed.score[g], batch.score[g]) << g;
   }
-  EXPECT_EQ(streamed.best_guess, options.key);
+  EXPECT_EQ(streamed.best_guess, options.key[0]);
 
   // And the one-pass MTD campaign agrees with the prefix driver over the
   // retained traces.
   TraceEngine engine3(present_spec(), LogicStyle::kStaticCmos, kTech);
   const auto checkpoints = default_checkpoints(options.num_traces);
   const MtdResult streamed_mtd = engine3.mtd_campaign(
-      options, PowerModel::kHammingWeight, checkpoints);
+      options, AttackSelector{.model = PowerModel::kHammingWeight}, checkpoints);
   const MtdResult prefix = measurements_to_disclosure(
-      traces, options.key, checkpoints, [&](const TraceSet& t) {
+      traces, options.key[0], checkpoints, [&](const TraceSet& t) {
         return cpa_attack(t, present_spec(), PowerModel::kHammingWeight);
       });
   EXPECT_EQ(streamed_mtd.disclosed, prefix.disclosed);
@@ -481,7 +481,7 @@ TEST(TraceEngineTest, RepeatedCampaignsOnOneEngineAreReproducible) {
   TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, kTech);
   CampaignOptions options;
   options.num_traces = 300;
-  options.key = 0x9;
+  options.key = {0x9};
   options.noise_sigma = 0.0;
   options.seed = 0xD1CE;
   const TraceSet first = engine.run(options);
@@ -500,11 +500,12 @@ TEST(TraceEngineTest, ConstantPowerStylesStayFlatAtScale) {
   TraceEngine engine(present_spec(), LogicStyle::kSablFullyConnected, kTech);
   CampaignOptions options;
   options.num_traces = 4000;
-  options.key = 0x5;
+  options.key = {0x5};
   options.noise_sigma = 1e-16;
   options.seed = 0x5AB1;
   const AttackResult result =
-      engine.cpa_campaign(options, PowerModel::kHammingWeight);
+      engine.cpa_campaign(
+          options, AttackSelector{.model = PowerModel::kHammingWeight});
   EXPECT_LT(result.score[result.best_guess], 0.1);
 }
 
