@@ -11,11 +11,18 @@
 //
 // `--round N` also sweeps multi-S-box round targets (1, 2, 4, … up to N
 // PRESENT instances side by side) and reports traces/sec per instance
-// count — the cost of realistic algorithmic noise. Both tables land in
+// count — the cost of realistic algorithmic noise. All tables land in
 // the JSON.
 //
+// `--lanes LIST` sweeps batch lane widths (comma-separated: 64, 128,
+// 256, 512 or "simd" = the widest SIMD width this build carries) over
+// every style on one thread; campaigns are bit-identical across widths,
+// so the sweep isolates the pure SIMD speedup. The >=10x acceptance gate
+// stays pinned to the 64-bit path. Default: every supported width.
+//
 // Usage: bench_trace_throughput [--threads N] [--traces N] [--round N]
-//                               [--json PATH]
+//                               [--lanes LIST] [--json PATH]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -47,12 +54,14 @@ struct Throughput {
 };
 
 double engine_tps(TraceEngine& engine, std::size_t num_traces,
-                  std::size_t threads, double* checksum) {
+                  std::size_t threads, std::size_t lane_width,
+                  double* checksum) {
   CampaignOptions options;
   options.num_traces = num_traces;
   options.key = {0xB};
   options.seed = 0xBE7C;
   options.num_threads = threads;
+  options.lane_width = lane_width;
   double sum = 0.0;
   const auto start = Clock::now();
   engine.stream(options, [&](const std::uint8_t*, const double* samples,
@@ -84,11 +93,57 @@ Throughput measure_style(LogicStyle style, std::size_t num_traces,
     result.checksum += sum;
   }
 
+  // The acceptance gate below compares against these rows, so they stay
+  // pinned to the historic 64-bit path; --lanes sweeps the wider words.
   TraceEngine engine(spec, style, tech);
-  result.batched_1t_tps = engine_tps(engine, num_traces, 1, &result.checksum);
+  result.batched_1t_tps =
+      engine_tps(engine, num_traces, 1, 64, &result.checksum);
   result.batched_nt_tps =
-      engine_tps(engine, num_traces, threads, &result.checksum);
+      engine_tps(engine, num_traces, threads, 64, &result.checksum);
   return result;
+}
+
+struct LaneThroughput {
+  std::size_t width = 0;
+  const char* style = nullptr;
+  double tps = 0.0;
+  double speedup_vs_64 = 0.0;
+};
+
+// Batched one-thread traces/sec per (lane width, style): campaigns are
+// bit-identical across widths, so the ratio to the 64-bit row is the pure
+// SIMD/lane-width speedup. One engine per style keeps the per-width
+// target variants and worker pool warm across the sweep.
+std::vector<LaneThroughput> measure_lane_sweep(
+    const std::vector<std::size_t>& widths, std::size_t num_traces) {
+  std::vector<LaneThroughput> rows;
+  if (widths.empty()) return rows;
+  const Technology tech = Technology::generic_180nm();
+  const SboxSpec spec = present_spec();
+  for (LogicStyle style :
+       {LogicStyle::kStaticCmos, LogicStyle::kSablGenuine,
+        LogicStyle::kSablFullyConnected, LogicStyle::kSablEnhanced,
+        LogicStyle::kWddlBalanced}) {
+    TraceEngine engine(spec, style, tech);
+    double checksum = 0.0;
+    const std::size_t first = rows.size();
+    for (std::size_t width : widths) {
+      rows.push_back({width, to_string(style),
+                      engine_tps(engine, num_traces, 1, width, &checksum),
+                      0.0});
+    }
+    // The 64-bit row is the speedup baseline wherever it sits in the
+    // sweep; without it the ratio is meaningless and stays 0.
+    double tps64 = 0.0;
+    for (std::size_t i = first; i < rows.size(); ++i) {
+      if (rows[i].width == 64) tps64 = rows[i].tps;
+    }
+    for (std::size_t i = first; i < rows.size(); ++i) {
+      rows[i].speedup_vs_64 = tps64 > 0.0 ? rows[i].tps / tps64 : 0.0;
+    }
+    if (checksum == 0.0) std::fprintf(stderr, "unexpected zero checksum\n");
+  }
+  return rows;
 }
 
 struct RoundThroughput {
@@ -115,6 +170,7 @@ std::vector<RoundThroughput> measure_round_scaling(std::size_t max_round,
     options.key.assign(round.state_bytes(), 0x5A);
     options.seed = 0xBE7C;
     options.num_threads = threads;
+    options.lane_width = 64;  // comparable across PRs; --lanes sweeps widths
     double sum = 0.0;
     const auto start = Clock::now();
     engine.stream(options, [&](const std::uint8_t*, const double* samples,
@@ -130,6 +186,7 @@ std::vector<RoundThroughput> measure_round_scaling(std::size_t max_round,
 
 void write_json(const std::string& path, std::size_t num_traces,
                 std::size_t threads, const std::vector<Throughput>& rows,
+                const std::vector<LaneThroughput>& lane_rows,
                 const std::vector<RoundThroughput>& round_rows,
                 std::size_t cpa_traces, double cpa_seconds) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -154,6 +211,16 @@ void write_json(const std::string& path, std::size_t num_traces,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"lane_widths\": [\n");
+  for (std::size_t i = 0; i < lane_rows.size(); ++i) {
+    const LaneThroughput& r = lane_rows[i];
+    std::fprintf(f,
+                 "    {\"width\": %zu, \"style\": \"%s\", \"tps\": %.1f, "
+                 "\"speedup_vs_64\": %.2f}%s\n",
+                 r.width, r.style, r.tps, r.speedup_vs_64,
+                 i + 1 < lane_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"round_scaling\": [\n");
   for (std::size_t i = 0; i < round_rows.size(); ++i) {
     std::fprintf(f,
@@ -174,14 +241,51 @@ void write_json(const std::string& path, std::size_t num_traces,
   std::fclose(f);
 }
 
+// Parses a --lanes token list: numeric widths must be compiled in;
+// "simd" resolves to the widest SIMD width (>128) or is skipped with a
+// note on portable-only builds.
+std::vector<std::size_t> parse_lane_list(const char* arg, bool* ok) {
+  const std::vector<std::size_t> supported = supported_lane_widths();
+  std::vector<std::size_t> widths;
+  *ok = true;
+  std::string list(arg);
+  for (std::size_t pos = 0; pos < list.size();) {
+    const std::size_t comma = std::min(list.find(',', pos), list.size());
+    const std::string token = list.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token == "simd") {
+      if (max_lane_width() > 128) {
+        widths.push_back(max_lane_width());
+      } else {
+        std::fprintf(stderr,
+                     "note: no SIMD lane word in this build "
+                     "(configure with -DSABLE_SIMD=...), skipping \"simd\"\n");
+      }
+      continue;
+    }
+    const std::size_t width =
+        static_cast<std::size_t>(std::strtoull(token.c_str(), nullptr, 10));
+    if (std::find(supported.begin(), supported.end(), width) ==
+        supported.end()) {
+      std::fprintf(stderr, "unsupported lane width \"%s\"\n", token.c_str());
+      *ok = false;
+      return widths;
+    }
+    widths.push_back(width);
+  }
+  return widths;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t num_traces = 200000;
   std::size_t threads = campaign_thread_count(CampaignOptions{});
   std::size_t max_round = 4;  // CI default: small sweep, still in the JSON
+  std::vector<std::size_t> lane_widths = supported_lane_widths();
   std::string json_path = "BENCH_trace_throughput.json";
   for (int i = 1; i < argc; ++i) {
+    bool ok = true;
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--traces") == 0 && i + 1 < argc) {
@@ -190,12 +294,17 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--round") == 0 && i + 1 < argc) {
       max_round =
           static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--lanes") == 0 && i + 1 < argc) {
+      lane_widths = parse_lane_list(argv[++i], &ok);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else {
+      ok = false;
+    }
+    if (!ok) {
       std::fprintf(stderr,
                    "usage: %s [--threads N] [--traces N] [--round N] "
-                   "[--json PATH]\n",
+                   "[--lanes 64,128,simd] [--json PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -227,6 +336,24 @@ int main(int argc, char** argv) {
     rows.push_back(t);
   }
 
+  // Lane widths: the pure word-width speedup, one thread, bit-identical
+  // campaigns (the gate table above stays pinned to the 64-bit path).
+  const std::vector<LaneThroughput> lane_rows =
+      measure_lane_sweep(lane_widths, num_traces);
+  if (!lane_rows.empty()) {
+    std::printf("\nlane widths (batched, 1 thread, %zu traces):\n%-22s",
+                num_traces, "logic style");
+    for (std::size_t width : lane_widths) std::printf(" %8zu-ln", width);
+    std::printf("\n");
+    for (std::size_t i = 0; i < lane_rows.size(); ++i) {
+      if (i % lane_widths.size() == 0) {
+        std::printf("%-22s", lane_rows[i].style);
+      }
+      std::printf(" %7.2fMt/s", lane_rows[i].tps / 1e6);
+      if ((i + 1) % lane_widths.size() == 0) std::printf("\n");
+    }
+  }
+
   // Round targets: throughput vs. instance count (algorithmic-noise cost).
   const std::size_t round_traces = std::min<std::size_t>(num_traces, 50000);
   const std::vector<RoundThroughput> round_rows =
@@ -252,6 +379,7 @@ int main(int argc, char** argv) {
     options.key = {0x7};
     options.noise_sigma = 2e-16;
     options.num_threads = threads;
+    options.lane_width = 0;  // showcase: widest compiled-in word
     const auto start = Clock::now();
     const AttackResult r =
         engine.cpa_campaign(
@@ -265,8 +393,8 @@ int main(int argc, char** argv) {
         r.rank_of(options.key[0]));
   }
 
-  write_json(json_path, num_traces, threads, rows, round_rows, cpa_traces,
-             cpa_seconds);
+  write_json(json_path, num_traces, threads, rows, lane_rows, round_rows,
+             cpa_traces, cpa_seconds);
   std::printf("wrote %s\n", json_path.c_str());
   return all_pass ? 0 : 1;
 }

@@ -11,6 +11,9 @@
 // differential implementation leaks through its floating internal nodes,
 // and the fully connected SABL implementation holds. No trace is ever
 // retained: the CPA and MTD accumulators consume the stream directly.
+// `--lanes W` pins the batch lane width (64/128/256/512 as compiled in;
+// default 0 = widest) — results are bit-identical at every width.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,7 +34,8 @@ std::vector<std::size_t> demo_subkeys(std::size_t n) {
 
 void attack_style(LogicStyle style, std::size_t round_size,
                   std::size_t attack_sbox, std::size_t num_traces,
-                  double noise, std::size_t num_threads) {
+                  double noise, std::size_t num_threads,
+                  std::size_t lane_width) {
   const Technology tech = Technology::generic_180nm();
   const RoundSpec round = present_round(round_size, style);
   TraceEngine engine(round, tech);
@@ -42,6 +46,7 @@ void attack_style(LogicStyle style, std::size_t round_size,
   options.noise_sigma = noise;
   options.seed = 0xA77ACC;
   options.num_threads = num_threads;
+  options.lane_width = lane_width;
   const std::size_t subkey = round.sub_word(options.key.data(), attack_sbox);
 
   // One generation pass feeds both consumers: the full-campaign CPA and
@@ -78,6 +83,7 @@ int main(int argc, char** argv) {
   const std::size_t num_traces = 5000;
   const double noise = 2e-16;  // ~0.2 fJ RMS measurement noise
   std::size_t num_threads = 0;  // 0 = hardware concurrency
+  std::size_t lane_width = 0;   // 0 = widest compiled-in lane word
   std::size_t round_size = 1;
   std::size_t attack_sbox = 0;
   for (int i = 1; i < argc; ++i) {
@@ -90,10 +96,25 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--attack-sbox") == 0 && i + 1 < argc) {
       attack_sbox =
           static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--lanes") == 0 && i + 1 < argc) {
+      lane_width =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--threads N] [--round N] [--attack-sbox I]\n",
+                   "usage: %s [--threads N] [--round N] [--attack-sbox I] "
+                   "[--lanes W]\n",
                    argv[0]);
+      return 2;
+    }
+  }
+  if (lane_width != 0) {
+    const auto supported = supported_lane_widths();
+    if (std::find(supported.begin(), supported.end(), lane_width) ==
+        supported.end()) {
+      std::fprintf(stderr,
+                   "--lanes %zu is not compiled into this build (supported: "
+                   "64, 128%s)\n",
+                   lane_width, max_lane_width() > 128 ? ", SIMD widths" : "");
       return 2;
     }
   }
@@ -108,9 +129,12 @@ int main(int argc, char** argv) {
   std::printf("CPA attack on a %zu-S-box PRESENT round, attacking S-box %zu "
               "(secret subkey 0x%zX), %zu traces\n",
               round_size, attack_sbox, subkey, num_traces);
+  CampaignOptions defaults;
+  defaults.lane_width = lane_width;
   std::printf(
-      "(batched 64-wide simulation sharded over %zu threads, streaming "
+      "(batched %zu-wide simulation sharded over %zu threads, streaming "
       "one-pass attack%s)\n\n",
+      campaign_lane_width(defaults),
       num_threads != 0 ? num_threads
                        : campaign_thread_count(CampaignOptions{}),
       round_size > 1 ? "; the other instances are algorithmic noise" : "");
@@ -119,7 +143,7 @@ int main(int argc, char** argv) {
         LogicStyle::kSablFullyConnected, LogicStyle::kSablEnhanced,
         LogicStyle::kWddlBalanced, LogicStyle::kWddlMismatched}) {
     attack_style(style, round_size, attack_sbox, num_traces, noise,
-                 num_threads);
+                 num_threads, lane_width);
   }
   std::printf(
       "\nThe fully connected/enhanced gates draw an input-independent charge\n"

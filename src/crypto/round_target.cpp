@@ -194,21 +194,39 @@ RoundSpec aes_subbytes_round(std::size_t num_sboxes, LogicStyle style) {
   return round;
 }
 
-// ---- RoundTarget ----------------------------------------------------------
+// ---- RoundTargetT ---------------------------------------------------------
 
-RoundTarget::RoundTarget(RoundSpec round, std::vector<Instance> instances)
-    : round_(std::move(round)), instances_(std::move(instances)) {
+template <typename W>
+RoundTargetT<W>::RoundTargetT(RoundSpec round, Technology tech,
+                              std::vector<Instance> instances)
+    : round_(std::move(round)),
+      tech_(std::move(tech)),
+      instances_(std::move(instances)) {
   for (const Instance& instance : instances_) {
     if (instance.diff_sim) {
       num_levels_ = std::max(num_levels_, instance.diff_sim->num_levels());
+    } else if (instance.cmos_sim) {
+      num_levels_ = std::max(num_levels_, instance.cmos_sim->num_levels());
+    } else if (instance.wddl_sim) {
+      num_levels_ = std::max(num_levels_, instance.wddl_sim->num_levels());
     }
   }
 }
 
-RoundTarget::RoundTarget(const RoundSpec& round, const Technology& tech)
-    : round_(round) {
+template <typename W>
+RoundTargetT<W>::RoundTargetT(const RoundSpec& round, const Technology& tech)
+    : RoundTargetT(round, tech,
+                   std::vector<std::shared_ptr<const GateCircuit>>{}) {}
+
+template <typename W>
+RoundTargetT<W>::RoundTargetT(
+    const RoundSpec& round, const Technology& tech,
+    std::vector<std::shared_ptr<const GateCircuit>> circuits)
+    : round_(round), tech_(tech) {
   SABLE_REQUIRE(!round.sboxes.empty(),
                 "a round needs at least one S-box instance");
+  SABLE_REQUIRE(circuits.empty() || circuits.size() == round.sboxes.size(),
+                "pre-synthesized circuits must cover every S-box instance");
   instances_.reserve(round.sboxes.size());
   std::size_t offset = 0;
   for (std::size_t i = 0; i < round.sboxes.size(); ++i) {
@@ -220,25 +238,31 @@ RoundTarget::RoundTarget(const RoundSpec& round, const Technology& tech)
     Instance instance;
     instance.bit_offset = offset;
     offset += spec.in_bits;
-    // Identical specs share one synthesized circuit (a 16-instance PRESENT
-    // round synthesizes once); every instance still owns its simulator.
-    for (std::size_t j = 0; j < i; ++j) {
-      if (same_sbox(round.sboxes[j], spec)) {
-        instance.circuit = instances_[j].circuit;
-        break;
+    if (!circuits.empty()) {
+      instance.circuit = circuits[i];
+    } else {
+      // Identical specs share one synthesized circuit (a 16-instance
+      // PRESENT round synthesizes once); every instance still owns its
+      // simulator.
+      for (std::size_t j = 0; j < i; ++j) {
+        if (same_sbox(round.sboxes[j], spec)) {
+          instance.circuit = instances_[j].circuit;
+          break;
+        }
       }
-    }
-    if (!instance.circuit) {
-      instance.circuit = std::make_shared<const GateCircuit>(
-          build_sbox_circuit(spec, round.style, tech));
+      if (!instance.circuit) {
+        instance.circuit = std::make_shared<const GateCircuit>(
+            build_sbox_circuit(spec, round.style, tech));
+      }
     }
     switch (round.style) {
       case LogicStyle::kStaticCmos: {
         // One transition's worth of switching energy for a typical cell
         // load: ~5 fF at the reference VDD.
         const double c_sw = 5e-15;
-        instance.cmos_sim = std::make_unique<CmosCircuitSimBatch>(
+        instance.cmos_sim = std::make_unique<CmosCircuitSimBatchT<W>>(
             *instance.circuit, c_sw * tech.vdd * tech.vdd);
+        num_levels_ = std::max(num_levels_, instance.cmos_sim->num_levels());
         break;
       }
       case LogicStyle::kWddlBalanced:
@@ -247,24 +271,24 @@ RoundTarget::RoundTarget(const RoundSpec& round, const Technology& tech)
             round.style == LogicStyle::kWddlMismatched ? 0.05 : 0.0;
         // Per-instance seed: each pair of rails gets its own deterministic
         // placement/routing imbalance (instance 0 keeps the historic seed).
-        instance.wddl_sim = std::make_unique<WddlCircuitSimBatch>(
+        instance.wddl_sim = std::make_unique<WddlCircuitSimBatchT<W>>(
             *instance.circuit, tech, mismatch,
             0x3DD1 + static_cast<std::uint64_t>(i));
+        num_levels_ = std::max(num_levels_, instance.wddl_sim->num_levels());
         break;
       }
       default:
-        instance.diff_sim = std::make_unique<DifferentialCircuitSimBatch>(
+        instance.diff_sim = std::make_unique<DifferentialCircuitSimBatchT<W>>(
             *instance.circuit);
+        num_levels_ = std::max(num_levels_, instance.diff_sim->num_levels());
         break;
-    }
-    if (instance.diff_sim) {
-      num_levels_ = std::max(num_levels_, instance.diff_sim->num_levels());
     }
     instances_.push_back(std::move(instance));
   }
 }
 
-RoundTarget RoundTarget::clone() const {
+template <typename W>
+RoundTargetT<W> RoundTargetT<W>::clone() const {
   std::vector<Instance> copies;
   copies.reserve(instances_.size());
   for (const Instance& instance : instances_) {
@@ -275,24 +299,25 @@ RoundTarget RoundTarget::clone() const {
     // mismatch) without needing the Technology back, and starts from
     // fresh-construction lane state.
     if (instance.diff_sim) {
-      copy.diff_sim = std::make_unique<DifferentialCircuitSimBatch>(
+      copy.diff_sim = std::make_unique<DifferentialCircuitSimBatchT<W>>(
           instance.diff_sim->clone_fresh());
     } else if (instance.wddl_sim) {
-      copy.wddl_sim = std::make_unique<WddlCircuitSimBatch>(
+      copy.wddl_sim = std::make_unique<WddlCircuitSimBatchT<W>>(
           instance.wddl_sim->clone_fresh());
     } else {
-      copy.cmos_sim = std::make_unique<CmosCircuitSimBatch>(
+      copy.cmos_sim = std::make_unique<CmosCircuitSimBatchT<W>>(
           instance.cmos_sim->clone_fresh());
     }
     copies.push_back(std::move(copy));
   }
-  return RoundTarget(round_, std::move(copies));
+  return RoundTargetT(round_, tech_, std::move(copies));
 }
 
-void RoundTarget::cycle_instance(Instance& instance,
-                                 const std::vector<std::uint64_t>& input_words,
-                                 std::uint64_t lane_mask,
-                                 BatchCycleResult& out) {
+template <typename W>
+void RoundTargetT<W>::cycle_instance(Instance& instance,
+                                     const std::vector<W>& input_words,
+                                     const W& lane_mask,
+                                     BatchCycleResultT<W>& out) {
   if (instance.diff_sim) {
     instance.diff_sim->cycle(input_words, lane_mask, out);
   } else if (instance.wddl_sim) {
@@ -302,7 +327,22 @@ void RoundTarget::cycle_instance(Instance& instance,
   }
 }
 
-void RoundTarget::reset_state() {
+template <typename W>
+void RoundTargetT<W>::cycle_instance_sampled(Instance& instance,
+                                             const std::vector<W>& input_words,
+                                             const W& lane_mask,
+                                             SampledBatchCycleResultT<W>& out) {
+  if (instance.diff_sim) {
+    instance.diff_sim->cycle_sampled(input_words, lane_mask, out);
+  } else if (instance.wddl_sim) {
+    instance.wddl_sim->cycle_sampled(input_words, lane_mask, out);
+  } else {
+    instance.cmos_sim->cycle_sampled(input_words, lane_mask, out);
+  }
+}
+
+template <typename W>
+void RoundTargetT<W>::reset_state() {
   for (Instance& instance : instances_) {
     if (instance.diff_sim) {
       instance.diff_sim->reset();
@@ -313,12 +353,13 @@ void RoundTarget::reset_state() {
   }
 }
 
-void RoundTarget::pack_instance_lanes(const Instance& instance,
-                                      const SboxSpec& spec,
-                                      const std::uint8_t* pts,
-                                      std::size_t base, std::size_t lanes,
-                                      const std::uint8_t* key) {
-  constexpr std::size_t kLanes = SablGateSimBatch::kLanes;
+template <typename W>
+void RoundTargetT<W>::pack_instance_lanes(const Instance& instance,
+                                          const SboxSpec& spec,
+                                          const std::uint8_t* pts,
+                                          std::size_t base, std::size_t lanes,
+                                          const std::uint8_t* key) {
+  constexpr std::size_t kLanes = LaneTraits<W>::kLanes;
   const std::size_t stride = round_.state_bytes();
   const std::size_t offset = instance.bit_offset;
   const std::size_t bits = spec.in_bits;
@@ -345,24 +386,27 @@ void RoundTarget::pack_instance_lanes(const Instance& instance,
   pack_lane_words(xs, lanes, words_);
 }
 
-double RoundTarget::trace(const std::uint8_t* pt, const std::uint8_t* key,
-                          double noise_sigma, Rng& rng) {
+template <typename W>
+double RoundTargetT<W>::trace(const std::uint8_t* pt, const std::uint8_t* key,
+                              double noise_sigma, Rng& rng) {
+  const W one = lane_mask<W>(1);
   double energy = 0.0;
   for (std::size_t i = 0; i < instances_.size(); ++i) {
     pack_instance_lanes(instances_[i], round_.sboxes[i], pt, 0, 1, key);
-    cycle_instance(instances_[i], words_, 1u, scratch_);
+    cycle_instance(instances_[i], words_, one, scratch_);
     energy += scratch_.energy[0];
   }
   return energy + noise_sigma * rng.gaussian();
 }
 
-void RoundTarget::trace_batch(const std::uint8_t* pts, std::size_t count,
-                              const std::uint8_t* key, double noise_sigma,
-                              Rng& rng, double* out) {
-  constexpr std::size_t kLanes = SablGateSimBatch::kLanes;
+template <typename W>
+void RoundTargetT<W>::trace_batch(const std::uint8_t* pts, std::size_t count,
+                                  const std::uint8_t* key, double noise_sigma,
+                                  Rng& rng, double* out) {
+  constexpr std::size_t kLanes = LaneTraits<W>::kLanes;
   // Single-S-box fast path (the N = 1 adapter and every historic caller):
   // the packed state is one byte per trace, so the lane build is the tight
-  // contiguous-byte loop the 64-wide kernel was designed around.
+  // contiguous-byte loop the bit-parallel kernel was designed around.
   if (instances_.size() == 1 && round_.state_bytes() == 1) {
     const SboxSpec& spec = round_.sboxes[0];
     const std::uint8_t in_mask =
@@ -371,15 +415,13 @@ void RoundTarget::trace_batch(const std::uint8_t* pts, std::size_t count,
     words_.resize(spec.in_bits);
     for (std::size_t base = 0; base < count; base += kLanes) {
       const std::size_t lanes = std::min(kLanes, count - base);
-      const std::uint64_t lane_mask =
-          lanes == kLanes ? ~std::uint64_t{0}
-                          : (std::uint64_t{1} << lanes) - 1u;
+      const W mask = lane_mask<W>(lanes);
       std::uint64_t xs[kLanes];
       for (std::size_t lane = 0; lane < lanes; ++lane) {
         xs[lane] = (pts[base + lane] & in_mask) ^ subkey;
       }
       pack_lane_words(xs, lanes, words_);
-      cycle_instance(instances_[0], words_, lane_mask, scratch_);
+      cycle_instance(instances_[0], words_, mask, scratch_);
       for (std::size_t lane = 0; lane < lanes; ++lane) {
         out[base + lane] = scratch_.energy[lane];
       }
@@ -387,15 +429,13 @@ void RoundTarget::trace_batch(const std::uint8_t* pts, std::size_t count,
   } else {
     for (std::size_t base = 0; base < count; base += kLanes) {
       const std::size_t lanes = std::min(kLanes, count - base);
-      const std::uint64_t lane_mask =
-          lanes == kLanes ? ~std::uint64_t{0}
-                          : (std::uint64_t{1} << lanes) - 1u;
+      const W mask = lane_mask<W>(lanes);
       for (std::size_t lane = 0; lane < lanes; ++lane) out[base + lane] = 0.0;
       // Fixed instance order keeps the energy summation deterministic.
       for (std::size_t i = 0; i < instances_.size(); ++i) {
         pack_instance_lanes(instances_[i], round_.sboxes[i], pts, base, lanes,
                             key);
-        cycle_instance(instances_[i], words_, lane_mask, scratch_);
+        cycle_instance(instances_[i], words_, mask, scratch_);
         for (std::size_t lane = 0; lane < lanes; ++lane) {
           out[base + lane] += scratch_.energy[lane];
         }
@@ -409,28 +449,23 @@ void RoundTarget::trace_batch(const std::uint8_t* pts, std::size_t count,
   }
 }
 
-void RoundTarget::trace_batch_sampled(const std::uint8_t* pts,
-                                      std::size_t count,
-                                      const std::uint8_t* key,
-                                      double noise_sigma, Rng& rng,
-                                      double* rows) {
-  constexpr std::size_t kLanes = SablGateSimBatch::kLanes;
+template <typename W>
+void RoundTargetT<W>::trace_batch_sampled(const std::uint8_t* pts,
+                                          std::size_t count,
+                                          const std::uint8_t* key,
+                                          double noise_sigma, Rng& rng,
+                                          double* rows) {
+  constexpr std::size_t kLanes = LaneTraits<W>::kLanes;
   const std::size_t width = num_levels_;
-  SABLE_REQUIRE(width > 0,
-                "time-resolved traces require a differential (SABL) style");
+  SABLE_ASSERT(width > 0, "every logic style has at least one logic level");
   for (std::size_t i = 0; i < count * width; ++i) rows[i] = 0.0;
   for (std::size_t base = 0; base < count; base += kLanes) {
     const std::size_t lanes = std::min(kLanes, count - base);
-    const std::uint64_t lane_mask =
-        lanes == kLanes ? ~std::uint64_t{0}
-                        : (std::uint64_t{1} << lanes) - 1u;
+    const W mask = lane_mask<W>(lanes);
     for (std::size_t i = 0; i < instances_.size(); ++i) {
       Instance& instance = instances_[i];
-      SABLE_REQUIRE(
-          instance.diff_sim != nullptr,
-          "time-resolved traces require a differential (SABL) style");
       pack_instance_lanes(instance, round_.sboxes[i], pts, base, lanes, key);
-      instance.diff_sim->cycle_sampled(words_, lane_mask, sampled_scratch_);
+      cycle_instance_sampled(instance, words_, mask, sampled_scratch_);
       // Instances with fewer logic levels finish earlier: they contribute
       // nothing to the tail columns (time-aligned from cycle start).
       for (std::size_t l = 0; l < sampled_scratch_.level_energy.size(); ++l) {
@@ -448,16 +483,31 @@ void RoundTarget::trace_batch_sampled(const std::uint8_t* pts,
   }
 }
 
-std::uint8_t RoundTarget::reference(std::size_t index, const std::uint8_t* pt,
-                                    const std::uint8_t* key) const {
+template <typename W>
+std::uint8_t RoundTargetT<W>::reference(std::size_t index,
+                                        const std::uint8_t* pt,
+                                        const std::uint8_t* key) const {
   const std::size_t x =
       round_.sub_word(pt, index) ^ round_.sub_word(key, index);
   return round_.sboxes[index].apply(static_cast<std::uint8_t>(x));
 }
 
-const GateCircuit& RoundTarget::circuit(std::size_t index) const {
+template <typename W>
+const GateCircuit& RoundTargetT<W>::circuit(std::size_t index) const {
   SABLE_REQUIRE(index < instances_.size(), "S-box index out of range");
   return *instances_[index].circuit;
 }
+
+#define SABLE_INSTANTIATE_ROUND_TARGET(W) template class RoundTargetT<W>;
+SABLE_FOR_EACH_LANE_WORD(SABLE_INSTANTIATE_ROUND_TARGET)
+#undef SABLE_INSTANTIATE_ROUND_TARGET
+
+// with_lane_width() is a member template: the engine derives every wider
+// variant from its 64-lane prototype, so instantiate u64 -> each width.
+#define SABLE_INSTANTIATE_WITH_LANE_WIDTH(W)               \
+  template RoundTargetT<W>                                 \
+  RoundTargetT<std::uint64_t>::with_lane_width<W>() const;
+SABLE_FOR_EACH_LANE_WORD(SABLE_INSTANTIATE_WITH_LANE_WIDTH)
+#undef SABLE_INSTANTIATE_WITH_LANE_WIDTH
 
 }  // namespace sable

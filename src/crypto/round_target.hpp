@@ -15,10 +15,14 @@
 // sixteen AES S-boxes byte-pack into 16. Heterogeneous specs (mixed
 // widths) pack the same way.
 //
-// Encryptions run through the 64-wide bit-parallel circuit simulators:
-// trace_batch() simulates 64 wide plaintexts per clock cycle (lane L of
-// step k is trace k*64 + L, so history-bearing styles carry per-lane,
-// per-instance history), and the scalar trace() is the width-1 case.
+// Encryptions run through the lane-word-generic bit-parallel circuit
+// simulators: RoundTargetT<W>::trace_batch simulates LaneTraits<W>::kLanes
+// wide plaintexts per clock cycle (lane L of step k is trace k*kLanes + L,
+// with the static-CMOS history logically 64-lane so the generated trace
+// stream is bit-identical for every word width), and the scalar trace()
+// is the width-1 case. RoundTarget is the 64-lane instantiation — the
+// prototype the TraceEngine exposes; with_lane_width<W>() derives the
+// wider SIMD variants from it, sharing the synthesized circuits.
 // Identical (spec, style) instances share one synthesized circuit; every
 // instance owns its mutable simulator state.
 #pragma once
@@ -30,6 +34,7 @@
 #include "cell/circuit_sim.hpp"
 #include "cell/wddl.hpp"
 #include "crypto/sboxes.hpp"
+#include "util/lane_word.hpp"
 #include "util/rng.hpp"
 
 namespace sable {
@@ -90,16 +95,40 @@ RoundSpec present_round(std::size_t num_sboxes, LogicStyle style);
 /// SubBytes layer at num_sboxes = 16.
 RoundSpec aes_subbytes_round(std::size_t num_sboxes, LogicStyle style);
 
-class RoundTarget {
+template <typename W>
+class RoundTargetT {
  public:
-  RoundTarget(const RoundSpec& round, const Technology& tech);
+  RoundTargetT(const RoundSpec& round, const Technology& tech);
+
+  /// As above, but over pre-synthesized per-instance circuits (one
+  /// shared_ptr per S-box instance) instead of synthesizing them — how a
+  /// lane-width variant shares its source target's circuits. An empty
+  /// vector synthesizes as usual.
+  RoundTargetT(const RoundSpec& round, const Technology& tech,
+               std::vector<std::shared_ptr<const GateCircuit>> circuits);
 
   /// Independent target over the same synthesized circuits: the
   /// (immutable) GateCircuits are shared, every piece of mutable simulator
   /// state — CMOS transition history, SABL node charge, evaluator scratch —
   /// is fresh and private to the clone. This is the per-worker instance
   /// the thread-sharded TraceEngine hands each thread.
-  RoundTarget clone() const;
+  RoundTargetT clone() const;
+
+  /// The same target at another lane width: shares the synthesized
+  /// circuits, rebuilds every per-instance simulator (same style
+  /// derivation, same per-instance WDDL mismatch seeds) at width W2 in
+  /// fresh-construction state. Campaigns over the result generate
+  /// bit-identical traces to this target's — only the internal batch
+  /// width changes.
+  template <typename W2>
+  RoundTargetT<W2> with_lane_width() const {
+    std::vector<std::shared_ptr<const GateCircuit>> circuits;
+    circuits.reserve(instances_.size());
+    for (const Instance& instance : instances_) {
+      circuits.push_back(instance.circuit);
+    }
+    return RoundTargetT<W2>(round_, tech_, std::move(circuits));
+  }
 
   /// One encryption of the whole round: applies pt XOR key per instance
   /// (both `state_bytes()` packed bytes) and returns the summed power
@@ -107,7 +136,7 @@ class RoundTarget {
   double trace(const std::uint8_t* pt, const std::uint8_t* key,
                double noise_sigma, Rng& rng);
 
-  /// Batched encryptions, 64 per simulated cycle: `pts` holds `count`
+  /// Batched encryptions, kLanes per simulated cycle: `pts` holds `count`
   /// packed states of `state_bytes()` bytes each; writes one summed power
   /// sample per state into `out[0..count)`. Noise is drawn from `rng` in
   /// ascending trace order, so a campaign is reproducible regardless of
@@ -119,8 +148,8 @@ class RoundTarget {
   /// Time-resolved variant: writes `count` rows of `num_levels()` summed
   /// per-logic-level energies (row-major) into `rows`; gates at the same
   /// topological depth across all instances switch together. Per-sample
-  /// Gaussian noise is drawn in trace-major, level-minor order. Requires a
-  /// differential (SABL-family) style.
+  /// Gaussian noise is drawn in trace-major, level-minor order. Covers
+  /// every logic style (differential, static CMOS, WDDL).
   void trace_batch_sampled(const std::uint8_t* pts, std::size_t count,
                            const std::uint8_t* key, double noise_sigma,
                            Rng& rng, double* rows);
@@ -135,8 +164,8 @@ class RoundTarget {
 
   const RoundSpec& round() const { return round_; }
   const GateCircuit& circuit(std::size_t index) const;
-  /// Samples per trace_batch_sampled row: the maximum logic depth over the
-  /// instances (0 for non-differential styles).
+  /// Samples per trace_batch_sampled row: the maximum logic depth over
+  /// the instances (every style is time-resolvable).
   std::size_t num_levels() const { return num_levels_; }
 
  private:
@@ -144,17 +173,21 @@ class RoundTarget {
   // private mutable simulator (exactly one of the three styles is set).
   struct Instance {
     std::shared_ptr<const GateCircuit> circuit;
-    std::unique_ptr<DifferentialCircuitSimBatch> diff_sim;
-    std::unique_ptr<CmosCircuitSimBatch> cmos_sim;
-    std::unique_ptr<WddlCircuitSimBatch> wddl_sim;
+    std::unique_ptr<DifferentialCircuitSimBatchT<W>> diff_sim;
+    std::unique_ptr<CmosCircuitSimBatchT<W>> cmos_sim;
+    std::unique_ptr<WddlCircuitSimBatchT<W>> wddl_sim;
     std::size_t bit_offset = 0;
   };
 
-  RoundTarget(RoundSpec round, std::vector<Instance> instances);
+  RoundTargetT(RoundSpec round, Technology tech,
+               std::vector<Instance> instances);
 
-  void cycle_instance(Instance& instance,
-                      const std::vector<std::uint64_t>& input_words,
-                      std::uint64_t lane_mask, BatchCycleResult& out);
+  void cycle_instance(Instance& instance, const std::vector<W>& input_words,
+                      const W& lane_mask, BatchCycleResultT<W>& out);
+  void cycle_instance_sampled(Instance& instance,
+                              const std::vector<W>& input_words,
+                              const W& lane_mask,
+                              SampledBatchCycleResultT<W>& out);
   /// Packs instance `index`'s (pt XOR key) sub-words of `lanes` adjacent
   /// states into `words_`.
   void pack_instance_lanes(const Instance& instance, const SboxSpec& spec,
@@ -162,11 +195,16 @@ class RoundTarget {
                            std::size_t lanes, const std::uint8_t* key);
 
   RoundSpec round_;
+  Technology tech_;  // kept so with_lane_width() can re-derive simulators
   std::vector<Instance> instances_;
   std::size_t num_levels_ = 0;
-  std::vector<std::uint64_t> words_;
-  BatchCycleResult scratch_;
-  SampledBatchCycleResult sampled_scratch_;
+  std::vector<W> words_;
+  BatchCycleResultT<W> scratch_;
+  SampledBatchCycleResultT<W> sampled_scratch_;
 };
+
+/// The 64-lane instantiation: the engine's prototype width and the historic
+/// public name.
+using RoundTarget = RoundTargetT<std::uint64_t>;
 
 }  // namespace sable

@@ -16,8 +16,13 @@ namespace sable {
 
 std::size_t campaign_shard_size(const CampaignOptions& options) {
   SABLE_REQUIRE(options.block_size > 0, "block size must be positive");
-  constexpr std::size_t kLanes = SablGateSimBatch::kLanes;
-  return std::max<std::size_t>(kLanes, options.block_size / kLanes * kLanes);
+  // Shard granularity is pinned to 64 traces — the historic lane count —
+  // for EVERY lane width, so shard boundaries (and with them the whole
+  // trace stream) never depend on the word the kernel happens to batch
+  // with. A wider word simply covers several 64-trace groups per step.
+  constexpr std::size_t kGranule = SablGateSimBatch::kLanes;
+  return std::max<std::size_t>(kGranule,
+                               options.block_size / kGranule * kGranule);
 }
 
 std::uint64_t campaign_shard_seed(std::uint64_t campaign_seed,
@@ -38,6 +43,46 @@ std::size_t campaign_thread_count(const CampaignOptions& options) {
   if (options.num_threads != 0) return options.num_threads;
   return std::max(1u, std::thread::hardware_concurrency());
 }
+
+std::size_t campaign_lane_width(const CampaignOptions& options) {
+  if (options.lane_width == 0) return max_lane_width();
+  for (std::size_t width : supported_lane_widths()) {
+    if (width == options.lane_width) return width;
+  }
+  throw InvalidArgument(
+      "CampaignOptions::lane_width must be 0 (widest) or a width this "
+      "build supports (see supported_lane_widths())");
+}
+
+// ---- per-width engine state ----------------------------------------------
+
+namespace detail {
+
+// One lane width's persistent state on an engine: the width-variant of the
+// prototype target (lazily derived, shares the synthesized circuits) and
+// the pool of idle worker clones campaigns check workers out of. Keeping
+// both across campaigns means a sweep of many small campaigns (per-style
+// tables, SPICE calibration) pays synthesis once and cloning once per
+// worker — not once per campaign.
+template <typename W>
+struct LanePool {
+  std::unique_ptr<RoundTargetT<W>> variant;  // null for the 64-lane width
+  std::mutex mutex;
+  std::vector<std::unique_ptr<RoundTargetT<W>>> idle;
+};
+
+struct EnginePools {
+  LanePool<std::uint64_t> p64;
+  LanePool<Word128> p128;
+#if SABLE_HAVE_WORD256
+  LanePool<Word256> p256;
+#endif
+#if SABLE_HAVE_WORD512
+  LanePool<Word512> p512;
+#endif
+};
+
+}  // namespace detail
 
 namespace {
 
@@ -97,8 +142,10 @@ void generate_shard_plaintexts(const RoundSpec& round,
 
 // Simulates one shard into caller-provided storage: per-shard RNG streams
 // and fresh simulator state make the result a pure function of (options,
-// shard) — the invariant every determinism guarantee rests on.
-void simulate_shard(RoundTarget& target, const CampaignOptions& options,
+// shard) — the invariant every determinism guarantee rests on. The
+// simulation word width is a pure throughput knob (see lane_word.hpp).
+template <typename W>
+void simulate_shard(RoundTargetT<W>& target, const CampaignOptions& options,
                     const ShardLayout& layout, std::size_t shard,
                     std::uint8_t* pts, double* samples) {
   const std::size_t count = layout.count(shard);
@@ -110,7 +157,8 @@ void simulate_shard(RoundTarget& target, const CampaignOptions& options,
 }
 
 // Time-resolved sibling: `rows` holds count rows of num_levels() samples.
-void simulate_shard_sampled(RoundTarget& target,
+template <typename W>
+void simulate_shard_sampled(RoundTargetT<W>& target,
                             const CampaignOptions& options,
                             const ShardLayout& layout, std::size_t shard,
                             std::uint8_t* pts, double* rows) {
@@ -122,21 +170,59 @@ void simulate_shard_sampled(RoundTarget& target,
                              options.noise_sigma, noise_rng, rows);
 }
 
-// Per-worker context: an independent target clone plus optional reusable
-// trace buffers, so the shard loop never allocates or shares mutable
-// state. Buffers are lazy — consumers that simulate into external storage
-// (run's TraceSet slices, the stream paths' per-shard slots) never pay for
-// them. `sample_width` is 1 for scalar campaigns and num_levels() for
+// RAII lease of a worker target from the engine's persistent pool: an
+// idle clone is reused, a missing one is cloned from the prototype, and
+// either way the worker returns to the pool at scope exit — campaigns on
+// the same engine share workers instead of re-cloning. Stale lane state
+// is harmless: every shard resets the target before simulating.
+template <typename W>
+class WorkerLease {
+ public:
+  WorkerLease(const RoundTargetT<W>& prototype, detail::LanePool<W>& pool)
+      : pool_(pool) {
+    {
+      std::lock_guard<std::mutex> lock(pool_.mutex);
+      if (!pool_.idle.empty()) {
+        worker_ = std::move(pool_.idle.back());
+        pool_.idle.pop_back();
+      }
+    }
+    if (!worker_) {
+      worker_ = std::make_unique<RoundTargetT<W>>(prototype.clone());
+    }
+  }
+  ~WorkerLease() {
+    std::lock_guard<std::mutex> lock(pool_.mutex);
+    pool_.idle.push_back(std::move(worker_));
+  }
+  WorkerLease(const WorkerLease&) = delete;
+  WorkerLease& operator=(const WorkerLease&) = delete;
+
+  RoundTargetT<W>& target() { return *worker_; }
+
+ private:
+  detail::LanePool<W>& pool_;
+  std::unique_ptr<RoundTargetT<W>> worker_;
+};
+
+// Per-worker context: a leased target clone plus optional reusable trace
+// buffers, so the shard loop never allocates or shares mutable state.
+// Buffers are lazy — consumers that simulate into external storage (run's
+// TraceSet slices, the stream paths' per-shard slots) never pay for them.
+// `sample_width` is 1 for scalar campaigns and num_levels() for
 // time-resolved ones; `sub_pts` holds the attacked instance's
 // sub-plaintexts on the attack paths.
+template <typename W>
 struct WorkerCtx {
-  RoundTarget target;
+  WorkerLease<W> lease;
   std::vector<std::uint8_t> pts;
   std::vector<double> samples;
   std::vector<std::uint8_t> sub_pts;
 
-  explicit WorkerCtx(const RoundTarget& prototype)
-      : target(prototype.clone()) {}
+  WorkerCtx(const RoundTargetT<W>& prototype, detail::LanePool<W>& pool)
+      : lease(prototype, pool) {}
+
+  RoundTargetT<W>& target() { return lease.target(); }
 
   void ensure_buffers(std::size_t shard_size, std::size_t pt_stride,
                       std::size_t sample_width) {
@@ -152,24 +238,24 @@ struct WorkerCtx {
 // `threads` workers (inline on the calling thread when threads == 1).
 // fn must only touch ctx and shard-indexed slots, keeping the pool free of
 // locks on the hot path. Worker exceptions are rethrown on the caller.
-template <typename Fn>
-void run_pool(const RoundTarget& prototype, const ShardLayout& layout,
-              std::size_t threads, Fn&& fn) {
+template <typename W, typename Fn>
+void run_pool(const RoundTargetT<W>& prototype, detail::LanePool<W>& pool,
+              const ShardLayout& layout, std::size_t threads, Fn&& fn) {
   if (layout.num_shards == 0) return;
   if (threads <= 1) {
-    WorkerCtx ctx(prototype);
+    WorkerCtx<W> ctx(prototype, pool);
     for (std::size_t s = 0; s < layout.num_shards; ++s) fn(ctx, s);
     return;
   }
   std::atomic<std::size_t> next{0};
   std::mutex error_mutex;
   std::exception_ptr error;
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
+  std::vector<std::thread> thread_pool;
+  thread_pool.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) {
-    pool.emplace_back([&] {
+    thread_pool.emplace_back([&] {
       try {
-        WorkerCtx ctx(prototype);
+        WorkerCtx<W> ctx(prototype, pool);
         for (std::size_t s = next.fetch_add(1); s < layout.num_shards;
              s = next.fetch_add(1)) {
           fn(ctx, s);
@@ -180,7 +266,7 @@ void run_pool(const RoundTarget& prototype, const ShardLayout& layout,
       }
     });
   }
-  for (std::thread& worker : pool) worker.join();
+  for (std::thread& worker : thread_pool) worker.join();
   if (error) std::rethrow_exception(error);
 }
 
@@ -189,19 +275,19 @@ void run_pool(const RoundTarget& prototype, const ShardLayout& layout,
 // thread emits them to `sink` in canonical shard order. `pt_stride` /
 // `sample_width` size the per-trace storage. Workers stall once they run
 // `window` shards ahead of the emitter, bounding in-flight storage.
-template <typename SimulateFn>
-void stream_shards(const RoundTarget& prototype,
-                   const CampaignOptions& options, std::size_t pt_stride,
-                   std::size_t sample_width, SimulateFn&& simulate,
-                   const TraceSink& sink) {
+template <typename W, typename SimulateFn>
+void stream_shards(const RoundTargetT<W>& prototype,
+                   detail::LanePool<W>& pool, const CampaignOptions& options,
+                   std::size_t pt_stride, std::size_t sample_width,
+                   SimulateFn&& simulate, const TraceSink& sink) {
   const ShardLayout layout = layout_for(options);
   if (layout.num_shards == 0) return;
   const std::size_t threads = resolve_threads(options, layout.num_shards);
   if (threads <= 1) {
-    WorkerCtx ctx(prototype);
+    WorkerCtx<W> ctx(prototype, pool);
     ctx.ensure_buffers(layout.shard_size, pt_stride, sample_width);
     for (std::size_t s = 0; s < layout.num_shards; ++s) {
-      simulate(ctx.target, s, ctx.pts.data(), ctx.samples.data());
+      simulate(ctx.target(), s, ctx.pts.data(), ctx.samples.data());
       sink(ctx.pts.data(), ctx.samples.data(), layout.count(s));
     }
     return;
@@ -229,15 +315,15 @@ void stream_shards(const RoundTarget& prototype,
   std::atomic<std::size_t> next{0};
   std::mutex error_mutex;
   std::exception_ptr worker_error;
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
+  std::vector<std::thread> thread_pool;
+  thread_pool.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) {
-    pool.emplace_back([&] {
+    thread_pool.emplace_back([&] {
       try {
-        // No WorkerCtx here: this path simulates straight into per-shard
-        // Slot buffers (they outlive the shard until emitted), so the
-        // worker needs only its target clone.
-        RoundTarget worker = prototype.clone();
+        // No trace buffers here: this path simulates straight into
+        // per-shard Slot buffers (they outlive the shard until emitted),
+        // so the worker needs only its leased target clone.
+        WorkerLease<W> lease(prototype, pool);
         for (std::size_t s = next.fetch_add(1); s < layout.num_shards;
              s = next.fetch_add(1)) {
           {
@@ -249,7 +335,7 @@ void stream_shards(const RoundTarget& prototype,
           slot.count = layout.count(s);
           slot.pts.resize(slot.count * pt_stride);
           slot.samples.resize(slot.count * sample_width);
-          simulate(worker, s, slot.pts.data(), slot.samples.data());
+          simulate(lease.target(), s, slot.pts.data(), slot.samples.data());
           slot.ready = true;
           {
             std::lock_guard<std::mutex> lock(mutex);
@@ -298,123 +384,137 @@ void stream_shards(const RoundTarget& prototype,
     }
     space_cv.notify_all();
   }
-  for (std::thread& worker : pool) worker.join();
+  for (std::thread& worker : thread_pool) worker.join();
   if (sink_error) std::rethrow_exception(sink_error);
   if (worker_error) std::rethrow_exception(worker_error);
 }
 
-}  // namespace
-
-const SboxSpec& TraceEngine::spec(std::size_t sbox_index) const {
-  SABLE_REQUIRE(sbox_index < round().num_sboxes(),
-                "S-box index out of range for the round");
-  return round().sboxes[sbox_index];
+// Lazily derives the width-W variant of the engine's 64-lane prototype
+// (shared circuits, fresh sims) and keeps it on the pool for the engine's
+// lifetime. Guarded by the pool mutex so concurrent campaigns on one
+// engine (safe before the pools existed, since they only read the const
+// prototype) cannot race the one-time init; it runs once per width per
+// engine, off the hot path.
+template <typename W>
+const RoundTargetT<W>& ensure_variant(const RoundTarget& base,
+                                      detail::LanePool<W>& pool) {
+  std::lock_guard<std::mutex> lock(pool.mutex);
+  if (!pool.variant) {
+    pool.variant = std::make_unique<RoundTargetT<W>>(
+        base.template with_lane_width<W>());
+  }
+  return *pool.variant;
 }
 
-TraceSet TraceEngine::run(const CampaignOptions& options) {
-  validate_key(round(), options);
+// Resolves options.lane_width and calls fn(prototype, pool) with the
+// matching RoundTargetT<W> / LanePool<W> pair — the single dispatch point
+// between the runtime width knob and the compile-time kernel width.
+template <typename Fn>
+decltype(auto) with_lane(const RoundTarget& base, detail::EnginePools& pools,
+                         const CampaignOptions& options, Fn&& fn) {
+  switch (campaign_lane_width(options)) {
+    case 64:
+      return fn(base, pools.p64);
+    case 128:
+      return fn(ensure_variant(base, pools.p128), pools.p128);
+#if SABLE_HAVE_WORD256
+    case 256:
+      return fn(ensure_variant(base, pools.p256), pools.p256);
+#endif
+#if SABLE_HAVE_WORD512
+    case 512:
+      return fn(ensure_variant(base, pools.p512), pools.p512);
+#endif
+  }
+  SABLE_ASSERT(false, "unreachable lane width");
+}
+
+// ---- width-generic campaign bodies ----------------------------------------
+
+template <typename W>
+TraceSet run_campaign(const RoundTargetT<W>& prototype,
+                      detail::LanePool<W>& pool,
+                      const CampaignOptions& options) {
   const ShardLayout layout = layout_for(options);
-  const std::size_t stride = round().state_bytes();
+  const std::size_t stride = prototype.round().state_bytes();
   TraceSet traces;
   traces.pt_width = stride;
   traces.plaintexts.resize(options.num_traces * stride);
   traces.samples.resize(options.num_traces);
   // Shards map to disjoint slices of the canonical trace order, so workers
   // simulate straight into the final TraceSet with no ordering hand-off.
-  run_pool(target_, layout, resolve_threads(options, layout.num_shards),
-           [&](WorkerCtx& ctx, std::size_t s) {
-             simulate_shard(ctx.target, options, layout, s,
+  run_pool(prototype, pool, layout,
+           resolve_threads(options, layout.num_shards),
+           [&](WorkerCtx<W>& ctx, std::size_t s) {
+             simulate_shard(ctx.target(), options, layout, s,
                             traces.plaintexts.data() + layout.start(s) * stride,
                             traces.samples.data() + layout.start(s));
            });
   return traces;
 }
 
-void TraceEngine::stream(const CampaignOptions& options,
-                         const TraceSink& sink) {
-  validate_key(round(), options);
+template <typename W>
+AttackResult cpa_campaign_impl(const RoundTargetT<W>& prototype,
+                               detail::LanePool<W>& pool,
+                               const CampaignOptions& options,
+                               const AttackSelector& selector) {
+  const RoundSpec& round = prototype.round();
   const ShardLayout layout = layout_for(options);
-  stream_shards(target_, options, round().state_bytes(), 1,
-                [&](RoundTarget& target, std::size_t s, std::uint8_t* pts,
-                    double* samples) {
-                  simulate_shard(target, options, layout, s, pts, samples);
-                },
-                sink);
-}
-
-void TraceEngine::stream_sampled(const CampaignOptions& options,
-                                 const SampledTraceSink& sink) {
-  validate_key(round(), options);
-  SABLE_REQUIRE(target_.num_levels() > 0,
-                "time-resolved campaigns require a differential (SABL) style");
-  const ShardLayout layout = layout_for(options);
-  stream_shards(target_, options, round().state_bytes(),
-                target_.num_levels(),
-                [&](RoundTarget& target, std::size_t s, std::uint8_t* pts,
-                    double* rows) {
-                  simulate_shard_sampled(target, options, layout, s, pts,
-                                         rows);
-                },
-                sink);
-}
-
-AttackResult TraceEngine::cpa_campaign(const CampaignOptions& options,
-                                       const AttackSelector& selector) {
-  SABLE_REQUIRE(options.num_traces >= 2, "CPA requires at least two traces");
-  validate_key(round(), options);
-  validate_selector(round(), selector, /*bit_model=*/false);
-  const ShardLayout layout = layout_for(options);
-  const std::size_t stride = round().state_bytes();
+  const std::size_t stride = round.state_bytes();
   // One accumulator per shard (copies share the prediction table), fed the
   // attacked instance's sub-plaintexts; the fixed-shape tree reduction
   // below depends only on the shard count, so the result is bit-identical
   // for any thread count.
-  StreamingCpa prototype(spec(selector.sbox_index), selector.model,
-                         selector.bit);
-  std::vector<StreamingCpa> shards(layout.num_shards, prototype);
-  run_pool(target_, layout, resolve_threads(options, layout.num_shards),
-           [&](WorkerCtx& ctx, std::size_t s) {
+  StreamingCpa prototype_acc(round.sboxes[selector.sbox_index], selector.model,
+                             selector.bit);
+  std::vector<StreamingCpa> shards(layout.num_shards, prototype_acc);
+  run_pool(prototype, pool, layout,
+           resolve_threads(options, layout.num_shards),
+           [&](WorkerCtx<W>& ctx, std::size_t s) {
              ctx.ensure_buffers(layout.shard_size, stride, 1);
-             simulate_shard(ctx.target, options, layout, s, ctx.pts.data(),
+             simulate_shard(ctx.target(), options, layout, s, ctx.pts.data(),
                             ctx.samples.data());
-             round().sub_words(ctx.pts.data(), layout.count(s),
-                               selector.sbox_index, ctx.sub_pts.data());
+             round.sub_words(ctx.pts.data(), layout.count(s),
+                             selector.sbox_index, ctx.sub_pts.data());
              shards[s].add_batch(ctx.sub_pts.data(), ctx.samples.data(),
                                  layout.count(s));
            });
   return merge_shard_tree(std::move(shards)).result();
 }
 
-AttackResult TraceEngine::dom_campaign(const CampaignOptions& options,
-                                       const AttackSelector& selector) {
-  SABLE_REQUIRE(options.num_traces >= 2, "DPA requires at least two traces");
-  validate_key(round(), options);
-  validate_selector(round(), selector, /*bit_model=*/true);
+template <typename W>
+AttackResult dom_campaign_impl(const RoundTargetT<W>& prototype,
+                               detail::LanePool<W>& pool,
+                               const CampaignOptions& options,
+                               const AttackSelector& selector) {
+  const RoundSpec& round = prototype.round();
   const ShardLayout layout = layout_for(options);
-  const std::size_t stride = round().state_bytes();
-  StreamingDom prototype(spec(selector.sbox_index), selector.bit);
-  std::vector<StreamingDom> shards(layout.num_shards, prototype);
-  run_pool(target_, layout, resolve_threads(options, layout.num_shards),
-           [&](WorkerCtx& ctx, std::size_t s) {
+  const std::size_t stride = round.state_bytes();
+  StreamingDom prototype_acc(round.sboxes[selector.sbox_index], selector.bit);
+  std::vector<StreamingDom> shards(layout.num_shards, prototype_acc);
+  run_pool(prototype, pool, layout,
+           resolve_threads(options, layout.num_shards),
+           [&](WorkerCtx<W>& ctx, std::size_t s) {
              ctx.ensure_buffers(layout.shard_size, stride, 1);
-             simulate_shard(ctx.target, options, layout, s, ctx.pts.data(),
+             simulate_shard(ctx.target(), options, layout, s, ctx.pts.data(),
                             ctx.samples.data());
-             round().sub_words(ctx.pts.data(), layout.count(s),
-                               selector.sbox_index, ctx.sub_pts.data());
+             round.sub_words(ctx.pts.data(), layout.count(s),
+                             selector.sbox_index, ctx.sub_pts.data());
              shards[s].add_batch(ctx.sub_pts.data(), ctx.samples.data(),
                                  layout.count(s));
            });
   return merge_shard_tree(std::move(shards)).result();
 }
 
-MtdResult TraceEngine::mtd_campaign(const CampaignOptions& options,
-                                    const AttackSelector& selector,
-                                    const std::vector<std::size_t>& checkpoints) {
-  SABLE_REQUIRE(options.num_traces >= 2, "MTD requires at least two traces");
-  validate_key(round(), options);
-  validate_selector(round(), selector, /*bit_model=*/false);
+template <typename W>
+MtdResult mtd_campaign_impl(const RoundTargetT<W>& prototype,
+                            detail::LanePool<W>& pool,
+                            const CampaignOptions& options,
+                            const AttackSelector& selector,
+                            const std::vector<std::size_t>& checkpoints) {
+  const RoundSpec& round = prototype.round();
   const ShardLayout layout = layout_for(options);
-  const std::size_t stride = round().state_bytes();
+  const std::size_t stride = round.state_bytes();
   // Canonical checkpoint ladder: sorted, unique, and restricted to counts
   // both drivers can evaluate (>= 2 traces, within the campaign).
   std::vector<std::size_t> ladder = checkpoints;
@@ -432,20 +532,20 @@ MtdResult TraceEngine::mtd_campaign(const CampaignOptions& options,
     std::vector<std::pair<std::size_t, StreamingCpa>> snapshots;
     std::optional<StreamingCpa> full;
   };
-  const StreamingCpa prototype(spec(selector.sbox_index), selector.model,
-                               selector.bit);
+  const StreamingCpa prototype_acc(round.sboxes[selector.sbox_index],
+                                   selector.model, selector.bit);
   std::vector<MtdShard> shards(layout.num_shards);
   run_pool(
-      target_, layout, resolve_threads(options, layout.num_shards),
-      [&](WorkerCtx& ctx, std::size_t s) {
+      prototype, pool, layout, resolve_threads(options, layout.num_shards),
+      [&](WorkerCtx<W>& ctx, std::size_t s) {
         ctx.ensure_buffers(layout.shard_size, stride, 1);
-        simulate_shard(ctx.target, options, layout, s, ctx.pts.data(),
+        simulate_shard(ctx.target(), options, layout, s, ctx.pts.data(),
                        ctx.samples.data());
-        round().sub_words(ctx.pts.data(), layout.count(s),
-                          selector.sbox_index, ctx.sub_pts.data());
+        round.sub_words(ctx.pts.data(), layout.count(s), selector.sbox_index,
+                        ctx.sub_pts.data());
         const std::size_t start = layout.start(s);
         const std::size_t count = layout.count(s);
-        StreamingCpa acc = prototype;
+        StreamingCpa acc = prototype_acc;
         std::size_t done = 0;
         for (auto it = std::upper_bound(ladder.begin(), ladder.end(), start);
              it != ladder.end() && *it <= start + count; ++it) {
@@ -462,7 +562,7 @@ MtdResult TraceEngine::mtd_campaign(const CampaignOptions& options,
 
   // The MTD prefix semantics need the strict shard order, so this reduction
   // stays a left fold (unlike the attack campaigns' merge tree).
-  ShardedMtd driver(round().sub_word(options.key.data(), selector.sbox_index));
+  ShardedMtd driver(round.sub_word(options.key.data(), selector.sbox_index));
   for (MtdShard& shard : shards) {
     for (const auto& [count, snapshot] : shard.snapshots) {
       driver.checkpoint(count, snapshot);
@@ -472,34 +572,151 @@ MtdResult TraceEngine::mtd_campaign(const CampaignOptions& options,
   return driver.result();
 }
 
-MultiAttackResult TraceEngine::multi_cpa_campaign(
-    const CampaignOptions& options, const AttackSelector& selector) {
-  SABLE_REQUIRE(options.num_traces >= 2,
-                "multisample CPA requires at least two traces");
-  validate_key(round(), options);
-  validate_selector(round(), selector, /*bit_model=*/false);
-  const std::size_t width = target_.num_levels();
-  SABLE_REQUIRE(width > 0,
-                "time-resolved campaigns require a differential (SABL) style");
+template <typename W>
+MultiAttackResult multi_cpa_campaign_impl(const RoundTargetT<W>& prototype,
+                                          detail::LanePool<W>& pool,
+                                          const CampaignOptions& options,
+                                          const AttackSelector& selector) {
+  const RoundSpec& round = prototype.round();
+  const std::size_t width = prototype.num_levels();
   const ShardLayout layout = layout_for(options);
-  const std::size_t stride = round().state_bytes();
-  StreamingMultiCpa prototype(spec(selector.sbox_index), selector.model,
-                              width, selector.bit);
-  std::vector<StreamingMultiCpa> shards(layout.num_shards, prototype);
-  run_pool(target_, layout, resolve_threads(options, layout.num_shards),
-           [&](WorkerCtx& ctx, std::size_t s) {
+  const std::size_t stride = round.state_bytes();
+  StreamingMultiCpa prototype_acc(round.sboxes[selector.sbox_index],
+                                  selector.model, width, selector.bit);
+  std::vector<StreamingMultiCpa> shards(layout.num_shards, prototype_acc);
+  run_pool(prototype, pool, layout,
+           resolve_threads(options, layout.num_shards),
+           [&](WorkerCtx<W>& ctx, std::size_t s) {
              ctx.ensure_buffers(layout.shard_size, stride, width);
-             simulate_shard_sampled(ctx.target, options, layout, s,
+             simulate_shard_sampled(ctx.target(), options, layout, s,
                                     ctx.pts.data(), ctx.samples.data());
              const std::size_t count = layout.count(s);
-             round().sub_words(ctx.pts.data(), count, selector.sbox_index,
-                               ctx.sub_pts.data());
+             round.sub_words(ctx.pts.data(), count, selector.sbox_index,
+                             ctx.sub_pts.data());
              for (std::size_t t = 0; t < count; ++t) {
                shards[s].add(ctx.sub_pts[t],
                              ctx.samples.data() + t * width);
              }
            });
   return merge_shard_tree(std::move(shards)).result();
+}
+
+}  // namespace
+
+// ---- TraceEngine ----------------------------------------------------------
+
+TraceEngine::TraceEngine(const RoundSpec& round, const Technology& tech)
+    : target_(round, tech),
+      pools_(std::make_unique<detail::EnginePools>()) {}
+
+TraceEngine::TraceEngine(const SboxSpec& spec, LogicStyle style,
+                         const Technology& tech)
+    : target_(single_sbox_round(spec, style), tech),
+      pools_(std::make_unique<detail::EnginePools>()) {}
+
+TraceEngine::~TraceEngine() = default;
+TraceEngine::TraceEngine(TraceEngine&&) noexcept = default;
+TraceEngine& TraceEngine::operator=(TraceEngine&&) noexcept = default;
+
+const SboxSpec& TraceEngine::spec(std::size_t sbox_index) const {
+  SABLE_REQUIRE(sbox_index < round().num_sboxes(),
+                "S-box index out of range for the round");
+  return round().sboxes[sbox_index];
+}
+
+TraceSet TraceEngine::run(const CampaignOptions& options) {
+  validate_key(round(), options);
+  return with_lane(target_, *pools_, options,
+                   [&](const auto& prototype, auto& pool) {
+                     return run_campaign(prototype, pool, options);
+                   });
+}
+
+void TraceEngine::stream(const CampaignOptions& options,
+                         const TraceSink& sink) {
+  validate_key(round(), options);
+  const ShardLayout layout = layout_for(options);
+  with_lane(target_, *pools_, options,
+            [&](const auto& prototype, auto& pool) {
+              stream_shards(prototype, pool, options, round().state_bytes(), 1,
+                            [&](auto& target, std::size_t s, std::uint8_t* pts,
+                                double* samples) {
+                              simulate_shard(target, options, layout, s, pts,
+                                             samples);
+                            },
+                            sink);
+            });
+}
+
+void TraceEngine::stream_sampled(const CampaignOptions& options,
+                                 const SampledTraceSink& sink) {
+  validate_key(round(), options);
+  SABLE_REQUIRE(target_.num_levels() > 0,
+                "time-resolved campaigns need at least one logic level");
+  const ShardLayout layout = layout_for(options);
+  with_lane(target_, *pools_, options,
+            [&](const auto& prototype, auto& pool) {
+              stream_shards(prototype, pool, options, round().state_bytes(),
+                            target_.num_levels(),
+                            [&](auto& target, std::size_t s, std::uint8_t* pts,
+                                double* rows) {
+                              simulate_shard_sampled(target, options, layout,
+                                                     s, pts, rows);
+                            },
+                            sink);
+            });
+}
+
+AttackResult TraceEngine::cpa_campaign(const CampaignOptions& options,
+                                       const AttackSelector& selector) {
+  SABLE_REQUIRE(options.num_traces >= 2, "CPA requires at least two traces");
+  validate_key(round(), options);
+  validate_selector(round(), selector, /*bit_model=*/false);
+  return with_lane(target_, *pools_, options,
+                   [&](const auto& prototype, auto& pool) {
+                     return cpa_campaign_impl(prototype, pool, options,
+                                              selector);
+                   });
+}
+
+AttackResult TraceEngine::dom_campaign(const CampaignOptions& options,
+                                       const AttackSelector& selector) {
+  SABLE_REQUIRE(options.num_traces >= 2, "DPA requires at least two traces");
+  validate_key(round(), options);
+  validate_selector(round(), selector, /*bit_model=*/true);
+  return with_lane(target_, *pools_, options,
+                   [&](const auto& prototype, auto& pool) {
+                     return dom_campaign_impl(prototype, pool, options,
+                                              selector);
+                   });
+}
+
+MtdResult TraceEngine::mtd_campaign(const CampaignOptions& options,
+                                    const AttackSelector& selector,
+                                    const std::vector<std::size_t>& checkpoints) {
+  SABLE_REQUIRE(options.num_traces >= 2, "MTD requires at least two traces");
+  validate_key(round(), options);
+  validate_selector(round(), selector, /*bit_model=*/false);
+  return with_lane(target_, *pools_, options,
+                   [&](const auto& prototype, auto& pool) {
+                     return mtd_campaign_impl(prototype, pool, options,
+                                              selector, checkpoints);
+                   });
+}
+
+MultiAttackResult TraceEngine::multi_cpa_campaign(
+    const CampaignOptions& options, const AttackSelector& selector) {
+  SABLE_REQUIRE(options.num_traces >= 2,
+                "multisample CPA requires at least two traces");
+  validate_key(round(), options);
+  validate_selector(round(), selector, /*bit_model=*/false);
+  SABLE_REQUIRE(target_.num_levels() > 0,
+                "time-resolved campaigns need at least one logic level");
+  return with_lane(target_, *pools_, options,
+                   [&](const auto& prototype, auto& pool) {
+                     return multi_cpa_campaign_impl(prototype, pool, options,
+                                                    selector);
+                   });
 }
 
 }  // namespace sable

@@ -28,10 +28,23 @@
 // shard count. Results are bit-identical for any num_threads, including
 // 1. block_size is therefore part of the stream definition (it sets the
 // shard boundaries), not a pure performance knob.
+//
+// Lane widths: CampaignOptions::lane_width picks the batch word the
+// campaign simulates with — 64 (the historic kernel), 128 (portable
+// pair), or 256/512 (AVX2/AVX-512 vectors when compiled in; see
+// util/lane_word.hpp and the SABLE_SIMD CMake option). Shard boundaries
+// stay 64-granular and per-lane arithmetic (including the static-CMOS
+// logical 64-lane history) is width-invariant, so every supported width
+// generates bit-identical campaigns; wider words only raise throughput.
+// 0 (the default) selects the widest width this build carries. Workers
+// are persistent: each engine keeps the per-width target variants and a
+// pool of worker clones alive across campaigns, so sweeps of many small
+// campaigns pay the clone cost once.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -64,6 +77,10 @@ struct CampaignOptions {
   /// Worker threads the campaign shards are scheduled over.
   /// 0 = hardware concurrency. Any value yields bit-identical results.
   std::size_t num_threads = 0;
+  /// Batch-lane word width the campaign simulates with: 64, 128, or a
+  /// compiled-in SIMD width (256/512); see supported_lane_widths().
+  /// 0 = widest available. Any value yields bit-identical results.
+  std::size_t lane_width = 0;
 };
 
 /// Shard granularity of a campaign: block_size rounded down to whole
@@ -78,6 +95,10 @@ std::uint64_t campaign_shard_seed(std::uint64_t campaign_seed,
 
 /// Worker threads a campaign resolves to (0 = hardware concurrency).
 std::size_t campaign_thread_count(const CampaignOptions& options);
+
+/// Lane width a campaign resolves to (0 = the widest width compiled into
+/// this build). Throws InvalidArgument for widths the build lacks.
+std::size_t campaign_lane_width(const CampaignOptions& options);
 
 /// Deterministic fixed-shape binary reduction of per-shard accumulators:
 /// round r merges shard i + 2^r into shard i for every i ≡ 0 (mod
@@ -110,17 +131,23 @@ using TraceSink =
 using SampledTraceSink =
     std::function<void(const std::uint8_t*, const double*, std::size_t)>;
 
+namespace detail {
+struct EnginePools;  // per-width target variants + persistent worker pools
+}  // namespace detail
+
 class TraceEngine {
  public:
   /// An engine over a full round: every instance of `round` is
   /// synthesized (identical specs share a circuit) and simulated side by
   /// side, emitting summed power.
-  TraceEngine(const RoundSpec& round, const Technology& tech)
-      : target_(round, tech) {}
+  TraceEngine(const RoundSpec& round, const Technology& tech);
 
   /// Single-S-box adapter (the historic constructor): the N = 1 round.
-  TraceEngine(const SboxSpec& spec, LogicStyle style, const Technology& tech)
-      : target_(single_sbox_round(spec, style), tech) {}
+  TraceEngine(const SboxSpec& spec, LogicStyle style, const Technology& tech);
+
+  ~TraceEngine();
+  TraceEngine(TraceEngine&&) noexcept;
+  TraceEngine& operator=(TraceEngine&&) noexcept;
 
   /// Runs the campaign and retains every trace (for batch-style consumers
   /// and offline re-analysis). Shards are simulated in parallel and land
@@ -136,8 +163,8 @@ class TraceEngine {
   void stream(const CampaignOptions& options, const TraceSink& sink);
 
   /// As stream(), but time-resolved: each trace is a row of
-  /// target().num_levels() per-logic-level samples. Requires a
-  /// differential (SABL-family) style.
+  /// target().num_levels() per-logic-level samples. Covers every logic
+  /// style (differential, static CMOS, WDDL).
   void stream_sampled(const CampaignOptions& options,
                       const SampledTraceSink& sink);
 
@@ -167,8 +194,8 @@ class TraceEngine {
   /// Time-resolved one-pass CPA over `cycle_sampled` batches: one
   /// correlation accumulator per logic level (StreamingMultiCpa), sharded
   /// and tree-merged like cpa_campaign. Keeps, per guess, the largest
-  /// |rho| over the sample axis — the oscilloscope-style attack. Requires
-  /// a differential (SABL-family) style.
+  /// |rho| over the sample axis — the oscilloscope-style attack. Covers
+  /// every logic style (differential, static CMOS, WDDL).
   MultiAttackResult multi_cpa_campaign(const CampaignOptions& options,
                                        const AttackSelector& selector);
 
@@ -179,6 +206,9 @@ class TraceEngine {
 
  private:
   RoundTarget target_;
+  // Hides the per-width plumbing (RoundTargetT<W> variants, persistent
+  // worker clones) from this header; see trace_engine.cpp.
+  std::unique_ptr<detail::EnginePools> pools_;
 };
 
 }  // namespace sable

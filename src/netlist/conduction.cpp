@@ -47,33 +47,35 @@ std::vector<bool> connected_to_external(const DpdnNetwork& net,
   return out;
 }
 
+template <typename W>
 void device_conduction_masks(const DpdnNetwork& net,
-                             const std::vector<std::uint64_t>& var_words,
-                             std::vector<std::uint64_t>& out) {
+                             const std::vector<W>& var_words,
+                             std::vector<W>& out) {
   SABLE_ASSERT(var_words.size() >= net.num_vars(),
                "one lane word per input variable required");
   out.resize(net.device_count());
   for (std::size_t d = 0; d < net.device_count(); ++d) {
     const SignalLiteral& gate = net.devices()[d].gate;
-    const std::uint64_t w = var_words[gate.var];
+    const W& w = var_words[gate.var];
     out[d] = gate.positive ? w : ~w;
   }
 }
 
+template <typename W>
 void propagate_conduction(const DpdnNetwork& net,
-                          const std::vector<std::uint64_t>& device_masks,
-                          std::vector<std::uint64_t>& reach) {
+                          const std::vector<W>& device_masks,
+                          std::vector<W>& reach) {
   // DPDNs are a handful of nodes, so a few device sweeps reach the fixpoint
   // faster than any per-lane union-find would.
   bool changed = true;
   while (changed) {
     changed = false;
     for (std::size_t d = 0; d < net.device_count(); ++d) {
-      const std::uint64_t m = device_masks[d];
-      if (m == 0) continue;
+      const W& m = device_masks[d];
+      if (!lane_any(m)) continue;
       const Switch& sw = net.devices()[d];
-      const std::uint64_t joint = (reach[sw.a] | reach[sw.b]) & m;
-      if ((joint & ~reach[sw.a]) != 0 || (joint & ~reach[sw.b]) != 0) {
+      const W joint = (reach[sw.a] | reach[sw.b]) & m;
+      if (lane_any(joint & ~reach[sw.a]) || lane_any(joint & ~reach[sw.b])) {
         reach[sw.a] |= joint;
         reach[sw.b] |= joint;
         changed = true;
@@ -81,6 +83,16 @@ void propagate_conduction(const DpdnNetwork& net,
     }
   }
 }
+
+// One instantiation per compiled-in lane width; std::uint64_t is the
+// historic 64-lane kernel every scalar-facing query below runs on.
+#define SABLE_INSTANTIATE_CONDUCTION(W)                                   \
+  template void device_conduction_masks<W>(                               \
+      const DpdnNetwork&, const std::vector<W>&, std::vector<W>&);        \
+  template void propagate_conduction<W>(                                  \
+      const DpdnNetwork&, const std::vector<W>&, std::vector<W>&);
+SABLE_FOR_EACH_LANE_WORD(SABLE_INSTANTIATE_CONDUCTION)
+#undef SABLE_INSTANTIATE_CONDUCTION
 
 std::vector<std::uint64_t> connected_to_external_batch(
     const DpdnNetwork& net, const std::vector<std::uint64_t>& var_words) {

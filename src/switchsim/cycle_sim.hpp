@@ -10,9 +10,13 @@
 //                then all inputs return to 0 and disconnected (floating)
 //                nodes keep whatever charge they hold.
 //
-// Two widths share one kernel: SablGateSimBatch simulates 64 independent
-// gate instances at once (lane L of every word is instance L), and the
-// scalar SablGateSim is its width-1 case.
+// All widths share one kernel: SablGateSimBatchT<W> simulates
+// LaneTraits<W>::kLanes independent gate instances at once (lane L of
+// every word is instance L) for any lane word W from util/lane_word.hpp.
+// Per-lane energy arithmetic walks the word's 64-bit chunks with exactly
+// the historic 64-lane code, so a lane's result is bit-identical for
+// every word width. SablGateSimBatch is the 64-lane instantiation, and
+// the scalar SablGateSim is its width-1 case.
 #pragma once
 
 #include <cstdint>
@@ -20,31 +24,34 @@
 
 #include "netlist/network.hpp"
 #include "switchsim/gate_model.hpp"
+#include "util/lane_word.hpp"
 
 namespace sable {
 
 /// Transposes a batch of scalar assignments into the lane words every
-/// batch kernel consumes: bit L of `words[v]` is bit v of
+/// batch kernel consumes: lane L of `words[v]` is bit v of
 /// `assignments[L]`. `words` must be pre-sized to the variable count;
 /// lanes at `count` and beyond are cleared.
+template <typename W>
 void pack_lane_words(const std::uint64_t* assignments, std::size_t count,
-                     std::vector<std::uint64_t>& words);
+                     std::vector<W>& words);
 
-/// 64 independent instances of one gate, simulated bit-parallel: per node
-/// one charge word (bit L = instance L at VDD level), per cycle one
-/// conduction fixpoint over lane words instead of 64 union-finds.
-class SablGateSimBatch {
+/// kLanes independent instances of one gate, simulated bit-parallel: per
+/// node one charge word (lane L = instance L at VDD level), per cycle one
+/// conduction fixpoint over lane words instead of per-lane union-finds.
+template <typename W>
+class SablGateSimBatchT {
  public:
-  static constexpr std::size_t kLanes = 64;
+  static constexpr std::size_t kLanes = LaneTraits<W>::kLanes;
 
-  SablGateSimBatch(const DpdnNetwork& net, GateEnergyModel model);
+  SablGateSimBatchT(const DpdnNetwork& net, GateEnergyModel model);
 
   /// Runs one full clock cycle in every lane selected by `lane_mask`.
-  /// `var_words[v]` bit L is the value of input v in lane L. Writes the
-  /// supply energy of lane L into `energy[L]` for selected lanes only;
+  /// Lane L of `var_words[v]` is the value of input v in lane L. Writes
+  /// the supply energy of lane L into `energy[L]` for selected lanes only;
   /// unselected lanes keep their charge state and energy slot untouched.
-  void cycle(const std::vector<std::uint64_t>& var_words,
-             std::uint64_t lane_mask, double* energy);
+  void cycle(const std::vector<W>& var_words, const W& lane_mask,
+             double* energy);
 
   /// Forces every DPDN node charged (`true`) or discharged (`false`) in
   /// every lane.
@@ -55,14 +62,12 @@ class SablGateSimBatch {
   /// shared with this instance, so the clone can run on another thread.
   /// The referenced DpdnNetwork must outlive the clone (the sharded
   /// TraceEngine guarantees this by sharing the owning circuit).
-  SablGateSimBatch clone_fresh() const {
-    return SablGateSimBatch(net_, model_);
+  SablGateSimBatchT clone_fresh() const {
+    return SablGateSimBatchT(net_, model_);
   }
 
-  /// Per-node charge words after the last cycle (bit L = lane L at VDD).
-  const std::vector<std::uint64_t>& node_state_words() const {
-    return charged_;
-  }
+  /// Per-node charge words after the last cycle (lane L = lane L at VDD).
+  const std::vector<W>& node_state_words() const { return charged_; }
 
   const DpdnNetwork& network() const { return net_; }
   const GateEnergyModel& model() const { return model_; }
@@ -70,12 +75,15 @@ class SablGateSimBatch {
  private:
   const DpdnNetwork& net_;
   GateEnergyModel model_;
-  std::vector<std::uint64_t> charged_;
+  std::vector<W> charged_;
   // Per-cycle scratch, kept across calls so the hot path never allocates.
-  std::vector<std::uint64_t> masks_;
-  std::vector<std::uint64_t> reach_;
-  std::vector<std::uint64_t> reach_xz_;  // X–Z closure for the rail extras
+  std::vector<W> masks_;
+  std::vector<W> reach_;
+  std::vector<W> reach_xz_;  // X–Z closure for the rail extras
 };
+
+/// The historic 64-lane kernel (lane L of a word is instance L).
+using SablGateSimBatch = SablGateSimBatchT<std::uint64_t>;
 
 class SablGateSim {
  public:

@@ -1,0 +1,355 @@
+// Lane words — the batch kernels' generic machine word.
+//
+// Every bit-parallel kernel in the stack (conduction closure, switch-level
+// gate simulation, gate-circuit evaluation, trace generation) operates on
+// "lane words": one bit per independent simulation lane, one word per
+// variable or node. The word type is generic; a LaneWord provides
+//
+//   LaneTraits<W>::kLanes    lanes per word (64 / 128 / 256 / 512)
+//   LaneTraits<W>::kChunks   64-bit chunks per word (kLanes / 64)
+//   zero() / ones()          all-clear / all-set words
+//   any(w)                   true iff any lane bit is set
+//   to_chunks / from_chunks  transfer to/from std::uint64_t[kChunks]
+//   ~  &  |  ^  &=  |=  ==   the usual bitwise operators
+//
+// plus the free helpers lane_mask<W>(count) (THE tail-batch mask — every
+// partial batch in the stack must come from here so the count invariant is
+// asserted in exactly one place) and lane_any / lane_chunks.
+//
+// Three word families are provided:
+//   std::uint64_t  the historic 64-lane kernel word (native scalar ops),
+//   Word128        a portable pair of std::uint64_t (no ISA requirement),
+//   Word256/512    AVX2 / AVX-512 vectors, compiled in only when the build
+//                  enables the ISA (see the SABLE_SIMD CMake option);
+//                  detection is compile-time via __AVX2__ / __AVX512F__.
+//
+// Chunk j of a word covers lanes [64*j, 64*j + 64): a wide word is, by
+// construction, kChunks side-by-side 64-lane words. Kernels exploit this
+// two ways: per-lane floating-point extraction walks chunks with exactly
+// the 64-lane code (so every lane's arithmetic — and therefore every
+// simulated trace — is bit-identical no matter the word width), and
+// history-bearing simulators (static CMOS) advance their logical 64-lane
+// history chunk by chunk, which keeps the generated trace streams
+// width-independent as well.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define SABLE_HAVE_WORD256 1
+#else
+#define SABLE_HAVE_WORD256 0
+#endif
+
+#if defined(__AVX512F__)
+#define SABLE_HAVE_WORD512 1
+#else
+#define SABLE_HAVE_WORD512 0
+#endif
+
+namespace sable {
+
+template <typename W>
+struct LaneTraits;  // specialized for every lane word
+
+// ---- std::uint64_t: the historic 64-lane word -----------------------------
+
+template <>
+struct LaneTraits<std::uint64_t> {
+  static constexpr std::size_t kLanes = 64;
+  static constexpr std::size_t kChunks = 1;
+  static std::uint64_t zero() { return 0; }
+  static std::uint64_t ones() { return ~std::uint64_t{0}; }
+  static bool any(std::uint64_t w) { return w != 0; }
+  static void to_chunks(std::uint64_t w, std::uint64_t* out) { out[0] = w; }
+  static std::uint64_t from_chunks(const std::uint64_t* chunks) {
+    return chunks[0];
+  }
+};
+
+// ---- Word128: portable 128-lane pair --------------------------------------
+
+struct Word128 {
+  std::uint64_t c0 = 0;
+  std::uint64_t c1 = 0;
+
+  friend Word128 operator&(Word128 a, Word128 b) {
+    return {a.c0 & b.c0, a.c1 & b.c1};
+  }
+  friend Word128 operator|(Word128 a, Word128 b) {
+    return {a.c0 | b.c0, a.c1 | b.c1};
+  }
+  friend Word128 operator^(Word128 a, Word128 b) {
+    return {a.c0 ^ b.c0, a.c1 ^ b.c1};
+  }
+  Word128 operator~() const { return {~c0, ~c1}; }
+  Word128& operator&=(Word128 b) {
+    c0 &= b.c0;
+    c1 &= b.c1;
+    return *this;
+  }
+  Word128& operator|=(Word128 b) {
+    c0 |= b.c0;
+    c1 |= b.c1;
+    return *this;
+  }
+  friend bool operator==(Word128 a, Word128 b) = default;
+};
+
+template <>
+struct LaneTraits<Word128> {
+  static constexpr std::size_t kLanes = 128;
+  static constexpr std::size_t kChunks = 2;
+  static Word128 zero() { return {}; }
+  static Word128 ones() { return {~std::uint64_t{0}, ~std::uint64_t{0}}; }
+  static bool any(Word128 w) { return (w.c0 | w.c1) != 0; }
+  static void to_chunks(Word128 w, std::uint64_t* out) {
+    out[0] = w.c0;
+    out[1] = w.c1;
+  }
+  static Word128 from_chunks(const std::uint64_t* chunks) {
+    return {chunks[0], chunks[1]};
+  }
+};
+
+// ---- Word256: AVX2, 256 lanes ---------------------------------------------
+
+#if SABLE_HAVE_WORD256
+
+struct Word256 {
+  __m256i v;
+
+  Word256() : v(_mm256_setzero_si256()) {}
+  explicit Word256(__m256i x) : v(x) {}
+
+  friend Word256 operator&(Word256 a, Word256 b) {
+    return Word256(_mm256_and_si256(a.v, b.v));
+  }
+  friend Word256 operator|(Word256 a, Word256 b) {
+    return Word256(_mm256_or_si256(a.v, b.v));
+  }
+  friend Word256 operator^(Word256 a, Word256 b) {
+    return Word256(_mm256_xor_si256(a.v, b.v));
+  }
+  Word256 operator~() const {
+    return Word256(_mm256_xor_si256(v, _mm256_set1_epi64x(-1)));
+  }
+  Word256& operator&=(Word256 b) {
+    v = _mm256_and_si256(v, b.v);
+    return *this;
+  }
+  Word256& operator|=(Word256 b) {
+    v = _mm256_or_si256(v, b.v);
+    return *this;
+  }
+  friend bool operator==(Word256 a, Word256 b) {
+    const __m256i diff = _mm256_xor_si256(a.v, b.v);
+    return _mm256_testz_si256(diff, diff) != 0;
+  }
+};
+
+template <>
+struct LaneTraits<Word256> {
+  static constexpr std::size_t kLanes = 256;
+  static constexpr std::size_t kChunks = 4;
+  static Word256 zero() { return Word256(); }
+  static Word256 ones() { return Word256(_mm256_set1_epi64x(-1)); }
+  static bool any(Word256 w) { return _mm256_testz_si256(w.v, w.v) == 0; }
+  static void to_chunks(Word256 w, std::uint64_t* out) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), w.v);
+  }
+  static Word256 from_chunks(const std::uint64_t* chunks) {
+    return Word256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(chunks)));
+  }
+};
+
+#endif  // SABLE_HAVE_WORD256
+
+// ---- Word512: AVX-512F, 512 lanes -----------------------------------------
+
+#if SABLE_HAVE_WORD512
+
+struct Word512 {
+  __m512i v;
+
+  Word512() : v(_mm512_setzero_si512()) {}
+  explicit Word512(__m512i x) : v(x) {}
+
+  friend Word512 operator&(Word512 a, Word512 b) {
+    return Word512(_mm512_and_si512(a.v, b.v));
+  }
+  friend Word512 operator|(Word512 a, Word512 b) {
+    return Word512(_mm512_or_si512(a.v, b.v));
+  }
+  friend Word512 operator^(Word512 a, Word512 b) {
+    return Word512(_mm512_xor_si512(a.v, b.v));
+  }
+  Word512 operator~() const {
+    return Word512(_mm512_xor_si512(v, _mm512_set1_epi64(-1)));
+  }
+  Word512& operator&=(Word512 b) {
+    v = _mm512_and_si512(v, b.v);
+    return *this;
+  }
+  Word512& operator|=(Word512 b) {
+    v = _mm512_or_si512(v, b.v);
+    return *this;
+  }
+  friend bool operator==(Word512 a, Word512 b) {
+    return _mm512_cmpneq_epi64_mask(a.v, b.v) == 0;
+  }
+};
+
+template <>
+struct LaneTraits<Word512> {
+  static constexpr std::size_t kLanes = 512;
+  static constexpr std::size_t kChunks = 8;
+  static Word512 zero() { return Word512(); }
+  static Word512 ones() { return Word512(_mm512_set1_epi64(-1)); }
+  static bool any(Word512 w) { return _mm512_test_epi64_mask(w.v, w.v) != 0; }
+  static void to_chunks(Word512 w, std::uint64_t* out) {
+    _mm512_storeu_si512(out, w.v);
+  }
+  static Word512 from_chunks(const std::uint64_t* chunks) {
+    return Word512(_mm512_loadu_si512(chunks));
+  }
+};
+
+#endif  // SABLE_HAVE_WORD512
+
+// ---- helpers --------------------------------------------------------------
+
+/// Word whose first `count` lanes are set — the one and only source of
+/// tail-batch masks. A count outside [1, kLanes] is a kernel bug upstream
+/// (phantom traces would be simulated or every lane silently dropped), so
+/// it aborts rather than throwing.
+template <typename W>
+W lane_mask(std::size_t count) {
+  using T = LaneTraits<W>;
+  SABLE_ASSERT(count >= 1 && count <= T::kLanes,
+               "lane_mask: count must be in [1, lane_count]");
+  if (count == T::kLanes) return T::ones();
+  std::uint64_t chunks[T::kChunks];
+  for (std::size_t j = 0; j < T::kChunks; ++j) {
+    const std::size_t low = 64 * j;
+    chunks[j] = count <= low ? 0
+                : count >= low + 64
+                    ? ~std::uint64_t{0}
+                    : (std::uint64_t{1} << (count - low)) - 1;
+  }
+  return T::from_chunks(chunks);
+}
+
+/// True iff any lane bit of `w` is set.
+template <typename W>
+bool lane_any(const W& w) {
+  return LaneTraits<W>::any(w);
+}
+
+// ---- per-lane double-array helpers ----------------------------------------
+//
+// The kernels extract per-lane floating-point results by walking a word's
+// 64-bit chunks; these three masked-array loops are THE shared walk, so a
+// change to tail handling (e.g. AVX-512 mask registers) lands everywhere
+// at once. Full chunks take the plain vectorizable loop, sparse chunks
+// walk their set bits — bit-identical per lane either way.
+
+/// out[lane] = value for every selected lane of `lane_mask`.
+template <typename W>
+inline void lane_fill_selected(const W& lane_mask, double value,
+                               double* out) {
+  using T = LaneTraits<W>;
+  std::uint64_t m[T::kChunks];
+  T::to_chunks(lane_mask, m);
+  for (std::size_t j = 0; j < T::kChunks; ++j) {
+    double* e = out + 64 * j;
+    if (m[j] == ~std::uint64_t{0}) {
+      for (std::size_t lane = 0; lane < 64; ++lane) e[lane] = value;
+    } else {
+      for (std::uint64_t rest = m[j]; rest != 0; rest &= rest - 1) {
+        e[std::countr_zero(rest)] = value;
+      }
+    }
+  }
+}
+
+/// out[lane] += add[lane] for every selected lane of `lane_mask`.
+template <typename W>
+inline void lane_accumulate_selected(const W& lane_mask, const double* add,
+                                     double* out) {
+  using T = LaneTraits<W>;
+  std::uint64_t m[T::kChunks];
+  T::to_chunks(lane_mask, m);
+  for (std::size_t j = 0; j < T::kChunks; ++j) {
+    const double* a = add + 64 * j;
+    double* e = out + 64 * j;
+    if (m[j] == ~std::uint64_t{0}) {
+      for (std::size_t lane = 0; lane < 64; ++lane) e[lane] += a[lane];
+    } else {
+      for (std::uint64_t rest = m[j]; rest != 0; rest &= rest - 1) {
+        const std::size_t lane = std::countr_zero(rest);
+        e[lane] += a[lane];
+      }
+    }
+  }
+}
+
+/// out[lane] += delta for every set lane of `lanes`.
+template <typename W>
+inline void lane_add_delta(const W& lanes, double delta, double* out) {
+  using T = LaneTraits<W>;
+  std::uint64_t w[T::kChunks];
+  T::to_chunks(lanes, w);
+  for (std::size_t j = 0; j < T::kChunks; ++j) {
+    double* e = out + 64 * j;
+    for (std::uint64_t rest = w[j]; rest != 0; rest &= rest - 1) {
+      e[std::countr_zero(rest)] += delta;
+    }
+  }
+}
+
+/// Lane widths compiled into this build, ascending. 64 and 128 are always
+/// available; 256/512 require a build with the matching ISA enabled (the
+/// binary then requires an AVX2 / AVX-512 CPU).
+inline std::vector<std::size_t> supported_lane_widths() {
+  std::vector<std::size_t> widths = {64, 128};
+#if SABLE_HAVE_WORD256
+  widths.push_back(256);
+#endif
+#if SABLE_HAVE_WORD512
+  widths.push_back(512);
+#endif
+  return widths;
+}
+
+/// Widest lane width compiled into this build.
+constexpr std::size_t max_lane_width() {
+#if SABLE_HAVE_WORD512
+  return 512;
+#elif SABLE_HAVE_WORD256
+  return 256;
+#else
+  return 128;
+#endif
+}
+
+/// Applies macro X to every compiled-in lane word type — the single list
+/// behind the kernels' explicit template instantiations.
+#if SABLE_HAVE_WORD512
+#define SABLE_FOR_EACH_LANE_WORD(X) \
+  X(std::uint64_t) X(::sable::Word128) X(::sable::Word256) X(::sable::Word512)
+#elif SABLE_HAVE_WORD256
+#define SABLE_FOR_EACH_LANE_WORD(X) \
+  X(std::uint64_t) X(::sable::Word128) X(::sable::Word256)
+#else
+#define SABLE_FOR_EACH_LANE_WORD(X) X(std::uint64_t) X(::sable::Word128)
+#endif
+
+}  // namespace sable

@@ -404,6 +404,45 @@ TEST(EngineDeterminismTest, RoundCpaCampaignBitIdenticalAcrossThreadCounts) {
   }
 }
 
+// The lane-width contract at full round scale: a 16-S-box PRESENT layer
+// in the paper's enhanced style must produce bit-identical CPA scores for
+// every compiled-in lane width crossed with several worker counts — the
+// word the kernel batches with and the threads the shards land on are
+// both pure throughput knobs. One engine serves every run, so this also
+// exercises the persistent worker pool and the lazily derived per-width
+// target variants.
+TEST(EngineDeterminismTest, RoundCpaCampaignBitIdenticalAcrossLaneWidths) {
+  const RoundSpec round = present_round(16, LogicStyle::kSablEnhanced);
+  CampaignOptions options;
+  options.num_traces = 900;
+  options.key = round.pack_subkeys(round_subkeys(16));
+  options.noise_sigma = 2e-16;
+  options.seed = 0x16A8E5;
+  options.block_size = 448;
+  options.num_threads = 1;
+  options.lane_width = 64;
+  const AttackSelector selector{.sbox_index = 5,
+                                .model = PowerModel::kHammingWeight};
+  TraceEngine engine(round, kTech);
+  const AttackResult reference = engine.cpa_campaign(options, selector);
+  for (std::size_t width : supported_lane_widths()) {
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+      options.lane_width = width;
+      options.num_threads = threads;
+      const AttackResult result = engine.cpa_campaign(options, selector);
+      ASSERT_EQ(result.score.size(), reference.score.size());
+      for (std::size_t g = 0; g < reference.score.size(); ++g) {
+        EXPECT_EQ(result.score[g], reference.score[g])
+            << "width " << width << " threads " << threads << " guess " << g;
+      }
+      EXPECT_EQ(result.best_guess, reference.best_guess)
+          << "width " << width << " threads " << threads;
+      EXPECT_EQ(result.margin, reference.margin)
+          << "width " << width << " threads " << threads;
+    }
+  }
+}
+
 // RoundTarget::clone() must be state-free: after disturbing the original,
 // a clone's traces equal a freshly constructed target's, bit for bit.
 TEST(CloneTest, ClonedRoundTargetMatchesFreshTarget) {

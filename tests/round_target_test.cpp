@@ -277,5 +277,53 @@ TEST(RoundEngineTest, RunRetainsWideStatesAndStreamMatches) {
   EXPECT_THROW(engine.run(bad), InvalidArgument);
 }
 
+// Time-resolved campaigns cover the baseline style too: cycle_sampled on
+// the CMOS batch sim feeds multi_cpa_campaign, which must agree with the
+// batch multisample attack over the identically retained traces — and the
+// HD leak is strong enough that the oscilloscope-style attack recovers
+// the subkey.
+TEST(RoundEngineTest, MultiCpaCampaignCoversStaticCmos) {
+  const RoundSpec round = present_round(2, LogicStyle::kStaticCmos);
+  const std::vector<std::size_t> subkeys = {0xB, 0x4};
+  const AttackSelector selector{.sbox_index = 0,
+                                .model = PowerModel::kHammingWeight};
+  CampaignOptions options;
+  options.num_traces = 3000;
+  options.key = round.pack_subkeys(subkeys);
+  options.noise_sigma = 1e-16;
+  options.seed = 0xC405;
+  options.block_size = 448;
+
+  TraceEngine engine(round, kTech);
+  ASSERT_GT(engine.target().num_levels(), 0u);
+  const MultiAttackResult streamed =
+      engine.multi_cpa_campaign(options, selector);
+  EXPECT_EQ(streamed.combined.best_guess, subkeys[0]);
+
+  TraceEngine engine2(round, kTech);
+  const std::size_t width = engine2.target().num_levels();
+  MultiTraceSet retained;
+  retained.reserve(options.num_traces, width);
+  std::vector<std::uint8_t> sub_pts(campaign_shard_size(options));
+  engine2.stream_sampled(
+      options, [&](const std::uint8_t* pts, const double* rows,
+                   std::size_t count) {
+        round.sub_words(pts, count, selector.sbox_index, sub_pts.data());
+        for (std::size_t t = 0; t < count; ++t) {
+          retained.add(sub_pts[t], rows + t * width, width);
+        }
+      });
+  ASSERT_EQ(retained.size(), options.num_traces);
+  const MultiAttackResult batch = cpa_attack_multisample(
+      retained, round.sboxes[selector.sbox_index], selector.model,
+      selector.bit);
+  ASSERT_EQ(streamed.combined.score.size(), batch.combined.score.size());
+  for (std::size_t g = 0; g < batch.combined.score.size(); ++g) {
+    EXPECT_NEAR(streamed.combined.score[g], batch.combined.score[g], 1e-12)
+        << g;
+  }
+  EXPECT_EQ(streamed.best_sample, batch.best_sample);
+}
+
 }  // namespace
 }  // namespace sable

@@ -161,6 +161,72 @@ TEST(BatchCircuitSimTest, WddlLanesMatchScalar) {
   }
 }
 
+TEST(BatchCircuitSimTest, CmosCycleSampledSplitsCycleEnergyByLevel) {
+  Rng rng(0xC355);
+  const GateCircuit circuit =
+      random_circuit(rng, 4, NetworkVariant::kFullyConnected);
+  const double e_sw = 5e-15 * kTech.vdd * kTech.vdd;
+  // Twin sims fed the same sequence: the sampled rows must carry exactly
+  // the cycle energy, split across the circuit's logic levels, with the
+  // same per-lane transition history.
+  CmosCircuitSimBatch whole(circuit, e_sw);
+  CmosCircuitSimBatch sampled_sim(circuit, e_sw);
+  ASSERT_GT(sampled_sim.num_levels(), 0u);
+  BatchCycleResult out;
+  SampledBatchCycleResult sampled;
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    std::vector<std::uint64_t> plan(kLanes);
+    for (auto& a : plan) a = rng.below(16);
+    const auto words = lane_words(plan, 4);
+    whole.cycle(words, ~std::uint64_t{0}, out);
+    sampled_sim.cycle_sampled(words, ~std::uint64_t{0}, sampled);
+    ASSERT_EQ(sampled.level_energy.size(), sampled_sim.num_levels());
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      double sum = 0.0;
+      for (const auto& row : sampled.level_energy) sum += row[lane];
+      EXPECT_NEAR(sum, out.energy[lane], 1e-12 * (out.energy[lane] + 1e-30))
+          << "cycle " << cycle << " lane " << lane;
+    }
+    ASSERT_EQ(sampled.output_words.size(), out.output_words.size());
+    for (std::size_t i = 0; i < out.output_words.size(); ++i) {
+      EXPECT_EQ(sampled.output_words[i], out.output_words[i]) << i;
+    }
+  }
+}
+
+TEST(BatchCircuitSimTest, WddlCycleSampledSplitsCycleEnergyByLevel) {
+  Rng rng(0x3DD5);
+  const GateCircuit circuit =
+      random_circuit(rng, 4, NetworkVariant::kFullyConnected);
+  WddlCircuitSimBatch whole(circuit, kTech, 0.05);
+  WddlCircuitSimBatch sampled_sim(circuit, kTech, 0.05);
+  ASSERT_GT(sampled_sim.num_levels(), 0u);
+  BatchCycleResult out;
+  SampledBatchCycleResult sampled;
+  std::vector<std::uint64_t> plan(kLanes);
+  for (auto& a : plan) a = rng.below(16);
+  const auto words = lane_words(plan, 4);
+  whole.cycle(words, ~std::uint64_t{0}, out);
+  sampled_sim.cycle_sampled(words, ~std::uint64_t{0}, sampled);
+  ASSERT_EQ(sampled.level_energy.size(), sampled_sim.num_levels());
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    double sum = 0.0;
+    for (const auto& row : sampled.level_energy) sum += row[lane];
+    EXPECT_NEAR(sum, out.energy[lane], 1e-12 * (out.energy[lane] + 1e-30))
+        << lane;
+  }
+
+  // A perfectly balanced back-end leaks nothing into the time axis either:
+  // every level's row is data-independent (equal across lanes).
+  WddlCircuitSimBatch balanced(circuit, kTech, 0.0);
+  balanced.cycle_sampled(words, ~std::uint64_t{0}, sampled);
+  for (const auto& row : sampled.level_energy) {
+    for (std::size_t lane = 1; lane < kLanes; ++lane) {
+      EXPECT_EQ(row[lane], row[0]) << lane;
+    }
+  }
+}
+
 TEST(BatchCircuitSimTest, PartialLaneMaskLeavesOtherLanesUntouched) {
   Rng rng(0x9A5C);
   const GateCircuit circuit =
