@@ -101,6 +101,7 @@ int main(int argc, char** argv) {
   std::size_t num_threads = 0;  // 0 = hardware concurrency
   std::size_t round_size = 1;
   std::size_t attack_sbox = 0;
+  bool all_subkeys = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       num_threads =
@@ -111,9 +112,12 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--attack-sbox") == 0 && i + 1 < argc) {
       attack_sbox =
           static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--all-subkeys") == 0) {
+      all_subkeys = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--threads N] [--round N] [--attack-sbox I]\n",
+                   "usage: %s [--threads N] [--round N] [--attack-sbox I] "
+                   "[--all-subkeys]\n",
                    argv[0]);
       return 2;
     }
@@ -152,6 +156,40 @@ int main(int argc, char** argv) {
     std::printf("%-22s %9zu %10.3f %9zu %12s\n", to_string(row.style),
                 row.cpa_rank, row.cpa_rho, row.dom_rank, mtd_str);
   }
+  // One-pass multi-subkey attack: every subkey of the round recovered
+  // from a SINGLE simulated campaign per style through the distinguisher
+  // pipeline (one CpaDistinguisher per instance sharing the stream) —
+  // where the pre-pipeline engine would have re-simulated per subkey.
+  if (all_subkeys) {
+    std::printf(
+        "\n== one-pass multi-subkey CPA: all %zu subkeys, one campaign per "
+        "style ==\n%-22s correct-subkey rank per S-box\n",
+        round_size, "logic style");
+    for (LogicStyle style :
+         {LogicStyle::kStaticCmos, LogicStyle::kSablGenuine,
+          LogicStyle::kSablFullyConnected, LogicStyle::kSablEnhanced,
+          LogicStyle::kWddlBalanced, LogicStyle::kWddlMismatched}) {
+      const Technology tech = Technology::generic_180nm();
+      const RoundSpec round = present_round(round_size, style);
+      TraceEngine engine(round, tech);
+      CampaignOptions options;
+      options.num_traces = num_traces;
+      options.key = round.pack_subkeys(table_subkeys(round_size));
+      options.noise_sigma = noise;
+      options.seed = 0xDEC0DE;
+      options.num_threads = num_threads;
+      const std::vector<AttackResult> results =
+          engine.cpa_campaign_all_subkeys(options,
+                                          PowerModel::kHammingWeight);
+      std::printf("%-22s", to_string(style));
+      for (std::size_t j = 0; j < results.size(); ++j) {
+        std::printf(" %zu",
+                    results[j].rank_of(round.sub_word(options.key.data(), j)));
+      }
+      std::printf("\n");
+    }
+  }
+
   std::printf(
       "\nExpected shape: CMOS and SABL-genuine disclose the key within a few\n"
       "hundred traces; the fully connected and enhanced styles never rank\n"

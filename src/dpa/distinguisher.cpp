@@ -1,0 +1,340 @@
+#include "dpa/distinguisher.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "crypto/round_target.hpp"
+#include "util/error.hpp"
+
+namespace sable {
+
+namespace {
+
+// Shard states of one distinguisher are homogeneous by construction (the
+// engine never mixes them), so the downcast cannot fail in a correct
+// driver; the dynamic_cast turns a future driver bug into a hard error
+// instead of silent corruption. Reduction is O(shards), far off the
+// per-trace path.
+template <typename T>
+T& cast_peer(ShardAccumulator& other) {
+  T* peer = dynamic_cast<T*>(&other);
+  SABLE_ASSERT(peer != nullptr,
+               "shard accumulators of one distinguisher must share a type");
+  return *peer;
+}
+
+// The selector was validated against a round at campaign start; this pins
+// the distinguisher's spec to the instance it claims to attack, so a
+// distinguisher built for one round cannot silently mis-score another.
+void validate_spec_matches(const RoundSpec& round,
+                           const AttackSelector& selector,
+                           const SboxSpec& spec, bool require_bit) {
+  validate_attack_selector(round, selector, require_bit);
+  const SboxSpec& instance = round.sboxes[selector.sbox_index];
+  SABLE_REQUIRE(instance.in_bits == spec.in_bits &&
+                    instance.out_bits == spec.out_bits &&
+                    instance.table == spec.table,
+                "distinguisher spec must match the attacked round instance");
+}
+
+void require_scalar(const ShardBlock& block) {
+  SABLE_REQUIRE(block.width == 1,
+                "scalar distinguishers consume one sample per trace");
+}
+
+class CpaShardAccumulator final : public ShardAccumulator {
+ public:
+  explicit CpaShardAccumulator(StreamingCpa acc) : acc_(std::move(acc)) {}
+
+  void accumulate(const ShardBlock& block) override {
+    require_scalar(block);
+    acc_.add_batch(block.sub_pts, block.data, block.count);
+  }
+  void merge(ShardAccumulator& other) override {
+    acc_.merge(cast_peer<CpaShardAccumulator>(other).acc_);
+  }
+
+  const StreamingCpa& acc() const { return acc_; }
+
+ private:
+  StreamingCpa acc_;
+};
+
+class DomShardAccumulator final : public ShardAccumulator {
+ public:
+  explicit DomShardAccumulator(StreamingDom acc) : acc_(std::move(acc)) {}
+
+  void accumulate(const ShardBlock& block) override {
+    require_scalar(block);
+    acc_.add_batch(block.sub_pts, block.data, block.count);
+  }
+  void merge(ShardAccumulator& other) override {
+    acc_.merge(cast_peer<DomShardAccumulator>(other).acc_);
+  }
+
+  const StreamingDom& acc() const { return acc_; }
+
+ private:
+  StreamingDom acc_;
+};
+
+class MultiCpaShardAccumulator final : public ShardAccumulator {
+ public:
+  explicit MultiCpaShardAccumulator(StreamingMultiCpa acc)
+      : acc_(std::move(acc)) {}
+
+  void accumulate(const ShardBlock& block) override {
+    SABLE_REQUIRE(block.width == acc_.width(),
+                  "multisample CPA row width must equal the target's level "
+                  "count");
+    for (std::size_t t = 0; t < block.count; ++t) {
+      acc_.add(block.sub_pts[t], block.data + t * block.width);
+    }
+  }
+  void merge(ShardAccumulator& other) override {
+    acc_.merge(cast_peer<MultiCpaShardAccumulator>(other).acc_);
+  }
+
+  const StreamingMultiCpa& acc() const { return acc_; }
+
+ private:
+  StreamingMultiCpa acc_;
+};
+
+class SecondOrderShardAccumulator final : public ShardAccumulator {
+ public:
+  explicit SecondOrderShardAccumulator(StreamingSecondOrderCpa acc)
+      : acc_(std::move(acc)) {}
+
+  void accumulate(const ShardBlock& block) override {
+    acc_.add_block(block.sub_pts, block.data, block.count, block.width);
+  }
+  void merge(ShardAccumulator& other) override {
+    acc_.merge(cast_peer<SecondOrderShardAccumulator>(other).acc_);
+  }
+
+  const StreamingSecondOrderCpa& acc() const { return acc_; }
+
+ private:
+  StreamingSecondOrderCpa acc_;
+};
+
+// MTD shard state: the shard's full accumulator plus a partial snapshot at
+// every checkpoint falling inside the shard's trace range. The ordered
+// left fold replays ShardedMtd's checkpoint/append sequence: settle()
+// turns the fold root (canonically the first shard) into a driver, each
+// merge() feeds it the next raw shard — the exact call sequence the
+// engine's bespoke MTD loop used to make, so MTD curves stay
+// bit-identical.
+class MtdShardAccumulator final : public ShardAccumulator {
+ public:
+  MtdShardAccumulator(StreamingCpa acc,
+                      std::shared_ptr<const std::vector<std::size_t>> ladder,
+                      std::size_t correct_key)
+      : acc_(std::move(acc)),
+        ladder_(std::move(ladder)),
+        correct_key_(correct_key) {}
+
+  void accumulate(const ShardBlock& block) override {
+    require_scalar(block);
+    SABLE_ASSERT(!driver_, "cannot accumulate into a settled MTD fold root");
+    const std::vector<std::size_t>& ladder = *ladder_;
+    std::size_t done = 0;
+    for (auto it =
+             std::upper_bound(ladder.begin(), ladder.end(), block.start);
+         it != ladder.end() && *it <= block.start + block.count; ++it) {
+      const std::size_t upto = *it - block.start;
+      acc_.add_batch(block.sub_pts + done, block.data + done, upto - done);
+      done = upto;
+      snapshots_.emplace_back(*it, acc_);
+    }
+    acc_.add_batch(block.sub_pts + done, block.data + done,
+                   block.count - done);
+  }
+
+  void merge(ShardAccumulator& other) override {
+    settle();
+    MtdShardAccumulator& peer = cast_peer<MtdShardAccumulator>(other);
+    SABLE_ASSERT(!peer.driver_,
+                 "ordered MTD fold operands must be raw shard states");
+    for (const auto& [count, snapshot] : peer.snapshots_) {
+      driver_->checkpoint(count, snapshot);
+    }
+    driver_->append(peer.acc_);
+  }
+
+  MtdResult settle_and_result() {
+    settle();
+    return driver_->result();
+  }
+
+ private:
+  void settle() {
+    if (driver_) return;
+    driver_.emplace(correct_key_);
+    for (const auto& [count, snapshot] : snapshots_) {
+      driver_->checkpoint(count, snapshot);
+    }
+    driver_->append(acc_);
+    snapshots_.clear();
+  }
+
+  StreamingCpa acc_;
+  std::shared_ptr<const std::vector<std::size_t>> ladder_;
+  std::size_t correct_key_;
+  std::vector<std::pair<std::size_t, StreamingCpa>> snapshots_;
+  std::optional<ShardedMtd> driver_;  // set once this state becomes the root
+};
+
+template <typename Result>
+const Result& finalized_result(const std::optional<Result>& result) {
+  SABLE_REQUIRE(result.has_value(),
+                "distinguisher result is only valid after a campaign "
+                "finalized it (TraceEngine::run_distinguishers)");
+  return *result;
+}
+
+}  // namespace
+
+// ---- CpaDistinguisher -----------------------------------------------------
+
+CpaDistinguisher::CpaDistinguisher(const SboxSpec& spec,
+                                   const AttackSelector& selector)
+    : spec_(spec),
+      selector_(selector),
+      prototype_(spec, selector.model, selector.bit) {}
+
+void CpaDistinguisher::validate(const RoundSpec& round) const {
+  validate_spec_matches(round, selector_, spec_, /*require_bit=*/false);
+}
+
+std::unique_ptr<ShardAccumulator> CpaDistinguisher::make_shard_accumulator()
+    const {
+  return std::make_unique<CpaShardAccumulator>(prototype_);
+}
+
+void CpaDistinguisher::finalize(ShardAccumulator& root) {
+  result_ = cast_peer<CpaShardAccumulator>(root).acc().result();
+}
+
+const AttackResult& CpaDistinguisher::result() const {
+  return finalized_result(result_);
+}
+
+// ---- DomDistinguisher -----------------------------------------------------
+
+DomDistinguisher::DomDistinguisher(const SboxSpec& spec,
+                                   const AttackSelector& selector)
+    : spec_(spec), selector_(selector), prototype_(spec, selector.bit) {}
+
+void DomDistinguisher::validate(const RoundSpec& round) const {
+  validate_spec_matches(round, selector_, spec_, /*require_bit=*/true);
+}
+
+std::unique_ptr<ShardAccumulator> DomDistinguisher::make_shard_accumulator()
+    const {
+  return std::make_unique<DomShardAccumulator>(prototype_);
+}
+
+void DomDistinguisher::finalize(ShardAccumulator& root) {
+  result_ = cast_peer<DomShardAccumulator>(root).acc().result();
+}
+
+const AttackResult& DomDistinguisher::result() const {
+  return finalized_result(result_);
+}
+
+// ---- MultiCpaDistinguisher ------------------------------------------------
+
+MultiCpaDistinguisher::MultiCpaDistinguisher(const SboxSpec& spec,
+                                             const AttackSelector& selector,
+                                             std::size_t width)
+    : spec_(spec),
+      selector_(selector),
+      prototype_(spec, selector.model, width, selector.bit) {}
+
+void MultiCpaDistinguisher::validate(const RoundSpec& round) const {
+  validate_spec_matches(round, selector_, spec_, /*require_bit=*/false);
+}
+
+std::unique_ptr<ShardAccumulator>
+MultiCpaDistinguisher::make_shard_accumulator() const {
+  return std::make_unique<MultiCpaShardAccumulator>(prototype_);
+}
+
+void MultiCpaDistinguisher::finalize(ShardAccumulator& root) {
+  result_ = cast_peer<MultiCpaShardAccumulator>(root).acc().result();
+}
+
+const MultiAttackResult& MultiCpaDistinguisher::result() const {
+  return finalized_result(result_);
+}
+
+// ---- SecondOrderCpaDistinguisher ------------------------------------------
+
+SecondOrderCpaDistinguisher::SecondOrderCpaDistinguisher(
+    const SboxSpec& spec, const AttackSelector& selector)
+    : spec_(spec),
+      selector_(selector),
+      prototype_(spec, selector.model, selector.bit) {}
+
+void SecondOrderCpaDistinguisher::validate(const RoundSpec& round) const {
+  validate_spec_matches(round, selector_, spec_, /*require_bit=*/false);
+}
+
+std::unique_ptr<ShardAccumulator>
+SecondOrderCpaDistinguisher::make_shard_accumulator() const {
+  return std::make_unique<SecondOrderShardAccumulator>(prototype_);
+}
+
+void SecondOrderCpaDistinguisher::finalize(ShardAccumulator& root) {
+  result_ = cast_peer<SecondOrderShardAccumulator>(root).acc().result();
+}
+
+const SecondOrderAttackResult& SecondOrderCpaDistinguisher::result() const {
+  return finalized_result(result_);
+}
+
+// ---- MtdDistinguisher -----------------------------------------------------
+
+MtdDistinguisher::MtdDistinguisher(const SboxSpec& spec,
+                                   const AttackSelector& selector,
+                                   std::size_t correct_key,
+                                   const std::vector<std::size_t>& checkpoints,
+                                   std::size_t num_traces)
+    : spec_(spec),
+      selector_(selector),
+      correct_key_(correct_key),
+      prototype_(spec, selector.model, selector.bit) {
+  // Canonical checkpoint ladder: sorted, unique, and restricted to counts
+  // the drivers can evaluate (>= 2 traces, within the campaign).
+  std::vector<std::size_t> ladder = checkpoints;
+  std::sort(ladder.begin(), ladder.end());
+  ladder.erase(std::unique(ladder.begin(), ladder.end()), ladder.end());
+  ladder.erase(
+      std::remove_if(ladder.begin(), ladder.end(),
+                     [&](std::size_t c) { return c < 2 || c > num_traces; }),
+      ladder.end());
+  ladder_ =
+      std::make_shared<const std::vector<std::size_t>>(std::move(ladder));
+}
+
+void MtdDistinguisher::validate(const RoundSpec& round) const {
+  validate_spec_matches(round, selector_, spec_, /*require_bit=*/false);
+}
+
+std::unique_ptr<ShardAccumulator> MtdDistinguisher::make_shard_accumulator()
+    const {
+  return std::make_unique<MtdShardAccumulator>(prototype_, ladder_,
+                                               correct_key_);
+}
+
+void MtdDistinguisher::finalize(ShardAccumulator& root) {
+  result_ = cast_peer<MtdShardAccumulator>(root).settle_and_result();
+}
+
+const MtdResult& MtdDistinguisher::result() const {
+  return finalized_result(result_);
+}
+
+}  // namespace sable

@@ -1,38 +1,10 @@
 // Power-consumption hypotheses for first-order attacks.
 //
-// For key guess k and plaintext pt, the attacker predicts a leakage value
-// from the S-box output S(pt XOR k): either one selected output bit
-// (Kocher's original DPA selection function) or the Hamming weight of the
-// whole output (the usual CPA model).
+// The leakage models, the AttackSelector, and the prediction-table
+// builders now live in crypto/leakage.hpp, shared by every distinguisher
+// (streaming CPA/DoM/multi-CPA and the second-order centered-product
+// attack). This header remains as the historic include path for dpa-layer
+// callers.
 #pragma once
 
-#include <cstdint>
-
-#include "crypto/sboxes.hpp"
-
-namespace sable {
-
-enum class PowerModel {
-  kSboxOutputBit,  // single-bit selection function
-  kHammingWeight,  // HW of the S-box output
-};
-
-const char* to_string(PowerModel model);
-
-/// What a round-level attack targets: one S-box instance (one subkey) of a
-/// RoundSpec, with the leakage model predicting that instance's output.
-/// Every other instance of the round contributes algorithmic noise. `bit`
-/// selects the predicted output bit for kSboxOutputBit (and for DoM) and
-/// is ignored for Hamming weight.
-struct AttackSelector {
-  std::size_t sbox_index = 0;
-  PowerModel model = PowerModel::kHammingWeight;
-  std::size_t bit = 0;
-};
-
-/// Predicted leakage for (pt, guess). `bit` selects the output bit for the
-/// single-bit model and is ignored for Hamming weight.
-double predict_leakage(const SboxSpec& spec, PowerModel model,
-                       std::uint8_t pt, std::uint8_t guess, std::size_t bit);
-
-}  // namespace sable
+#include "crypto/leakage.hpp"

@@ -1,0 +1,276 @@
+#include "dpa/second_order.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace sable {
+
+namespace {
+
+// Pair p enumerates i < j lexicographically: (0,1), (0,2), …, (1,2), ….
+// The loops below iterate pairs in this order with a running index, so the
+// helper exists only for result() reporting.
+std::size_t pair_count(std::size_t width) {
+  return width * (width - 1) / 2;
+}
+
+}  // namespace
+
+StreamingSecondOrderCpa::StreamingSecondOrderCpa(const SboxSpec& spec,
+                                                 PowerModel model,
+                                                 std::size_t bit)
+    : num_guesses_(std::size_t{1} << spec.in_bits),
+      num_plaintexts_(num_guesses_),
+      model_(model),
+      bit_(bit),
+      predictions_(shared_prediction_table(spec, model, bit)) {}
+
+void StreamingSecondOrderCpa::ensure_width(std::size_t width) {
+  if (width_ != 0) {
+    SABLE_REQUIRE(width == width_,
+                  "second-order CPA blocks must keep the row width of the "
+                  "first block");
+    return;
+  }
+  SABLE_REQUIRE(width >= 2,
+                "second-order CPA needs at least two sample columns to "
+                "form a centered product");
+  width_ = width;
+  num_pairs_ = pair_count(width);
+  sums_.mean_x.assign(width_, 0.0);
+  sums_.mean_h.assign(num_guesses_, 0.0);
+  sums_.m2_h.assign(num_guesses_, 0.0);
+  sums_.c2.assign(width_ * width_, 0.0);
+  sums_.c_xh.assign(width_ * num_guesses_, 0.0);
+  sums_.m3_iij.assign(num_pairs_, 0.0);
+  sums_.m3_ijj.assign(num_pairs_, 0.0);
+  sums_.m4.assign(num_pairs_, 0.0);
+  sums_.m3_ijh.assign(num_pairs_ * num_guesses_, 0.0);
+}
+
+StreamingSecondOrderCpa::Sums StreamingSecondOrderCpa::block_sums(
+    const std::uint8_t* pts, const double* rows, std::size_t count) const {
+  const std::size_t L = width_;
+  const std::size_t G = num_guesses_;
+  const double* table = predictions_->data();
+  Sums b;
+  b.n = count;
+  b.mean_x.assign(L, 0.0);
+  b.mean_h.assign(G, 0.0);
+  b.m2_h.assign(G, 0.0);
+  b.c2.assign(L * L, 0.0);
+  b.c_xh.assign(L * G, 0.0);
+  b.m3_iij.assign(num_pairs_, 0.0);
+  b.m3_ijj.assign(num_pairs_, 0.0);
+  b.m4.assign(num_pairs_, 0.0);
+  b.m3_ijh.assign(num_pairs_ * G, 0.0);
+
+  // Pass 1: block means. The prediction stream depends only on the
+  // sub-plaintext value, so its per-guess means (and M2 below) reduce to
+  // the plaintext histogram — O(plaintexts · guesses), not O(count).
+  std::vector<std::size_t> hist(num_plaintexts_, 0);
+  for (std::size_t t = 0; t < count; ++t) {
+    SABLE_REQUIRE(pts[t] < num_plaintexts_, "plaintext out of range");
+    ++hist[pts[t]];
+    const double* row = rows + t * L;
+    for (std::size_t i = 0; i < L; ++i) b.mean_x[i] += row[i];
+  }
+  const double inv_n = 1.0 / static_cast<double>(count);
+  for (std::size_t i = 0; i < L; ++i) b.mean_x[i] *= inv_n;
+  for (std::size_t pt = 0; pt < num_plaintexts_; ++pt) {
+    if (hist[pt] == 0) continue;
+    const double w = static_cast<double>(hist[pt]);
+    const double* pred = table + pt * G;
+    for (std::size_t g = 0; g < G; ++g) b.mean_h[g] += w * pred[g];
+  }
+  for (std::size_t g = 0; g < G; ++g) b.mean_h[g] *= inv_n;
+  for (std::size_t pt = 0; pt < num_plaintexts_; ++pt) {
+    if (hist[pt] == 0) continue;
+    const double w = static_cast<double>(hist[pt]);
+    const double* pred = table + pt * G;
+    for (std::size_t g = 0; g < G; ++g) {
+      const double dh = pred[g] - b.mean_h[g];
+      b.m2_h[g] += w * dh * dh;
+    }
+  }
+
+  // Pass 2: central sums around the block means.
+  std::vector<double> dx(L), dh(G);
+  for (std::size_t t = 0; t < count; ++t) {
+    const double* row = rows + t * L;
+    for (std::size_t i = 0; i < L; ++i) dx[i] = row[i] - b.mean_x[i];
+    const double* pred = table + pts[t] * G;
+    for (std::size_t g = 0; g < G; ++g) dh[g] = pred[g] - b.mean_h[g];
+    for (std::size_t i = 0; i < L; ++i) {
+      for (std::size_t j = i; j < L; ++j) b.c2[i * L + j] += dx[i] * dx[j];
+      double* cx = b.c_xh.data() + i * G;
+      for (std::size_t g = 0; g < G; ++g) cx[g] += dx[i] * dh[g];
+    }
+    std::size_t p = 0;
+    for (std::size_t i = 0; i < L; ++i) {
+      for (std::size_t j = i + 1; j < L; ++j, ++p) {
+        const double prod = dx[i] * dx[j];
+        b.m3_iij[p] += dx[i] * prod;
+        b.m3_ijj[p] += prod * dx[j];
+        b.m4[p] += prod * prod;
+        double* m3h = b.m3_ijh.data() + p * G;
+        for (std::size_t g = 0; g < G; ++g) m3h[g] += prod * dh[g];
+      }
+    }
+  }
+  // Mirror the upper triangle: the combine formulas index c2 freely.
+  for (std::size_t i = 0; i < L; ++i) {
+    for (std::size_t j = 0; j < i; ++j) b.c2[i * L + j] = b.c2[j * L + i];
+  }
+  return b;
+}
+
+void StreamingSecondOrderCpa::combine(Sums& a, const Sums& b) const {
+  if (b.n == 0) return;
+  if (a.n == 0) {
+    a = b;
+    return;
+  }
+  const std::size_t L = width_;
+  const std::size_t G = num_guesses_;
+  const double na = static_cast<double>(a.n);
+  const double nb = static_cast<double>(b.n);
+  const double n = na + nb;
+
+  // Deviations of each part's mean from the combined mean: for column i,
+  // a_i = μ_Ai − μ, b_i = μ_Bi − μ. Every formula below is the exact
+  // expansion of the combined central sum Σ (d + shift)·… with the
+  // part-local zero-sum terms dropped.
+  std::vector<double> ax(L), bx(L), ah(G), bh(G);
+  for (std::size_t i = 0; i < L; ++i) {
+    const double d = b.mean_x[i] - a.mean_x[i];
+    ax[i] = -d * nb / n;
+    bx[i] = d * na / n;
+  }
+  for (std::size_t g = 0; g < G; ++g) {
+    const double d = b.mean_h[g] - a.mean_h[g];
+    ah[g] = -d * nb / n;
+    bh[g] = d * na / n;
+  }
+
+  // Highest order first: each update reads only pre-merge lower-order
+  // sums, which are still untouched further down.
+  std::size_t p = 0;
+  for (std::size_t i = 0; i < L; ++i) {
+    for (std::size_t j = i + 1; j < L; ++j, ++p) {
+      const double acii = a.c2[i * L + i], acjj = a.c2[j * L + j];
+      const double acij = a.c2[i * L + j];
+      const double bcii = b.c2[i * L + i], bcjj = b.c2[j * L + j];
+      const double bcij = b.c2[i * L + j];
+      a.m4[p] += b.m4[p]
+          + 2.0 * ax[j] * a.m3_iij[p] + 2.0 * ax[i] * a.m3_ijj[p]
+          + ax[j] * ax[j] * acii + ax[i] * ax[i] * acjj
+          + 4.0 * ax[i] * ax[j] * acij
+          + na * ax[i] * ax[i] * ax[j] * ax[j]
+          + 2.0 * bx[j] * b.m3_iij[p] + 2.0 * bx[i] * b.m3_ijj[p]
+          + bx[j] * bx[j] * bcii + bx[i] * bx[i] * bcjj
+          + 4.0 * bx[i] * bx[j] * bcij
+          + nb * bx[i] * bx[i] * bx[j] * bx[j];
+      double* m3h = a.m3_ijh.data() + p * G;
+      const double* om3h = b.m3_ijh.data() + p * G;
+      const double* acxi = a.c_xh.data() + i * G;
+      const double* acxj = a.c_xh.data() + j * G;
+      const double* bcxi = b.c_xh.data() + i * G;
+      const double* bcxj = b.c_xh.data() + j * G;
+      for (std::size_t g = 0; g < G; ++g) {
+        m3h[g] += om3h[g]
+            + ax[i] * acxj[g] + ax[j] * acxi[g] + ah[g] * acij
+            + na * ax[i] * ax[j] * ah[g]
+            + bx[i] * bcxj[g] + bx[j] * bcxi[g] + bh[g] * bcij
+            + nb * bx[i] * bx[j] * bh[g];
+      }
+      a.m3_iij[p] += b.m3_iij[p]
+          + 2.0 * ax[i] * acij + ax[j] * acii + na * ax[i] * ax[i] * ax[j]
+          + 2.0 * bx[i] * bcij + bx[j] * bcii + nb * bx[i] * bx[i] * bx[j];
+      a.m3_ijj[p] += b.m3_ijj[p]
+          + 2.0 * ax[j] * acij + ax[i] * acjj + na * ax[i] * ax[j] * ax[j]
+          + 2.0 * bx[j] * bcij + bx[i] * bcjj + nb * bx[i] * bx[j] * bx[j];
+    }
+  }
+  for (std::size_t i = 0; i < L; ++i) {
+    for (std::size_t j = 0; j < L; ++j) {
+      a.c2[i * L + j] += b.c2[i * L + j] + na * ax[i] * ax[j]
+          + nb * bx[i] * bx[j];
+    }
+    double* cx = a.c_xh.data() + i * G;
+    const double* ocx = b.c_xh.data() + i * G;
+    for (std::size_t g = 0; g < G; ++g) {
+      cx[g] += ocx[g] + na * ax[i] * ah[g] + nb * bx[i] * bh[g];
+    }
+  }
+  for (std::size_t g = 0; g < G; ++g) {
+    a.m2_h[g] += b.m2_h[g] + na * ah[g] * ah[g] + nb * bh[g] * bh[g];
+  }
+  for (std::size_t i = 0; i < L; ++i) {
+    a.mean_x[i] += (b.mean_x[i] - a.mean_x[i]) * nb / n;
+  }
+  for (std::size_t g = 0; g < G; ++g) {
+    a.mean_h[g] += (b.mean_h[g] - a.mean_h[g]) * nb / n;
+  }
+  a.n += b.n;
+}
+
+void StreamingSecondOrderCpa::add_block(const std::uint8_t* pts,
+                                        const double* rows, std::size_t count,
+                                        std::size_t width) {
+  if (count == 0) return;
+  ensure_width(width);
+  const Sums b = block_sums(pts, rows, count);
+  combine(sums_, b);
+}
+
+void StreamingSecondOrderCpa::merge(const StreamingSecondOrderCpa& other) {
+  SABLE_REQUIRE(num_guesses_ == other.num_guesses_ &&
+                    model_ == other.model_ && bit_ == other.bit_,
+                "merge requires identically configured second-order CPA "
+                "accumulators");
+  SABLE_REQUIRE(predictions_ == other.predictions_ ||
+                    *predictions_ == *other.predictions_,
+                "merge requires accumulators over the same S-box spec");
+  if (other.width_ == 0) return;  // other never saw a block
+  ensure_width(other.width_);
+  combine(sums_, other.sums_);
+}
+
+SecondOrderAttackResult StreamingSecondOrderCpa::result() const {
+  SABLE_REQUIRE(sums_.n >= 2,
+                "second-order CPA requires at least two traces");
+  const std::size_t L = width_;
+  const std::size_t G = num_guesses_;
+  const double n = static_cast<double>(sums_.n);
+  SecondOrderAttackResult result;
+  std::vector<double> combined(G, 0.0);
+  double global_best = -1.0;
+  std::size_t p = 0;
+  for (std::size_t i = 0; i < L; ++i) {
+    for (std::size_t j = i + 1; j < L; ++j, ++p) {
+      const double cij = sums_.c2[i * L + j];
+      // n · Var of the centered product: M4_iijj − C_ij²/n. Rounding can
+      // push a degenerate pair epsilon-negative, so guard, don't clamp.
+      const double var_p = sums_.m4[p] - cij * cij / n;
+      if (!(var_p > 0.0)) continue;
+      const double* m3h = sums_.m3_ijh.data() + p * G;
+      for (std::size_t g = 0; g < G; ++g) {
+        if (!(sums_.m2_h[g] > 0.0)) continue;
+        const double score =
+            std::fabs(m3h[g]) / std::sqrt(var_p * sums_.m2_h[g]);
+        if (score > combined[g]) combined[g] = score;
+        if (score > global_best) {
+          global_best = score;
+          result.best_pair_first = i;
+          result.best_pair_second = j;
+        }
+      }
+    }
+  }
+  result.combined = make_attack_result(std::move(combined));
+  return result;
+}
+
+}  // namespace sable

@@ -6,26 +6,9 @@
 
 namespace sable {
 
-namespace {
-
-// Plaintext-major layout: the per-trace hot loops fix pt and sweep every
-// guess, so the row they read is contiguous.
-std::vector<double> prediction_table(const SboxSpec& spec, PowerModel model,
-                                     std::size_t bit) {
-  const std::size_t num_guesses = std::size_t{1} << spec.in_bits;
-  const std::size_t num_plaintexts = num_guesses;
-  std::vector<double> table(num_guesses * num_plaintexts);
-  for (std::size_t pt = 0; pt < num_plaintexts; ++pt) {
-    for (std::size_t g = 0; g < num_guesses; ++g) {
-      table[pt * num_guesses + g] =
-          predict_leakage(spec, model, static_cast<std::uint8_t>(pt),
-                          static_cast<std::uint8_t>(g), bit);
-    }
-  }
-  return table;
-}
-
-}  // namespace
+// The prediction tables come from crypto/leakage.hpp — the same
+// plaintext-major layout every distinguisher (including the second-order
+// centered-product CPA) shares.
 
 // ---- StreamingCpa ---------------------------------------------------------
 
@@ -35,8 +18,7 @@ StreamingCpa::StreamingCpa(const SboxSpec& spec, PowerModel model,
       num_plaintexts_(num_guesses_),
       model_(model),
       bit_(bit),
-      predictions_(std::make_shared<const std::vector<double>>(
-          prediction_table(spec, model, bit))),
+      predictions_(shared_prediction_table(spec, model, bit)),
       mean_h_(num_guesses_, 0.0),
       m2_h_(num_guesses_, 0.0),
       c_ht_(num_guesses_, 0.0) {}
@@ -172,8 +154,7 @@ StreamingMultiCpa::StreamingMultiCpa(const SboxSpec& spec, PowerModel model,
       width_(width),
       model_(model),
       bit_(bit),
-      predictions_(std::make_shared<const std::vector<double>>(
-          prediction_table(spec, model, bit))),
+      predictions_(shared_prediction_table(spec, model, bit)),
       mean_h_(num_guesses_, 0.0),
       m2_h_(num_guesses_, 0.0),
       t_(width),

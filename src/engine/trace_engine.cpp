@@ -20,6 +20,9 @@ std::size_t campaign_shard_size(const CampaignOptions& options) {
   // for EVERY lane width, so shard boundaries (and with them the whole
   // trace stream) never depend on the word the kernel happens to batch
   // with. A wider word simply covers several 64-trace groups per step.
+  // The max() clamps block sizes below one granule (in particular below
+  // the active lane width) to a whole 64-lane word instead of letting the
+  // division round them to zero shards.
   constexpr std::size_t kGranule = SablGateSimBatch::kLanes;
   return std::max<std::size_t>(kGranule,
                                options.block_size / kGranule * kGranule);
@@ -119,16 +122,6 @@ void validate_key(const RoundSpec& round, const CampaignOptions& options) {
                 "bytes (use RoundSpec::pack_subkeys)");
 }
 
-void validate_selector(const RoundSpec& round, const AttackSelector& sel,
-                       bool bit_model) {
-  SABLE_REQUIRE(sel.sbox_index < round.num_sboxes(),
-                "AttackSelector::sbox_index out of range for the round");
-  if (bit_model || sel.model == PowerModel::kSboxOutputBit) {
-    SABLE_REQUIRE(sel.bit < round.sboxes[sel.sbox_index].out_bits,
-                  "AttackSelector::bit out of range for the attacked S-box");
-  }
-}
-
 // Shard s's wide plaintexts: RoundSpec::fill_random_states over the
 // shard's counter-derived plaintext sub-stream — for a single byte-wide
 // S-box this is the historic one-draw-per-trace stream, bit for bit.
@@ -210,13 +203,16 @@ class WorkerLease {
 // Buffers are lazy — consumers that simulate into external storage (run's
 // TraceSet slices, the stream paths' per-shard slots) never pay for them.
 // `sample_width` is 1 for scalar campaigns and num_levels() for
-// time-resolved ones; `sub_pts` holds the attacked instance's
-// sub-plaintexts on the attack paths.
+// time-resolved ones. The distinguisher driver uses the attack buffers
+// instead: `samples` and `rows` hold the shard's scalar / time-resolved
+// data side by side (a mixed campaign needs both), and `sub_pts` holds
+// one shard-sized slot of sub-plaintexts per distinct attacked instance.
 template <typename W>
 struct WorkerCtx {
   WorkerLease<W> lease;
   std::vector<std::uint8_t> pts;
   std::vector<double> samples;
+  std::vector<double> rows;
   std::vector<std::uint8_t> sub_pts;
 
   WorkerCtx(const RoundTargetT<W>& prototype, detail::LanePool<W>& pool)
@@ -228,8 +224,24 @@ struct WorkerCtx {
                       std::size_t sample_width) {
     if (pts.size() < shard_size * pt_stride) {
       pts.resize(shard_size * pt_stride);
+    }
+    if (samples.size() < shard_size * sample_width) {
       samples.resize(shard_size * sample_width);
-      sub_pts.resize(shard_size);
+    }
+  }
+
+  void ensure_attack_buffers(std::size_t shard_size, std::size_t pt_stride,
+                             bool scalar, std::size_t levels,
+                             std::size_t slots) {
+    if (pts.size() < shard_size * pt_stride) {
+      pts.resize(shard_size * pt_stride);
+    }
+    if (scalar && samples.size() < shard_size) samples.resize(shard_size);
+    if (levels > 0 && rows.size() < shard_size * levels) {
+      rows.resize(shard_size * levels);
+    }
+    if (sub_pts.size() < shard_size * slots) {
+      sub_pts.resize(shard_size * slots);
     }
   }
 };
@@ -453,152 +465,120 @@ TraceSet run_campaign(const RoundTargetT<W>& prototype,
   return traces;
 }
 
+// The ONE campaign driver behind every attack: shard scheduling, worker
+// leasing, lane-width dispatch and shard reduction, written once for any
+// set of distinguishers. Per shard the worker simulates the trace data
+// each data kind needs (scalar and/or time-resolved — both streams are
+// exactly what the single-kind campaigns generate, so sharing a campaign
+// never changes a result), extracts sub-plaintexts once per distinct
+// attacked instance, and hands every distinguisher's per-shard
+// accumulator its block: ONE virtual dispatch per distinguisher per
+// shard, per-trace loops devirtualized inside the concrete accumulators.
+// Unordered distinguishers reduce through the fixed-shape binary merge
+// tree (shape a function of the shard count only); ordered ones (MTD)
+// through a strict left fold in canonical shard order. Either way the
+// result is bit-identical for any num_threads / lane_width.
 template <typename W>
-AttackResult cpa_campaign_impl(const RoundTargetT<W>& prototype,
-                               detail::LanePool<W>& pool,
-                               const CampaignOptions& options,
-                               const AttackSelector& selector) {
+void run_distinguishers_impl(const RoundTargetT<W>& prototype,
+                             detail::LanePool<W>& pool,
+                             const CampaignOptions& options,
+                             std::span<Distinguisher* const> distinguishers) {
   const RoundSpec& round = prototype.round();
   const ShardLayout layout = layout_for(options);
   const std::size_t stride = round.state_bytes();
-  // One accumulator per shard (copies share the prediction table), fed the
-  // attacked instance's sub-plaintexts; the fixed-shape tree reduction
-  // below depends only on the shard count, so the result is bit-identical
-  // for any thread count.
-  StreamingCpa prototype_acc(round.sboxes[selector.sbox_index], selector.model,
-                             selector.bit);
-  std::vector<StreamingCpa> shards(layout.num_shards, prototype_acc);
-  run_pool(prototype, pool, layout,
-           resolve_threads(options, layout.num_shards),
-           [&](WorkerCtx<W>& ctx, std::size_t s) {
-             ctx.ensure_buffers(layout.shard_size, stride, 1);
-             simulate_shard(ctx.target(), options, layout, s, ctx.pts.data(),
-                            ctx.samples.data());
-             round.sub_words(ctx.pts.data(), layout.count(s),
-                             selector.sbox_index, ctx.sub_pts.data());
-             shards[s].add_batch(ctx.sub_pts.data(), ctx.samples.data(),
-                                 layout.count(s));
-           });
-  return merge_shard_tree(std::move(shards)).result();
-}
+  const std::size_t levels = prototype.num_levels();
 
-template <typename W>
-AttackResult dom_campaign_impl(const RoundTargetT<W>& prototype,
-                               detail::LanePool<W>& pool,
-                               const CampaignOptions& options,
-                               const AttackSelector& selector) {
-  const RoundSpec& round = prototype.round();
-  const ShardLayout layout = layout_for(options);
-  const std::size_t stride = round.state_bytes();
-  StreamingDom prototype_acc(round.sboxes[selector.sbox_index], selector.bit);
-  std::vector<StreamingDom> shards(layout.num_shards, prototype_acc);
-  run_pool(prototype, pool, layout,
-           resolve_threads(options, layout.num_shards),
-           [&](WorkerCtx<W>& ctx, std::size_t s) {
-             ctx.ensure_buffers(layout.shard_size, stride, 1);
-             simulate_shard(ctx.target(), options, layout, s, ctx.pts.data(),
-                            ctx.samples.data());
-             round.sub_words(ctx.pts.data(), layout.count(s),
-                             selector.sbox_index, ctx.sub_pts.data());
-             shards[s].add_batch(ctx.sub_pts.data(), ctx.samples.data(),
-                                 layout.count(s));
-           });
-  return merge_shard_tree(std::move(shards)).result();
-}
+  bool any_scalar = false;
+  bool any_sampled = false;
+  for (Distinguisher* d : distinguishers) {
+    if (d->data_kind() == TraceDataKind::kScalar) {
+      any_scalar = true;
+    } else {
+      any_sampled = true;
+    }
+  }
 
-template <typename W>
-MtdResult mtd_campaign_impl(const RoundTargetT<W>& prototype,
-                            detail::LanePool<W>& pool,
-                            const CampaignOptions& options,
-                            const AttackSelector& selector,
-                            const std::vector<std::size_t>& checkpoints) {
-  const RoundSpec& round = prototype.round();
-  const ShardLayout layout = layout_for(options);
-  const std::size_t stride = round.state_bytes();
-  // Canonical checkpoint ladder: sorted, unique, and restricted to counts
-  // both drivers can evaluate (>= 2 traces, within the campaign).
-  std::vector<std::size_t> ladder = checkpoints;
-  std::sort(ladder.begin(), ladder.end());
-  ladder.erase(std::unique(ladder.begin(), ladder.end()), ladder.end());
-  ladder.erase(std::remove_if(ladder.begin(), ladder.end(),
-                              [&](std::size_t c) {
-                                return c < 2 || c > options.num_traces;
-                              }),
-               ladder.end());
+  // Sub-plaintext extraction slots, deduplicated: distinguishers attacking
+  // the same instance share one extraction per shard.
+  std::vector<std::size_t> slot_sbox;                     // slot -> instance
+  std::vector<std::size_t> slot_of(distinguishers.size());  // d -> slot
+  for (std::size_t d = 0; d < distinguishers.size(); ++d) {
+    const std::size_t index = distinguishers[d]->sbox_index();
+    const auto it = std::find(slot_sbox.begin(), slot_sbox.end(), index);
+    slot_of[d] = static_cast<std::size_t>(it - slot_sbox.begin());
+    if (it == slot_sbox.end()) slot_sbox.push_back(index);
+  }
 
-  // Per shard: the full accumulator plus a partial snapshot at every
-  // checkpoint falling inside the shard's trace range.
-  struct MtdShard {
-    std::vector<std::pair<std::size_t, StreamingCpa>> snapshots;
-    std::optional<StreamingCpa> full;
-  };
-  const StreamingCpa prototype_acc(round.sboxes[selector.sbox_index],
-                                   selector.model, selector.bit);
-  std::vector<MtdShard> shards(layout.num_shards);
+  // states[d][s]: distinguisher d's accumulator for shard s. Workers only
+  // touch their own shard's states, so the matrix needs no locking.
+  std::vector<std::vector<std::unique_ptr<ShardAccumulator>>> states(
+      distinguishers.size());
+  for (std::size_t d = 0; d < distinguishers.size(); ++d) {
+    states[d].reserve(layout.num_shards);
+    for (std::size_t s = 0; s < layout.num_shards; ++s) {
+      states[d].push_back(distinguishers[d]->make_shard_accumulator());
+    }
+  }
+
   run_pool(
       prototype, pool, layout, resolve_threads(options, layout.num_shards),
       [&](WorkerCtx<W>& ctx, std::size_t s) {
-        ctx.ensure_buffers(layout.shard_size, stride, 1);
-        simulate_shard(ctx.target(), options, layout, s, ctx.pts.data(),
-                       ctx.samples.data());
-        round.sub_words(ctx.pts.data(), layout.count(s), selector.sbox_index,
-                        ctx.sub_pts.data());
-        const std::size_t start = layout.start(s);
+        ctx.ensure_attack_buffers(layout.shard_size, stride, any_scalar,
+                                  any_sampled ? levels : 0, slot_sbox.size());
         const std::size_t count = layout.count(s);
-        StreamingCpa acc = prototype_acc;
-        std::size_t done = 0;
-        for (auto it = std::upper_bound(ladder.begin(), ladder.end(), start);
-             it != ladder.end() && *it <= start + count; ++it) {
-          const std::size_t upto = *it - start;
-          acc.add_batch(ctx.sub_pts.data() + done, ctx.samples.data() + done,
-                        upto - done);
-          done = upto;
-          shards[s].snapshots.emplace_back(*it, acc);
+        // A mixed campaign simulates the shard once per data kind; the
+        // plaintext stream is regenerated identically (same counter-derived
+        // seed) and each kind draws its noise exactly as its single-kind
+        // campaign would, so both blocks match the standalone paths bit
+        // for bit.
+        if (any_scalar) {
+          simulate_shard(ctx.target(), options, layout, s, ctx.pts.data(),
+                         ctx.samples.data());
         }
-        acc.add_batch(ctx.sub_pts.data() + done, ctx.samples.data() + done,
-                      count - done);
-        shards[s].full = std::move(acc);
+        if (any_sampled) {
+          simulate_shard_sampled(ctx.target(), options, layout, s,
+                                 ctx.pts.data(), ctx.rows.data());
+        }
+        for (std::size_t slot = 0; slot < slot_sbox.size(); ++slot) {
+          round.sub_words(ctx.pts.data(), count, slot_sbox[slot],
+                          ctx.sub_pts.data() + slot * layout.shard_size);
+        }
+        for (std::size_t d = 0; d < distinguishers.size(); ++d) {
+          const bool scalar =
+              distinguishers[d]->data_kind() == TraceDataKind::kScalar;
+          ShardBlock block;
+          block.start = layout.start(s);
+          block.sub_pts =
+              ctx.sub_pts.data() + slot_of[d] * layout.shard_size;
+          block.data = scalar ? ctx.samples.data() : ctx.rows.data();
+          block.width = scalar ? 1 : levels;
+          block.count = count;
+          states[d][s]->accumulate(block);
+        }
       });
 
-  // The MTD prefix semantics need the strict shard order, so this reduction
-  // stays a left fold (unlike the attack campaigns' merge tree).
-  ShardedMtd driver(round.sub_word(options.key.data(), selector.sbox_index));
-  for (MtdShard& shard : shards) {
-    for (const auto& [count, snapshot] : shard.snapshots) {
-      driver.checkpoint(count, snapshot);
+  for (std::size_t d = 0; d < distinguishers.size(); ++d) {
+    if (distinguishers[d]->ordered()) {
+      // Prefix semantics: strict left fold in canonical shard order.
+      for (std::size_t s = 1; s < layout.num_shards; ++s) {
+        states[d][0]->merge(*states[d][s]);
+      }
+    } else if (layout.num_shards > 1) {
+      // The same fixed-shape tree the bespoke campaigns used, over
+      // borrowed accumulator pointers.
+      struct StateHandle {
+        ShardAccumulator* state;
+        void merge(const StateHandle& other) { state->merge(*other.state); }
+      };
+      std::vector<StateHandle> handles;
+      handles.reserve(layout.num_shards);
+      for (std::size_t s = 0; s < layout.num_shards; ++s) {
+        handles.push_back(StateHandle{states[d][s].get()});
+      }
+      merge_shard_tree(std::move(handles));
     }
-    driver.append(*shard.full);
+    distinguishers[d]->finalize(*states[d][0]);
   }
-  return driver.result();
-}
-
-template <typename W>
-MultiAttackResult multi_cpa_campaign_impl(const RoundTargetT<W>& prototype,
-                                          detail::LanePool<W>& pool,
-                                          const CampaignOptions& options,
-                                          const AttackSelector& selector) {
-  const RoundSpec& round = prototype.round();
-  const std::size_t width = prototype.num_levels();
-  const ShardLayout layout = layout_for(options);
-  const std::size_t stride = round.state_bytes();
-  StreamingMultiCpa prototype_acc(round.sboxes[selector.sbox_index],
-                                  selector.model, width, selector.bit);
-  std::vector<StreamingMultiCpa> shards(layout.num_shards, prototype_acc);
-  run_pool(prototype, pool, layout,
-           resolve_threads(options, layout.num_shards),
-           [&](WorkerCtx<W>& ctx, std::size_t s) {
-             ctx.ensure_buffers(layout.shard_size, stride, width);
-             simulate_shard_sampled(ctx.target(), options, layout, s,
-                                    ctx.pts.data(), ctx.samples.data());
-             const std::size_t count = layout.count(s);
-             round.sub_words(ctx.pts.data(), count, selector.sbox_index,
-                             ctx.sub_pts.data());
-             for (std::size_t t = 0; t < count; ++t) {
-               shards[s].add(ctx.sub_pts[t],
-                             ctx.samples.data() + t * width);
-             }
-           });
-  return merge_shard_tree(std::move(shards)).result();
 }
 
 }  // namespace
@@ -667,28 +647,82 @@ void TraceEngine::stream_sampled(const CampaignOptions& options,
             });
 }
 
+void TraceEngine::run_distinguishers(
+    const CampaignOptions& options,
+    std::span<Distinguisher* const> distinguishers) {
+  SABLE_REQUIRE(!distinguishers.empty(),
+                "run_distinguishers needs at least one distinguisher");
+  SABLE_REQUIRE(options.num_traces >= 2,
+                "attack campaigns require at least two traces");
+  validate_key(round(), options);
+  for (Distinguisher* d : distinguishers) {
+    SABLE_REQUIRE(d != nullptr, "distinguisher must not be null");
+    d->validate(round());
+    if (d->data_kind() == TraceDataKind::kSampled) {
+      SABLE_REQUIRE(target_.num_levels() > 0,
+                    "time-resolved campaigns need at least one logic level");
+    }
+  }
+  with_lane(target_, *pools_, options,
+            [&](const auto& prototype, auto& pool) {
+              run_distinguishers_impl(prototype, pool, options,
+                                      distinguishers);
+            });
+}
+
 AttackResult TraceEngine::cpa_campaign(const CampaignOptions& options,
                                        const AttackSelector& selector) {
   SABLE_REQUIRE(options.num_traces >= 2, "CPA requires at least two traces");
-  validate_key(round(), options);
-  validate_selector(round(), selector, /*bit_model=*/false);
-  return with_lane(target_, *pools_, options,
-                   [&](const auto& prototype, auto& pool) {
-                     return cpa_campaign_impl(prototype, pool, options,
-                                              selector);
-                   });
+  validate_attack_selector(round(), selector, /*require_bit=*/false);
+  CpaDistinguisher cpa(round().sboxes[selector.sbox_index], selector);
+  Distinguisher* const list[] = {&cpa};
+  run_distinguishers(options, list);
+  return cpa.result();
+}
+
+std::vector<AttackResult> TraceEngine::cpa_campaign_all_subkeys(
+    const CampaignOptions& options, PowerModel model, std::size_t bit) {
+  std::vector<CpaDistinguisher> attacks;
+  attacks.reserve(round().num_sboxes());
+  std::vector<Distinguisher*> list;
+  list.reserve(round().num_sboxes());
+  for (std::size_t i = 0; i < round().num_sboxes(); ++i) {
+    const AttackSelector selector{.sbox_index = i, .model = model, .bit = bit};
+    validate_attack_selector(round(), selector, /*require_bit=*/false);
+    attacks.emplace_back(round().sboxes[i], selector);
+  }
+  for (CpaDistinguisher& attack : attacks) list.push_back(&attack);
+  run_distinguishers(options, list);
+  std::vector<AttackResult> results;
+  results.reserve(attacks.size());
+  for (const CpaDistinguisher& attack : attacks) {
+    results.push_back(attack.result());
+  }
+  return results;
+}
+
+SecondOrderAttackResult TraceEngine::second_order_cpa_campaign(
+    const CampaignOptions& options, const AttackSelector& selector) {
+  SABLE_REQUIRE(options.num_traces >= 2,
+                "second-order CPA requires at least two traces");
+  validate_attack_selector(round(), selector, /*require_bit=*/false);
+  SABLE_REQUIRE(target_.num_levels() >= 2,
+                "second-order CPA needs at least two logic levels to pair");
+  SecondOrderCpaDistinguisher attack(round().sboxes[selector.sbox_index],
+                                     selector);
+  Distinguisher* const list[] = {&attack};
+  run_distinguishers(options, list);
+  return attack.result();
 }
 
 AttackResult TraceEngine::dom_campaign(const CampaignOptions& options,
                                        const AttackSelector& selector) {
   SABLE_REQUIRE(options.num_traces >= 2, "DPA requires at least two traces");
-  validate_key(round(), options);
-  validate_selector(round(), selector, /*bit_model=*/true);
-  return with_lane(target_, *pools_, options,
-                   [&](const auto& prototype, auto& pool) {
-                     return dom_campaign_impl(prototype, pool, options,
-                                              selector);
-                   });
+  validate_attack_selector(round(), selector, /*require_bit=*/true);
+  DomDistinguisher dom(round().sboxes[selector.sbox_index], selector);
+  Distinguisher* const list[] = {&dom};
+  run_distinguishers(options, list);
+  return dom.result();
 }
 
 MtdResult TraceEngine::mtd_campaign(const CampaignOptions& options,
@@ -696,27 +730,28 @@ MtdResult TraceEngine::mtd_campaign(const CampaignOptions& options,
                                     const std::vector<std::size_t>& checkpoints) {
   SABLE_REQUIRE(options.num_traces >= 2, "MTD requires at least two traces");
   validate_key(round(), options);
-  validate_selector(round(), selector, /*bit_model=*/false);
-  return with_lane(target_, *pools_, options,
-                   [&](const auto& prototype, auto& pool) {
-                     return mtd_campaign_impl(prototype, pool, options,
-                                              selector, checkpoints);
-                   });
+  validate_attack_selector(round(), selector, /*require_bit=*/false);
+  MtdDistinguisher mtd(round().sboxes[selector.sbox_index], selector,
+                       round().sub_word(options.key.data(),
+                                        selector.sbox_index),
+                       checkpoints, options.num_traces);
+  Distinguisher* const list[] = {&mtd};
+  run_distinguishers(options, list);
+  return mtd.result();
 }
 
 MultiAttackResult TraceEngine::multi_cpa_campaign(
     const CampaignOptions& options, const AttackSelector& selector) {
   SABLE_REQUIRE(options.num_traces >= 2,
                 "multisample CPA requires at least two traces");
-  validate_key(round(), options);
-  validate_selector(round(), selector, /*bit_model=*/false);
+  validate_attack_selector(round(), selector, /*require_bit=*/false);
   SABLE_REQUIRE(target_.num_levels() > 0,
                 "time-resolved campaigns need at least one logic level");
-  return with_lane(target_, *pools_, options,
-                   [&](const auto& prototype, auto& pool) {
-                     return multi_cpa_campaign_impl(prototype, pool, options,
-                                                    selector);
-                   });
+  MultiCpaDistinguisher attack(round().sboxes[selector.sbox_index], selector,
+                               target_.num_levels());
+  Distinguisher* const list[] = {&attack};
+  run_distinguishers(options, list);
+  return attack.result();
 }
 
 }  // namespace sable

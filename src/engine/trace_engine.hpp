@@ -8,11 +8,16 @@
 // circuit simulators (every instance, summed power); across shards, a
 // worker pool spreads the campaign over cores. Traces are either retained
 // in a TraceSet (run) or handed block-by-block in canonical order to
-// streaming consumers (stream / stream_sampled) — and the attack
-// campaigns (cpa/dom/mtd/multi_cpa) skip the hand-off entirely by
-// accumulating per shard and reducing through a fixed-shape binary merge
-// tree, so an attack over 10^7 traces needs O(guesses) memory per shard,
-// one pass, and 1/(64 * cores) of the scalar simulation time.
+// streaming consumers (stream / stream_sampled) — and attacks skip the
+// hand-off entirely through the distinguisher pipeline
+// (run_distinguishers): every attack is a Distinguisher whose per-shard
+// accumulators ride the worker pool and reduce through a fixed-shape
+// binary merge tree (or an ordered fold for MTD), so an attack over 10^7
+// traces needs O(guesses) memory per shard, one pass, and 1/(64 * cores)
+// of the scalar simulation time. The historic campaigns
+// (cpa/dom/mtd/multi_cpa) are thin wrappers over that pipeline, and any
+// number of distinguishers — e.g. a CPA per subkey of a 16-S-box round —
+// share ONE simulated campaign instead of re-simulating per attack.
 //
 // Attacks select one instance via AttackSelector{sbox_index, model, bit}:
 // the accumulators consume that instance's sub-plaintexts and guess its
@@ -45,12 +50,15 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "crypto/round_target.hpp"
 #include "crypto/target.hpp"
+#include "dpa/distinguisher.hpp"
 #include "dpa/mtd.hpp"
+#include "dpa/second_order.hpp"
 #include "dpa/streaming.hpp"
 #include "power/trace.hpp"
 #include "util/error.hpp"
@@ -84,7 +92,13 @@ struct CampaignOptions {
 };
 
 /// Shard granularity of a campaign: block_size rounded down to whole
-/// 64-lane words (at least one word).
+/// 64-lane words, CLAMPED to at least one word — a block_size in [1, 63]
+/// (in particular one smaller than the active lane width) yields 64-trace
+/// shards rather than rounding to zero. The granule is 64 for EVERY lane
+/// width: wider words cover several 64-trace groups per step (ragged
+/// tails run under lane masks), so shard boundaries — and with them the
+/// generated trace stream — never depend on the word the kernel batches
+/// with. block_size = 0 is an error (SABLE_REQUIRE).
 std::size_t campaign_shard_size(const CampaignOptions& options);
 
 /// Seed of shard `shard`'s sub-stream `stream` (0 = plaintexts, 1 =
@@ -168,11 +182,39 @@ class TraceEngine {
   void stream_sampled(const CampaignOptions& options,
                       const SampledTraceSink& sink);
 
+  /// Drives any set of pluggable distinguishers through ONE simulated
+  /// campaign — the generic path every attack campaign below wraps. Per
+  /// shard, each distinguisher's ShardAccumulator consumes the shard's
+  /// block (sub-plaintext extraction deduplicated per attacked instance,
+  /// one virtual dispatch per distinguisher per shard); per-shard states
+  /// reduce through the fixed-shape merge tree, or the ordered left fold
+  /// for Distinguisher::ordered() (MTD prefix semantics). Afterwards each
+  /// distinguisher holds its typed result. Mixing scalar and
+  /// time-resolved distinguishers simulates each shard once per data
+  /// kind with identical per-kind streams, so every result is
+  /// bit-identical to the same distinguisher run alone. Results are
+  /// bit-identical for any num_threads and lane_width.
+  void run_distinguishers(const CampaignOptions& options,
+                          std::span<Distinguisher* const> distinguishers);
+
   /// One-pass CPA on the selected instance's subkey over a streamed
-  /// campaign: per-shard accumulators on the worker pool, reduced through
-  /// the fixed-shape merge tree.
+  /// campaign: a single CpaDistinguisher through run_distinguishers.
   AttackResult cpa_campaign(const CampaignOptions& options,
                             const AttackSelector& selector);
+
+  /// One-pass CPA on EVERY subkey of the round from one simulated
+  /// campaign (one CpaDistinguisher per instance): result[i] is
+  /// bit-identical to cpa_campaign with selector {i, model, bit}, at
+  /// roughly 1/num_sboxes of the cost of re-simulating per instance.
+  std::vector<AttackResult> cpa_campaign_all_subkeys(
+      const CampaignOptions& options, PowerModel model, std::size_t bit = 0);
+
+  /// Second-order centered-product CPA over `cycle_sampled` rows: scores
+  /// every logic-level pair's centered product against the selected
+  /// instance's predicted leakage, max-combined per guess (see
+  /// dpa/second_order.hpp). Covers every logic style.
+  SecondOrderAttackResult second_order_cpa_campaign(
+      const CampaignOptions& options, const AttackSelector& selector);
 
   /// One-pass difference-of-means on the selected instance's output bit
   /// over a streamed campaign (sharded; selector.model is ignored — DoM

@@ -1,0 +1,413 @@
+// The distinguisher pipeline's contract:
+//
+//  * every wrapped campaign (cpa/dom/mtd/multi_cpa) is BIT-IDENTICAL to
+//    the pre-pipeline formulation — per-shard streaming accumulators over
+//    the streamed campaign, reduced by the fixed-shape merge tree (or
+//    ShardedMtd's ordered fold) — which is exactly the reference
+//    reconstructed by hand here;
+//  * the second-order centered-product CPA matches the retained-trace
+//    reference (full-campaign means, centered products, Pearson) to
+//    1e-12;
+//  * one-pass multi-selector campaigns match N independent re-simulated
+//    campaigns bit for bit;
+//  * mixing data kinds in one run_distinguishers call changes nothing;
+//  * campaign_shard_size clamps small block sizes to one 64-lane word.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "dpa/distinguisher.hpp"
+#include "dpa/second_order.hpp"
+#include "engine/trace_engine.hpp"
+#include "power/stats.hpp"
+#include "util/rng.hpp"
+
+namespace sable {
+namespace {
+
+const Technology kTech = Technology::generic_180nm();
+
+// Multi-shard, ragged tail: 2000 traces over 448-trace shards = 5 shards.
+CampaignOptions reference_options(const RoundSpec& round) {
+  CampaignOptions options;
+  options.num_traces = 2000;
+  std::vector<std::size_t> subkeys(round.num_sboxes());
+  for (std::size_t i = 0; i < subkeys.size(); ++i) {
+    subkeys[i] = (0x9 + 5 * i) & 0xF;
+  }
+  options.key = round.pack_subkeys(subkeys);
+  options.noise_sigma = 2e-16;
+  options.seed = 0xD157;
+  options.block_size = 448;
+  return options;
+}
+
+// Streams the campaign and hands each shard's block (the sink is invoked
+// exactly once per shard) to `consume(shard_index, sub_pts, samples,
+// count)` with the attacked instance's sub-plaintexts extracted — the
+// manual form of the pre-pipeline attack campaigns.
+template <typename Consume>
+void for_each_shard(TraceEngine& engine, const CampaignOptions& options,
+                    std::size_t sbox_index, bool sampled, Consume&& consume) {
+  const RoundSpec& round = engine.round();
+  std::vector<std::uint8_t> sub_pts(campaign_shard_size(options));
+  std::size_t shard = 0;
+  const auto sink = [&](const std::uint8_t* pts, const double* samples,
+                        std::size_t n) {
+    round.sub_words(pts, n, sbox_index, sub_pts.data());
+    consume(shard++, sub_pts.data(), samples, n);
+  };
+  if (sampled) {
+    engine.stream_sampled(options, sink);
+  } else {
+    engine.stream(options, sink);
+  }
+}
+
+void expect_same_result(const AttackResult& a, const AttackResult& b) {
+  ASSERT_EQ(a.score.size(), b.score.size());
+  for (std::size_t g = 0; g < b.score.size(); ++g) {
+    // EXPECT_EQ on doubles is exact equality: bit-identical, not close.
+    EXPECT_EQ(a.score[g], b.score[g]) << "guess " << g;
+  }
+  EXPECT_EQ(a.best_guess, b.best_guess);
+  EXPECT_EQ(a.margin, b.margin);
+}
+
+// ---- wrapped campaigns vs the pre-pipeline formulation --------------------
+
+TEST(DistinguisherPipelineTest, CpaCampaignBitIdenticalToManualShards) {
+  const RoundSpec round = present_round(2, LogicStyle::kSablGenuine);
+  const CampaignOptions options = reference_options(round);
+  const AttackSelector selector{.sbox_index = 1,
+                                .model = PowerModel::kHammingWeight};
+  TraceEngine engine(round, kTech);
+  std::vector<StreamingCpa> shards;
+  for_each_shard(engine, options, selector.sbox_index, /*sampled=*/false,
+                 [&](std::size_t, const std::uint8_t* pts,
+                     const double* samples, std::size_t n) {
+                   shards.emplace_back(round.sboxes[selector.sbox_index],
+                                       selector.model, selector.bit);
+                   shards.back().add_batch(pts, samples, n);
+                 });
+  ASSERT_EQ(shards.size(), 5u);
+  const AttackResult reference = merge_shard_tree(std::move(shards)).result();
+  expect_same_result(engine.cpa_campaign(options, selector), reference);
+}
+
+TEST(DistinguisherPipelineTest, DomCampaignBitIdenticalToManualShards) {
+  const RoundSpec round = present_round(2, LogicStyle::kStaticCmos);
+  const CampaignOptions options = reference_options(round);
+  const AttackSelector selector{.sbox_index = 0, .bit = 2};
+  TraceEngine engine(round, kTech);
+  std::vector<StreamingDom> shards;
+  for_each_shard(engine, options, selector.sbox_index, /*sampled=*/false,
+                 [&](std::size_t, const std::uint8_t* pts,
+                     const double* samples, std::size_t n) {
+                   shards.emplace_back(round.sboxes[selector.sbox_index],
+                                       selector.bit);
+                   shards.back().add_batch(pts, samples, n);
+                 });
+  const AttackResult reference = merge_shard_tree(std::move(shards)).result();
+  expect_same_result(engine.dom_campaign(options, selector), reference);
+}
+
+TEST(DistinguisherPipelineTest, MtdCampaignBitIdenticalToManualShards) {
+  const RoundSpec round = present_round(1, LogicStyle::kStaticCmos);
+  const CampaignOptions options = reference_options(round);
+  const AttackSelector selector{.model = PowerModel::kHammingWeight};
+  const std::vector<std::size_t> checkpoints =
+      default_checkpoints(options.num_traces);
+  std::vector<std::size_t> ladder = checkpoints;
+  std::sort(ladder.begin(), ladder.end());
+  ladder.erase(std::unique(ladder.begin(), ladder.end()), ladder.end());
+  ladder.erase(std::remove_if(ladder.begin(), ladder.end(),
+                              [&](std::size_t c) {
+                                return c < 2 || c > options.num_traces;
+                              }),
+               ladder.end());
+
+  TraceEngine engine(round, kTech);
+  const std::size_t subkey = round.sub_word(options.key.data(), 0);
+  ShardedMtd driver(subkey);
+  for_each_shard(
+      engine, options, 0, /*sampled=*/false,
+      [&](std::size_t shard, const std::uint8_t* pts, const double* samples,
+          std::size_t n) {
+        const std::size_t start = shard * campaign_shard_size(options);
+        StreamingCpa acc(round.sboxes[0], selector.model, selector.bit);
+        std::size_t done = 0;
+        for (auto it = std::upper_bound(ladder.begin(), ladder.end(), start);
+             it != ladder.end() && *it <= start + n; ++it) {
+          acc.add_batch(pts + done, samples + done, *it - start - done);
+          done = *it - start;
+          driver.checkpoint(*it, acc);
+        }
+        acc.add_batch(pts + done, samples + done, n - done);
+        driver.append(acc);
+      });
+  const MtdResult reference = driver.result();
+  const MtdResult result = engine.mtd_campaign(options, selector, checkpoints);
+  EXPECT_EQ(result.disclosed, reference.disclosed);
+  EXPECT_EQ(result.mtd, reference.mtd);
+  ASSERT_EQ(result.rank_history.size(), reference.rank_history.size());
+  for (std::size_t i = 0; i < reference.rank_history.size(); ++i) {
+    EXPECT_EQ(result.rank_history[i], reference.rank_history[i]) << i;
+  }
+  EXPECT_TRUE(reference.disclosed);
+}
+
+TEST(DistinguisherPipelineTest, MultiCpaCampaignBitIdenticalToManualShards) {
+  const RoundSpec round = present_round(1, LogicStyle::kSablGenuine);
+  const CampaignOptions options = reference_options(round);
+  const AttackSelector selector{.model = PowerModel::kHammingWeight};
+  TraceEngine engine(round, kTech);
+  const std::size_t width = engine.target().num_levels();
+  std::vector<StreamingMultiCpa> shards;
+  for_each_shard(engine, options, 0, /*sampled=*/true,
+                 [&](std::size_t, const std::uint8_t* pts, const double* rows,
+                     std::size_t n) {
+                   shards.emplace_back(round.sboxes[0], selector.model, width,
+                                       selector.bit);
+                   for (std::size_t t = 0; t < n; ++t) {
+                     shards.back().add(pts[t], rows + t * width);
+                   }
+                 });
+  const MultiAttackResult reference =
+      merge_shard_tree(std::move(shards)).result();
+  const MultiAttackResult result =
+      engine.multi_cpa_campaign(options, selector);
+  expect_same_result(result.combined, reference.combined);
+  EXPECT_EQ(result.best_sample, reference.best_sample);
+}
+
+// ---- second-order CPA vs the retained-trace reference ---------------------
+
+// Retained-trace second-order reference: full-campaign column means,
+// centered product per level pair, Pearson against the predicted leakage
+// — the textbook two-pass formulation the streaming accumulator must
+// reproduce.
+SecondOrderAttackResult retained_second_order(const SboxSpec& spec,
+                                              PowerModel model,
+                                              const MultiTraceSet& traces) {
+  const std::size_t L = traces.width;
+  const std::size_t n = traces.size();
+  const std::size_t guesses = std::size_t{1} << spec.in_bits;
+  std::vector<double> mu(L, 0.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t i = 0; i < L; ++i) mu[i] += traces.at(t, i);
+  }
+  for (double& m : mu) m /= static_cast<double>(n);
+
+  std::vector<std::vector<double>> hyp(guesses, std::vector<double>(n));
+  for (std::size_t g = 0; g < guesses; ++g) {
+    for (std::size_t t = 0; t < n; ++t) {
+      hyp[g][t] = predict_leakage(spec, model, traces.plaintexts[t],
+                                  static_cast<std::uint8_t>(g), 0);
+    }
+  }
+
+  SecondOrderAttackResult result;
+  std::vector<double> combined(guesses, 0.0);
+  double global_best = -1.0;
+  std::vector<double> product(n);
+  for (std::size_t i = 0; i < L; ++i) {
+    for (std::size_t j = i + 1; j < L; ++j) {
+      for (std::size_t t = 0; t < n; ++t) {
+        product[t] = (traces.at(t, i) - mu[i]) * (traces.at(t, j) - mu[j]);
+      }
+      for (std::size_t g = 0; g < guesses; ++g) {
+        const double score = std::fabs(pearson(product, hyp[g]));
+        combined[g] = std::max(combined[g], score);
+        if (score > global_best) {
+          global_best = score;
+          result.best_pair_first = i;
+          result.best_pair_second = j;
+        }
+      }
+    }
+  }
+  result.combined = make_attack_result(std::move(combined));
+  return result;
+}
+
+TEST(SecondOrderCpaTest, MatchesRetainedTraceReference) {
+  const RoundSpec round = present_round(1, LogicStyle::kStaticCmos);
+  const CampaignOptions options = reference_options(round);
+  const AttackSelector selector{.model = PowerModel::kHammingWeight};
+  TraceEngine engine(round, kTech);
+  ASSERT_GE(engine.target().num_levels(), 2u);
+
+  MultiTraceSet retained;
+  retained.reserve(options.num_traces, engine.target().num_levels());
+  engine.stream_sampled(options, [&](const std::uint8_t* pts,
+                                     const double* rows, std::size_t n) {
+    const std::size_t width = engine.target().num_levels();
+    for (std::size_t t = 0; t < n; ++t) {
+      retained.add(pts[t], rows + t * width, width);
+    }
+  });
+  const SecondOrderAttackResult reference = retained_second_order(
+      round.sboxes[0], selector.model, retained);
+  const SecondOrderAttackResult result =
+      engine.second_order_cpa_campaign(options, selector);
+
+  ASSERT_EQ(result.combined.score.size(), reference.combined.score.size());
+  for (std::size_t g = 0; g < reference.combined.score.size(); ++g) {
+    EXPECT_NEAR(result.combined.score[g], reference.combined.score[g], 1e-12)
+        << "guess " << g;
+  }
+  EXPECT_EQ(result.combined.best_guess, reference.combined.best_guess);
+  EXPECT_EQ(result.best_pair_first, reference.best_pair_first);
+  EXPECT_EQ(result.best_pair_second, reference.best_pair_second);
+  const std::size_t subkey = round.sub_word(options.key.data(), 0);
+  EXPECT_EQ(result.combined.rank_of(subkey),
+            reference.combined.rank_of(subkey));
+}
+
+TEST(SecondOrderCpaTest, MergeMatchesSequentialAccumulation) {
+  const SboxSpec spec = present_spec();
+  const std::size_t width = 5;
+  const std::size_t count = 3000;
+  Rng rng(0x5EC0);
+  std::vector<std::uint8_t> pts(count);
+  std::vector<double> rows(count * width);
+  for (std::size_t t = 0; t < count; ++t) {
+    pts[t] = static_cast<std::uint8_t>(rng.below(16));
+    for (std::size_t i = 0; i < width; ++i) {
+      // Trace-scale magnitudes with data dependence, so the centered
+      // products live in the cancellation regime the merge must survive.
+      rows[t * width + i] =
+          1e-13 + 1e-15 * rng.gaussian() +
+          2e-16 * static_cast<double>((pts[t] >> (i % 4)) & 1u);
+    }
+  }
+  StreamingSecondOrderCpa sequential(spec, PowerModel::kHammingWeight);
+  sequential.add_block(pts.data(), rows.data(), count, width);
+
+  StreamingSecondOrderCpa merged(spec, PowerModel::kHammingWeight);
+  const std::size_t bounds[] = {0, 311, 312, 1024, 3000};
+  for (std::size_t p = 0; p + 1 < std::size(bounds); ++p) {
+    StreamingSecondOrderCpa part(spec, PowerModel::kHammingWeight);
+    part.add_block(pts.data() + bounds[p], rows.data() + bounds[p] * width,
+                   bounds[p + 1] - bounds[p], width);
+    merged.merge(part);
+  }
+  EXPECT_EQ(merged.count(), sequential.count());
+  const SecondOrderAttackResult a = merged.result();
+  const SecondOrderAttackResult b = sequential.result();
+  ASSERT_EQ(a.combined.score.size(), b.combined.score.size());
+  for (std::size_t g = 0; g < b.combined.score.size(); ++g) {
+    EXPECT_NEAR(a.combined.score[g], b.combined.score[g], 1e-12) << g;
+  }
+  EXPECT_EQ(a.best_pair_first, b.best_pair_first);
+  EXPECT_EQ(a.best_pair_second, b.best_pair_second);
+}
+
+// ---- one-pass multi-selector campaigns ------------------------------------
+
+TEST(DistinguisherPipelineTest, OnePassAllSubkeysMatchesIndependentCampaigns) {
+  const RoundSpec round = present_round(4, LogicStyle::kStaticCmos);
+  const CampaignOptions options = reference_options(round);
+  TraceEngine engine(round, kTech);
+  const std::vector<AttackResult> one_pass =
+      engine.cpa_campaign_all_subkeys(options, PowerModel::kHammingWeight);
+  ASSERT_EQ(one_pass.size(), round.num_sboxes());
+  for (std::size_t i = 0; i < round.num_sboxes(); ++i) {
+    const AttackResult independent = engine.cpa_campaign(
+        options,
+        AttackSelector{.sbox_index = i, .model = PowerModel::kHammingWeight});
+    expect_same_result(one_pass[i], independent);
+    // Every subkey must actually be recovered from the single campaign —
+    // static CMOS leaks, and each instance's neighbours are only noise.
+    EXPECT_EQ(one_pass[i].best_guess, round.sub_word(options.key.data(), i))
+        << "sbox " << i;
+  }
+}
+
+TEST(DistinguisherPipelineTest, MixedKindsShareOneCampaignUnchanged) {
+  const RoundSpec round = present_round(2, LogicStyle::kStaticCmos);
+  const CampaignOptions options = reference_options(round);
+  TraceEngine engine(round, kTech);
+  const AttackSelector cpa_sel{.sbox_index = 0,
+                               .model = PowerModel::kHammingWeight};
+  const AttackSelector dom_sel{.sbox_index = 1, .bit = 1};
+
+  CpaDistinguisher cpa(round.sboxes[0], cpa_sel);
+  DomDistinguisher dom(round.sboxes[1], dom_sel);
+  SecondOrderCpaDistinguisher second(round.sboxes[0], cpa_sel);
+  std::vector<Distinguisher*> all = {&cpa, &dom, &second};
+  engine.run_distinguishers(options, all);
+
+  expect_same_result(cpa.result(), engine.cpa_campaign(options, cpa_sel));
+  expect_same_result(dom.result(), engine.dom_campaign(options, dom_sel));
+  const SecondOrderAttackResult solo =
+      engine.second_order_cpa_campaign(options, cpa_sel);
+  expect_same_result(second.result().combined, solo.combined);
+  EXPECT_EQ(second.result().best_pair_first, solo.best_pair_first);
+  EXPECT_EQ(second.result().best_pair_second, solo.best_pair_second);
+}
+
+// ---- validation and shard-size clamping -----------------------------------
+
+TEST(DistinguisherPipelineTest, ValidatesSpecAgainstRound) {
+  const RoundSpec round = present_round(1, LogicStyle::kStaticCmos);
+  const CampaignOptions options = reference_options(round);
+  TraceEngine engine(round, kTech);
+  // Wrong spec for the attacked instance: built for AES, run on PRESENT.
+  CpaDistinguisher mismatched(
+      aes_spec(), AttackSelector{.model = PowerModel::kHammingWeight});
+  Distinguisher* const list[] = {&mismatched};
+  EXPECT_THROW(
+      engine.run_distinguishers(options, list),
+      InvalidArgument);
+  // Results are only valid after a campaign finalized the distinguisher.
+  CpaDistinguisher fresh(present_spec(),
+                         AttackSelector{.model = PowerModel::kHammingWeight});
+  EXPECT_THROW(fresh.result(), InvalidArgument);
+}
+
+TEST(CampaignShardSizeTest, ClampsSmallBlocksToOneLaneWord) {
+  CampaignOptions options;
+  for (std::size_t block : {std::size_t{1}, std::size_t{63}}) {
+    options.block_size = block;
+    EXPECT_EQ(campaign_shard_size(options), 64u) << block;
+  }
+  options.block_size = 64;
+  EXPECT_EQ(campaign_shard_size(options), 64u);
+  options.block_size = 100;  // rounds down to whole 64-lane words
+  EXPECT_EQ(campaign_shard_size(options), 64u);
+  options.block_size = 130;
+  EXPECT_EQ(campaign_shard_size(options), 128u);
+  options.block_size = 0;
+  EXPECT_THROW(campaign_shard_size(options), InvalidArgument);
+}
+
+// A block_size below the lane word must still run — and, because the
+// clamp lands on the same 64-trace granule for every width, produce the
+// exact stream block_size = 64 produces, at every compiled-in width.
+TEST(CampaignShardSizeTest, SubLaneWordBlockSizeRunsAndMatchesClamp) {
+  const RoundSpec round = present_round(1, LogicStyle::kSablEnhanced);
+  TraceEngine engine(round, kTech);
+  CampaignOptions options;
+  options.num_traces = 200;
+  options.key = {0x6};
+  options.seed = 0xC1A4;
+  options.block_size = 64;
+  const TraceSet reference = engine.run(options);
+  for (std::size_t width : supported_lane_widths()) {
+    options.lane_width = width;
+    options.block_size = 3;  // smaller than every lane width
+    const TraceSet traces = engine.run(options);
+    ASSERT_EQ(traces.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_EQ(traces.samples[i], reference.samples[i])
+          << "width " << width << " trace " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sable

@@ -443,6 +443,86 @@ TEST(EngineDeterminismTest, RoundCpaCampaignBitIdenticalAcrossLaneWidths) {
   }
 }
 
+// The new distinguisher pipeline inherits the determinism contract: a
+// second-order centered-product campaign must be bit-identical across
+// every compiled-in lane width crossed with several worker counts — the
+// fourth-order co-moment merges run through the same fixed-shape tree.
+TEST(EngineDeterminismTest, SecondOrderCampaignBitIdenticalAcrossThreadsAndWidths) {
+  const RoundSpec round = present_round(2, LogicStyle::kStaticCmos);
+  CampaignOptions options;
+  options.num_traces = 1200;
+  options.key = round.pack_subkeys(round_subkeys(2));
+  options.noise_sigma = 2e-16;
+  options.seed = 0x20CDE;
+  options.block_size = 448;
+  options.num_threads = 1;
+  options.lane_width = 64;
+  const AttackSelector selector{.sbox_index = 1,
+                                .model = PowerModel::kHammingWeight};
+  TraceEngine engine(round, kTech);
+  const SecondOrderAttackResult reference =
+      engine.second_order_cpa_campaign(options, selector);
+  for (std::size_t width : supported_lane_widths()) {
+    for (std::size_t threads :
+         {std::size_t{1}, std::size_t{2},
+          std::max<std::size_t>(1, std::thread::hardware_concurrency())}) {
+      options.lane_width = width;
+      options.num_threads = threads;
+      const SecondOrderAttackResult result =
+          engine.second_order_cpa_campaign(options, selector);
+      ASSERT_EQ(result.combined.score.size(),
+                reference.combined.score.size());
+      for (std::size_t g = 0; g < reference.combined.score.size(); ++g) {
+        EXPECT_EQ(result.combined.score[g], reference.combined.score[g])
+            << "width " << width << " threads " << threads << " guess " << g;
+      }
+      EXPECT_EQ(result.combined.best_guess, reference.combined.best_guess);
+      EXPECT_EQ(result.best_pair_first, reference.best_pair_first);
+      EXPECT_EQ(result.best_pair_second, reference.best_pair_second);
+    }
+  }
+}
+
+// One-pass multi-selector campaigns (every subkey from one simulation)
+// carry the same guarantee: scores per subkey bit-identical across
+// num_threads × lane_width.
+TEST(EngineDeterminismTest, AllSubkeysCampaignBitIdenticalAcrossThreadsAndWidths) {
+  const RoundSpec round = present_round(4, LogicStyle::kSablGenuine);
+  CampaignOptions options;
+  options.num_traces = 1200;
+  options.key = round.pack_subkeys(round_subkeys(4));
+  options.noise_sigma = 2e-16;
+  options.seed = 0xA11CDE;
+  options.block_size = 448;
+  options.num_threads = 1;
+  options.lane_width = 64;
+  TraceEngine engine(round, kTech);
+  const std::vector<AttackResult> reference =
+      engine.cpa_campaign_all_subkeys(options, PowerModel::kHammingWeight);
+  ASSERT_EQ(reference.size(), 4u);
+  for (std::size_t width : supported_lane_widths()) {
+    for (std::size_t threads :
+         {std::size_t{1}, std::size_t{2},
+          std::max<std::size_t>(1, std::thread::hardware_concurrency())}) {
+      options.lane_width = width;
+      options.num_threads = threads;
+      const std::vector<AttackResult> results =
+          engine.cpa_campaign_all_subkeys(options,
+                                          PowerModel::kHammingWeight);
+      ASSERT_EQ(results.size(), reference.size());
+      for (std::size_t i = 0; i < reference.size(); ++i) {
+        for (std::size_t g = 0; g < reference[i].score.size(); ++g) {
+          EXPECT_EQ(results[i].score[g], reference[i].score[g])
+              << "width " << width << " threads " << threads << " sbox " << i
+              << " guess " << g;
+        }
+        EXPECT_EQ(results[i].best_guess, reference[i].best_guess)
+            << "width " << width << " threads " << threads << " sbox " << i;
+      }
+    }
+  }
+}
+
 // RoundTarget::clone() must be state-free: after disturbing the original,
 // a clone's traces equal a freshly constructed target's, bit for bit.
 TEST(CloneTest, ClonedRoundTargetMatchesFreshTarget) {
