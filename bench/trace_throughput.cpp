@@ -15,10 +15,14 @@
 // the JSON.
 //
 // `--lanes LIST` sweeps batch lane widths (comma-separated: 64, 128,
-// 256, 512 or "simd" = the widest SIMD width this build carries) over
+// 256, 512 or "simd" = the widest width the running CPU offers) over
 // every style on one thread; campaigns are bit-identical across widths,
 // so the sweep isolates the pure SIMD speedup. The >=10x acceptance gate
-// stays pinned to the 64-bit path. Default: every supported width.
+// stays pinned to the 64-bit path. Default: every width the runtime
+// dispatcher (util/cpu_dispatch.hpp) allows on this machine. A
+// pack_transpose table times the 64x64 bit-transpose lane packing
+// against the historic per-bit gather at each width, and the JSON
+// records which dispatch tier (portable / avx2 / avx512) the run used.
 //
 // A multi_attack row times the distinguisher pipeline's one-pass
 // multi-subkey campaign (all 16 subkeys of a 16-S-box PRESENT round from
@@ -38,6 +42,8 @@
 #include "crypto/target.hpp"
 #include "dpa/streaming.hpp"
 #include "engine/trace_engine.hpp"
+#include "switchsim/cycle_sim.hpp"
+#include "util/cpu_dispatch.hpp"
 #include "util/rng.hpp"
 
 using namespace sable;
@@ -151,6 +157,83 @@ std::vector<LaneThroughput> measure_lane_sweep(
   return rows;
 }
 
+struct PackBench {
+  std::size_t width = 0;
+  double gather_mlps = 0.0;     // mega-lanes/sec through the per-bit gather
+  double transpose_mlps = 0.0;  // same work through the bit transpose
+  double speedup = 0.0;
+};
+
+// Times one full-word pack of kVars=8 variables (the S-box hot-path
+// shape) through the transpose against the per-bit gather reference.
+// Both are extern library calls, so the loop cannot be folded away; a
+// chunk checksum keeps the results observed.
+template <typename W>
+PackBench measure_pack_width() {
+  using T = LaneTraits<W>;
+  constexpr std::size_t kVars = 8;
+  PackBench bench;
+  bench.width = T::kLanes;
+  std::vector<std::uint64_t> assignments(T::kLanes);
+  Rng rng(0x9AC7);
+  for (auto& a : assignments) a = rng.next();
+  std::vector<W> words(kVars);
+  std::uint64_t checksum = 0;
+  auto run = [&](auto&& pack) {
+    // Warm up, then time batches until the clock has enough signal.
+    for (int i = 0; i < 100; ++i) pack();
+    std::size_t reps = 0;
+    const auto start = Clock::now();
+    double elapsed = 0.0;
+    while (elapsed < 0.2) {
+      for (int i = 0; i < 2000; ++i) pack();
+      reps += 2000;
+      elapsed = seconds_since(start);
+    }
+    std::uint64_t chunks[T::kChunks];
+    lane_chunks(words[0], chunks);
+    checksum ^= chunks[0];
+    return static_cast<double>(reps) * static_cast<double>(T::kLanes) /
+           elapsed / 1e6;
+  };
+  bench.gather_mlps = run([&] {
+    pack_lane_words_gather(assignments.data(), T::kLanes, words);
+  });
+  bench.transpose_mlps =
+      run([&] { pack_lane_words(assignments.data(), T::kLanes, words); });
+  bench.speedup = bench.transpose_mlps / bench.gather_mlps;
+  if (checksum == ~std::uint64_t{0}) std::fprintf(stderr, "checksum\n");
+  return bench;
+}
+
+// One pack_transpose row per width the runtime dispatcher allows here.
+std::vector<PackBench> measure_pack_sweep() {
+  std::vector<PackBench> rows;
+  for (std::size_t width : runtime_lane_widths()) {
+    switch (width) {
+      case 64:
+        rows.push_back(measure_pack_width<std::uint64_t>());
+        break;
+      case 128:
+        rows.push_back(measure_pack_width<Word128>());
+        break;
+#if SABLE_HAVE_WORD256
+      case 256:
+        rows.push_back(measure_pack_width<Word256>());
+        break;
+#endif
+#if SABLE_HAVE_WORD512
+      case 512:
+        rows.push_back(measure_pack_width<Word512>());
+        break;
+#endif
+      default:
+        break;
+    }
+  }
+  return rows;
+}
+
 struct RoundThroughput {
   std::size_t num_sboxes = 0;
   double tps = 0.0;
@@ -253,6 +336,7 @@ std::vector<RoundThroughput> measure_round_scaling(std::size_t max_round,
 void write_json(const std::string& path, std::size_t num_traces,
                 std::size_t threads, const std::vector<Throughput>& rows,
                 const std::vector<LaneThroughput>& lane_rows,
+                const std::vector<PackBench>& pack_rows,
                 const std::vector<RoundThroughput>& round_rows,
                 const MultiAttackBench& multi,
                 std::size_t cpa_traces, double cpa_seconds) {
@@ -265,6 +349,17 @@ void write_json(const std::string& path, std::size_t num_traces,
   std::fprintf(f, "  \"bench\": \"trace_throughput\",\n");
   std::fprintf(f, "  \"num_traces\": %zu,\n", num_traces);
   std::fprintf(f, "  \"threads\": %zu,\n", threads);
+  // Which kernels this run could actually dispatch to — perf rows are
+  // only comparable across PRs within the same active tier.
+  std::fprintf(f,
+               "  \"dispatch\": {\"compiled\": \"%s\", \"detected\": \"%s\", "
+               "\"active\": \"%s\", \"cpu_avx2\": %s, \"cpu_avx512f\": %s, "
+               "\"max_runtime_lane_width\": %zu},\n",
+               to_string(compiled_tier()), to_string(detected_tier()),
+               to_string(active_tier()),
+               cpu_features().avx2 ? "true" : "false",
+               cpu_features().avx512f ? "true" : "false",
+               max_runtime_lane_width());
   std::fprintf(f, "  \"styles\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Throughput& t = rows[i];
@@ -286,6 +381,16 @@ void write_json(const std::string& path, std::size_t num_traces,
                  "\"speedup_vs_64\": %.2f}%s\n",
                  r.width, r.style, r.tps, r.speedup_vs_64,
                  i + 1 < lane_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"pack_transpose\": [\n");
+  for (std::size_t i = 0; i < pack_rows.size(); ++i) {
+    const PackBench& r = pack_rows[i];
+    std::fprintf(f,
+                 "    {\"width\": %zu, \"gather_mlps\": %.1f, "
+                 "\"transpose_mlps\": %.1f, \"speedup\": %.2f}%s\n",
+                 r.width, r.gather_mlps, r.transpose_mlps, r.speedup,
+                 i + 1 < pack_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"round_scaling\": [\n");
@@ -315,11 +420,12 @@ void write_json(const std::string& path, std::size_t num_traces,
   std::fclose(f);
 }
 
-// Parses a --lanes token list: numeric widths must be compiled in;
-// "simd" resolves to the widest SIMD width (>128) or is skipped with a
-// note on portable-only builds.
+// Parses a --lanes token list: numeric widths must be runnable here —
+// compiled in AND offered by the CPU under the active dispatch tier;
+// "simd" resolves to the widest runtime width (>128) or is skipped with
+// a note when only the portable words can run.
 std::vector<std::size_t> parse_lane_list(const char* arg, bool* ok) {
-  const std::vector<std::size_t> supported = supported_lane_widths();
+  const std::vector<std::size_t> runnable = runtime_lane_widths();
   std::vector<std::size_t> widths;
   *ok = true;
   std::string list(arg);
@@ -328,20 +434,23 @@ std::vector<std::size_t> parse_lane_list(const char* arg, bool* ok) {
     const std::string token = list.substr(pos, comma - pos);
     pos = comma + 1;
     if (token == "simd") {
-      if (max_lane_width() > 128) {
-        widths.push_back(max_lane_width());
+      if (max_runtime_lane_width() > 128) {
+        widths.push_back(max_runtime_lane_width());
       } else {
         std::fprintf(stderr,
-                     "note: no SIMD lane word in this build "
-                     "(configure with -DSABLE_SIMD=...), skipping \"simd\"\n");
+                     "note: no SIMD lane word runnable here (build with "
+                     "SABLE_SIMD and run on an AVX2+ CPU), skipping "
+                     "\"simd\"\n");
       }
       continue;
     }
     const std::size_t width =
         static_cast<std::size_t>(std::strtoull(token.c_str(), nullptr, 10));
-    if (std::find(supported.begin(), supported.end(), width) ==
-        supported.end()) {
-      std::fprintf(stderr, "unsupported lane width \"%s\"\n", token.c_str());
+    if (std::find(runnable.begin(), runnable.end(), width) ==
+        runnable.end()) {
+      std::fprintf(stderr,
+                   "lane width \"%s\" not runnable on this machine\n",
+                   token.c_str());
       *ok = false;
       return widths;
     }
@@ -356,7 +465,7 @@ int main(int argc, char** argv) {
   std::size_t num_traces = 200000;
   std::size_t threads = campaign_thread_count(CampaignOptions{});
   std::size_t max_round = 4;  // CI default: small sweep, still in the JSON
-  std::vector<std::size_t> lane_widths = supported_lane_widths();
+  std::vector<std::size_t> lane_widths = runtime_lane_widths();
   std::string json_path = "BENCH_trace_throughput.json";
   for (int i = 1; i < argc; ++i) {
     bool ok = true;
@@ -428,6 +537,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Lane packing: the 64x64 bit transpose vs. the per-bit gather it
+  // replaced, per runtime width (same bit-identical output, pure speed).
+  const std::vector<PackBench> pack_rows = measure_pack_sweep();
+  std::printf("\npack_transpose (%s tier, full word, 8 vars):\n%10s %14s %17s %9s\n",
+              to_string(active_tier()), "width", "gather [Ml/s]",
+              "transpose [Ml/s]", "speedup");
+  for (const PackBench& r : pack_rows) {
+    std::printf("%10zu %14.0f %17.0f %8.1fx\n", r.width, r.gather_mlps,
+                r.transpose_mlps, r.speedup);
+  }
+
   // Round targets: throughput vs. instance count (algorithmic-noise cost).
   const std::size_t round_traces = std::min<std::size_t>(num_traces, 50000);
   const std::vector<RoundThroughput> round_rows =
@@ -479,8 +599,8 @@ int main(int argc, char** argv) {
         r.rank_of(options.key[0]));
   }
 
-  write_json(json_path, num_traces, threads, rows, lane_rows, round_rows,
-             multi, cpa_traces, cpa_seconds);
+  write_json(json_path, num_traces, threads, rows, lane_rows, pack_rows,
+             round_rows, multi, cpa_traces, cpa_seconds);
   std::printf("wrote %s\n", json_path.c_str());
   return all_pass ? 0 : 1;
 }

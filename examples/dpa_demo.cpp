@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "engine/trace_engine.hpp"
+#include "util/cpu_dispatch.hpp"
 
 using namespace sable;
 
@@ -129,13 +130,14 @@ int main(int argc, char** argv) {
     }
   }
   if (lane_width != 0) {
-    const auto supported = supported_lane_widths();
-    if (std::find(supported.begin(), supported.end(), lane_width) ==
-        supported.end()) {
+    const auto runnable = runtime_lane_widths();
+    if (std::find(runnable.begin(), runnable.end(), lane_width) ==
+        runnable.end()) {
       std::fprintf(stderr,
-                   "--lanes %zu is not compiled into this build (supported: "
+                   "--lanes %zu is not runnable on this machine (runnable: "
                    "64, 128%s)\n",
-                   lane_width, max_lane_width() > 128 ? ", SIMD widths" : "");
+                   lane_width,
+                   max_runtime_lane_width() > 128 ? ", SIMD widths" : "");
       return 2;
     }
   }

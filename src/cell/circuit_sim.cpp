@@ -1,9 +1,7 @@
 #include "cell/circuit_sim.hpp"
 
-#include <bit>
-
+#include "cell/circuit_sim_impl.hpp"
 #include "expr/truth_table.hpp"
-#include "util/error.hpp"
 
 namespace sable {
 
@@ -60,264 +58,9 @@ std::vector<std::size_t> gate_levels(const GateCircuit& circuit) {
   return levels;
 }
 
-template <typename W>
-BatchGateEvaluatorT<W>::BatchGateEvaluatorT(const GateCircuit& circuit)
-    : circuit_(circuit) {
-  minterms_.resize(circuit.gates().size());
-  gate_inputs_.resize(circuit.gates().size());
-  values_.assign(circuit.gates().size(), LaneTraits<W>::zero());
-  primary_.assign(circuit.num_primary_inputs(), LaneTraits<W>::zero());
-  for (std::size_t g = 0; g < circuit.gates().size(); ++g) {
-    const GateInstance& inst = circuit.gates()[g];
-    const Cell& cell = circuit.cells()[inst.cell_index];
-    gate_inputs_[g].assign(inst.inputs.size(), LaneTraits<W>::zero());
-    const std::size_t rows = std::size_t{1} << cell.num_inputs;
-    for (std::size_t m = 0; m < rows; ++m) {
-      // Qualified: the member evaluate() shadows the truth-table helper.
-      if (sable::evaluate(cell.function, m)) {
-        minterms_[g].push_back(static_cast<std::uint8_t>(m));
-      }
-    }
-  }
-}
-
-template <typename W>
-void BatchGateEvaluatorT<W>::evaluate(const std::vector<W>& input_words) {
-  SABLE_ASSERT(input_words.size() >= circuit_.num_primary_inputs(),
-               "one lane word per primary input required");
-  for (std::size_t i = 0; i < primary_.size(); ++i) {
-    primary_[i] = input_words[i];
-  }
-  for (std::size_t g = 0; g < circuit_.gates().size(); ++g) {
-    const GateInstance& inst = circuit_.gates()[g];
-    std::vector<W>& in = gate_inputs_[g];
-    for (std::size_t k = 0; k < inst.inputs.size(); ++k) {
-      const SignalRef& ref = inst.inputs[k];
-      const W& raw = ref.kind == SignalRef::Kind::kInput ? primary_[ref.index]
-                                                         : values_[ref.index];
-      in[k] = ref.positive ? raw : ~raw;
-    }
-    // Sum of minterms over lane words: a lane is 1 iff its cell-input
-    // assignment is one of the function's satisfying rows.
-    W value = LaneTraits<W>::zero();
-    for (const std::uint8_t m : minterms_[g]) {
-      W term = LaneTraits<W>::ones();
-      for (std::size_t k = 0; k < in.size(); ++k) {
-        term &= ((m >> k) & 1u) != 0 ? in[k] : ~in[k];
-      }
-      value |= term;
-    }
-    values_[g] = value;
-  }
-}
-
-template <typename W>
-W BatchGateEvaluatorT<W>::output_word(std::size_t i) const {
-  const SignalRef& ref = circuit_.outputs()[i];
-  const W& raw = ref.kind == SignalRef::Kind::kInput ? primary_[ref.index]
-                                                     : values_[ref.index];
-  return ref.positive ? raw : ~raw;
-}
-
-template <typename W>
-std::uint64_t outputs_for_lane(const std::vector<W>& output_words,
-                               std::size_t lane) {
-  std::uint64_t chunks[LaneTraits<W>::kChunks];
-  std::uint64_t out = 0;
-  for (std::size_t i = 0; i < output_words.size(); ++i) {
-    LaneTraits<W>::to_chunks(output_words[i], chunks);
-    if (((chunks[lane / 64] >> (lane % 64)) & 1u) != 0) {
-      out |= std::uint64_t{1} << i;
-    }
-  }
-  return out;
-}
-
-// ---- DifferentialCircuitSimBatchT -----------------------------------------
-
-template <typename W>
-DifferentialCircuitSimBatchT<W>::DifferentialCircuitSimBatchT(
-    const GateCircuit& circuit)
-    : circuit_(circuit), eval_(circuit) {
-  gate_sims_.reserve(circuit.gates().size());
-  for (const auto& inst : circuit.gates()) {
-    const Cell& cell = circuit.cells()[inst.cell_index];
-    gate_sims_.emplace_back(cell.network, cell.energy_model);
-  }
-  levels_ = gate_levels(circuit);
-  for (std::size_t l : levels_) num_levels_ = std::max(num_levels_, l);
-}
-
-template <typename W>
-DifferentialCircuitSimBatchT<W>::DifferentialCircuitSimBatchT(
-    const GateCircuit& circuit, std::vector<GateEnergyModel> models)
-    : circuit_(circuit), eval_(circuit) {
-  SABLE_REQUIRE(models.size() == circuit.gates().size(),
-                "one energy model per gate instance required");
-  gate_sims_.reserve(circuit.gates().size());
-  for (std::size_t g = 0; g < circuit.gates().size(); ++g) {
-    const Cell& cell = circuit.cells()[circuit.gates()[g].cell_index];
-    gate_sims_.emplace_back(cell.network, std::move(models[g]));
-  }
-  levels_ = gate_levels(circuit);
-  for (std::size_t l : levels_) num_levels_ = std::max(num_levels_, l);
-}
-
-template <typename W>
-void DifferentialCircuitSimBatchT<W>::cycle(const std::vector<W>& input_words,
-                                            const W& lane_mask,
-                                            BatchCycleResultT<W>& out) {
-  eval_.evaluate(input_words);
-  lane_fill_selected(lane_mask, 0.0, out.energy.data());
-  for (std::size_t g = 0; g < gate_sims_.size(); ++g) {
-    gate_sims_[g].cycle(eval_.gate_input_words(g), lane_mask,
-                        gate_energy_.data());
-    lane_accumulate_selected(lane_mask, gate_energy_.data(),
-                             out.energy.data());
-  }
-  out.output_words.resize(circuit_.outputs().size());
-  for (std::size_t i = 0; i < circuit_.outputs().size(); ++i) {
-    out.output_words[i] = eval_.output_word(i);
-  }
-}
-
-template <typename W>
-void DifferentialCircuitSimBatchT<W>::reset() {
-  for (SablGateSimBatchT<W>& sim : gate_sims_) sim.reset(true);
-}
-
-template <typename W>
-DifferentialCircuitSimBatchT<W> DifferentialCircuitSimBatchT<W>::clone_fresh()
-    const {
-  // Rebuilding through the per-instance-model constructor preserves any
-  // custom energy models (e.g. balanced routing loads from src/balance).
-  std::vector<GateEnergyModel> models;
-  models.reserve(gate_sims_.size());
-  for (const SablGateSimBatchT<W>& sim : gate_sims_) {
-    models.push_back(sim.model());
-  }
-  return DifferentialCircuitSimBatchT(circuit_, std::move(models));
-}
-
-template <typename W>
-void DifferentialCircuitSimBatchT<W>::cycle_sampled(
-    const std::vector<W>& input_words, const W& lane_mask,
-    SampledBatchCycleResultT<W>& out) {
-  eval_.evaluate(input_words);
-  out.level_energy.resize(num_levels_);
-  for (auto& row : out.level_energy) {
-    lane_fill_selected(lane_mask, 0.0, row.data());
-  }
-  for (std::size_t g = 0; g < gate_sims_.size(); ++g) {
-    gate_sims_[g].cycle(eval_.gate_input_words(g), lane_mask,
-                        gate_energy_.data());
-    auto& row = out.level_energy[levels_[g] - 1];
-    lane_accumulate_selected(lane_mask, gate_energy_.data(), row.data());
-  }
-  out.output_words.resize(circuit_.outputs().size());
-  for (std::size_t i = 0; i < circuit_.outputs().size(); ++i) {
-    out.output_words[i] = eval_.output_word(i);
-  }
-}
-
-// ---- CmosCircuitSimBatchT -------------------------------------------------
-
-template <typename W>
-CmosCircuitSimBatchT<W>::CmosCircuitSimBatchT(const GateCircuit& circuit,
-                                              double switch_energy)
-    : circuit_(circuit), eval_(circuit), switch_energy_(switch_energy) {
-  previous_values_.assign(circuit.gates().size(), 0);
-  levels_ = gate_levels(circuit);
-  for (std::size_t l : levels_) num_levels_ = std::max(num_levels_, l);
-}
-
-template <typename W>
-template <typename RowFn>
-void CmosCircuitSimBatchT<W>::cycle_history(const std::vector<W>& input_words,
-                                            const W& lane_mask,
-                                            RowFn&& row_for_gate,
-                                            std::vector<W>& output_words) {
-  using T = LaneTraits<W>;
-  constexpr std::size_t kChunks = T::kChunks;
-  eval_.evaluate(input_words);
-  std::uint64_t m[kChunks];
-  T::to_chunks(lane_mask, m);
-  // History is logically 64-lane: chunk j's previous values are chunk j-1
-  // of this call (the stored history for chunk 0), and only chunk 0 can
-  // face never-seen lanes — later chunks' predecessors are this very call.
-  std::uint64_t seen_prefix[kChunks];
-  std::uint64_t seen = seen_mask_;
-  for (std::size_t j = 0; j < kChunks; ++j) {
-    seen_prefix[j] = seen;
-    seen |= m[j];
-  }
-  std::uint64_t c[kChunks];
-  for (std::size_t g = 0; g < circuit_.gates().size(); ++g) {
-    T::to_chunks(eval_.value_word(g), c);
-    std::uint64_t prev = previous_values_[g];
-    double* row = row_for_gate(g);
-    for (std::size_t j = 0; j < kChunks; ++j) {
-      // Static CMOS draws supply energy when the output rises: the lane
-      // has no history yet, or its previous value was 0.
-      const std::uint64_t rising = c[j] & ~(prev & seen_prefix[j]) & m[j];
-      double* e = row + 64 * j;
-      for (std::uint64_t w = rising; w != 0; w &= w - 1) {
-        e[std::countr_zero(w)] += switch_energy_;
-      }
-      prev = (prev & ~m[j]) | (c[j] & m[j]);
-    }
-    previous_values_[g] = prev;
-  }
-  seen_mask_ = seen;
-  output_words.resize(circuit_.outputs().size());
-  for (std::size_t i = 0; i < circuit_.outputs().size(); ++i) {
-    output_words[i] = eval_.output_word(i);
-  }
-}
-
-template <typename W>
-void CmosCircuitSimBatchT<W>::cycle(const std::vector<W>& input_words,
-                                    const W& lane_mask,
-                                    BatchCycleResultT<W>& out) {
-  lane_fill_selected(lane_mask, 0.0, out.energy.data());
-  cycle_history(input_words, lane_mask,
-                [&](std::size_t) { return out.energy.data(); },
-                out.output_words);
-}
-
-template <typename W>
-void CmosCircuitSimBatchT<W>::cycle_sampled(const std::vector<W>& input_words,
-                                            const W& lane_mask,
-                                            SampledBatchCycleResultT<W>& out) {
-  out.level_energy.resize(num_levels_);
-  for (auto& row : out.level_energy) {
-    lane_fill_selected(lane_mask, 0.0, row.data());
-  }
-  cycle_history(
-      input_words, lane_mask,
-      [&](std::size_t g) { return out.level_energy[levels_[g] - 1].data(); },
-      out.output_words);
-}
-
-template <typename W>
-void CmosCircuitSimBatchT<W>::reset() {
-  previous_values_.assign(circuit_.gates().size(), 0);
-  seen_mask_ = 0;
-}
-
-template <typename W>
-CmosCircuitSimBatchT<W> CmosCircuitSimBatchT<W>::clone_fresh() const {
-  return CmosCircuitSimBatchT(circuit_, switch_energy_);
-}
-
-#define SABLE_INSTANTIATE_CIRCUIT_SIM(W)                                  \
-  template class BatchGateEvaluatorT<W>;                                  \
-  template class DifferentialCircuitSimBatchT<W>;                         \
-  template class CmosCircuitSimBatchT<W>;                                 \
-  template std::uint64_t outputs_for_lane<W>(const std::vector<W>&,       \
-                                             std::size_t);
-SABLE_FOR_EACH_LANE_WORD(SABLE_INSTANTIATE_CIRCUIT_SIM)
-#undef SABLE_INSTANTIATE_CIRCUIT_SIM
+// Portable-width instantiations only; Word256/512 live in src/simd/ (see
+// circuit_sim_impl.hpp).
+SABLE_FOR_EACH_PORTABLE_LANE_WORD(SABLE_INSTANTIATE_CIRCUIT_SIM)
 
 // ---- scalar wrappers (width-1 case of the batch kernels) ------------------
 

@@ -186,10 +186,18 @@ class CmosCircuitSimBatchT {
   // Shared body of cycle()/cycle_sampled(): evaluates the circuit and
   // advances the logical 64-lane history exactly once, adding each gate's
   // rising-edge energy into row_for_gate(g). The width-invariance
-  // guarantee rests on this walk, so it has exactly one home.
+  // guarantee rests on this walk, so it has exactly one home. The walk is
+  // word-parallel: each gate's rising word feeds carry-save counter
+  // planes, and a row's per-lane counts are reconstructed (and multiplied
+  // by switch_energy_) once per row when it flushes.
   template <typename RowFn>
   void cycle_history(const std::vector<W>& input_words, const W& lane_mask,
                      RowFn&& row_for_gate, std::vector<W>& output_words);
+
+  // Reconstructs per-lane rising-gate counts from the carry-save planes
+  // and adds count * switch_energy_ into `row` for the lanes selected by
+  // the mask chunks `m`; resets the planes.
+  void flush_planes(const std::uint64_t* m, double* row);
 
   const GateCircuit& circuit_;
   BatchGateEvaluatorT<W> eval_;
@@ -199,6 +207,12 @@ class CmosCircuitSimBatchT {
   std::uint64_t seen_mask_ = 0;  // logical lanes with history
   std::vector<std::size_t> levels_;
   std::size_t num_levels_ = 0;
+  // Carry-save vertical counters: plane p holds bit p of the per-lane
+  // count of gates that rose this row. planes_[planes_used_..] are stale
+  // capacity, overwritten on first use.
+  std::vector<W> planes_;
+  std::size_t planes_used_ = 0;
+  std::vector<std::uint64_t> plane_chunks_;  // flush scratch
 };
 
 using CmosCircuitSimBatch = CmosCircuitSimBatchT<std::uint64_t>;

@@ -2,8 +2,7 @@
 
 #include <algorithm>
 
-#include "cell/builder.hpp"
-#include "expr/factoring.hpp"
+#include "crypto/round_target_impl.hpp"
 #include "util/error.hpp"
 
 namespace sable {
@@ -28,48 +27,9 @@ const char* to_string(LogicStyle style) {
 
 namespace {
 
-NetworkVariant variant_for(LogicStyle style) {
-  switch (style) {
-    case LogicStyle::kSablGenuine:
-      return NetworkVariant::kGenuine;
-    case LogicStyle::kSablEnhanced:
-      return NetworkVariant::kEnhanced;
-    case LogicStyle::kStaticCmos:  // topology reused; energy model differs
-    case LogicStyle::kSablFullyConnected:
-    case LogicStyle::kWddlBalanced:
-    case LogicStyle::kWddlMismatched:
-      return NetworkVariant::kFullyConnected;
-  }
-  SABLE_ASSERT(false, "unreachable logic style");
-}
-
-GateCircuit build_sbox_circuit(const SboxSpec& spec, LogicStyle style,
-                               const Technology& tech) {
-  std::vector<ExprPtr> outputs;
-  outputs.reserve(spec.out_bits);
-  for (std::size_t bit = 0; bit < spec.out_bits; ++bit) {
-    outputs.push_back(factored_form(sbox_output_bit(spec, bit)));
-  }
-  return build_from_expressions(outputs, spec.in_bits, variant_for(style),
-                                tech);
-}
-
-bool same_sbox(const SboxSpec& a, const SboxSpec& b) {
-  return a.in_bits == b.in_bits && a.out_bits == b.out_bits &&
-         a.table == b.table;
-}
-
-std::size_t extract_bits(const std::uint8_t* state, std::size_t offset,
-                         std::size_t bits) {
-  std::size_t value = 0;
-  for (std::size_t b = 0; b < bits; ++b) {
-    const std::size_t bit = offset + b;
-    value |=
-        static_cast<std::size_t>((state[bit >> 3] >> (bit & 7)) & 1u) << b;
-  }
-  return value;
-}
-
+// The bit-extraction counterpart (round_target_detail::extract_bits) lives
+// in round_target_impl.hpp where the packing templates need it; depositing
+// is only done by the non-template RoundSpec methods here.
 void deposit_bits(std::uint8_t* state, std::size_t offset, std::size_t bits,
                   std::size_t value) {
   for (std::size_t b = 0; b < bits; ++b) {
@@ -102,7 +62,8 @@ std::size_t RoundSpec::bit_offset(std::size_t index) const {
 
 std::size_t RoundSpec::sub_word(const std::uint8_t* state,
                                 std::size_t index) const {
-  return extract_bits(state, bit_offset(index), sboxes[index].in_bits);
+  return round_target_detail::extract_bits(state, bit_offset(index),
+                                           sboxes[index].in_bits);
 }
 
 void RoundSpec::set_sub_word(std::uint8_t* state, std::size_t index,
@@ -119,9 +80,8 @@ void RoundSpec::sub_words(const std::uint8_t* states, std::size_t count,
   const std::size_t bits = sboxes[index].in_bits;
   const std::size_t stride = state_bytes();
   for (std::size_t t = 0; t < count; ++t) {
-    out[t] =
-        static_cast<std::uint8_t>(extract_bits(states + t * stride, offset,
-                                               bits));
+    out[t] = static_cast<std::uint8_t>(
+        round_target_detail::extract_bits(states + t * stride, offset, bits));
   }
 }
 
@@ -195,319 +155,13 @@ RoundSpec aes_subbytes_round(std::size_t num_sboxes, LogicStyle style) {
 }
 
 // ---- RoundTargetT ---------------------------------------------------------
+//
+// The member templates live in crypto/round_target_impl.hpp; this TU
+// instantiates the portable lane words only. Word256/Word512 are
+// instantiated by the per-ISA TUs under src/simd/ so their kernels carry
+// the right target attributes in a runtime-dispatched binary.
 
-template <typename W>
-RoundTargetT<W>::RoundTargetT(RoundSpec round, Technology tech,
-                              std::vector<Instance> instances)
-    : round_(std::move(round)),
-      tech_(std::move(tech)),
-      instances_(std::move(instances)) {
-  for (const Instance& instance : instances_) {
-    if (instance.diff_sim) {
-      num_levels_ = std::max(num_levels_, instance.diff_sim->num_levels());
-    } else if (instance.cmos_sim) {
-      num_levels_ = std::max(num_levels_, instance.cmos_sim->num_levels());
-    } else if (instance.wddl_sim) {
-      num_levels_ = std::max(num_levels_, instance.wddl_sim->num_levels());
-    }
-  }
-}
-
-template <typename W>
-RoundTargetT<W>::RoundTargetT(const RoundSpec& round, const Technology& tech)
-    : RoundTargetT(round, tech,
-                   std::vector<std::shared_ptr<const GateCircuit>>{}) {}
-
-template <typename W>
-RoundTargetT<W>::RoundTargetT(
-    const RoundSpec& round, const Technology& tech,
-    std::vector<std::shared_ptr<const GateCircuit>> circuits)
-    : round_(round), tech_(tech) {
-  SABLE_REQUIRE(!round.sboxes.empty(),
-                "a round needs at least one S-box instance");
-  SABLE_REQUIRE(circuits.empty() || circuits.size() == round.sboxes.size(),
-                "pre-synthesized circuits must cover every S-box instance");
-  instances_.reserve(round.sboxes.size());
-  std::size_t offset = 0;
-  for (std::size_t i = 0; i < round.sboxes.size(); ++i) {
-    const SboxSpec& spec = round.sboxes[i];
-    SABLE_REQUIRE(spec.in_bits >= 1 && spec.in_bits <= 8,
-                  "S-box input width must be 1..8 bits");
-    SABLE_REQUIRE(spec.table.size() == (std::size_t{1} << spec.in_bits),
-                  "S-box table must cover every input");
-    Instance instance;
-    instance.bit_offset = offset;
-    offset += spec.in_bits;
-    if (!circuits.empty()) {
-      instance.circuit = circuits[i];
-    } else {
-      // Identical specs share one synthesized circuit (a 16-instance
-      // PRESENT round synthesizes once); every instance still owns its
-      // simulator.
-      for (std::size_t j = 0; j < i; ++j) {
-        if (same_sbox(round.sboxes[j], spec)) {
-          instance.circuit = instances_[j].circuit;
-          break;
-        }
-      }
-      if (!instance.circuit) {
-        instance.circuit = std::make_shared<const GateCircuit>(
-            build_sbox_circuit(spec, round.style, tech));
-      }
-    }
-    switch (round.style) {
-      case LogicStyle::kStaticCmos: {
-        // One transition's worth of switching energy for a typical cell
-        // load: ~5 fF at the reference VDD.
-        const double c_sw = 5e-15;
-        instance.cmos_sim = std::make_unique<CmosCircuitSimBatchT<W>>(
-            *instance.circuit, c_sw * tech.vdd * tech.vdd);
-        num_levels_ = std::max(num_levels_, instance.cmos_sim->num_levels());
-        break;
-      }
-      case LogicStyle::kWddlBalanced:
-      case LogicStyle::kWddlMismatched: {
-        const double mismatch =
-            round.style == LogicStyle::kWddlMismatched ? 0.05 : 0.0;
-        // Per-instance seed: each pair of rails gets its own deterministic
-        // placement/routing imbalance (instance 0 keeps the historic seed).
-        instance.wddl_sim = std::make_unique<WddlCircuitSimBatchT<W>>(
-            *instance.circuit, tech, mismatch,
-            0x3DD1 + static_cast<std::uint64_t>(i));
-        num_levels_ = std::max(num_levels_, instance.wddl_sim->num_levels());
-        break;
-      }
-      default:
-        instance.diff_sim = std::make_unique<DifferentialCircuitSimBatchT<W>>(
-            *instance.circuit);
-        num_levels_ = std::max(num_levels_, instance.diff_sim->num_levels());
-        break;
-    }
-    instances_.push_back(std::move(instance));
-  }
-}
-
-template <typename W>
-RoundTargetT<W> RoundTargetT<W>::clone() const {
-  std::vector<Instance> copies;
-  copies.reserve(instances_.size());
-  for (const Instance& instance : instances_) {
-    Instance copy;
-    copy.circuit = instance.circuit;
-    copy.bit_offset = instance.bit_offset;
-    // The sims' clone_fresh() preserves derived energy models (WDDL rail
-    // mismatch) without needing the Technology back, and starts from
-    // fresh-construction lane state.
-    if (instance.diff_sim) {
-      copy.diff_sim = std::make_unique<DifferentialCircuitSimBatchT<W>>(
-          instance.diff_sim->clone_fresh());
-    } else if (instance.wddl_sim) {
-      copy.wddl_sim = std::make_unique<WddlCircuitSimBatchT<W>>(
-          instance.wddl_sim->clone_fresh());
-    } else {
-      copy.cmos_sim = std::make_unique<CmosCircuitSimBatchT<W>>(
-          instance.cmos_sim->clone_fresh());
-    }
-    copies.push_back(std::move(copy));
-  }
-  return RoundTargetT(round_, tech_, std::move(copies));
-}
-
-template <typename W>
-void RoundTargetT<W>::cycle_instance(Instance& instance,
-                                     const std::vector<W>& input_words,
-                                     const W& lane_mask,
-                                     BatchCycleResultT<W>& out) {
-  if (instance.diff_sim) {
-    instance.diff_sim->cycle(input_words, lane_mask, out);
-  } else if (instance.wddl_sim) {
-    instance.wddl_sim->cycle(input_words, lane_mask, out);
-  } else {
-    instance.cmos_sim->cycle(input_words, lane_mask, out);
-  }
-}
-
-template <typename W>
-void RoundTargetT<W>::cycle_instance_sampled(Instance& instance,
-                                             const std::vector<W>& input_words,
-                                             const W& lane_mask,
-                                             SampledBatchCycleResultT<W>& out) {
-  if (instance.diff_sim) {
-    instance.diff_sim->cycle_sampled(input_words, lane_mask, out);
-  } else if (instance.wddl_sim) {
-    instance.wddl_sim->cycle_sampled(input_words, lane_mask, out);
-  } else {
-    instance.cmos_sim->cycle_sampled(input_words, lane_mask, out);
-  }
-}
-
-template <typename W>
-void RoundTargetT<W>::reset_state() {
-  for (Instance& instance : instances_) {
-    if (instance.diff_sim) {
-      instance.diff_sim->reset();
-    } else if (instance.cmos_sim) {
-      instance.cmos_sim->reset();
-    }
-    // WDDL carries no cross-cycle state.
-  }
-}
-
-template <typename W>
-void RoundTargetT<W>::pack_instance_lanes(const Instance& instance,
-                                          const SboxSpec& spec,
-                                          const std::uint8_t* pts,
-                                          std::size_t base, std::size_t lanes,
-                                          const std::uint8_t* key) {
-  constexpr std::size_t kLanes = LaneTraits<W>::kLanes;
-  const std::size_t stride = round_.state_bytes();
-  const std::size_t offset = instance.bit_offset;
-  const std::size_t bits = spec.in_bits;
-  const std::size_t subkey = extract_bits(key, offset, bits);
-  std::uint64_t xs[kLanes];
-  if ((offset & 7) + bits <= 8) {
-    // Hot path: the sub-word sits inside one byte (every nibble- or
-    // byte-aligned layout, which is all the built-in rounds) — a shift
-    // and a mask per lane instead of the per-bit gather.
-    const std::uint8_t* bytes = pts + (offset >> 3);
-    const unsigned shift = offset & 7;
-    const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
-    for (std::size_t lane = 0; lane < lanes; ++lane) {
-      xs[lane] =
-          ((bytes[(base + lane) * stride] >> shift) & mask) ^ subkey;
-    }
-  } else {
-    for (std::size_t lane = 0; lane < lanes; ++lane) {
-      xs[lane] =
-          extract_bits(pts + (base + lane) * stride, offset, bits) ^ subkey;
-    }
-  }
-  words_.resize(bits);
-  pack_lane_words(xs, lanes, words_);
-}
-
-template <typename W>
-double RoundTargetT<W>::trace(const std::uint8_t* pt, const std::uint8_t* key,
-                              double noise_sigma, Rng& rng) {
-  const W one = lane_mask<W>(1);
-  double energy = 0.0;
-  for (std::size_t i = 0; i < instances_.size(); ++i) {
-    pack_instance_lanes(instances_[i], round_.sboxes[i], pt, 0, 1, key);
-    cycle_instance(instances_[i], words_, one, scratch_);
-    energy += scratch_.energy[0];
-  }
-  return energy + noise_sigma * rng.gaussian();
-}
-
-template <typename W>
-void RoundTargetT<W>::trace_batch(const std::uint8_t* pts, std::size_t count,
-                                  const std::uint8_t* key, double noise_sigma,
-                                  Rng& rng, double* out) {
-  constexpr std::size_t kLanes = LaneTraits<W>::kLanes;
-  // Single-S-box fast path (the N = 1 adapter and every historic caller):
-  // the packed state is one byte per trace, so the lane build is the tight
-  // contiguous-byte loop the bit-parallel kernel was designed around.
-  if (instances_.size() == 1 && round_.state_bytes() == 1) {
-    const SboxSpec& spec = round_.sboxes[0];
-    const std::uint8_t in_mask =
-        static_cast<std::uint8_t>((1u << spec.in_bits) - 1u);
-    const std::uint8_t subkey = key[0] & in_mask;
-    words_.resize(spec.in_bits);
-    for (std::size_t base = 0; base < count; base += kLanes) {
-      const std::size_t lanes = std::min(kLanes, count - base);
-      const W mask = lane_mask<W>(lanes);
-      std::uint64_t xs[kLanes];
-      for (std::size_t lane = 0; lane < lanes; ++lane) {
-        xs[lane] = (pts[base + lane] & in_mask) ^ subkey;
-      }
-      pack_lane_words(xs, lanes, words_);
-      cycle_instance(instances_[0], words_, mask, scratch_);
-      for (std::size_t lane = 0; lane < lanes; ++lane) {
-        out[base + lane] = scratch_.energy[lane];
-      }
-    }
-  } else {
-    for (std::size_t base = 0; base < count; base += kLanes) {
-      const std::size_t lanes = std::min(kLanes, count - base);
-      const W mask = lane_mask<W>(lanes);
-      for (std::size_t lane = 0; lane < lanes; ++lane) out[base + lane] = 0.0;
-      // Fixed instance order keeps the energy summation deterministic.
-      for (std::size_t i = 0; i < instances_.size(); ++i) {
-        pack_instance_lanes(instances_[i], round_.sboxes[i], pts, base, lanes,
-                            key);
-        cycle_instance(instances_[i], words_, mask, scratch_);
-        for (std::size_t lane = 0; lane < lanes; ++lane) {
-          out[base + lane] += scratch_.energy[lane];
-        }
-      }
-    }
-  }
-  if (noise_sigma != 0.0) {
-    for (std::size_t i = 0; i < count; ++i) {
-      out[i] += noise_sigma * rng.gaussian();
-    }
-  }
-}
-
-template <typename W>
-void RoundTargetT<W>::trace_batch_sampled(const std::uint8_t* pts,
-                                          std::size_t count,
-                                          const std::uint8_t* key,
-                                          double noise_sigma, Rng& rng,
-                                          double* rows) {
-  constexpr std::size_t kLanes = LaneTraits<W>::kLanes;
-  const std::size_t width = num_levels_;
-  SABLE_ASSERT(width > 0, "every logic style has at least one logic level");
-  for (std::size_t i = 0; i < count * width; ++i) rows[i] = 0.0;
-  for (std::size_t base = 0; base < count; base += kLanes) {
-    const std::size_t lanes = std::min(kLanes, count - base);
-    const W mask = lane_mask<W>(lanes);
-    for (std::size_t i = 0; i < instances_.size(); ++i) {
-      Instance& instance = instances_[i];
-      pack_instance_lanes(instance, round_.sboxes[i], pts, base, lanes, key);
-      cycle_instance_sampled(instance, words_, mask, sampled_scratch_);
-      // Instances with fewer logic levels finish earlier: they contribute
-      // nothing to the tail columns (time-aligned from cycle start).
-      for (std::size_t l = 0; l < sampled_scratch_.level_energy.size(); ++l) {
-        for (std::size_t lane = 0; lane < lanes; ++lane) {
-          rows[(base + lane) * width + l] +=
-              sampled_scratch_.level_energy[l][lane];
-        }
-      }
-    }
-  }
-  if (noise_sigma != 0.0) {
-    for (std::size_t i = 0; i < count * width; ++i) {
-      rows[i] += noise_sigma * rng.gaussian();
-    }
-  }
-}
-
-template <typename W>
-std::uint8_t RoundTargetT<W>::reference(std::size_t index,
-                                        const std::uint8_t* pt,
-                                        const std::uint8_t* key) const {
-  const std::size_t x =
-      round_.sub_word(pt, index) ^ round_.sub_word(key, index);
-  return round_.sboxes[index].apply(static_cast<std::uint8_t>(x));
-}
-
-template <typename W>
-const GateCircuit& RoundTargetT<W>::circuit(std::size_t index) const {
-  SABLE_REQUIRE(index < instances_.size(), "S-box index out of range");
-  return *instances_[index].circuit;
-}
-
-#define SABLE_INSTANTIATE_ROUND_TARGET(W) template class RoundTargetT<W>;
-SABLE_FOR_EACH_LANE_WORD(SABLE_INSTANTIATE_ROUND_TARGET)
-#undef SABLE_INSTANTIATE_ROUND_TARGET
-
-// with_lane_width() is a member template: the engine derives every wider
-// variant from its 64-lane prototype, so instantiate u64 -> each width.
-#define SABLE_INSTANTIATE_WITH_LANE_WIDTH(W)               \
-  template RoundTargetT<W>                                 \
-  RoundTargetT<std::uint64_t>::with_lane_width<W>() const;
-SABLE_FOR_EACH_LANE_WORD(SABLE_INSTANTIATE_WITH_LANE_WIDTH)
-#undef SABLE_INSTANTIATE_WITH_LANE_WIDTH
+SABLE_FOR_EACH_PORTABLE_LANE_WORD(SABLE_INSTANTIATE_ROUND_TARGET)
+SABLE_FOR_EACH_PORTABLE_LANE_WORD(SABLE_INSTANTIATE_WITH_LANE_WIDTH)
 
 }  // namespace sable

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/cpu_dispatch.hpp"
 #include "util/error.hpp"
 
 namespace sable {
@@ -48,13 +49,19 @@ std::size_t campaign_thread_count(const CampaignOptions& options) {
 }
 
 std::size_t campaign_lane_width(const CampaignOptions& options) {
-  if (options.lane_width == 0) return max_lane_width();
-  for (std::size_t width : supported_lane_widths()) {
+  // Resolved per campaign against the *runtime* dispatch tier: 0 picks the
+  // widest word the running CPU supports (and the active SABLE_DISPATCH
+  // cap allows), so one binary uses AVX-512 words on machines that have
+  // them and falls back cleanly elsewhere. An explicit width must be
+  // executable here and now — asking an AVX2 machine for 512 throws
+  // instead of faulting in the kernel.
+  if (options.lane_width == 0) return max_runtime_lane_width();
+  for (std::size_t width : runtime_lane_widths()) {
     if (width == options.lane_width) return width;
   }
   throw InvalidArgument(
-      "CampaignOptions::lane_width must be 0 (widest) or a width this "
-      "build supports (see supported_lane_widths())");
+      "CampaignOptions::lane_width must be 0 (widest available) or a width "
+      "this build and CPU support (see runtime_lane_widths())");
 }
 
 // ---- per-width engine state ----------------------------------------------

@@ -36,15 +36,17 @@
 //
 // Lane widths: CampaignOptions::lane_width picks the batch word the
 // campaign simulates with — 64 (the historic kernel), 128 (portable
-// pair), or 256/512 (AVX2/AVX-512 vectors when compiled in; see
-// util/lane_word.hpp and the SABLE_SIMD CMake option). Shard boundaries
-// stay 64-granular and per-lane arithmetic (including the static-CMOS
-// logical 64-lane history) is width-invariant, so every supported width
+// pair), or 256/512 (AVX2/AVX-512 vectors). The default build carries
+// every kernel width side by side and probes the CPU once at runtime
+// (util/cpu_dispatch.hpp); 0 (the default) selects the widest word the
+// running machine supports, resolved per campaign and never on the
+// per-trace hot path. Shard boundaries stay 64-granular and per-lane
+// arithmetic (including the static-CMOS logical 64-lane history) is
+// width-invariant, so every width — and therefore every dispatch tier —
 // generates bit-identical campaigns; wider words only raise throughput.
-// 0 (the default) selects the widest width this build carries. Workers
-// are persistent: each engine keeps the per-width target variants and a
-// pool of worker clones alive across campaigns, so sweeps of many small
-// campaigns pay the clone cost once.
+// Workers are persistent: each engine keeps the per-width target variants
+// and a pool of worker clones alive across campaigns, so sweeps of many
+// small campaigns pay the clone cost once.
 #pragma once
 
 #include <cstdint>
@@ -86,8 +88,9 @@ struct CampaignOptions {
   /// 0 = hardware concurrency. Any value yields bit-identical results.
   std::size_t num_threads = 0;
   /// Batch-lane word width the campaign simulates with: 64, 128, or a
-  /// compiled-in SIMD width (256/512); see supported_lane_widths().
-  /// 0 = widest available. Any value yields bit-identical results.
+  /// SIMD width (256/512) the running CPU supports; see
+  /// runtime_lane_widths(). 0 = widest the machine offers, probed at
+  /// runtime. Any value yields bit-identical results.
   std::size_t lane_width = 0;
 };
 
@@ -110,8 +113,9 @@ std::uint64_t campaign_shard_seed(std::uint64_t campaign_seed,
 /// Worker threads a campaign resolves to (0 = hardware concurrency).
 std::size_t campaign_thread_count(const CampaignOptions& options);
 
-/// Lane width a campaign resolves to (0 = the widest width compiled into
-/// this build). Throws InvalidArgument for widths the build lacks.
+/// Lane width a campaign resolves to (0 = the widest width the running
+/// CPU supports under the active dispatch tier). Throws InvalidArgument
+/// for widths this build or machine cannot execute.
 std::size_t campaign_lane_width(const CampaignOptions& options);
 
 /// Deterministic fixed-shape binary reduction of per-shard accumulators:

@@ -5,6 +5,7 @@
 #include <limits>
 #include <set>
 
+#include "netlist/conduction_impl.hpp"
 #include "util/error.hpp"
 
 namespace sable {
@@ -47,52 +48,10 @@ std::vector<bool> connected_to_external(const DpdnNetwork& net,
   return out;
 }
 
-template <typename W>
-void device_conduction_masks(const DpdnNetwork& net,
-                             const std::vector<W>& var_words,
-                             std::vector<W>& out) {
-  SABLE_ASSERT(var_words.size() >= net.num_vars(),
-               "one lane word per input variable required");
-  out.resize(net.device_count());
-  for (std::size_t d = 0; d < net.device_count(); ++d) {
-    const SignalLiteral& gate = net.devices()[d].gate;
-    const W& w = var_words[gate.var];
-    out[d] = gate.positive ? w : ~w;
-  }
-}
-
-template <typename W>
-void propagate_conduction(const DpdnNetwork& net,
-                          const std::vector<W>& device_masks,
-                          std::vector<W>& reach) {
-  // DPDNs are a handful of nodes, so a few device sweeps reach the fixpoint
-  // faster than any per-lane union-find would.
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (std::size_t d = 0; d < net.device_count(); ++d) {
-      const W& m = device_masks[d];
-      if (!lane_any(m)) continue;
-      const Switch& sw = net.devices()[d];
-      const W joint = (reach[sw.a] | reach[sw.b]) & m;
-      if (lane_any(joint & ~reach[sw.a]) || lane_any(joint & ~reach[sw.b])) {
-        reach[sw.a] |= joint;
-        reach[sw.b] |= joint;
-        changed = true;
-      }
-    }
-  }
-}
-
-// One instantiation per compiled-in lane width; std::uint64_t is the
-// historic 64-lane kernel every scalar-facing query below runs on.
-#define SABLE_INSTANTIATE_CONDUCTION(W)                                   \
-  template void device_conduction_masks<W>(                               \
-      const DpdnNetwork&, const std::vector<W>&, std::vector<W>&);        \
-  template void propagate_conduction<W>(                                  \
-      const DpdnNetwork&, const std::vector<W>&, std::vector<W>&);
-SABLE_FOR_EACH_LANE_WORD(SABLE_INSTANTIATE_CONDUCTION)
-#undef SABLE_INSTANTIATE_CONDUCTION
+// Portable-width instantiations only; Word256/512 live in src/simd/ (see
+// conduction_impl.hpp). std::uint64_t is the historic 64-lane kernel every
+// scalar-facing query below runs on.
+SABLE_FOR_EACH_PORTABLE_LANE_WORD(SABLE_INSTANTIATE_CONDUCTION)
 
 std::vector<std::uint64_t> connected_to_external_batch(
     const DpdnNetwork& net, const std::vector<std::uint64_t>& var_words) {

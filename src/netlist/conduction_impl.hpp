@@ -1,0 +1,59 @@
+// Definitions of the bit-parallel conduction kernel templates declared in
+// netlist/conduction.hpp. Included by exactly the TUs that instantiate
+// them: netlist/conduction.cpp for the portable lane words, and the
+// per-ISA TUs under src/simd/ (inside their #pragma GCC target regions)
+// for Word256/Word512 — that split is what keeps every AVX symbol out of
+// portable code paths in the runtime-dispatch build.
+#pragma once
+
+#include "netlist/conduction.hpp"
+#include "util/error.hpp"
+
+namespace sable {
+
+template <typename W>
+void device_conduction_masks(const DpdnNetwork& net,
+                             const std::vector<W>& var_words,
+                             std::vector<W>& out) {
+  SABLE_ASSERT(var_words.size() >= net.num_vars(),
+               "one lane word per input variable required");
+  out.resize(net.device_count());
+  for (std::size_t d = 0; d < net.device_count(); ++d) {
+    const SignalLiteral& gate = net.devices()[d].gate;
+    const W& w = var_words[gate.var];
+    out[d] = gate.positive ? w : ~w;
+  }
+}
+
+template <typename W>
+void propagate_conduction(const DpdnNetwork& net,
+                          const std::vector<W>& device_masks,
+                          std::vector<W>& reach) {
+  // DPDNs are a handful of nodes, so a few device sweeps reach the fixpoint
+  // faster than any per-lane union-find would.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t d = 0; d < net.device_count(); ++d) {
+      const W& m = device_masks[d];
+      if (!lane_any(m)) continue;
+      const Switch& sw = net.devices()[d];
+      const W joint = (reach[sw.a] | reach[sw.b]) & m;
+      if (lane_any(joint & ~reach[sw.a]) || lane_any(joint & ~reach[sw.b])) {
+        reach[sw.a] |= joint;
+        reach[sw.b] |= joint;
+        changed = true;
+      }
+    }
+  }
+}
+
+/// Instantiates the conduction kernels for lane word W (used by the base
+/// TU for the portable words and by the src/simd TUs for the wide ones).
+#define SABLE_INSTANTIATE_CONDUCTION(W)                            \
+  template void device_conduction_masks<W>(                        \
+      const DpdnNetwork&, const std::vector<W>&, std::vector<W>&); \
+  template void propagate_conduction<W>(                           \
+      const DpdnNetwork&, const std::vector<W>&, std::vector<W>&);
+
+}  // namespace sable

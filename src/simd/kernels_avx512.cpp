@@ -1,0 +1,45 @@
+// AVX-512 instantiations of every batch kernel; the Word512 sibling of
+// kernels_avx2.cpp — see that file and util/lane_word.hpp for the
+// multi-ISA rules (portable pre-includes, impl headers inside the target
+// region, runtime selection via util/cpu_dispatch.hpp).
+#include "util/lane_word.hpp"
+
+#if SABLE_HAVE_WORD512
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "cell/builder.hpp"
+#include "cell/circuit_sim.hpp"
+#include "cell/wddl.hpp"
+#include "crypto/round_target.hpp"
+#include "expr/factoring.hpp"
+#include "expr/truth_table.hpp"
+#include "netlist/conduction.hpp"
+#include "switchsim/cycle_sim.hpp"
+#include "util/error.hpp"
+
+#pragma GCC push_options
+#pragma GCC target("avx512f")
+
+#include "cell/circuit_sim_impl.hpp"
+#include "cell/wddl_impl.hpp"
+#include "crypto/round_target_impl.hpp"
+#include "netlist/conduction_impl.hpp"
+#include "switchsim/cycle_sim_impl.hpp"
+
+namespace sable {
+
+SABLE_INSTANTIATE_CONDUCTION(::sable::Word512)
+SABLE_INSTANTIATE_CYCLE_SIM(::sable::Word512)
+SABLE_INSTANTIATE_CIRCUIT_SIM(::sable::Word512)
+SABLE_INSTANTIATE_WDDL(::sable::Word512)
+SABLE_INSTANTIATE_ROUND_TARGET(::sable::Word512)
+SABLE_INSTANTIATE_WITH_LANE_WIDTH(::sable::Word512)
+
+}  // namespace sable
+
+#pragma GCC pop_options
+
+#endif  // SABLE_HAVE_WORD512

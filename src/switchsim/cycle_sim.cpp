@@ -1,140 +1,12 @@
 #include "switchsim/cycle_sim.hpp"
 
-#include <bit>
-
-#include "netlist/conduction.hpp"
-#include "util/error.hpp"
+#include "switchsim/cycle_sim_impl.hpp"
 
 namespace sable {
 
-template <typename W>
-void pack_lane_words(const std::uint64_t* assignments, std::size_t count,
-                     std::vector<W>& words) {
-  using T = LaneTraits<W>;
-  SABLE_ASSERT(count <= T::kLanes, "more assignments than lanes in the word");
-  for (std::size_t v = 0; v < words.size(); ++v) {
-    std::uint64_t chunks[T::kChunks];
-    for (std::size_t j = 0; j < T::kChunks; ++j) {
-      const std::size_t base = 64 * j;
-      const std::size_t lanes = count > base ? std::min<std::size_t>(
-                                                   64, count - base)
-                                             : 0;
-      std::uint64_t chunk = 0;
-      for (std::size_t lane = 0; lane < lanes; ++lane) {
-        chunk |= ((assignments[base + lane] >> v) & 1u) << lane;
-      }
-      chunks[j] = chunk;
-    }
-    words[v] = T::from_chunks(chunks);
-  }
-}
-
-template <typename W>
-SablGateSimBatchT<W>::SablGateSimBatchT(const DpdnNetwork& net,
-                                        GateEnergyModel model)
-    : net_(net), model_(std::move(model)) {
-  SABLE_ASSERT(model_.node_cap.size() == net_.node_count(),
-               "gate model capacitance table size mismatch");
-  charged_.assign(net_.node_count(), LaneTraits<W>::ones());
-}
-
-template <typename W>
-void SablGateSimBatchT<W>::cycle(const std::vector<W>& var_words,
-                                 const W& lane_mask, double* energy) {
-  using T = LaneTraits<W>;
-  constexpr std::size_t kChunks = T::kChunks;
-  device_conduction_masks(net_, var_words, masks_);
-  reach_.assign(net_.node_count(), T::zero());
-  reach_[DpdnNetwork::kNodeX] = lane_mask;
-  reach_[DpdnNetwork::kNodeY] = lane_mask;
-  reach_[DpdnNetwork::kNodeZ] = lane_mask;
-  propagate_conduction(net_, masks_, reach_);
-
-  // Per lane the arithmetic mirrors the scalar cycle exactly (constant
-  // term, then node capacitances in node order, then the output extra) by
-  // walking the word's 64-bit chunks with the historic 64-lane code — so a
-  // lane is bit-identical to a width-1 run no matter the word width. Full
-  // chunks take plain 0..63 loops (auto-vectorized); sparse ones walk
-  // their set bits.
-  std::uint64_t mask_chunks[kChunks];
-  T::to_chunks(lane_mask, mask_chunks);
-  lane_fill_selected(lane_mask, model_.constant_energy, energy);
-
-  for (NodeId n = 0; n < net_.node_count(); ++n) {
-    // Evaluation: connected nodes discharge to ground; precharge with input
-    // overlap recharges the same set from the supply. Floating nodes keep
-    // their held level and cost nothing.
-    const double e_node = model_.node_cap[n] * model_.vdd * model_.vdd;
-    std::uint64_t w_chunks[kChunks];
-    T::to_chunks(reach_[n], w_chunks);
-    for (std::size_t j = 0; j < kChunks; ++j) {
-      const std::uint64_t w = w_chunks[j];
-      double* e = energy + 64 * j;
-      if (w == ~std::uint64_t{0}) {
-        // Fully connected chunks (the §4 designs' steady state): plain
-        // vectorizable add across all lanes.
-        for (std::size_t lane = 0; lane < 64; ++lane) {
-          e[lane] += e_node;
-        }
-      } else if (mask_chunks[j] == ~std::uint64_t{0}) {
-        // Mixed chunk (genuine networks): branch-free select; adding the
-        // table's +0.0 for a clear bit leaves a non-negative accumulator
-        // bit-identical to skipping the lane.
-        const double select[2] = {0.0, e_node};
-        for (std::size_t lane = 0; lane < 64; ++lane) {
-          e[lane] += select[(w >> lane) & 1u];
-        }
-      } else {
-        for (std::uint64_t rest = w; rest != 0; rest &= rest - 1) {
-          e[std::countr_zero(rest)] += e_node;
-        }
-      }
-    }
-    charged_[n] |= reach_[n];  // connected lanes end recharged
-  }
-
-  // The firing output rail charges its extra (routing) load: the true rail
-  // when f = 1, the false rail otherwise. Balanced extras cancel the data
-  // dependence; mismatched ones leak (§2).
-  if (model_.out_true_extra != 0.0 || model_.out_false_extra != 0.0) {
-    // X–Z closure reusing this cycle's device masks (no reallocation).
-    reach_xz_.assign(net_.node_count(), T::zero());
-    reach_xz_[DpdnNetwork::kNodeZ] = lane_mask;
-    propagate_conduction(net_, masks_, reach_xz_);
-    std::uint64_t f_chunks[kChunks];
-    T::to_chunks(reach_xz_[DpdnNetwork::kNodeX], f_chunks);
-    const double rail[2] = {model_.out_false_extra * model_.vdd * model_.vdd,
-                            model_.out_true_extra * model_.vdd * model_.vdd};
-    for (std::size_t j = 0; j < kChunks; ++j) {
-      const std::uint64_t f = f_chunks[j];
-      double* e = energy + 64 * j;
-      if (mask_chunks[j] == ~std::uint64_t{0}) {
-        for (std::size_t lane = 0; lane < 64; ++lane) {
-          e[lane] += rail[(f >> lane) & 1u];
-        }
-      } else {
-        for (std::uint64_t rest = mask_chunks[j]; rest != 0;
-             rest &= rest - 1) {
-          const std::size_t lane = std::countr_zero(rest);
-          e[lane] += rail[(f >> lane) & 1u];
-        }
-      }
-    }
-  }
-}
-
-template <typename W>
-void SablGateSimBatchT<W>::reset(bool charged) {
-  charged_.assign(net_.node_count(),
-                  charged ? LaneTraits<W>::ones() : LaneTraits<W>::zero());
-}
-
-#define SABLE_INSTANTIATE_CYCLE_SIM(W)                                    \
-  template void pack_lane_words<W>(const std::uint64_t*, std::size_t,     \
-                                   std::vector<W>&);                      \
-  template class SablGateSimBatchT<W>;
-SABLE_FOR_EACH_LANE_WORD(SABLE_INSTANTIATE_CYCLE_SIM)
-#undef SABLE_INSTANTIATE_CYCLE_SIM
+// Portable-width instantiations only; Word256/512 live in src/simd/ (see
+// cycle_sim_impl.hpp).
+SABLE_FOR_EACH_PORTABLE_LANE_WORD(SABLE_INSTANTIATE_CYCLE_SIM)
 
 SablGateSim::SablGateSim(const DpdnNetwork& net, GateEnergyModel model)
     : batch_(net, std::move(model)) {

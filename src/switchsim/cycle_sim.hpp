@@ -30,11 +30,29 @@ namespace sable {
 
 /// Transposes a batch of scalar assignments into the lane words every
 /// batch kernel consumes: lane L of `words[v]` is bit v of
-/// `assignments[L]`. `words` must be pre-sized to the variable count;
-/// lanes at `count` and beyond are cleared.
+/// `assignments[L]`. `words` must be pre-sized to the variable count (at
+/// most 64); lanes at `count` and beyond are cleared. Implemented as a
+/// real bit-matrix transpose (64×64 per chunk, or 8×8 byte blocks when
+/// the variable count fits a byte) with a single-lane fast path — output
+/// is bit-identical to the historic per-bit gather at every width and
+/// ragged count.
 template <typename W>
 void pack_lane_words(const std::uint64_t* assignments, std::size_t count,
                      std::vector<W>& words);
+
+/// Byte-source form for narrow assignments (at most 8 variables): same
+/// output as the std::uint64_t form for equal values, but reads 8 lanes
+/// per load — the crypto hot path packs S-box inputs through this.
+template <typename W>
+void pack_lane_words(const std::uint8_t* values, std::size_t count,
+                     std::vector<W>& words);
+
+/// The historic per-bit gather, kept as the independently-simple
+/// reference implementation: property tests and the pack_transpose bench
+/// row compare the transpose against it lane for lane.
+template <typename W>
+void pack_lane_words_gather(const std::uint64_t* assignments,
+                            std::size_t count, std::vector<W>& words);
 
 /// kLanes independent instances of one gate, simulated bit-parallel: per
 /// node one charge word (lane L = instance L at VDD level), per cycle one

@@ -1,0 +1,287 @@
+// Definitions of the switch-level batch kernel templates declared in
+// switchsim/cycle_sim.hpp. Included by exactly the TUs that instantiate
+// them: switchsim/cycle_sim.cpp for the portable lane words and the
+// per-ISA TUs under src/simd/ (inside their #pragma GCC target regions)
+// for Word256/Word512.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "netlist/conduction_impl.hpp"
+#include "switchsim/cycle_sim.hpp"
+#include "util/error.hpp"
+
+namespace sable {
+
+namespace detail {
+
+/// In-place 64×64 bit-matrix transpose (Hacker's Delight 7-3, recursive
+/// block swaps), LSB-first: bit c of a[r] moves to bit r of a[c]. Three
+/// block levels of delta-swaps — 64·6 word ops total, versus 64·64
+/// shift/mask/or steps for a per-bit gather.
+///
+/// `static`, not `inline`: the per-ISA TUs compile this header inside a
+/// #pragma GCC target region, and a comdat copy built there could be the
+/// one the linker keeps for portable callers — internal linkage keeps
+/// every TU's copy at its own ISA level.
+[[maybe_unused]] static void bit_transpose_64x64(std::uint64_t a[64]) {
+  std::uint64_t m = 0x00000000FFFFFFFFull;
+  for (std::size_t j = 32; j != 0; j >>= 1, m ^= m << j) {
+    for (std::size_t k = 0; k < 64; k = ((k | j) + 1) & ~j) {
+      const std::uint64_t t = ((a[k] >> j) ^ a[k | j]) & m;
+      a[k] ^= t << j;
+      a[k | j] ^= t;
+    }
+  }
+}
+
+/// 8×8 bit-matrix transpose inside one 64-bit word (row r = byte r,
+/// LSB-first): bit c of byte r moves to bit r of byte c. `static` for the
+/// same per-ISA-TU reason as bit_transpose_64x64.
+[[maybe_unused]] static std::uint64_t bit_transpose_8x8(std::uint64_t x) {
+  std::uint64_t t = (x ^ (x >> 7)) & 0x00AA00AA00AA00AAull;
+  x = x ^ t ^ (t << 7);
+  t = (x ^ (x >> 14)) & 0x0000CCCC0000CCCCull;
+  x = x ^ t ^ (t << 14);
+  t = (x ^ (x >> 28)) & 0x00000000F0F0F0F0ull;
+  x = x ^ t ^ (t << 28);
+  return x;
+}
+
+}  // namespace detail
+
+template <typename W>
+void pack_lane_words_gather(const std::uint64_t* assignments,
+                            std::size_t count, std::vector<W>& words) {
+  using T = LaneTraits<W>;
+  SABLE_ASSERT(count <= T::kLanes, "more assignments than lanes in the word");
+  for (std::size_t v = 0; v < words.size(); ++v) {
+    std::uint64_t chunks[T::kChunks];
+    for (std::size_t j = 0; j < T::kChunks; ++j) {
+      const std::size_t base = 64 * j;
+      const std::size_t lanes = count > base ? std::min<std::size_t>(
+                                                   64, count - base)
+                                             : 0;
+      std::uint64_t chunk = 0;
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        chunk |= ((assignments[base + lane] >> v) & 1u) << lane;
+      }
+      chunks[j] = chunk;
+    }
+    words[v] = lane_from_chunks<W>(chunks);
+  }
+}
+
+template <typename W>
+void pack_lane_words(const std::uint64_t* assignments, std::size_t count,
+                     std::vector<W>& words) {
+  using T = LaneTraits<W>;
+  SABLE_ASSERT(count <= T::kLanes, "more assignments than lanes in the word");
+  const std::size_t vars = words.size();
+  SABLE_ASSERT(vars <= 64, "at most 64 packed variables per assignment");
+
+  if (count == 1) {
+    // Single lane (the scalar wrappers): bit extraction only, no matrix.
+    std::uint64_t chunks[T::kChunks] = {};
+    const std::uint64_t x = assignments[0];
+    for (std::size_t v = 0; v < vars; ++v) {
+      chunks[0] = (x >> v) & 1u;
+      words[v] = lane_from_chunks<W>(chunks);
+    }
+    return;
+  }
+
+  if (vars <= 8) {
+    // Narrow assignments (S-box inputs): 8×8 transposes over the low
+    // bytes, 8 lanes per step.
+    std::uint64_t out[8][T::kChunks] = {};
+    for (std::size_t j = 0; j < T::kChunks && 64 * j < count; ++j) {
+      const std::size_t base = 64 * j;
+      const std::size_t lanes = std::min<std::size_t>(64, count - base);
+      for (std::size_t g = 0; 8 * g < lanes; ++g) {
+        const std::size_t lane_base = base + 8 * g;
+        const std::size_t n = std::min<std::size_t>(8, lanes - 8 * g);
+        std::uint64_t b = 0;
+        for (std::size_t k = 0; k < n; ++k) {
+          b |= (assignments[lane_base + k] & 0xffu) << (8 * k);
+        }
+        b = detail::bit_transpose_8x8(b);
+        for (std::size_t v = 0; v < vars; ++v) {
+          out[v][j] |= ((b >> (8 * v)) & 0xffu) << (8 * g);
+        }
+      }
+    }
+    for (std::size_t v = 0; v < vars; ++v) {
+      words[v] = lane_from_chunks<W>(out[v]);
+    }
+    return;
+  }
+
+  // Wide assignments (gate energy profiles pack up to 64 variables): one
+  // full 64×64 transpose per 64-lane chunk.
+  std::uint64_t out[64][T::kChunks];
+  for (std::size_t j = 0; j < T::kChunks; ++j) {
+    const std::size_t base = 64 * j;
+    const std::size_t lanes =
+        count > base ? std::min<std::size_t>(64, count - base) : 0;
+    std::uint64_t a[64];
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      a[lane] = assignments[base + lane];
+    }
+    for (std::size_t lane = lanes; lane < 64; ++lane) a[lane] = 0;
+    detail::bit_transpose_64x64(a);
+    for (std::size_t v = 0; v < vars; ++v) out[v][j] = a[v];
+  }
+  for (std::size_t v = 0; v < vars; ++v) {
+    words[v] = lane_from_chunks<W>(out[v]);
+  }
+}
+
+template <typename W>
+void pack_lane_words(const std::uint8_t* values, std::size_t count,
+                     std::vector<W>& words) {
+  using T = LaneTraits<W>;
+  SABLE_ASSERT(count <= T::kLanes, "more values than lanes in the word");
+  const std::size_t vars = words.size();
+  SABLE_ASSERT(vars <= 8, "byte-source packing carries at most 8 variables");
+
+  std::uint64_t out[8][T::kChunks] = {};
+  for (std::size_t j = 0; j < T::kChunks && 64 * j < count; ++j) {
+    const std::size_t base = 64 * j;
+    const std::size_t lanes = std::min<std::size_t>(64, count - base);
+    for (std::size_t g = 0; 8 * g < lanes; ++g) {
+      const std::size_t lane_base = base + 8 * g;
+      const std::size_t n = std::min<std::size_t>(8, lanes - 8 * g);
+      std::uint64_t b;
+      if (n == 8) {
+        std::memcpy(&b, values + lane_base, 8);  // 8 lanes in one load
+      } else {
+        b = 0;
+        for (std::size_t k = 0; k < n; ++k) {
+          b |= std::uint64_t{values[lane_base + k]} << (8 * k);
+        }
+      }
+      b = detail::bit_transpose_8x8(b);
+      for (std::size_t v = 0; v < vars; ++v) {
+        out[v][j] |= ((b >> (8 * v)) & 0xffu) << (8 * g);
+      }
+    }
+  }
+  for (std::size_t v = 0; v < vars; ++v) {
+    words[v] = lane_from_chunks<W>(out[v]);
+  }
+}
+
+template <typename W>
+SablGateSimBatchT<W>::SablGateSimBatchT(const DpdnNetwork& net,
+                                        GateEnergyModel model)
+    : net_(net), model_(std::move(model)) {
+  SABLE_ASSERT(model_.node_cap.size() == net_.node_count(),
+               "gate model capacitance table size mismatch");
+  charged_.assign(net_.node_count(), LaneTraits<W>::ones());
+}
+
+template <typename W>
+void SablGateSimBatchT<W>::cycle(const std::vector<W>& var_words,
+                                 const W& lane_mask, double* energy) {
+  using T = LaneTraits<W>;
+  constexpr std::size_t kChunks = T::kChunks;
+  device_conduction_masks(net_, var_words, masks_);
+  reach_.assign(net_.node_count(), T::zero());
+  reach_[DpdnNetwork::kNodeX] = lane_mask;
+  reach_[DpdnNetwork::kNodeY] = lane_mask;
+  reach_[DpdnNetwork::kNodeZ] = lane_mask;
+  propagate_conduction(net_, masks_, reach_);
+
+  // Per lane the arithmetic mirrors the scalar cycle exactly (constant
+  // term, then node capacitances in node order, then the output extra) by
+  // walking the word's 64-bit chunks with the historic 64-lane code — so a
+  // lane is bit-identical to a width-1 run no matter the word width. Full
+  // chunks take plain 0..63 loops (auto-vectorized); sparse ones walk
+  // their set bits.
+  std::uint64_t mask_chunks[kChunks];
+  lane_chunks(lane_mask, mask_chunks);
+  lane_fill_selected(lane_mask, model_.constant_energy, energy);
+
+  for (NodeId n = 0; n < net_.node_count(); ++n) {
+    // Evaluation: connected nodes discharge to ground; precharge with input
+    // overlap recharges the same set from the supply. Floating nodes keep
+    // their held level and cost nothing.
+    const double e_node = model_.node_cap[n] * model_.vdd * model_.vdd;
+    std::uint64_t w_chunks[kChunks];
+    lane_chunks(reach_[n], w_chunks);
+    for (std::size_t j = 0; j < kChunks; ++j) {
+      const std::uint64_t w = w_chunks[j];
+      double* e = energy + 64 * j;
+      if (w == ~std::uint64_t{0}) {
+        // Fully connected chunks (the §4 designs' steady state): plain
+        // vectorizable add across all lanes.
+        for (std::size_t lane = 0; lane < 64; ++lane) {
+          e[lane] += e_node;
+        }
+      } else if (mask_chunks[j] == ~std::uint64_t{0}) {
+        // Mixed chunk (genuine networks): branch-free select; adding the
+        // table's +0.0 for a clear bit leaves a non-negative accumulator
+        // bit-identical to skipping the lane.
+        const double select[2] = {0.0, e_node};
+        for (std::size_t lane = 0; lane < 64; ++lane) {
+          e[lane] += select[(w >> lane) & 1u];
+        }
+      } else {
+        for (std::uint64_t rest = w; rest != 0; rest &= rest - 1) {
+          e[std::countr_zero(rest)] += e_node;
+        }
+      }
+    }
+    charged_[n] |= reach_[n];  // connected lanes end recharged
+  }
+
+  // The firing output rail charges its extra (routing) load: the true rail
+  // when f = 1, the false rail otherwise. Balanced extras cancel the data
+  // dependence; mismatched ones leak (§2).
+  if (model_.out_true_extra != 0.0 || model_.out_false_extra != 0.0) {
+    // X–Z closure reusing this cycle's device masks (no reallocation).
+    reach_xz_.assign(net_.node_count(), T::zero());
+    reach_xz_[DpdnNetwork::kNodeZ] = lane_mask;
+    propagate_conduction(net_, masks_, reach_xz_);
+    std::uint64_t f_chunks[kChunks];
+    lane_chunks(reach_xz_[DpdnNetwork::kNodeX], f_chunks);
+    const double rail[2] = {model_.out_false_extra * model_.vdd * model_.vdd,
+                            model_.out_true_extra * model_.vdd * model_.vdd};
+    for (std::size_t j = 0; j < kChunks; ++j) {
+      const std::uint64_t f = f_chunks[j];
+      double* e = energy + 64 * j;
+      if (mask_chunks[j] == ~std::uint64_t{0}) {
+        for (std::size_t lane = 0; lane < 64; ++lane) {
+          e[lane] += rail[(f >> lane) & 1u];
+        }
+      } else {
+        for (std::uint64_t rest = mask_chunks[j]; rest != 0;
+             rest &= rest - 1) {
+          const std::size_t lane = std::countr_zero(rest);
+          e[lane] += rail[(f >> lane) & 1u];
+        }
+      }
+    }
+  }
+}
+
+template <typename W>
+void SablGateSimBatchT<W>::reset(bool charged) {
+  charged_.assign(net_.node_count(),
+                  charged ? LaneTraits<W>::ones() : LaneTraits<W>::zero());
+}
+
+/// Instantiates the switch-level batch kernels for lane word W.
+#define SABLE_INSTANTIATE_CYCLE_SIM(W)                                    \
+  template void pack_lane_words<W>(const std::uint64_t*, std::size_t,     \
+                                   std::vector<W>&);                      \
+  template void pack_lane_words<W>(const std::uint8_t*, std::size_t,      \
+                                   std::vector<W>&);                      \
+  template void pack_lane_words_gather<W>(const std::uint64_t*,           \
+                                          std::size_t, std::vector<W>&);  \
+  template class SablGateSimBatchT<W>;
+
+}  // namespace sable

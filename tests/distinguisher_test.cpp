@@ -21,6 +21,7 @@
 #include "dpa/distinguisher.hpp"
 #include "dpa/second_order.hpp"
 #include "engine/trace_engine.hpp"
+#include "util/cpu_dispatch.hpp"
 #include "power/stats.hpp"
 #include "util/rng.hpp"
 
@@ -397,7 +398,7 @@ TEST(CampaignShardSizeTest, SubLaneWordBlockSizeRunsAndMatchesClamp) {
   options.seed = 0xC1A4;
   options.block_size = 64;
   const TraceSet reference = engine.run(options);
-  for (std::size_t width : supported_lane_widths()) {
+  for (std::size_t width : runtime_lane_widths()) {
     options.lane_width = width;
     options.block_size = 3;  // smaller than every lane width
     const TraceSet traces = engine.run(options);

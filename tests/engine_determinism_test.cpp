@@ -20,6 +20,7 @@
 #include "dpa/streaming.hpp"
 #include "engine/trace_engine.hpp"
 #include "power/stats.hpp"
+#include "util/cpu_dispatch.hpp"
 #include "util/rng.hpp"
 
 namespace sable {
@@ -425,7 +426,7 @@ TEST(EngineDeterminismTest, RoundCpaCampaignBitIdenticalAcrossLaneWidths) {
                                 .model = PowerModel::kHammingWeight};
   TraceEngine engine(round, kTech);
   const AttackResult reference = engine.cpa_campaign(options, selector);
-  for (std::size_t width : supported_lane_widths()) {
+  for (std::size_t width : runtime_lane_widths()) {
     for (std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
       options.lane_width = width;
       options.num_threads = threads;
@@ -462,7 +463,7 @@ TEST(EngineDeterminismTest, SecondOrderCampaignBitIdenticalAcrossThreadsAndWidth
   TraceEngine engine(round, kTech);
   const SecondOrderAttackResult reference =
       engine.second_order_cpa_campaign(options, selector);
-  for (std::size_t width : supported_lane_widths()) {
+  for (std::size_t width : runtime_lane_widths()) {
     for (std::size_t threads :
          {std::size_t{1}, std::size_t{2},
           std::max<std::size_t>(1, std::thread::hardware_concurrency())}) {
@@ -500,7 +501,7 @@ TEST(EngineDeterminismTest, AllSubkeysCampaignBitIdenticalAcrossThreadsAndWidths
   const std::vector<AttackResult> reference =
       engine.cpa_campaign_all_subkeys(options, PowerModel::kHammingWeight);
   ASSERT_EQ(reference.size(), 4u);
-  for (std::size_t width : supported_lane_widths()) {
+  for (std::size_t width : runtime_lane_widths()) {
     for (std::size_t threads :
          {std::size_t{1}, std::size_t{2},
           std::max<std::size_t>(1, std::thread::hardware_concurrency())}) {
@@ -518,6 +519,50 @@ TEST(EngineDeterminismTest, AllSubkeysCampaignBitIdenticalAcrossThreadsAndWidths
         }
         EXPECT_EQ(results[i].best_guess, reference[i].best_guess)
             << "width " << width << " threads " << threads << " sbox " << i;
+      }
+    }
+  }
+}
+
+// The runtime-dispatch contract: the SAME campaign through the SAME
+// engine must stream bit-identical traces and CPA scores whichever kernel
+// tier dispatch lands on — portable, AVX2 or the widest the machine has —
+// crossed with the lane widths each tier offers and several worker
+// counts. ScopedDispatchTierCap forces the lower tiers on one machine;
+// lane_width = 0 additionally pins that "widest" resolves per tier.
+TEST(EngineDeterminismTest, CampaignsBitIdenticalAcrossDispatchTiers) {
+  TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, kTech);
+  CampaignOptions options = sharded_options();
+  options.num_threads = 1;
+  options.lane_width = 64;
+  const TraceSet reference = engine.run(options);
+  const AttackSelector selector{.model = PowerModel::kHammingWeight};
+  const AttackResult cpa_reference = engine.cpa_campaign(options, selector);
+  for (DispatchTier tier : {DispatchTier::kPortable, DispatchTier::kAvx2,
+                            DispatchTier::kAvx512}) {
+    ScopedDispatchTierCap cap(tier);
+    std::vector<std::size_t> widths = runtime_lane_widths();
+    widths.push_back(0);  // widest-at-runtime under this tier
+    for (std::size_t width : widths) {
+      for (std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+        options.lane_width = width;
+        options.num_threads = threads;
+        const TraceSet traces = engine.run(options);
+        ASSERT_EQ(traces.size(), reference.size());
+        for (std::size_t i = 0; i < reference.size(); ++i) {
+          ASSERT_EQ(traces.samples[i], reference.samples[i])
+              << "tier " << to_string(tier) << " width " << width
+              << " threads " << threads << " trace " << i;
+        }
+        const AttackResult cpa = engine.cpa_campaign(options, selector);
+        ASSERT_EQ(cpa.score.size(), cpa_reference.score.size());
+        for (std::size_t g = 0; g < cpa_reference.score.size(); ++g) {
+          EXPECT_EQ(cpa.score[g], cpa_reference.score[g])
+              << "tier " << to_string(tier) << " width " << width
+              << " threads " << threads << " guess " << g;
+        }
+        EXPECT_EQ(cpa.best_guess, cpa_reference.best_guess);
+        EXPECT_EQ(cpa.margin, cpa_reference.margin);
       }
     }
   }

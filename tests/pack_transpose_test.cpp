@@ -1,0 +1,149 @@
+// Property suite for the bit-transpose lane packing (switchsim/cycle_sim):
+// pack_lane_words — 8×8 byte-block transposes for narrow assignments, full
+// 64×64 Hacker's Delight transposes for wide ones, and the single-lane
+// fast path — must be bit-identical to pack_lane_words_gather, the
+// independently-simple per-bit reference, at every lane width, variable
+// count and ragged lane count. Wide words are inspected only through the
+// memcpy-based lane_chunks (this TU is compiled for the base architecture;
+// see util/lane_word.hpp for the multi-ISA rules) and their tests skip on
+// CPUs without the matching ISA.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "switchsim/cycle_sim.hpp"
+#include "util/cpu_dispatch.hpp"
+#include "util/lane_word.hpp"
+#include "util/rng.hpp"
+
+namespace sable {
+namespace {
+
+template <typename W>
+bool cpu_can_run() {
+  constexpr std::size_t kLanes = LaneTraits<W>::kLanes;
+  if (kLanes <= 128) return true;
+  if (kLanes == 256) return cpu_features().avx2;
+  return cpu_features().avx512f;
+}
+
+// Ragged and aligned lane counts worth probing, clipped to the word:
+// single lane, partial / exact / overflowing first chunk, partial second
+// chunk, full word.
+template <typename W>
+std::vector<std::size_t> interesting_counts() {
+  constexpr std::size_t kLanes = LaneTraits<W>::kLanes;
+  std::vector<std::size_t> counts;
+  for (std::size_t c : {std::size_t{1}, std::size_t{7}, std::size_t{63},
+                        std::size_t{64}, std::size_t{65}, std::size_t{127},
+                        std::size_t{128}, std::size_t{129}, kLanes - 1,
+                        kLanes}) {
+    if (c >= 1 && c <= kLanes &&
+        (counts.empty() || counts.back() != c)) {
+      counts.push_back(c);
+    }
+  }
+  return counts;
+}
+
+template <typename W>
+void expect_words_equal(const std::vector<W>& got, const std::vector<W>& ref,
+                        const char* what, std::size_t count) {
+  using T = LaneTraits<W>;
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t v = 0; v < ref.size(); ++v) {
+    std::uint64_t g[T::kChunks], r[T::kChunks];
+    lane_chunks(got[v], g);
+    lane_chunks(ref[v], r);
+    for (std::size_t j = 0; j < T::kChunks; ++j) {
+      EXPECT_EQ(g[j], r[j]) << what << " count " << count << " var " << v
+                            << " chunk " << j;
+    }
+  }
+}
+
+template <typename W>
+struct PackTransposeTest : ::testing::Test {};
+
+using LaneWordTypes = ::testing::Types<std::uint64_t, Word128
+#if SABLE_HAVE_WORD256
+                                       ,
+                                       Word256
+#endif
+#if SABLE_HAVE_WORD512
+                                       ,
+                                       Word512
+#endif
+                                       >;
+TYPED_TEST_SUITE(PackTransposeTest, LaneWordTypes);
+
+TYPED_TEST(PackTransposeTest, MatchesGatherAcrossVarsCountsAndRandomBits) {
+  using W = TypeParam;
+  if (!cpu_can_run<W>()) GTEST_SKIP() << "CPU lacks the ISA for this width";
+  Rng rng(0x7249);
+  // 1 exercises the single-lane fast path only via count==1; 4/5/8 the
+  // 8×8 byte-block path; 9/17/33/64 the full 64×64 transpose path.
+  for (std::size_t vars : {std::size_t{1}, std::size_t{4}, std::size_t{5},
+                           std::size_t{8}, std::size_t{9}, std::size_t{17},
+                           std::size_t{33}, std::size_t{64}}) {
+    for (std::size_t count : interesting_counts<W>()) {
+      for (int round = 0; round < 4; ++round) {
+        std::vector<std::uint64_t> assignments(count);
+        for (auto& a : assignments) a = rng.next();
+        std::vector<W> got(vars), ref(vars);
+        pack_lane_words(assignments.data(), count, got);
+        pack_lane_words_gather(assignments.data(), count, ref);
+        expect_words_equal(got, ref, "u64 source", count);
+        if (::testing::Test::HasFailure()) return;  // one counterexample
+      }
+    }
+  }
+}
+
+TYPED_TEST(PackTransposeTest, ByteSourceMatchesWordSourceForNarrowVars) {
+  using W = TypeParam;
+  if (!cpu_can_run<W>()) GTEST_SKIP() << "CPU lacks the ISA for this width";
+  Rng rng(0xB17E);
+  for (std::size_t vars :
+       {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    for (std::size_t count : interesting_counts<W>()) {
+      std::vector<std::uint64_t> assignments(count);
+      std::vector<std::uint8_t> bytes(count);
+      for (std::size_t lane = 0; lane < count; ++lane) {
+        bytes[lane] = static_cast<std::uint8_t>(rng.next());
+        assignments[lane] = bytes[lane];
+      }
+      std::vector<W> from_bytes(vars), from_words(vars);
+      pack_lane_words(bytes.data(), count, from_bytes);
+      pack_lane_words(assignments.data(), count, from_words);
+      expect_words_equal(from_bytes, from_words, "byte source", count);
+    }
+  }
+}
+
+// Dense corner patterns the random sweep is unlikely to hit: all-ones
+// (every transpose mask line saturated) and single-bit diagonals (each bit
+// must land in exactly one output position).
+TYPED_TEST(PackTransposeTest, SaturatedAndDiagonalPatterns) {
+  using W = TypeParam;
+  using T = LaneTraits<W>;
+  if (!cpu_can_run<W>()) GTEST_SKIP() << "CPU lacks the ISA for this width";
+  const std::size_t count = T::kLanes;
+  std::vector<std::uint64_t> ones(count, ~std::uint64_t{0});
+  std::vector<std::uint64_t> diagonal(count);
+  for (std::size_t lane = 0; lane < count; ++lane) {
+    diagonal[lane] = std::uint64_t{1} << (lane % 64);
+  }
+  for (const auto* pattern : {&ones, &diagonal}) {
+    for (std::size_t vars : {std::size_t{8}, std::size_t{64}}) {
+      std::vector<W> got(vars), ref(vars);
+      pack_lane_words(pattern->data(), count, got);
+      pack_lane_words_gather(pattern->data(), count, ref);
+      expect_words_equal(got, ref, "pattern", count);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sable
