@@ -37,6 +37,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "crypto/target.hpp"
@@ -234,6 +235,46 @@ std::vector<PackBench> measure_pack_sweep() {
   return rows;
 }
 
+struct ThreadSweepRow {
+  const char* style = nullptr;
+  std::size_t threads = 0;
+  double tps = 0.0;
+  double speedup_vs_1t = 0.0;
+};
+
+// Thread-scaling sweep (--threads-sweep): per style, streamed campaign
+// throughput at 1, 2, 4 and N threads with the width-0 default lane
+// word. Campaigns are bit-identical for any thread count, so the ratios
+// isolate the scheduler: with the persistent worker pool and the shard
+// autotuner, speedup_vs_1t at 4 threads should clear ~2x on the
+// simulation-bound SABL styles whenever the machine actually has 4
+// cores. The JSON records the core count next to the table — on fewer
+// cores than the sweep point, the ratio measures oversubscription, not
+// scaling, and the advisory check skips.
+std::vector<ThreadSweepRow> measure_threads_sweep(
+    const std::vector<std::size_t>& counts, std::size_t num_traces) {
+  std::vector<ThreadSweepRow> rows;
+  const Technology tech = Technology::generic_180nm();
+  const SboxSpec spec = present_spec();
+  for (LogicStyle style :
+       {LogicStyle::kStaticCmos, LogicStyle::kSablGenuine,
+        LogicStyle::kSablFullyConnected, LogicStyle::kSablEnhanced,
+        LogicStyle::kWddlBalanced}) {
+    TraceEngine engine(spec, style, tech);
+    double checksum = 0.0;
+    double tps1 = 0.0;
+    for (std::size_t threads : counts) {
+      const double tps =
+          engine_tps(engine, num_traces, threads, 0, &checksum);
+      if (threads == 1) tps1 = tps;
+      rows.push_back({to_string(style), threads, tps,
+                      tps1 > 0.0 ? tps / tps1 : 0.0});
+    }
+    if (checksum == 0.0) std::fprintf(stderr, "unexpected zero checksum\n");
+  }
+  return rows;
+}
+
 struct RoundThroughput {
   std::size_t num_sboxes = 0;
   double tps = 0.0;
@@ -337,6 +378,7 @@ void write_json(const std::string& path, std::size_t num_traces,
                 std::size_t threads, const std::vector<Throughput>& rows,
                 const std::vector<LaneThroughput>& lane_rows,
                 const std::vector<PackBench>& pack_rows,
+                const std::vector<ThreadSweepRow>& sweep_rows,
                 const std::vector<RoundThroughput>& round_rows,
                 const MultiAttackBench& multi,
                 std::size_t cpa_traces, double cpa_seconds) {
@@ -349,17 +391,39 @@ void write_json(const std::string& path, std::size_t num_traces,
   std::fprintf(f, "  \"bench\": \"trace_throughput\",\n");
   std::fprintf(f, "  \"num_traces\": %zu,\n", num_traces);
   std::fprintf(f, "  \"threads\": %zu,\n", threads);
+  // Thread-scaling ratios are only meaningful up to the machine's real
+  // core count — record it so a 1-core CI runner's flat sweep is not
+  // misread as a scheduler regression.
+  std::fprintf(f, "  \"cores\": %u,\n", std::thread::hardware_concurrency());
   // Which kernels this run could actually dispatch to — perf rows are
-  // only comparable across PRs within the same active tier.
+  // only comparable across PRs within the same active tier. The
+  // sub-tier flags gate optional pack kernels (BW's vpmovb2m, GFNI's
+  // vgf2p8affineqb + VBMI's vpermb) inside the avx512 tier.
   std::fprintf(f,
                "  \"dispatch\": {\"compiled\": \"%s\", \"detected\": \"%s\", "
                "\"active\": \"%s\", \"cpu_avx2\": %s, \"cpu_avx512f\": %s, "
-               "\"max_runtime_lane_width\": %zu},\n",
+               "\"cpu_avx512bw\": %s, \"cpu_avx512vbmi\": %s, "
+               "\"cpu_gfni\": %s, \"max_runtime_lane_width\": %zu},\n",
                to_string(compiled_tier()), to_string(detected_tier()),
                to_string(active_tier()),
                cpu_features().avx2 ? "true" : "false",
                cpu_features().avx512f ? "true" : "false",
+               cpu_features().avx512bw ? "true" : "false",
+               cpu_features().avx512vbmi ? "true" : "false",
+               cpu_features().gfni ? "true" : "false",
                max_runtime_lane_width());
+  // The width-0 default resolves per style through style_lane_width_cap
+  // (no style is capped today: with the per-tier transpose packing every
+  // style scales monotonically through 512). On server parts with
+  // license-based AVX-512 frequency throttling, pin lane_width = 256 in
+  // CampaignOptions if wall-clock regresses under sustained 512-bit use
+  // and compare against the lane_widths rows above.
+  std::fprintf(f,
+               "  \"lane_width_advice\": \"lane_width=0 takes the widest "
+               "runtime word per style (style_lane_width_cap; no cap "
+               "needed on this machine). If sustained AVX-512 use "
+               "downclocks your part, pin lane_width=256 and compare "
+               "lane_widths rows.\",\n");
   std::fprintf(f, "  \"styles\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Throughput& t = rows[i];
@@ -393,14 +457,35 @@ void write_json(const std::string& path, std::size_t num_traces,
                  i + 1 < pack_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  if (!sweep_rows.empty()) {
+    std::fprintf(f, "  \"threads_sweep\": [\n");
+    for (std::size_t i = 0; i < sweep_rows.size(); ++i) {
+      const ThreadSweepRow& r = sweep_rows[i];
+      std::fprintf(f,
+                   "    {\"style\": \"%s\", \"threads\": %zu, "
+                   "\"tps\": %.1f, \"speedup_threads\": %.2f}%s\n",
+                   r.style, r.threads, r.tps, r.speedup_vs_1t,
+                   i + 1 < sweep_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+  }
+  // sbox_tps_vs_n1: per-S-box throughput retained relative to the N=1
+  // row — the regression tracker for the round-scaling cliff (N=2 keeps
+  // well under half of the single-instance per-S-box rate; see the
+  // README perf notes).
+  const double sbox_tps_n1 =
+      round_rows.empty() ? 0.0
+                         : round_rows.front().tps *
+                               static_cast<double>(round_rows.front().num_sboxes);
   std::fprintf(f, "  \"round_scaling\": [\n");
   for (std::size_t i = 0; i < round_rows.size(); ++i) {
+    const double sbox_tps =
+        round_rows[i].tps * static_cast<double>(round_rows[i].num_sboxes);
     std::fprintf(f,
                  "    {\"num_sboxes\": %zu, \"tps\": %.1f, "
-                 "\"sbox_tps\": %.1f}%s\n",
-                 round_rows[i].num_sboxes, round_rows[i].tps,
-                 round_rows[i].tps *
-                     static_cast<double>(round_rows[i].num_sboxes),
+                 "\"sbox_tps\": %.1f, \"sbox_tps_vs_n1\": %.2f}%s\n",
+                 round_rows[i].num_sboxes, round_rows[i].tps, sbox_tps,
+                 sbox_tps_n1 > 0.0 ? sbox_tps / sbox_tps_n1 : 0.0,
                  i + 1 < round_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
@@ -466,11 +551,14 @@ int main(int argc, char** argv) {
   std::size_t threads = campaign_thread_count(CampaignOptions{});
   std::size_t max_round = 4;  // CI default: small sweep, still in the JSON
   std::vector<std::size_t> lane_widths = runtime_lane_widths();
+  bool threads_sweep = false;
   std::string json_path = "BENCH_trace_throughput.json";
   for (int i = 1; i < argc; ++i) {
     bool ok = true;
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--threads-sweep") == 0) {
+      threads_sweep = true;
     } else if (std::strcmp(argv[i], "--traces") == 0 && i + 1 < argc) {
       num_traces =
           static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
@@ -486,8 +574,8 @@ int main(int argc, char** argv) {
     }
     if (!ok) {
       std::fprintf(stderr,
-                   "usage: %s [--threads N] [--traces N] [--round N] "
-                   "[--lanes 64,128,simd] [--json PATH]\n",
+                   "usage: %s [--threads N] [--threads-sweep] [--traces N] "
+                   "[--round N] [--lanes 64,128,simd] [--json PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -548,6 +636,48 @@ int main(int argc, char** argv) {
                 r.transpose_mlps, r.speedup);
   }
 
+  // Thread scaling (--threads-sweep): campaign throughput at 1/2/4/N
+  // threads per style, width-0 lane word. Advisory, never gating: a
+  // speedup under 1.5x at 4 threads on a machine with >= 4 cores means
+  // the sharded scheduler is not earning its threads.
+  std::vector<ThreadSweepRow> sweep_rows;
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (threads_sweep) {
+    std::vector<std::size_t> counts{1, 2, 4};
+    if (std::find(counts.begin(), counts.end(), threads) == counts.end()) {
+      counts.push_back(threads);
+    }
+    const std::size_t sweep_traces = std::min<std::size_t>(num_traces, 60000);
+    sweep_rows = measure_threads_sweep(counts, sweep_traces);
+    std::printf("\nthread scaling (streamed, width-0 word, %zu traces, "
+                "%u cores):\n%-22s",
+                sweep_traces, cores, "logic style");
+    for (std::size_t t : counts) std::printf(" %7zu-thr", t);
+    std::printf("  x4-thr\n");
+    for (std::size_t i = 0; i < sweep_rows.size(); ++i) {
+      if (i % counts.size() == 0) std::printf("%-22s", sweep_rows[i].style);
+      std::printf(" %7.2fMt/s", sweep_rows[i].tps / 1e6);
+      if ((i + 1) % counts.size() == 0) {
+        double at4 = 0.0;
+        for (std::size_t j = i + 1 - counts.size(); j <= i; ++j) {
+          if (sweep_rows[j].threads == 4) at4 = sweep_rows[j].speedup_vs_1t;
+        }
+        std::printf(" %6.2fx\n", at4);
+        if (cores >= 4 && at4 > 0.0 && at4 < 1.5) {
+          std::fprintf(stderr,
+                       "ADVISORY: %s speedup_threads %.2fx < 1.5x at 4 "
+                       "threads on %u cores — shard scheduling is not "
+                       "scaling\n",
+                       sweep_rows[i].style, at4, cores);
+        }
+      }
+    }
+    if (cores < 4) {
+      std::printf("  (advisory 4-thread check skipped: %u core%s)\n", cores,
+                  cores == 1 ? "" : "s");
+    }
+  }
+
   // Round targets: throughput vs. instance count (algorithmic-noise cost).
   const std::size_t round_traces = std::min<std::size_t>(num_traces, 50000);
   const std::vector<RoundThroughput> round_rows =
@@ -600,7 +730,7 @@ int main(int argc, char** argv) {
   }
 
   write_json(json_path, num_traces, threads, rows, lane_rows, pack_rows,
-             round_rows, multi, cpa_traces, cpa_seconds);
+             sweep_rows, round_rows, multi, cpa_traces, cpa_seconds);
   std::printf("wrote %s\n", json_path.c_str());
   return all_pass ? 0 : 1;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
@@ -10,23 +11,39 @@
 #include <utility>
 #include <vector>
 
+#include "engine/worker_pool.hpp"
 #include "util/cpu_dispatch.hpp"
 #include "util/error.hpp"
 
 namespace sable {
 
 std::size_t campaign_shard_size(const CampaignOptions& options) {
-  SABLE_REQUIRE(options.block_size > 0, "block size must be positive");
   // Shard granularity is pinned to 64 traces — the historic lane count —
   // for EVERY lane width, so shard boundaries (and with them the whole
   // trace stream) never depend on the word the kernel happens to batch
   // with. A wider word simply covers several 64-trace groups per step.
-  // The max() clamps block sizes below one granule (in particular below
+  // The max() clamps shard sizes below one granule (in particular below
   // the active lane width) to a whole 64-lane word instead of letting the
   // division round them to zero shards.
   constexpr std::size_t kGranule = SablGateSimBatch::kLanes;
+  if (options.shard_size == 0) {
+    // Autotune. shard_size is part of the stream definition, so the
+    // derived size must be a pure function of the options: only
+    // num_traces and fixed constants enter — never the thread count,
+    // lane width, or anything probed from the machine. Aim for ~256
+    // shards (dynamic-scheduling slack for any realistic core count
+    // without drowning in per-shard setup), keep campaigns up to 1024
+    // traces single-shard, and cap shards at 65536 traces so per-shard
+    // trace buffers stay cache-sized.
+    constexpr std::size_t kTargetShards = 256;
+    constexpr std::size_t kMinShard = 1024;
+    constexpr std::size_t kMaxShard = 65536;
+    const std::size_t derived =
+        options.num_traces / kTargetShards / kGranule * kGranule;
+    return std::clamp(derived, kMinShard, kMaxShard);
+  }
   return std::max<std::size_t>(kGranule,
-                               options.block_size / kGranule * kGranule);
+                               options.shard_size / kGranule * kGranule);
 }
 
 std::uint64_t campaign_shard_seed(std::uint64_t campaign_seed,
@@ -64,6 +81,40 @@ std::size_t campaign_lane_width(const CampaignOptions& options) {
       "this build and CPU support (see runtime_lane_widths())");
 }
 
+std::size_t style_lane_width_cap(LogicStyle style) {
+  // Measured on the avx512 tier with the per-tier transpose packing
+  // (bench_trace_throughput --lanes 64,128,256,512): every style now
+  // scales monotonically through 512, so no style is capped. The
+  // pre-vectorization 512 static-CMOS regression (29.2 vs 70.7 Mt/s at
+  // 256) was the wide-word pack silently falling back to the scalar
+  // 64x64 transpose — a packing-tier bug, not a property of the style.
+  // Keep this switch exhaustive so a new style makes a conscious choice.
+  switch (style) {
+    case LogicStyle::kStaticCmos:
+    case LogicStyle::kSablGenuine:
+    case LogicStyle::kSablEnhanced:
+    case LogicStyle::kSablFullyConnected:
+    case LogicStyle::kWddlBalanced:
+    case LogicStyle::kWddlMismatched:
+      return std::numeric_limits<std::size_t>::max();
+  }
+  SABLE_ASSERT(false, "unreachable logic style");
+}
+
+std::size_t campaign_lane_width(const CampaignOptions& options,
+                                LogicStyle style) {
+  // An explicit width is an instruction; only the width-0 default
+  // consults the per-style heuristic. The cap picks among the widths the
+  // machine offers, so it can never make a campaign unrunnable.
+  if (options.lane_width != 0) return campaign_lane_width(options);
+  const std::size_t cap = style_lane_width_cap(style);
+  std::size_t best = 0;
+  for (std::size_t width : runtime_lane_widths()) {
+    if (width <= cap && width > best) best = width;
+  }
+  return best != 0 ? best : max_runtime_lane_width();
+}
+
 // ---- per-width engine state ----------------------------------------------
 
 namespace detail {
@@ -90,6 +141,9 @@ struct EnginePools {
 #if SABLE_HAVE_WORD512
   LanePool<Word512> p512;
 #endif
+  // Parked campaign threads, shared by every width: spawned on the first
+  // multi-threaded campaign, reused (not re-created) by every later one.
+  WorkerPool workers;
 };
 
 }  // namespace detail
@@ -254,12 +308,15 @@ struct WorkerCtx {
 };
 
 // Dynamic shard scheduler: `fn(ctx, shard)` runs for every shard index on
-// `threads` workers (inline on the calling thread when threads == 1).
-// fn must only touch ctx and shard-indexed slots, keeping the pool free of
-// locks on the hot path. Worker exceptions are rethrown on the caller.
+// `threads` parked pool workers (inline on the calling thread when
+// threads == 1; the calling thread is always party 0 of the pool run).
+// fn must only touch ctx and shard-indexed slots, keeping the scheduler
+// free of locks on the hot path. Worker exceptions are rethrown on the
+// caller.
 template <typename W, typename Fn>
 void run_pool(const RoundTargetT<W>& prototype, detail::LanePool<W>& pool,
-              const ShardLayout& layout, std::size_t threads, Fn&& fn) {
+              WorkerPool& workers, const ShardLayout& layout,
+              std::size_t threads, Fn&& fn) {
   if (layout.num_shards == 0) return;
   if (threads <= 1) {
     WorkerCtx<W> ctx(prototype, pool);
@@ -267,38 +324,37 @@ void run_pool(const RoundTargetT<W>& prototype, detail::LanePool<W>& pool,
     return;
   }
   std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
-  std::exception_ptr error;
-  std::vector<std::thread> thread_pool;
-  thread_pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) {
-    thread_pool.emplace_back([&] {
-      try {
-        WorkerCtx<W> ctx(prototype, pool);
-        for (std::size_t s = next.fetch_add(1); s < layout.num_shards;
-             s = next.fetch_add(1)) {
-          fn(ctx, s);
-        }
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
-      }
-    });
-  }
-  for (std::thread& worker : thread_pool) worker.join();
-  if (error) std::rethrow_exception(error);
+  workers.run(threads, [&](std::size_t) {
+    WorkerCtx<W> ctx(prototype, pool);
+    for (std::size_t s = next.fetch_add(1); s < layout.num_shards;
+         s = next.fetch_add(1)) {
+      fn(ctx, s);
+    }
+  });
 }
 
-// Shared machinery of stream() and stream_sampled(): workers fill
-// per-shard slots via `simulate(target, shard, pts, samples)`; the calling
-// thread emits them to `sink` in canonical shard order. `pt_stride` /
-// `sample_width` size the per-trace storage. Workers stall once they run
-// `window` shards ahead of the emitter, bounding in-flight storage.
+// Shared machinery of stream() and stream_sampled(): workers fill shard
+// slots via `simulate(target, shard, pts, samples)`; the calling thread
+// emits them to `sink` in canonical shard order. `pt_stride` /
+// `sample_width` size the per-trace storage.
+//
+// In-flight storage is a RING of `window` slots (window grows with the
+// thread count: enough slack that workers at different shard speeds
+// don't stall on the emitter, yet memory stays O(threads), not
+// O(num_shards)). Slot s % window is handed worker -> emitter -> next
+// worker strictly through the mutex: a worker may fill it only once
+// emit + window > s (so the previous occupant was emitted), the emitter
+// may drain it only once ready. Each slot is cache-line aligned and its
+// buffers are recycled through the ring, so steady-state streaming does
+// not allocate. The pool runs threads + 1 parties: party 0 — the calling
+// thread — is the emitter (the sink never runs concurrently with itself,
+// matching the sequential contract), parties 1..threads simulate.
 template <typename W, typename SimulateFn>
 void stream_shards(const RoundTargetT<W>& prototype,
-                   detail::LanePool<W>& pool, const CampaignOptions& options,
-                   std::size_t pt_stride, std::size_t sample_width,
-                   SimulateFn&& simulate, const TraceSink& sink) {
+                   detail::LanePool<W>& pool, WorkerPool& workers,
+                   const CampaignOptions& options, std::size_t pt_stride,
+                   std::size_t sample_width, SimulateFn&& simulate,
+                   const TraceSink& sink) {
   const ShardLayout layout = layout_for(options);
   if (layout.num_shards == 0) return;
   const std::size_t threads = resolve_threads(options, layout.num_shards);
@@ -312,100 +368,96 @@ void stream_shards(const RoundTargetT<W>& prototype,
     return;
   }
 
-  // Not run_pool: the bounded in-order hand-off needs the emitter to run
-  // on the calling thread CONCURRENTLY with the workers (a blocking pool
-  // helper can't interleave it), and a sink failure must abort workers
-  // waiting on the window — so this path owns its spawn/claim/join cycle.
-  struct Slot {
+  struct alignas(64) Slot {
     std::vector<std::uint8_t> pts;
     std::vector<double> samples;
     std::size_t count = 0;
     bool ready = false;
   };
-  std::vector<Slot> slots(layout.num_shards);
+  const std::size_t window =
+      std::min(layout.num_shards, 2 * threads + 2);
+  std::vector<Slot> slots(window);
   std::mutex mutex;
   std::condition_variable ready_cv;
   std::condition_variable space_cv;
-  std::size_t emit = 0;
+  std::size_t emit = 0;  // written by party 0 only
   bool failed = false;
-  const std::size_t window = 2 * threads + 2;
-  std::exception_ptr sink_error;
-
   std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
-  std::exception_ptr worker_error;
-  std::vector<std::thread> thread_pool;
-  thread_pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) {
-    thread_pool.emplace_back([&] {
+
+  workers.run(threads + 1, [&](std::size_t party) {
+    if (party == 0) {
+      // Emitter. `scratch` ping-pongs with the ring: the swap hands the
+      // just-emitted shard's buffers back to the slot for the worker of
+      // shard emit + window to refill, and frees the sink call itself
+      // from the lock.
+      Slot scratch;
       try {
-        // No trace buffers here: this path simulates straight into
-        // per-shard Slot buffers (they outlive the shard until emitted),
-        // so the worker needs only its leased target clone.
-        WorkerLease<W> lease(prototype, pool);
-        for (std::size_t s = next.fetch_add(1); s < layout.num_shards;
-             s = next.fetch_add(1)) {
+        while (emit < layout.num_shards) {
           {
             std::unique_lock<std::mutex> lock(mutex);
-            space_cv.wait(lock, [&] { return failed || s < emit + window; });
+            ready_cv.wait(
+                lock, [&] { return failed || slots[emit % window].ready; });
             if (failed) return;
+            std::swap(scratch, slots[emit % window]);
+            slots[emit % window].ready = false;
           }
-          Slot slot;
-          slot.count = layout.count(s);
-          slot.pts.resize(slot.count * pt_stride);
-          slot.samples.resize(slot.count * sample_width);
-          simulate(lease.target(), s, slot.pts.data(), slot.samples.data());
-          slot.ready = true;
+          sink(scratch.pts.data(), scratch.samples.data(), scratch.count);
           {
             std::lock_guard<std::mutex> lock(mutex);
-            slots[s] = std::move(slot);
+            ++emit;
           }
-          ready_cv.notify_all();
+          space_cv.notify_all();
         }
       } catch (...) {
-        {
-          std::lock_guard<std::mutex> lock(error_mutex);
-          if (!worker_error) worker_error = std::current_exception();
-        }
+        // A sink failure must release workers stalled on the window; the
+        // pool joins them and rethrows this (the calling party's)
+        // exception first.
         {
           std::lock_guard<std::mutex> lock(mutex);
           failed = true;
         }
-        ready_cv.notify_all();
         space_cv.notify_all();
+        throw;
       }
-    });
-  }
-
-  // Emitter loop (calling thread): strictly in shard order, the sink never
-  // runs concurrently with itself, matching the sequential contract.
-  try {
-    while (emit < layout.num_shards) {
-      Slot slot;
-      {
-        std::unique_lock<std::mutex> lock(mutex);
-        ready_cv.wait(lock, [&] { return failed || slots[emit].ready; });
-        if (failed) break;
-        slot = std::move(slots[emit]);
+      return;
+    }
+    try {
+      WorkerLease<W> lease(prototype, pool);
+      for (std::size_t s = next.fetch_add(1); s < layout.num_shards;
+           s = next.fetch_add(1)) {
+        Slot* slot = nullptr;
+        {
+          std::unique_lock<std::mutex> lock(mutex);
+          space_cv.wait(lock, [&] { return failed || s < emit + window; });
+          if (failed) return;
+          slot = &slots[s % window];
+        }
+        // Between the space_cv hand-off and the ready publication this
+        // worker owns the slot exclusively — simulate straight into it.
+        slot->count = layout.count(s);
+        if (slot->pts.size() < slot->count * pt_stride) {
+          slot->pts.resize(slot->count * pt_stride);
+        }
+        if (slot->samples.size() < slot->count * sample_width) {
+          slot->samples.resize(slot->count * sample_width);
+        }
+        simulate(lease.target(), s, slot->pts.data(), slot->samples.data());
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          slot->ready = true;
+        }
+        ready_cv.notify_all();
       }
-      sink(slot.pts.data(), slot.samples.data(), slot.count);
+    } catch (...) {
       {
         std::lock_guard<std::mutex> lock(mutex);
-        ++emit;
+        failed = true;
       }
+      ready_cv.notify_all();
       space_cv.notify_all();
+      throw;
     }
-  } catch (...) {
-    sink_error = std::current_exception();
-    {
-      std::lock_guard<std::mutex> lock(mutex);
-      failed = true;
-    }
-    space_cv.notify_all();
-  }
-  for (std::thread& worker : thread_pool) worker.join();
-  if (sink_error) std::rethrow_exception(sink_error);
-  if (worker_error) std::rethrow_exception(worker_error);
+  });
 }
 
 // Lazily derives the width-W variant of the engine's 64-lane prototype
@@ -431,7 +483,7 @@ const RoundTargetT<W>& ensure_variant(const RoundTarget& base,
 template <typename Fn>
 decltype(auto) with_lane(const RoundTarget& base, detail::EnginePools& pools,
                          const CampaignOptions& options, Fn&& fn) {
-  switch (campaign_lane_width(options)) {
+  switch (campaign_lane_width(options, base.round().style)) {
     case 64:
       return fn(base, pools.p64);
     case 128:
@@ -452,7 +504,7 @@ decltype(auto) with_lane(const RoundTarget& base, detail::EnginePools& pools,
 
 template <typename W>
 TraceSet run_campaign(const RoundTargetT<W>& prototype,
-                      detail::LanePool<W>& pool,
+                      detail::LanePool<W>& pool, WorkerPool& workers,
                       const CampaignOptions& options) {
   const ShardLayout layout = layout_for(options);
   const std::size_t stride = prototype.round().state_bytes();
@@ -462,7 +514,7 @@ TraceSet run_campaign(const RoundTargetT<W>& prototype,
   traces.samples.resize(options.num_traces);
   // Shards map to disjoint slices of the canonical trace order, so workers
   // simulate straight into the final TraceSet with no ordering hand-off.
-  run_pool(prototype, pool, layout,
+  run_pool(prototype, pool, workers, layout,
            resolve_threads(options, layout.num_shards),
            [&](WorkerCtx<W>& ctx, std::size_t s) {
              simulate_shard(ctx.target(), options, layout, s,
@@ -487,11 +539,12 @@ TraceSet run_campaign(const RoundTargetT<W>& prototype,
 // result is bit-identical for any num_threads / lane_width.
 template <typename W>
 void run_distinguishers_impl(const RoundTargetT<W>& prototype,
-                             detail::LanePool<W>& pool,
+                             detail::LanePool<W>& pool, WorkerPool& workers,
                              const CampaignOptions& options,
                              std::span<Distinguisher* const> distinguishers) {
   const RoundSpec& round = prototype.round();
   const ShardLayout layout = layout_for(options);
+  const std::size_t threads = resolve_threads(options, layout.num_shards);
   const std::size_t stride = round.state_bytes();
   const std::size_t levels = prototype.num_levels();
 
@@ -517,19 +570,27 @@ void run_distinguishers_impl(const RoundTargetT<W>& prototype,
   }
 
   // states[d][s]: distinguisher d's accumulator for shard s. Workers only
-  // touch their own shard's states, so the matrix needs no locking.
+  // touch their own shard's states — distinct vector elements — so the
+  // matrix needs no locking. The accumulators themselves are constructed
+  // lazily BY the worker that runs the shard (below), not serially up
+  // front: with thousands of shards the upfront loop was serial work on
+  // the caller, and consecutive heap allocations from one thread pack
+  // accumulators of different shards into shared cache lines, which the
+  // workers then dirty from different cores. Worker-side construction
+  // spreads the allocations over the workers' own malloc arenas, killing
+  // both the serial section and the false sharing at once.
   std::vector<std::vector<std::unique_ptr<ShardAccumulator>>> states(
       distinguishers.size());
   for (std::size_t d = 0; d < distinguishers.size(); ++d) {
-    states[d].reserve(layout.num_shards);
-    for (std::size_t s = 0; s < layout.num_shards; ++s) {
-      states[d].push_back(distinguishers[d]->make_shard_accumulator());
-    }
+    states[d].resize(layout.num_shards);
   }
 
   run_pool(
-      prototype, pool, layout, resolve_threads(options, layout.num_shards),
+      prototype, pool, workers, layout, threads,
       [&](WorkerCtx<W>& ctx, std::size_t s) {
+        for (std::size_t d = 0; d < distinguishers.size(); ++d) {
+          states[d][s] = distinguishers[d]->make_shard_accumulator();
+        }
         ctx.ensure_attack_buffers(layout.shard_size, stride, any_scalar,
                                   any_sampled ? levels : 0, slot_sbox.size());
         const std::size_t count = layout.count(s);
@@ -564,26 +625,56 @@ void run_distinguishers_impl(const RoundTargetT<W>& prototype,
         }
       });
 
+  // Reduction. Ordered distinguishers (MTD prefix semantics) keep the
+  // strict serial left fold in canonical shard order. Unordered ones
+  // reduce through the fixed-shape binary tree — the exact pairing
+  // merge_shard_tree defines — but with each round's merges spread over
+  // the parked workers: within a round every (d, i) <- (d, i + stride)
+  // merge touches disjoint accumulators, so the rounds parallelize
+  // freely while the pairing (hence the result, bit for bit) stays that
+  // of the serial tree. The tail of the tree has too few merges to feed
+  // every core, so the serial fraction shrinks from O(shards) to
+  // O(log shards) merges per distinguisher.
+  std::vector<std::size_t> unordered;
   for (std::size_t d = 0; d < distinguishers.size(); ++d) {
     if (distinguishers[d]->ordered()) {
-      // Prefix semantics: strict left fold in canonical shard order.
       for (std::size_t s = 1; s < layout.num_shards; ++s) {
         states[d][0]->merge(*states[d][s]);
       }
     } else if (layout.num_shards > 1) {
-      // The same fixed-shape tree the bespoke campaigns used, over
-      // borrowed accumulator pointers.
-      struct StateHandle {
-        ShardAccumulator* state;
-        void merge(const StateHandle& other) { state->merge(*other.state); }
-      };
-      std::vector<StateHandle> handles;
-      handles.reserve(layout.num_shards);
-      for (std::size_t s = 0; s < layout.num_shards; ++s) {
-        handles.push_back(StateHandle{states[d][s].get()});
-      }
-      merge_shard_tree(std::move(handles));
+      unordered.push_back(d);
     }
+  }
+  if (!unordered.empty()) {
+    std::vector<std::size_t> lefts;  // the round's merge targets i
+    for (std::size_t stride = 1; stride < layout.num_shards; stride *= 2) {
+      lefts.clear();
+      for (std::size_t i = 0; i + stride < layout.num_shards;
+           i += 2 * stride) {
+        lefts.push_back(i);
+      }
+      const std::size_t merges = unordered.size() * lefts.size();
+      const std::size_t merge_threads = std::min(threads, merges);
+      if (merge_threads <= 1) {
+        for (std::size_t d : unordered) {
+          for (std::size_t i : lefts) {
+            states[d][i]->merge(*states[d][i + stride]);
+          }
+        }
+      } else {
+        std::atomic<std::size_t> next{0};
+        workers.run(merge_threads, [&](std::size_t) {
+          for (std::size_t k = next.fetch_add(1); k < merges;
+               k = next.fetch_add(1)) {
+            const std::size_t d = unordered[k / lefts.size()];
+            const std::size_t i = lefts[k % lefts.size()];
+            states[d][i]->merge(*states[d][i + stride]);
+          }
+        });
+      }
+    }
+  }
+  for (std::size_t d = 0; d < distinguishers.size(); ++d) {
     distinguishers[d]->finalize(*states[d][0]);
   }
 }
@@ -615,7 +706,8 @@ TraceSet TraceEngine::run(const CampaignOptions& options) {
   validate_key(round(), options);
   return with_lane(target_, *pools_, options,
                    [&](const auto& prototype, auto& pool) {
-                     return run_campaign(prototype, pool, options);
+                     return run_campaign(prototype, pool, pools_->workers,
+                                         options);
                    });
 }
 
@@ -625,7 +717,8 @@ void TraceEngine::stream(const CampaignOptions& options,
   const ShardLayout layout = layout_for(options);
   with_lane(target_, *pools_, options,
             [&](const auto& prototype, auto& pool) {
-              stream_shards(prototype, pool, options, round().state_bytes(), 1,
+              stream_shards(prototype, pool, pools_->workers, options,
+                            round().state_bytes(), 1,
                             [&](auto& target, std::size_t s, std::uint8_t* pts,
                                 double* samples) {
                               simulate_shard(target, options, layout, s, pts,
@@ -643,8 +736,8 @@ void TraceEngine::stream_sampled(const CampaignOptions& options,
   const ShardLayout layout = layout_for(options);
   with_lane(target_, *pools_, options,
             [&](const auto& prototype, auto& pool) {
-              stream_shards(prototype, pool, options, round().state_bytes(),
-                            target_.num_levels(),
+              stream_shards(prototype, pool, pools_->workers, options,
+                            round().state_bytes(), target_.num_levels(),
                             [&](auto& target, std::size_t s, std::uint8_t* pts,
                                 double* rows) {
                               simulate_shard_sampled(target, options, layout,
@@ -672,8 +765,8 @@ void TraceEngine::run_distinguishers(
   }
   with_lane(target_, *pools_, options,
             [&](const auto& prototype, auto& pool) {
-              run_distinguishers_impl(prototype, pool, options,
-                                      distinguishers);
+              run_distinguishers_impl(prototype, pool, pools_->workers,
+                                      options, distinguishers);
             });
 }
 

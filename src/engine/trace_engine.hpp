@@ -25,14 +25,16 @@
 // paper's real threat model for a cipher's nonlinear layer.
 //
 // Determinism: a campaign is defined as a sequence of fixed-size shards
-// (block_size traces, rounded to whole 64-lane words). Shard s draws its
+// (shard_size traces, rounded to whole 64-lane words). Shard s draws its
 // plaintexts and noise from counter-derived sub-streams
 // campaign_shard_seed(seed, s, ·) and starts from fresh simulator state,
 // so its traces depend only on (options, s) — never on which worker ran
 // it or how many there were. The merge tree's shape depends only on the
 // shard count. Results are bit-identical for any num_threads, including
-// 1. block_size is therefore part of the stream definition (it sets the
-// shard boundaries), not a pure performance knob.
+// 1. shard_size is therefore part of the stream definition (it sets the
+// shard boundaries), not a pure performance knob — which is why the
+// shard_size = 0 autotune derives the size from num_traces and fixed
+// constants alone (see campaign_shard_size), never from the machine.
 //
 // Lane widths: CampaignOptions::lane_width picks the batch word the
 // campaign simulates with — 64 (the historic kernel), 128 (portable
@@ -44,9 +46,11 @@
 // arithmetic (including the static-CMOS logical 64-lane history) is
 // width-invariant, so every width — and therefore every dispatch tier —
 // generates bit-identical campaigns; wider words only raise throughput.
-// Workers are persistent: each engine keeps the per-width target variants
-// and a pool of worker clones alive across campaigns, so sweeps of many
-// small campaigns pay the clone cost once.
+// Workers are persistent: each engine keeps the per-width target
+// variants, a pool of worker clones, AND a parked thread pool
+// (engine/worker_pool.hpp) alive across campaigns, so sweeps of many
+// small campaigns pay synthesis, cloning and thread creation once — not
+// once per campaign.
 #pragma once
 
 #include <cstdint>
@@ -82,8 +86,11 @@ struct CampaignOptions {
   std::uint64_t seed = 0xA77ACC;
   /// Traces per campaign shard (rounded down to whole 64-lane words).
   /// Shards are the unit of parallel scheduling AND of the stream
-  /// definition: changing block_size changes the generated traces.
-  std::size_t block_size = 4096;
+  /// definition: changing shard_size changes the generated traces.
+  /// 0 (the default) autotunes from num_traces alone — a pure function
+  /// of the options, so autotuned campaigns are still reproducible
+  /// everywhere; see campaign_shard_size for the exact rule.
+  std::size_t shard_size = 0;
   /// Worker threads the campaign shards are scheduled over.
   /// 0 = hardware concurrency. Any value yields bit-identical results.
   std::size_t num_threads = 0;
@@ -94,14 +101,23 @@ struct CampaignOptions {
   std::size_t lane_width = 0;
 };
 
-/// Shard granularity of a campaign: block_size rounded down to whole
-/// 64-lane words, CLAMPED to at least one word — a block_size in [1, 63]
+/// Shard granularity of a campaign: shard_size rounded down to whole
+/// 64-lane words, CLAMPED to at least one word — a shard_size in [1, 63]
 /// (in particular one smaller than the active lane width) yields 64-trace
 /// shards rather than rounding to zero. The granule is 64 for EVERY lane
 /// width: wider words cover several 64-trace groups per step (ragged
 /// tails run under lane masks), so shard boundaries — and with them the
 /// generated trace stream — never depend on the word the kernel batches
-/// with. block_size = 0 is an error (SABLE_REQUIRE).
+/// with.
+///
+/// shard_size = 0 autotunes: clamp(num_traces / 256 rounded down to a
+/// whole 64-lane word, 1024, 65536). The constants are fixed — NOT
+/// derived from the thread count, lane width, or machine — so the
+/// autotuned stream is exactly as reproducible as an explicit size:
+/// campaigns up to 1024 traces stay single-shard, larger ones aim for
+/// ~256 shards (comfortable dynamic-scheduling slack for any realistic
+/// core count) and cap the shard at 65536 traces so per-shard buffers
+/// stay cache-sized.
 std::size_t campaign_shard_size(const CampaignOptions& options);
 
 /// Seed of shard `shard`'s sub-stream `stream` (0 = plaintexts, 1 =
@@ -117,6 +133,25 @@ std::size_t campaign_thread_count(const CampaignOptions& options);
 /// CPU supports under the active dispatch tier). Throws InvalidArgument
 /// for widths this build or machine cannot execute.
 std::size_t campaign_lane_width(const CampaignOptions& options);
+
+/// Style-aware resolution — what the engine actually uses: an explicit
+/// lane_width behaves exactly as above, but the width-0 default is
+/// additionally clamped to style_lane_width_cap(style). Results are
+/// bit-identical at every width, so the cap is purely a throughput
+/// heuristic and an explicit width always wins.
+std::size_t campaign_lane_width(const CampaignOptions& options,
+                                LogicStyle style);
+
+/// Per-style cap the lane_width = 0 default honors: the widest word
+/// measured to actually help this style, or SIZE_MAX for "no cap" (take
+/// the machine's widest). Today every style scales monotonically to 512
+/// — the historic static-CMOS 512 regression turned out to be the scalar
+/// fallback of the wide-word bit-transpose packing, not the style — so
+/// no style carries a cap; the table is the pinned place to register one
+/// if a style/machine pair measures a sustained 512 penalty (e.g.
+/// license-based AVX-512 downclocking on older server parts; see the
+/// lane_width rows of BENCH_trace_throughput.json).
+std::size_t style_lane_width_cap(LogicStyle style);
 
 /// Deterministic fixed-shape binary reduction of per-shard accumulators:
 /// round r merges shard i + 2^r into shard i for every i ≡ 0 (mod
@@ -174,7 +209,7 @@ class TraceEngine {
   TraceSet run(const CampaignOptions& options);
 
   /// Runs the campaign without retaining traces: each shard of at most
-  /// `options.block_size` traces is simulated bit-parallel (in parallel
+  /// campaign_shard_size() traces is simulated bit-parallel (in parallel
   /// across shards) and handed to `sink` in canonical shard order on the
   /// calling thread, then its storage is released. In-flight shards are
   /// bounded, so a slow sink cannot accumulate unbounded buffers.

@@ -1,0 +1,80 @@
+// Persistent fork-join worker pool for campaign scheduling.
+//
+// The sharded TraceEngine used to spawn a fresh std::thread set per
+// campaign. For MTD-scale single campaigns that cost vanishes in the
+// noise, but the engine's bread-and-butter workloads — per-style
+// throughput tables, lane-width sweeps, SPICE calibration — run MANY
+// short campaigns back to back, and on those the per-campaign
+// create/join cycle (plus the first-touch page faults of brand-new
+// stacks) was a measurable slice of why N threads failed to beat 1.
+// This pool parks its threads between campaigns: run() hands a body to
+// the parked workers, runs party 0 on the calling thread, and blocks
+// until every party returns. Threads are grown on demand up to the
+// largest party count ever requested and live for the pool's lifetime
+// (the engine's lifetime — EnginePools owns one).
+//
+// Scheduling stays OUTSIDE the pool: bodies claim shards from an atomic
+// counter (or play a fixed role, like the ordered-stream emitter), so
+// the pool itself is a plain barrier with no work-queue of its own and
+// adds nothing to the per-shard hot path.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sable {
+
+class WorkerPool {
+ public:
+  WorkerPool() = default;
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Runs body(0), body(1), …, body(parties - 1) concurrently: party 0 on
+  /// the calling thread, the rest on parked pool threads (grown on
+  /// demand). Blocks until every party has returned. Exceptions: the
+  /// calling party's exception wins, else the first worker exception is
+  /// rethrown; either way every party is joined first, so `body` may
+  /// safely capture locals by reference. parties <= 1 degenerates to a
+  /// plain inline body(0) with no synchronization at all.
+  ///
+  /// Reentrancy: the parked threads serve one run() at a time. A second
+  /// run() arriving while one is in flight (concurrent campaigns on one
+  /// engine, or a body that itself calls run()) falls back to ephemeral
+  /// threads for that call — correct, merely without the parking win.
+  void run(std::size_t parties, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_main(std::size_t index);
+  static void run_ephemeral(std::size_t parties,
+                            const std::function<void(std::size_t)>& body);
+
+  // Serializes run() calls on the parked threads; try-locked so overlap
+  // degrades to run_ephemeral instead of blocking a campaign.
+  std::mutex run_mutex_;
+
+  // Everything below is guarded by mutex_. A run is a "generation":
+  // run() publishes the body and the participant count and bumps
+  // generation_; workers with index <= participants_ wake, execute, and
+  // decrement active_; the last decrement releases run() through
+  // done_cv_.
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> threads_;  // threads_[i] is party index i + 1
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t participants_ = 0;
+  std::size_t active_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace sable

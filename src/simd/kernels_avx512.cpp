@@ -18,6 +18,7 @@
 #include "expr/truth_table.hpp"
 #include "netlist/conduction.hpp"
 #include "switchsim/cycle_sim.hpp"
+#include "util/cpu_dispatch.hpp"
 #include "util/error.hpp"
 
 #pragma GCC push_options

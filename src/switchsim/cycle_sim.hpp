@@ -32,10 +32,13 @@ namespace sable {
 /// batch kernel consumes: lane L of `words[v]` is bit v of
 /// `assignments[L]`. `words` must be pre-sized to the variable count (at
 /// most 64); lanes at `count` and beyond are cleared. Implemented as a
-/// real bit-matrix transpose (64×64 per chunk, or 8×8 byte blocks when
-/// the variable count fits a byte) with a single-lane fast path — output
-/// is bit-identical to the historic per-bit gather at every width and
-/// ragged count.
+/// real bit-matrix transpose (64×64 per chunk, or byte bit-planes when
+/// the variable count fits a byte) with a single-lane fast path. Each
+/// dispatch tier carries its own transpose body — scalar Hacker's
+/// Delight, AVX2 ymm delta-swaps + vpmovmskb planes, AVX-512 zmm masked
+/// shifts + vpmovb2m, and a GFNI vgf2p8affineqb plane kernel where the
+/// CPU has it (cpu_features) — and every body's output is bit-identical
+/// to the historic per-bit gather at every width and ragged count.
 template <typename W>
 void pack_lane_words(const std::uint64_t* assignments, std::size_t count,
                      std::vector<W>& words);

@@ -17,6 +17,9 @@ const CpuFeatures& cpu_features() {
     __builtin_cpu_init();
     f.avx2 = __builtin_cpu_supports("avx2") != 0;
     f.avx512f = __builtin_cpu_supports("avx512f") != 0;
+    f.avx512bw = __builtin_cpu_supports("avx512bw") != 0;
+    f.avx512vbmi = __builtin_cpu_supports("avx512vbmi") != 0;
+    f.gfni = __builtin_cpu_supports("gfni") != 0;
 #endif
     return f;
   }();

@@ -24,9 +24,16 @@
 namespace sable {
 
 /// SIMD capabilities of the executing CPU that the kernels care about.
+/// avx2/avx512f pick the dispatch tier; the remaining flags gate optional
+/// instruction paths inside a tier (the AVX-512 pack kernels use BW's
+/// vpmovb2m when present and GFNI's vgf2p8affineqb + VBMI's vpermb when
+/// both are — each falls back to plain AVX-512F/AVX2 code otherwise).
 struct CpuFeatures {
   bool avx2 = false;
   bool avx512f = false;
+  bool avx512bw = false;
+  bool avx512vbmi = false;
+  bool gfni = false;
 };
 
 /// The executing CPU's features, probed once and cached (thread-safe).

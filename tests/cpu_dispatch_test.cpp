@@ -49,6 +49,31 @@ TEST(CpuDispatchTest, DetectedTierMatchesCpuFeatures) {
   }
 }
 
+// The sub-tier flags (avx512bw, avx512vbmi, gfni) gate optional
+// instruction paths inside the AVX-512 pack kernels; they never pick the
+// tier. On every real part the AVX-512 extensions are nested — BW
+// requires F, VBMI requires BW — and the kernels rely on that nesting
+// (byte_planes_64_gfni assumes VBMI's vpermb, which assumes BW's byte
+// ops). GFNI carries no such implication: it has SSE/AVX encodings, so
+// it is only ever consulted alongside the VBMI+BW check.
+TEST(CpuDispatchTest, SubTierFlagsAreNestedAndTierIndependent) {
+  const CpuFeatures& features = cpu_features();
+  if (features.avx512vbmi) EXPECT_TRUE(features.avx512bw);
+  if (features.avx512bw) EXPECT_TRUE(features.avx512f);
+#if !defined(__x86_64__) && !defined(__i386__)
+  EXPECT_FALSE(features.avx512bw);
+  EXPECT_FALSE(features.avx512vbmi);
+  EXPECT_FALSE(features.gfni);
+#endif
+  // The probe is cached: every call returns the same object, and capping
+  // the dispatch tier must not re-probe or mask the raw feature bits.
+  EXPECT_EQ(&cpu_features(), &features);
+  ScopedDispatchTierCap cap(DispatchTier::kPortable);
+  EXPECT_EQ(cpu_features().avx512bw, features.avx512bw);
+  EXPECT_EQ(cpu_features().avx512vbmi, features.avx512vbmi);
+  EXPECT_EQ(cpu_features().gfni, features.gfni);
+}
+
 TEST(CpuDispatchTest, ActiveTierIsTheMinimumOfCompiledDetectedAndCap) {
   const DispatchTier expected =
       std::min({compiled_tier(), detected_tier(), dispatch_tier_cap()});

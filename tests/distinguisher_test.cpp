@@ -41,7 +41,7 @@ CampaignOptions reference_options(const RoundSpec& round) {
   options.key = round.pack_subkeys(subkeys);
   options.noise_sigma = 2e-16;
   options.seed = 0xD157;
-  options.block_size = 448;
+  options.shard_size = 448;
   return options;
 }
 
@@ -373,22 +373,53 @@ TEST(DistinguisherPipelineTest, ValidatesSpecAgainstRound) {
 TEST(CampaignShardSizeTest, ClampsSmallBlocksToOneLaneWord) {
   CampaignOptions options;
   for (std::size_t block : {std::size_t{1}, std::size_t{63}}) {
-    options.block_size = block;
+    options.shard_size = block;
     EXPECT_EQ(campaign_shard_size(options), 64u) << block;
   }
-  options.block_size = 64;
+  options.shard_size = 64;
   EXPECT_EQ(campaign_shard_size(options), 64u);
-  options.block_size = 100;  // rounds down to whole 64-lane words
+  options.shard_size = 100;  // rounds down to whole 64-lane words
   EXPECT_EQ(campaign_shard_size(options), 64u);
-  options.block_size = 130;
+  options.shard_size = 130;
   EXPECT_EQ(campaign_shard_size(options), 128u);
-  options.block_size = 0;
-  EXPECT_THROW(campaign_shard_size(options), InvalidArgument);
 }
 
-// A block_size below the lane word must still run — and, because the
+// shard_size = 0 derives the shard size from num_traces and fixed
+// constants alone: clamp(num_traces / 256 rounded to a whole 64-lane
+// word, 1024, 65536). The autotuned size must never depend on the thread
+// count or lane width — it is part of the stream definition.
+TEST(CampaignShardSizeTest, AutotunesFromTraceCountAlone) {
+  CampaignOptions options;
+  options.shard_size = 0;
+  // Small campaigns stay single-shard (min clamp).
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{256},
+                        std::size_t{1024}, std::size_t{200000}}) {
+    options.num_traces = n;
+    EXPECT_EQ(campaign_shard_size(options), 1024u) << n;
+  }
+  // Mid-range aims for ~256 shards, rounded to whole 64-lane words.
+  options.num_traces = 1u << 20;  // 1Mi / 256 = 4096
+  EXPECT_EQ(campaign_shard_size(options), 4096u);
+  options.num_traces = 300000;  // 1171.875 -> 1171 -> round to 1152
+  EXPECT_EQ(campaign_shard_size(options), 1152u);
+  // Huge campaigns cap the shard (max clamp).
+  options.num_traces = 1u << 27;
+  EXPECT_EQ(campaign_shard_size(options), 65536u);
+  // The knobs that must NOT matter.
+  options.num_traces = 1u << 20;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{7}}) {
+    options.num_threads = threads;
+    EXPECT_EQ(campaign_shard_size(options), 4096u);
+  }
+  for (std::size_t width : {std::size_t{64}, std::size_t{128}}) {
+    options.lane_width = width;
+    EXPECT_EQ(campaign_shard_size(options), 4096u);
+  }
+}
+
+// A shard_size below the lane word must still run — and, because the
 // clamp lands on the same 64-trace granule for every width, produce the
-// exact stream block_size = 64 produces, at every compiled-in width.
+// exact stream shard_size = 64 produces, at every compiled-in width.
 TEST(CampaignShardSizeTest, SubLaneWordBlockSizeRunsAndMatchesClamp) {
   const RoundSpec round = present_round(1, LogicStyle::kSablEnhanced);
   TraceEngine engine(round, kTech);
@@ -396,11 +427,11 @@ TEST(CampaignShardSizeTest, SubLaneWordBlockSizeRunsAndMatchesClamp) {
   options.num_traces = 200;
   options.key = {0x6};
   options.seed = 0xC1A4;
-  options.block_size = 64;
+  options.shard_size = 64;
   const TraceSet reference = engine.run(options);
   for (std::size_t width : runtime_lane_widths()) {
     options.lane_width = width;
-    options.block_size = 3;  // smaller than every lane width
+    options.shard_size = 3;  // smaller than every lane width
     const TraceSet traces = engine.run(options);
     ASSERT_EQ(traces.size(), reference.size());
     for (std::size_t i = 0; i < reference.size(); ++i) {

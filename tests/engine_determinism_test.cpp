@@ -41,7 +41,7 @@ CampaignOptions sharded_options() {
   options.key = {0xB};
   options.noise_sigma = 2e-16;
   options.seed = 0x5EED;
-  options.block_size = 448;
+  options.shard_size = 448;
   return options;
 }
 
@@ -382,7 +382,7 @@ TEST(EngineDeterminismTest, RoundCpaCampaignBitIdenticalAcrossThreadCounts) {
   options.key = round.pack_subkeys(round_subkeys(16));
   options.noise_sigma = 2e-16;
   options.seed = 0x16BEEF;
-  options.block_size = 448;
+  options.shard_size = 448;
   options.num_threads = 1;
   const AttackSelector selector{.sbox_index = 3,
                                 .model = PowerModel::kHammingWeight};
@@ -419,7 +419,7 @@ TEST(EngineDeterminismTest, RoundCpaCampaignBitIdenticalAcrossLaneWidths) {
   options.key = round.pack_subkeys(round_subkeys(16));
   options.noise_sigma = 2e-16;
   options.seed = 0x16A8E5;
-  options.block_size = 448;
+  options.shard_size = 448;
   options.num_threads = 1;
   options.lane_width = 64;
   const AttackSelector selector{.sbox_index = 5,
@@ -455,7 +455,7 @@ TEST(EngineDeterminismTest, SecondOrderCampaignBitIdenticalAcrossThreadsAndWidth
   options.key = round.pack_subkeys(round_subkeys(2));
   options.noise_sigma = 2e-16;
   options.seed = 0x20CDE;
-  options.block_size = 448;
+  options.shard_size = 448;
   options.num_threads = 1;
   options.lane_width = 64;
   const AttackSelector selector{.sbox_index = 1,
@@ -494,7 +494,7 @@ TEST(EngineDeterminismTest, AllSubkeysCampaignBitIdenticalAcrossThreadsAndWidths
   options.key = round.pack_subkeys(round_subkeys(4));
   options.noise_sigma = 2e-16;
   options.seed = 0xA11CDE;
-  options.block_size = 448;
+  options.shard_size = 448;
   options.num_threads = 1;
   options.lane_width = 64;
   TraceEngine engine(round, kTech);
@@ -521,6 +521,42 @@ TEST(EngineDeterminismTest, AllSubkeysCampaignBitIdenticalAcrossThreadsAndWidths
             << "width " << width << " threads " << threads << " sbox " << i;
       }
     }
+  }
+}
+
+// shard_size = 0 engages the autotuner. The derived shard size is a pure
+// function of num_traces (see campaign_shard_size), never of the worker
+// count, the lane width or the machine — so autotuned campaigns must
+// carry the exact same bit-identity guarantee as pinned ones: same
+// traces, same CPA scores, for every thread count. 3000 traces autotune
+// to 1024-trace shards, so the merge path is genuinely multi-shard.
+TEST(EngineDeterminismTest, AutotunedShardsBitIdenticalAcrossThreadCounts) {
+  CampaignOptions options = sharded_options();
+  options.shard_size = 0;  // autotune
+  options.num_threads = 1;
+  const AttackSelector selector{.model = PowerModel::kHammingWeight};
+  TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, kTech);
+  const TraceSet reference = engine.run(options);
+  const AttackResult cpa_reference = engine.cpa_campaign(options, selector);
+  EXPECT_EQ(cpa_reference.best_guess, options.key[0]);
+  for (std::size_t threads : thread_counts_under_test()) {
+    options.num_threads = threads;
+    const TraceSet traces = engine.run(options);
+    ASSERT_EQ(traces.size(), reference.size()) << threads;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_EQ(traces.plaintexts[i], reference.plaintexts[i])
+          << "threads " << threads << " trace " << i;
+      ASSERT_EQ(traces.samples[i], reference.samples[i])
+          << "threads " << threads << " trace " << i;
+    }
+    const AttackResult cpa = engine.cpa_campaign(options, selector);
+    ASSERT_EQ(cpa.score.size(), cpa_reference.score.size());
+    for (std::size_t g = 0; g < cpa_reference.score.size(); ++g) {
+      EXPECT_EQ(cpa.score[g], cpa_reference.score[g])
+          << "threads " << threads << " guess " << g;
+    }
+    EXPECT_EQ(cpa.best_guess, cpa_reference.best_guess) << threads;
+    EXPECT_EQ(cpa.margin, cpa_reference.margin) << threads;
   }
 }
 

@@ -233,7 +233,7 @@ CampaignOptions sharded_options() {
   options.key = {0xB};
   options.noise_sigma = 2e-16;
   options.seed = 0x5EED;
-  options.block_size = 448;  // several shards, one partial tail
+  options.shard_size = 448;  // several shards, one partial tail
   return options;
 }
 
@@ -424,7 +424,7 @@ TEST(LaneWidthTest, SampledRowsSumToStreamedSamplesEveryStyle) {
     options.num_traces = 320;
     options.key = {0x9};
     options.seed = 0xE4E4;
-    options.block_size = 128;
+    options.shard_size = 128;
     std::vector<double> row_sums;
     engine.stream_sampled(options, [&](const std::uint8_t*,
                                        const double* rows, std::size_t n) {

@@ -122,6 +122,55 @@ TYPED_TEST(PackTransposeTest, ByteSourceMatchesWordSourceForNarrowVars) {
   }
 }
 
+// The vectorized transpose kernels — AVX2 delta-swap, AVX-512 masked
+// shifts, BW vpmovb2m and GFNI vgf2p8affineqb where the CPU has them —
+// are picked per pack call from the active dispatch tier, so capping the
+// tier on one machine walks every kernel this binary can run. Each tier
+// is only a faster route to the same transpose: words packed under any
+// cap must be bit-identical to the portable tier's, for both the u64 wide
+// path and the byte-source narrow path.
+TYPED_TEST(PackTransposeTest, DispatchTiersPackBitIdenticalWords) {
+  using W = TypeParam;
+  if (!cpu_can_run<W>()) GTEST_SKIP() << "CPU lacks the ISA for this width";
+  Rng rng(0x71E5);
+  // 4/8 drive the byte-plane kernels, 17/64 the 64×64 transpose kernels.
+  for (std::size_t vars : {std::size_t{4}, std::size_t{8}, std::size_t{17},
+                           std::size_t{64}}) {
+    for (std::size_t count : interesting_counts<W>()) {
+      std::vector<std::uint64_t> assignments(count);
+      std::vector<std::uint8_t> bytes(count);
+      for (std::size_t lane = 0; lane < count; ++lane) {
+        assignments[lane] = rng.next();
+        bytes[lane] = static_cast<std::uint8_t>(assignments[lane]);
+      }
+      std::vector<W> portable_words(vars), portable_bytes(vars);
+      {
+        ScopedDispatchTierCap cap(DispatchTier::kPortable);
+        pack_lane_words(assignments.data(), count, portable_words);
+        if (vars <= 8) pack_lane_words(bytes.data(), count, portable_bytes);
+      }
+      // The portable tier itself must match the per-bit gather reference…
+      std::vector<W> ref(vars);
+      pack_lane_words_gather(assignments.data(), count, ref);
+      expect_words_equal(portable_words, ref, "portable tier", count);
+      // …and every higher tier must match the portable tier, bit for bit.
+      for (DispatchTier tier : {DispatchTier::kAvx2, DispatchTier::kAvx512}) {
+        ScopedDispatchTierCap cap(tier);
+        std::vector<W> got(vars);
+        pack_lane_words(assignments.data(), count, got);
+        expect_words_equal(got, portable_words, to_string(tier), count);
+        if (vars <= 8) {
+          std::vector<W> got_bytes(vars);
+          pack_lane_words(bytes.data(), count, got_bytes);
+          expect_words_equal(got_bytes, portable_bytes, to_string(tier),
+                             count);
+        }
+      }
+      if (::testing::Test::HasFailure()) return;  // one counterexample
+    }
+  }
+}
+
 // Dense corner patterns the random sweep is unlikely to hit: all-ones
 // (every transpose mask line saturated) and single-bit diagonals (each bit
 // must land in exactly one output position).
@@ -137,10 +186,15 @@ TYPED_TEST(PackTransposeTest, SaturatedAndDiagonalPatterns) {
   }
   for (const auto* pattern : {&ones, &diagonal}) {
     for (std::size_t vars : {std::size_t{8}, std::size_t{64}}) {
-      std::vector<W> got(vars), ref(vars);
-      pack_lane_words(pattern->data(), count, got);
+      std::vector<W> ref(vars);
       pack_lane_words_gather(pattern->data(), count, ref);
-      expect_words_equal(got, ref, "pattern", count);
+      for (DispatchTier tier : {DispatchTier::kPortable, DispatchTier::kAvx2,
+                                DispatchTier::kAvx512}) {
+        ScopedDispatchTierCap cap(tier);
+        std::vector<W> got(vars);
+        pack_lane_words(pattern->data(), count, got);
+        expect_words_equal(got, ref, to_string(tier), count);
+      }
     }
   }
 }

@@ -207,7 +207,7 @@ TEST(RoundEngineTest, MultiCpaCampaignMatchesRetainedMultisampleAttack) {
   options.key = round.pack_subkeys(subkeys);
   options.noise_sigma = 1e-16;
   options.seed = 0x3117;
-  options.block_size = 448;  // several shards, one partial tail
+  options.shard_size = 448;  // several shards, one partial tail
 
   TraceEngine engine(round, kTech);
   const MultiAttackResult streamed =
@@ -251,7 +251,7 @@ TEST(RoundEngineTest, RunRetainsWideStatesAndStreamMatches) {
   options.key = round.pack_subkeys({1, 2, 3, 4, 5});
   options.noise_sigma = 1e-16;
   options.seed = 0xF00D;
-  options.block_size = 128;
+  options.shard_size = 128;
   const TraceSet traces = engine.run(options);
   EXPECT_EQ(traces.pt_width, round.state_bytes());
   EXPECT_EQ(traces.plaintexts.size(),
@@ -292,7 +292,7 @@ TEST(RoundEngineTest, MultiCpaCampaignCoversStaticCmos) {
   options.key = round.pack_subkeys(subkeys);
   options.noise_sigma = 1e-16;
   options.seed = 0xC405;
-  options.block_size = 448;
+  options.shard_size = 448;
 
   TraceEngine engine(round, kTech);
   ASSERT_GT(engine.target().num_levels(), 0u);

@@ -436,7 +436,7 @@ TEST(TraceEngineTest, CampaignMatchesScalarTarget) {
     options.key = {0x7};
     options.noise_sigma = 2e-16;
     options.seed = 0xFEED;
-    options.block_size = 128;  // several shards, one partial tail shard
+    options.shard_size = 128;  // several shards, one partial tail shard
     const TraceSet traces = engine.run(options);
     ASSERT_EQ(traces.size(), options.num_traces);
 
@@ -514,6 +514,11 @@ TEST(TraceEngineTest, StreamingCampaignEqualsRetainedCampaign) {
   options.key = {0xB};
   options.noise_sigma = 2e-16;
   options.seed = 0xABBA;
+  // One shard: cpa_attack over the retained TraceSet accumulates
+  // unsharded, so bit-exact score equality needs the streamed campaign's
+  // summation order to match (the autotuned default would split 2000
+  // traces into two shards and merge — same attack, different rounding).
+  options.shard_size = 4096;
   const TraceSet traces = engine.run(options);
   const AttackResult batch =
       cpa_attack(traces, present_spec(), PowerModel::kHammingWeight);
