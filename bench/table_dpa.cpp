@@ -9,12 +9,20 @@
 // single generation pass with no trace retained. The unattacked instances
 // contribute algorithmic noise. Reported: correct-subkey rank, the
 // leading guess, and measurements-to-disclosure.
+//
+// Campaign persistence: `--record P` writes each style's corpus to
+// `P.<style>` while attacking, `--replay P` reruns the whole table from
+// those corpora without re-simulating (bit-identical rows), and
+// `--checkpoint P` persists per-shard distinguisher states to
+// `P.<style>` so interrupted tables resume.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "engine/trace_engine.hpp"
+#include "io/corpus.hpp"
 
 using namespace sable;
 
@@ -37,7 +45,10 @@ std::vector<std::size_t> table_subkeys(std::size_t n) {
 
 Row evaluate_style(LogicStyle style, std::size_t round_size,
                    std::size_t attack_sbox, std::size_t num_traces,
-                   double noise, std::size_t num_threads) {
+                   double noise, std::size_t num_threads,
+                   const std::string& record_path,
+                   const std::string& replay_path,
+                   const std::string& checkpoint_path) {
   const Technology tech = Technology::generic_180nm();
   const RoundSpec round = present_round(round_size, style);
   const SboxSpec& spec = round.sboxes[attack_sbox];
@@ -51,24 +62,39 @@ Row evaluate_style(LogicStyle style, std::size_t round_size,
   options.num_threads = num_threads;
   const std::size_t subkey = round.sub_word(options.key.data(), attack_sbox);
 
-  // One generation pass feeds every accumulator: CPA, one DoM per output
-  // bit, and the MTD snapshotter — all on the attacked instance's
-  // sub-plaintexts.
-  StreamingCpa cpa(spec, PowerModel::kHammingWeight);
-  std::vector<StreamingDom> dom;
+  // One campaign feeds every attack through the distinguisher pipeline:
+  // CPA, one DoM per output bit, and the ordered MTD distinguisher — on
+  // the attacked instance's sub-plaintexts, from a simulated, recorded,
+  // or replayed stream (all bit-identical).
+  const AttackSelector selector{.sbox_index = attack_sbox,
+                                .model = PowerModel::kHammingWeight};
+  CpaDistinguisher cpa(spec, selector);
+  std::vector<DomDistinguisher> dom;
+  dom.reserve(spec.out_bits);
   for (std::size_t bit = 0; bit < spec.out_bits; ++bit) {
-    dom.emplace_back(spec, bit);
+    dom.emplace_back(spec, AttackSelector{.sbox_index = attack_sbox,
+                                          .model = PowerModel::kHammingWeight,
+                                          .bit = bit});
   }
-  StreamingMtd mtd(StreamingCpa(spec, PowerModel::kHammingWeight), subkey,
-                   default_checkpoints(num_traces));
-  std::vector<std::uint8_t> sub_pts(campaign_shard_size(options));
-  engine.stream(options, [&](const std::uint8_t* pts, const double* samples,
-                             std::size_t n) {
-    round.sub_words(pts, n, attack_sbox, sub_pts.data());
-    cpa.add_batch(sub_pts.data(), samples, n);
-    for (auto& d : dom) d.add_batch(sub_pts.data(), samples, n);
-    mtd.add_batch(sub_pts.data(), samples, n);
-  });
+  MtdDistinguisher mtd(spec, selector, subkey,
+                       default_checkpoints(num_traces), num_traces);
+  std::vector<Distinguisher*> list = {&cpa};
+  for (auto& d : dom) list.push_back(&d);
+  list.push_back(&mtd);
+  CampaignPersistence persist;
+  if (!checkpoint_path.empty()) {
+    persist.checkpoint_path = checkpoint_path + "." + to_string(style);
+  }
+  if (!record_path.empty()) {
+    engine.record(options, TraceDataKind::kScalar,
+                  record_path + "." + to_string(style));
+  }
+  if (!replay_path.empty()) {
+    const CorpusReader corpus(replay_path + "." + to_string(style));
+    engine.replay(corpus, list, persist, num_threads);
+  } else {
+    engine.run_distinguishers(options, list, persist);
+  }
 
   Row row{style};
   const AttackResult cpa_result = cpa.result();
@@ -80,7 +106,7 @@ Row evaluate_style(LogicStyle style, std::size_t round_size,
   // know which bit leaks best, so max-combining is the honest procedure).
   std::vector<double> combined(std::size_t{1} << spec.in_bits, 0.0);
   for (auto& d : dom) {
-    const AttackResult result = d.result();
+    const AttackResult& result = d.result();
     for (std::size_t g = 0; g < combined.size(); ++g) {
       combined[g] = std::max(combined[g], result.score[g]);
     }
@@ -102,6 +128,9 @@ int main(int argc, char** argv) {
   std::size_t round_size = 1;
   std::size_t attack_sbox = 0;
   bool all_subkeys = false;
+  std::string record_path;
+  std::string replay_path;
+  std::string checkpoint_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       num_threads =
@@ -114,13 +143,24 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--all-subkeys") == 0) {
       all_subkeys = true;
+    } else if (std::strcmp(argv[i], "--record") == 0 && i + 1 < argc) {
+      record_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) {
+      replay_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
+      checkpoint_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads N] [--round N] [--attack-sbox I] "
-                   "[--all-subkeys]\n",
+                   "[--all-subkeys] [--record P] [--replay P] "
+                   "[--checkpoint P]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (!record_path.empty() && !replay_path.empty()) {
+    std::fprintf(stderr, "--record and --replay are mutually exclusive\n");
+    return 2;
   }
   if (round_size == 0 || attack_sbox >= round_size) {
     std::fprintf(stderr, "--attack-sbox must address one of the --round %zu "
@@ -146,7 +186,8 @@ int main(int argc, char** argv) {
         LogicStyle::kSablFullyConnected, LogicStyle::kSablEnhanced,
         LogicStyle::kWddlBalanced, LogicStyle::kWddlMismatched}) {
     const Row row = evaluate_style(style, round_size, attack_sbox, num_traces,
-                                   noise, num_threads);
+                                   noise, num_threads, record_path,
+                                   replay_path, checkpoint_path);
     char mtd_str[32];
     if (row.disclosed) {
       std::snprintf(mtd_str, sizeof mtd_str, "%zu", row.mtd);

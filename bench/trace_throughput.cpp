@@ -43,6 +43,7 @@
 #include "crypto/target.hpp"
 #include "dpa/streaming.hpp"
 #include "engine/trace_engine.hpp"
+#include "io/corpus.hpp"
 #include "switchsim/cycle_sim.hpp"
 #include "util/cpu_dispatch.hpp"
 #include "util/rng.hpp"
@@ -341,6 +342,63 @@ MultiAttackBench measure_multi_attack(std::size_t threads) {
   return bench;
 }
 
+struct ReplayBench {
+  std::size_t num_traces = 0;
+  double record_tps = 0.0;    // simulate + write corpus
+  double replay_tps = 0.0;    // attack from the corpus, no simulation
+  double simulate_tps = 0.0;  // attack from a live simulated stream
+  double speedup = 0.0;       // replay vs simulate
+  bool bit_identical = false;
+};
+
+// Recorded-campaign replay: a CPA campaign fed from an on-disk corpus
+// (mmap, zero-copy shard blocks) against the same campaign simulated
+// live. Replay skips the circuit simulation entirely, so it is expected
+// to be much faster — which is what makes record-once / re-attack-many
+// analysis loops worth the disk. The corpus is written and removed here.
+ReplayBench measure_replay(std::size_t threads) {
+  const Technology tech = Technology::generic_180nm();
+  ReplayBench bench;
+  bench.num_traces = 200000;
+  const std::string path = "bench_replay.corpus";
+  TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, tech);
+  CampaignOptions options;
+  options.num_traces = bench.num_traces;
+  options.key = {0xB};
+  options.noise_sigma = 2e-16;
+  options.seed = 0xBE7C;
+  options.num_threads = threads;
+  const AttackSelector selector{.model = PowerModel::kHammingWeight};
+
+  auto start = Clock::now();
+  engine.record(options, TraceDataKind::kScalar, path);
+  bench.record_tps =
+      static_cast<double>(bench.num_traces) / seconds_since(start);
+
+  CpaDistinguisher simulated(engine.spec(), selector);
+  {
+    Distinguisher* const list[] = {&simulated};
+    start = Clock::now();
+    engine.run_distinguishers(options, list);
+    bench.simulate_tps =
+        static_cast<double>(bench.num_traces) / seconds_since(start);
+  }
+  CpaDistinguisher replayed(engine.spec(), selector);
+  {
+    const CorpusReader corpus(path);
+    Distinguisher* const list[] = {&replayed};
+    start = Clock::now();
+    engine.replay(corpus, list, {}, threads);
+    bench.replay_tps =
+        static_cast<double>(bench.num_traces) / seconds_since(start);
+  }
+  bench.speedup = bench.replay_tps / bench.simulate_tps;
+  bench.bit_identical =
+      replayed.result().score == simulated.result().score;
+  std::remove(path.c_str());
+  return bench;
+}
+
 // Streamed-campaign throughput of an N-instance PRESENT round: every
 // instance is simulated per trace, so traces/sec is expected to fall
 // roughly as 1/N while traces·instances/sec stays flat.
@@ -380,7 +438,7 @@ void write_json(const std::string& path, std::size_t num_traces,
                 const std::vector<PackBench>& pack_rows,
                 const std::vector<ThreadSweepRow>& sweep_rows,
                 const std::vector<RoundThroughput>& round_rows,
-                const MultiAttackBench& multi,
+                const MultiAttackBench& multi, const ReplayBench& replay,
                 std::size_t cpa_traces, double cpa_seconds) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
@@ -496,6 +554,13 @@ void write_json(const std::string& path, std::size_t num_traces,
                multi.num_sboxes, multi.num_traces, multi.one_pass_seconds,
                multi.independent_seconds, multi.speedup,
                multi.all_recovered ? "true" : "false");
+  std::fprintf(f,
+               "  \"replay\": {\"num_traces\": %zu, \"record_tps\": %.1f, "
+               "\"replay_tps\": %.1f, \"simulate_tps\": %.1f, "
+               "\"speedup_vs_simulate\": %.2f, \"bit_identical\": %s},\n",
+               replay.num_traces, replay.record_tps, replay.replay_tps,
+               replay.simulate_tps, replay.speedup,
+               replay.bit_identical ? "true" : "false");
   std::fprintf(f,
                "  \"streaming_cpa\": {\"num_traces\": %zu, \"seconds\": %.3f, "
                "\"tps\": %.1f}\n",
@@ -703,6 +768,17 @@ int main(int argc, char** argv) {
       multi.independent_seconds, multi.speedup,
       multi.speedup >= 8.0 ? "yes" : "NO", multi.all_recovered ? "yes" : "NO");
 
+  // Recorded-corpus replay vs live simulation (same CPA campaign, same
+  // results bit for bit; advisory, no gate — disk speed varies by runner).
+  const ReplayBench replay = measure_replay(threads);
+  std::printf(
+      "\ncorpus replay (static CMOS CPA, %zu traces, %zu threads):\n"
+      "  record %.0f traces/s, replay %.0f traces/s, simulate %.0f "
+      "traces/s\n  replay speedup vs simulate %.1fx, bit-identical: %s\n",
+      replay.num_traces, threads, replay.record_tps, replay.replay_tps,
+      replay.simulate_tps, replay.speedup,
+      replay.bit_identical ? "yes" : "NO");
+
   // End-to-end: streaming one-pass CPA at MTD scale, nothing retained,
   // sharded over all requested threads.
   const std::size_t cpa_traces = 1000000;
@@ -730,7 +806,7 @@ int main(int argc, char** argv) {
   }
 
   write_json(json_path, num_traces, threads, rows, lane_rows, pack_rows,
-             sweep_rows, round_rows, multi, cpa_traces, cpa_seconds);
+             sweep_rows, round_rows, multi, replay, cpa_traces, cpa_seconds);
   std::printf("wrote %s\n", json_path.c_str());
   return all_pass ? 0 : 1;
 }

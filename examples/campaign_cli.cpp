@@ -1,0 +1,315 @@
+// Distributed campaign driver: record / attack / merge as subcommands —
+// the multi-process fan-out recipe of README's "Recording & distributed
+// campaigns" section as one binary.
+//
+//   campaign_cli record  --traces N --out corpus
+//   campaign_cli attack  [--corpus corpus] [--shards A:B --partial P]
+//                        [--resume P] [--checkpoint P --every K]
+//                        [--json OUT]
+//   campaign_cli merge   --partials p0,p1,... --json OUT
+//
+// Every invocation rebuilds the same campaign (style, round, traces,
+// seed, noise, shard size define it; the manifest machinery verifies the
+// on-disk artifacts match) and the same attack set — CPA + DoM (bit 0) +
+// MTD on the attacked S-box. A full `attack` finalizes and can emit a
+// JSON report; a range-split `attack --shards A:B --partial P` persists
+// raw shard states instead, and `merge` folds any number of partials
+// through the exact fixed-shape reduction of a single-process run — the
+// JSON reports compare byte-identical (%.17g scores), which is what the
+// CI two-process smoke asserts.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "engine/trace_engine.hpp"
+#include "io/campaign_state.hpp"
+#include "io/corpus.hpp"
+
+using namespace sable;
+
+namespace {
+
+struct Cli {
+  LogicStyle style = LogicStyle::kStaticCmos;
+  std::size_t round_size = 1;
+  std::size_t attack_sbox = 0;
+  std::size_t num_traces = 6000;
+  std::uint64_t seed = 0xCA27A167;
+  double noise = 2e-16;
+  std::size_t shard_size = 0;
+  std::size_t num_threads = 0;
+  std::size_t lane_width = 0;
+  std::string out_path;       // record: corpus path
+  std::string corpus_path;    // attack: replay source
+  std::string partial_path;   // attack: partial-state output
+  std::string resume_path;    // attack: checkpoint to resume from
+  std::string checkpoint_path;
+  std::size_t checkpoint_every = 0;
+  std::size_t shard_begin = 0;
+  std::size_t shard_end = kAllShards;
+  std::vector<std::string> partials;  // merge inputs
+  std::string json_path;
+};
+
+std::vector<std::size_t> cli_subkeys(std::size_t n) {
+  std::vector<std::size_t> keys(n);
+  for (std::size_t j = 0; j < n; ++j) keys[j] = (0x9 + 7 * j) & 0xF;
+  return keys;
+}
+
+bool parse_style(const char* name, LogicStyle* style) {
+  for (LogicStyle s :
+       {LogicStyle::kStaticCmos, LogicStyle::kSablGenuine,
+        LogicStyle::kSablFullyConnected, LogicStyle::kSablEnhanced,
+        LogicStyle::kWddlBalanced, LogicStyle::kWddlMismatched}) {
+    if (std::strcmp(name, to_string(s)) == 0) {
+      *style = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s record --out PATH [campaign flags]\n"
+      "       %s attack [--corpus PATH] [--shards A:B --partial PATH]\n"
+      "                 [--resume PATH] [--checkpoint PATH --every K]\n"
+      "                 [--json PATH] [campaign flags]\n"
+      "       %s merge --partials P0,P1,... [--json PATH] [campaign flags]\n"
+      "campaign flags: --style NAME --round N --attack-sbox I --traces N\n"
+      "                --seed S --noise X --shard-size Z --threads T "
+      "--lanes W\n",
+      argv0, argv0, argv0);
+  return 2;
+}
+
+CampaignOptions options_for(const Cli& cli, const RoundSpec& round) {
+  CampaignOptions options;
+  options.num_traces = cli.num_traces;
+  options.key = round.pack_subkeys(cli_subkeys(cli.round_size));
+  options.noise_sigma = cli.noise;
+  options.seed = cli.seed;
+  options.shard_size = cli.shard_size;
+  options.num_threads = cli.num_threads;
+  options.lane_width = cli.lane_width;
+  return options;
+}
+
+// The shared attack set. Invocation order is part of the persisted-state
+// contract (blobs are stored in distinguisher order), so every
+// subcommand builds exactly this list.
+struct AttackSet {
+  CpaDistinguisher cpa;
+  DomDistinguisher dom;
+  MtdDistinguisher mtd;
+  std::vector<Distinguisher*> list;
+
+  AttackSet(const Cli& cli, const RoundSpec& round, std::size_t subkey)
+      : cpa(round.sboxes[cli.attack_sbox],
+            AttackSelector{.sbox_index = cli.attack_sbox,
+                           .model = PowerModel::kHammingWeight}),
+        dom(round.sboxes[cli.attack_sbox],
+            AttackSelector{.sbox_index = cli.attack_sbox,
+                           .model = PowerModel::kHammingWeight,
+                           .bit = 0}),
+        mtd(round.sboxes[cli.attack_sbox],
+            AttackSelector{.sbox_index = cli.attack_sbox,
+                           .model = PowerModel::kHammingWeight},
+            subkey, default_checkpoints(cli.num_traces), cli.num_traces),
+        list{&cpa, &dom, &mtd} {}
+};
+
+void write_scores(std::FILE* f, const std::vector<double>& scores) {
+  std::fprintf(f, "[");
+  for (std::size_t g = 0; g < scores.size(); ++g) {
+    std::fprintf(f, "%s%.17g", g == 0 ? "" : ", ", scores[g]);
+  }
+  std::fprintf(f, "]");
+}
+
+// Deterministic report: identical campaigns produce byte-identical files
+// however the shard states were produced (simulated, replayed, merged).
+int write_json(const Cli& cli, const AttackSet& attacks, std::size_t subkey) {
+  std::FILE* f = std::fopen(cli.json_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", cli.json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"style\": \"%s\",\n  \"traces\": %zu,\n",
+               to_string(cli.style), cli.num_traces);
+  std::fprintf(f, "  \"seed\": %llu,\n  \"subkey\": %zu,\n",
+               static_cast<unsigned long long>(cli.seed), subkey);
+  const AttackResult& cpa = attacks.cpa.result();
+  std::fprintf(f, "  \"cpa\": {\"rank\": %zu, \"scores\": ",
+               cpa.rank_of(subkey));
+  write_scores(f, cpa.score);
+  const AttackResult& dom = attacks.dom.result();
+  std::fprintf(f, "},\n  \"dom\": {\"rank\": %zu, \"scores\": ",
+               dom.rank_of(subkey));
+  write_scores(f, dom.score);
+  const MtdResult& mtd = attacks.mtd.result();
+  std::fprintf(f, "},\n  \"mtd\": {\"disclosed\": %s, \"mtd\": %zu, "
+                  "\"history\": [",
+               mtd.disclosed ? "true" : "false", mtd.mtd);
+  for (std::size_t i = 0; i < mtd.rank_history.size(); ++i) {
+    std::fprintf(f, "%s[%zu, %zu]", i == 0 ? "" : ", ",
+                 mtd.rank_history[i].first, mtd.rank_history[i].second);
+  }
+  std::fprintf(f, "]}\n}\n");
+  std::fclose(f);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string mode = argv[1];
+  if (mode != "record" && mode != "attack" && mode != "merge") {
+    return usage(argv[0]);
+  }
+  Cli cli;
+  for (int i = 2; i < argc; ++i) {
+    const auto has_value = [&] { return i + 1 < argc; };
+    if (std::strcmp(argv[i], "--style") == 0 && has_value()) {
+      if (!parse_style(argv[++i], &cli.style)) {
+        std::fprintf(stderr, "unknown --style %s\n", argv[i]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--round") == 0 && has_value()) {
+      cli.round_size = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--attack-sbox") == 0 && has_value()) {
+      cli.attack_sbox = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--traces") == 0 && has_value()) {
+      cli.num_traces = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && has_value()) {
+      cli.seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--noise") == 0 && has_value()) {
+      cli.noise = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--shard-size") == 0 && has_value()) {
+      cli.shard_size = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && has_value()) {
+      cli.num_threads = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--lanes") == 0 && has_value()) {
+      cli.lane_width = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--out") == 0 && has_value()) {
+      cli.out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--corpus") == 0 && has_value()) {
+      cli.corpus_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--partial") == 0 && has_value()) {
+      cli.partial_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--resume") == 0 && has_value()) {
+      cli.resume_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint") == 0 && has_value()) {
+      cli.checkpoint_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--every") == 0 && has_value()) {
+      cli.checkpoint_every = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && has_value()) {
+      const std::string range = argv[++i];
+      const std::size_t colon = range.find(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--shards expects A:B (B empty = end)\n");
+        return 2;
+      }
+      cli.shard_begin = std::strtoull(range.substr(0, colon).c_str(),
+                                      nullptr, 10);
+      const std::string end = range.substr(colon + 1);
+      cli.shard_end =
+          end.empty() ? kAllShards : std::strtoull(end.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--partials") == 0 && has_value()) {
+      std::string paths = argv[++i];
+      std::size_t pos = 0;
+      while (pos <= paths.size()) {
+        const std::size_t comma = paths.find(',', pos);
+        const std::size_t end =
+            comma == std::string::npos ? paths.size() : comma;
+        if (end > pos) cli.partials.push_back(paths.substr(pos, end - pos));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (std::strcmp(argv[i], "--json") == 0 && has_value()) {
+      cli.json_path = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (cli.round_size == 0 || cli.attack_sbox >= cli.round_size) {
+    std::fprintf(stderr, "--attack-sbox must address one of the --round %zu "
+                         "instances\n",
+                 cli.round_size);
+    return 2;
+  }
+
+  try {
+    const Technology tech = Technology::generic_180nm();
+    const RoundSpec round = present_round(cli.round_size, cli.style);
+    TraceEngine engine(round, tech);
+    const CampaignOptions options = options_for(cli, round);
+    const std::size_t subkey =
+        round.sub_word(options.key.data(), cli.attack_sbox);
+
+    if (mode == "record") {
+      if (cli.out_path.empty()) {
+        std::fprintf(stderr, "record needs --out PATH\n");
+        return 2;
+      }
+      engine.record(options, TraceDataKind::kScalar, cli.out_path);
+      const CampaignManifest m = engine.campaign_manifest(options);
+      std::printf("recorded %llu traces (%llu shards of %llu) to %s\n",
+                  static_cast<unsigned long long>(m.num_traces),
+                  static_cast<unsigned long long>(m.num_shards),
+                  static_cast<unsigned long long>(m.shard_size),
+                  cli.out_path.c_str());
+      return 0;
+    }
+
+    AttackSet attacks(cli, round, subkey);
+
+    if (mode == "merge") {
+      if (cli.partials.empty()) {
+        std::fprintf(stderr, "merge needs --partials P0,P1,...\n");
+        return 2;
+      }
+      engine.merge_partials(options, attacks.list, cli.partials);
+    } else {
+      CampaignPersistence persist;
+      persist.resume_path = cli.resume_path;
+      persist.checkpoint_every_shards = cli.checkpoint_every;
+      persist.shard_begin = cli.shard_begin;
+      persist.shard_end = cli.shard_end;
+      // --partial is the fan-out spelling of --checkpoint: a range-split
+      // invocation persists its shard states there for a later merge.
+      persist.checkpoint_path =
+          !cli.partial_path.empty() ? cli.partial_path : cli.checkpoint_path;
+      bool complete = false;
+      if (!cli.corpus_path.empty()) {
+        const CorpusReader corpus(cli.corpus_path);
+        complete =
+            engine.replay(corpus, attacks.list, persist, cli.num_threads);
+      } else {
+        complete = engine.run_distinguishers(options, attacks.list, persist);
+      }
+      if (!complete) {
+        std::printf("partial campaign state written to %s\n",
+                    persist.checkpoint_path.c_str());
+        return 0;
+      }
+    }
+
+    std::printf("CPA rank %zu, DoM rank %zu, MTD %s%zu\n",
+                attacks.cpa.result().rank_of(subkey),
+                attacks.dom.result().rank_of(subkey),
+                attacks.mtd.result().disclosed ? "" : "not disclosed at ",
+                attacks.mtd.result().disclosed ? attacks.mtd.result().mtd
+                                               : cli.num_traces);
+    if (!cli.json_path.empty()) return write_json(cli, attacks, subkey);
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

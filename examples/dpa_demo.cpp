@@ -17,13 +17,21 @@
 // CPA (logic-level pairs over time-resolved traces) per style through the
 // distinguisher pipeline — the stronger attack class a constant-power
 // claim must also survive.
+//
+// Campaign persistence (io/): `--record P` writes each style's trace
+// stream to the corpus file `P.<style>` while attacking; `--replay P`
+// feeds the attacks from those corpora instead of simulating (same
+// results, bit for bit); `--checkpoint P` persists the per-shard
+// distinguisher states to `P.<style>` so an interrupted run resumes.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "engine/trace_engine.hpp"
+#include "io/corpus.hpp"
 #include "util/cpu_dispatch.hpp"
 
 using namespace sable;
@@ -40,7 +48,10 @@ std::vector<std::size_t> demo_subkeys(std::size_t n) {
 void attack_style(LogicStyle style, std::size_t round_size,
                   std::size_t attack_sbox, std::size_t num_traces,
                   double noise, std::size_t num_threads,
-                  std::size_t lane_width, bool second_order) {
+                  std::size_t lane_width, bool second_order,
+                  const std::string& record_path,
+                  const std::string& replay_path,
+                  const std::string& checkpoint_path) {
   const Technology tech = Technology::generic_180nm();
   const RoundSpec round = present_round(round_size, style);
   TraceEngine engine(round, tech);
@@ -54,20 +65,30 @@ void attack_style(LogicStyle style, std::size_t round_size,
   options.lane_width = lane_width;
   const std::size_t subkey = round.sub_word(options.key.data(), attack_sbox);
 
-  // One generation pass feeds both consumers: the full-campaign CPA and
-  // the incremental MTD snapshotter, each over the attacked instance's
-  // sub-plaintexts extracted from the streamed wide states.
-  StreamingCpa cpa(engine.spec(attack_sbox), PowerModel::kHammingWeight);
-  StreamingMtd mtd_driver(
-      StreamingCpa(engine.spec(attack_sbox), PowerModel::kHammingWeight),
-      subkey, default_checkpoints(num_traces));
-  std::vector<std::uint8_t> sub_pts(campaign_shard_size(options));
-  engine.stream(options, [&](const std::uint8_t* pts, const double* samples,
-                             std::size_t n) {
-    round.sub_words(pts, n, attack_sbox, sub_pts.data());
-    cpa.add_batch(sub_pts.data(), samples, n);
-    mtd_driver.add_batch(sub_pts.data(), samples, n);
-  });
+  // The attacked campaign through the distinguisher pipeline: CPA and the
+  // ordered MTD distinguisher share one trace stream — simulated,
+  // recorded, or replayed from a corpus, all bit-identical.
+  const AttackSelector selector{.sbox_index = attack_sbox,
+                                .model = PowerModel::kHammingWeight};
+  CpaDistinguisher cpa(engine.spec(attack_sbox), selector);
+  MtdDistinguisher mtd_driver(engine.spec(attack_sbox), selector, subkey,
+                              default_checkpoints(num_traces), num_traces);
+  Distinguisher* const list[] = {&cpa, &mtd_driver};
+  CampaignPersistence persist;
+  if (!checkpoint_path.empty()) {
+    persist.checkpoint_path =
+        checkpoint_path + "." + to_string(style);
+  }
+  if (!record_path.empty()) {
+    engine.record(options, TraceDataKind::kScalar,
+                  record_path + "." + to_string(style));
+  }
+  if (!replay_path.empty()) {
+    const CorpusReader corpus(replay_path + "." + to_string(style));
+    engine.replay(corpus, list, persist, num_threads);
+  } else {
+    engine.run_distinguishers(options, list, persist);
+  }
   const AttackResult result = cpa.result();
   const MtdResult mtd = mtd_driver.result();
 
@@ -106,6 +127,9 @@ int main(int argc, char** argv) {
   std::size_t round_size = 1;
   std::size_t attack_sbox = 0;
   bool second_order = false;
+  std::string record_path;
+  std::string replay_path;
+  std::string checkpoint_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       num_threads =
@@ -121,13 +145,24 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--second-order") == 0) {
       second_order = true;
+    } else if (std::strcmp(argv[i], "--record") == 0 && i + 1 < argc) {
+      record_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) {
+      replay_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
+      checkpoint_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads N] [--round N] [--attack-sbox I] "
-                   "[--lanes W] [--second-order]\n",
+                   "[--lanes W] [--second-order] [--record P] [--replay P] "
+                   "[--checkpoint P]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (!record_path.empty() && !replay_path.empty()) {
+    std::fprintf(stderr, "--record and --replay are mutually exclusive\n");
+    return 2;
   }
   if (lane_width != 0) {
     const auto runnable = runtime_lane_widths();
@@ -166,7 +201,8 @@ int main(int argc, char** argv) {
         LogicStyle::kSablFullyConnected, LogicStyle::kSablEnhanced,
         LogicStyle::kWddlBalanced, LogicStyle::kWddlMismatched}) {
     attack_style(style, round_size, attack_sbox, num_traces, noise,
-                 num_threads, lane_width, second_order);
+                 num_threads, lane_width, second_order, record_path,
+                 replay_path, checkpoint_path);
   }
   std::printf(
       "\nThe fully connected/enhanced gates draw an input-independent charge\n"

@@ -133,6 +133,31 @@ void RoundSpec::fill_random_states(Rng& rng, std::size_t count,
   }
 }
 
+std::uint64_t round_spec_hash(const RoundSpec& round) {
+  // FNV-1a over the functional fields only. Names stay out: two rounds
+  // whose instances compute the same tables in the same style generate
+  // identical traces, and the manifest check should agree.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001B3ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(round.style));
+  mix(round.num_sboxes());
+  for (const SboxSpec& spec : round.sboxes) {
+    mix(spec.in_bits);
+    mix(spec.out_bits);
+    mix(spec.table.size());
+    for (std::uint8_t entry : spec.table) {
+      h ^= entry;
+      h *= 0x100000001B3ULL;
+    }
+  }
+  return h;
+}
+
 RoundSpec single_sbox_round(const SboxSpec& spec, LogicStyle style) {
   RoundSpec round;
   round.sboxes = {spec};

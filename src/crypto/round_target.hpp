@@ -86,6 +86,14 @@ struct RoundSpec {
                           std::uint8_t* states) const;
 };
 
+/// FNV-1a hash of a round's FUNCTIONAL identity: logic style plus every
+/// instance's in_bits/out_bits/table (names excluded — renaming an S-box
+/// does not change the traces it generates). Persistence artifacts
+/// (recorded corpora, campaign state files; see src/io/) stamp this hash
+/// into their manifests so a corpus recorded against one round can never
+/// be silently replayed against a different one.
+std::uint64_t round_spec_hash(const RoundSpec& round);
+
 /// The N = 1 round of a single S-box (what SboxTarget adapts).
 RoundSpec single_sbox_round(const SboxSpec& spec, LogicStyle style);
 /// `num_sboxes` PRESENT S-boxes side by side (nibble-packed state) — the

@@ -4,11 +4,14 @@
 #include <utility>
 
 #include "crypto/round_target.hpp"
+#include "io/serial.hpp"
 #include "util/error.hpp"
 
 namespace sable {
 
 namespace {
+
+constexpr std::uint32_t kMtdShardTag = 0x53AB1006;
 
 // Shard states of one distinguisher are homogeneous by construction (the
 // engine never mixes them), so the downcast cannot fail in a correct
@@ -53,6 +56,8 @@ class CpaShardAccumulator final : public ShardAccumulator {
   void merge(ShardAccumulator& other) override {
     acc_.merge(cast_peer<CpaShardAccumulator>(other).acc_);
   }
+  void save(ByteWriter& writer) const override { acc_.save(writer); }
+  void load(ByteReader& reader) override { acc_.load(reader); }
 
   const StreamingCpa& acc() const { return acc_; }
 
@@ -71,6 +76,8 @@ class DomShardAccumulator final : public ShardAccumulator {
   void merge(ShardAccumulator& other) override {
     acc_.merge(cast_peer<DomShardAccumulator>(other).acc_);
   }
+  void save(ByteWriter& writer) const override { acc_.save(writer); }
+  void load(ByteReader& reader) override { acc_.load(reader); }
 
   const StreamingDom& acc() const { return acc_; }
 
@@ -94,6 +101,8 @@ class MultiCpaShardAccumulator final : public ShardAccumulator {
   void merge(ShardAccumulator& other) override {
     acc_.merge(cast_peer<MultiCpaShardAccumulator>(other).acc_);
   }
+  void save(ByteWriter& writer) const override { acc_.save(writer); }
+  void load(ByteReader& reader) override { acc_.load(reader); }
 
   const StreamingMultiCpa& acc() const { return acc_; }
 
@@ -112,6 +121,8 @@ class SecondOrderShardAccumulator final : public ShardAccumulator {
   void merge(ShardAccumulator& other) override {
     acc_.merge(cast_peer<SecondOrderShardAccumulator>(other).acc_);
   }
+  void save(ByteWriter& writer) const override { acc_.save(writer); }
+  void load(ByteReader& reader) override { acc_.load(reader); }
 
   const StreamingSecondOrderCpa& acc() const { return acc_; }
 
@@ -161,6 +172,36 @@ class MtdShardAccumulator final : public ShardAccumulator {
       driver_->checkpoint(count, snapshot);
     }
     driver_->append(peer.acc_);
+  }
+
+  // Persistence covers RAW shard states only (the engine checkpoints
+  // before any reduction), so a settled fold root never reaches save().
+  // The snapshots serialize beside the full accumulator; on load they are
+  // reconstituted as copies of acc_ (same spec-derived configuration)
+  // overwritten with the stored moments.
+  void save(ByteWriter& writer) const override {
+    SABLE_ASSERT(!driver_, "cannot serialize a settled MTD fold root");
+    writer.u32(kMtdShardTag);
+    acc_.save(writer);
+    writer.u64(snapshots_.size());
+    for (const auto& [count, snapshot] : snapshots_) {
+      writer.u64(count);
+      snapshot.save(writer);
+    }
+  }
+  void load(ByteReader& reader) override {
+    SABLE_ASSERT(!driver_, "cannot load into a settled MTD fold root");
+    SABLE_REQUIRE(reader.u32() == kMtdShardTag,
+                  "serialized state is not an MTD shard accumulator");
+    acc_.load(reader);
+    const std::uint64_t entries = reader.checked_count(16);
+    snapshots_.clear();
+    snapshots_.reserve(entries);
+    for (std::uint64_t i = 0; i < entries; ++i) {
+      const std::uint64_t count = reader.u64();
+      snapshots_.emplace_back(static_cast<std::size_t>(count), acc_);
+      snapshots_.back().second.load(reader);
+    }
   }
 
   MtdResult settle_and_result() {

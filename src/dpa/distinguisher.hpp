@@ -66,16 +66,35 @@ struct ShardBlock {
   std::size_t width = 1;
 };
 
+class ByteReader;
+class ByteWriter;
+
 /// Per-shard accumulation state. accumulate() consumes whole blocks;
 /// merge() folds another accumulator of the SAME distinguisher over a
 /// later disjoint trace range into this one (for ordered distinguishers,
 /// strictly the next range in canonical order).
+///
+/// save()/load() are the campaign-persistence hooks (io/campaign_state.hpp):
+/// save() serializes a RAW (unreduced) shard state bit-exactly; load()
+/// overwrites a freshly made_shard_accumulator()'d state with a saved one,
+/// throwing InvalidArgument when the blob belongs to a different
+/// accumulator type or configuration. Checkpoints store shard states
+/// individually — never merged prefixes — so resumed and merged campaigns
+/// replay the exact fixed-shape reduction of a local run.
 class ShardAccumulator {
  public:
   virtual ~ShardAccumulator() = default;
   virtual void accumulate(const ShardBlock& block) = 0;
   virtual void merge(ShardAccumulator& other) = 0;
+  virtual void save(ByteWriter& writer) const = 0;
+  virtual void load(ByteReader& reader) = 0;
 };
+
+/// The engine's shard-state matrix: states[d][s] is distinguisher d's
+/// accumulator for canonical shard s (null while s is uncovered). The
+/// shared currency of the campaign driver, checkpoint/resume and the
+/// multi-process partial-state merge.
+using ShardStates = std::vector<std::vector<std::unique_ptr<ShardAccumulator>>>;
 
 /// An attack the engine can drive through a campaign. Implementations are
 /// single-use state machines: run_distinguishers() creates shard

@@ -2,9 +2,16 @@
 
 #include <algorithm>
 
+#include "io/serial.hpp"
 #include "util/error.hpp"
 
 namespace sable {
+
+namespace {
+
+constexpr std::uint32_t kShardedMtdTag = 0x53AB1005;
+
+}  // namespace
 
 MtdResult mtd_from_history(
     std::vector<std::pair<std::size_t, std::size_t>> rank_history) {
@@ -115,6 +122,40 @@ void ShardedMtd::append(const StreamingCpa& full) {
     merged_ = full;
   } else {
     merged_->merge(full);
+  }
+}
+
+void ShardedMtd::save(ByteWriter& writer) const {
+  writer.u32(kShardedMtdTag);
+  writer.u64(correct_key_);
+  writer.u8(merged_ ? 1 : 0);
+  if (merged_) merged_->save(writer);
+  writer.u64(rank_history_.size());
+  for (const auto& [count, rank] : rank_history_) {
+    writer.u64(count);
+    writer.u64(rank);
+  }
+}
+
+void ShardedMtd::load(ByteReader& reader, const StreamingCpa& prototype) {
+  SABLE_REQUIRE(reader.u32() == kShardedMtdTag,
+                "serialized state is not a ShardedMtd driver");
+  SABLE_REQUIRE(reader.u64() == correct_key_,
+                "serialized MTD state targets a different correct key");
+  if (reader.u8() != 0) {
+    merged_ = prototype;
+    merged_->load(reader);
+  } else {
+    merged_.reset();
+  }
+  const std::uint64_t entries = reader.checked_count(16);
+  rank_history_.clear();
+  rank_history_.reserve(entries);
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    const std::uint64_t count = reader.u64();
+    const std::uint64_t rank = reader.u64();
+    rank_history_.emplace_back(static_cast<std::size_t>(count),
+                               static_cast<std::size_t>(rank));
   }
 }
 

@@ -13,6 +13,9 @@
 
 namespace sable {
 
+class ByteReader;
+class ByteWriter;
+
 struct MtdResult {
   bool disclosed = false;
   /// Smallest checkpoint trace count from which the correct key stays
@@ -87,6 +90,14 @@ class ShardedMtd {
 
   std::size_t count() const { return merged_ ? merged_->count() : 0; }
   MtdResult result() const { return mtd_from_history(rank_history_); }
+
+  /// Bit-exact tagged (de)serialization (io/serial.hpp; the contract
+  /// documented in streaming.hpp). load() rebuilds the merged prefix by
+  /// copying `prototype` — a fresh accumulator of the campaign's
+  /// spec/model/bit — and loading the stored moments into it, so the
+  /// prediction table is rebuilt from the spec, never read from disk.
+  void save(ByteWriter& writer) const;
+  void load(ByteReader& reader, const StreamingCpa& prototype);
 
  private:
   std::size_t correct_key_;

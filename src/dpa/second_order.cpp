@@ -2,11 +2,14 @@
 
 #include <cmath>
 
+#include "io/serial.hpp"
 #include "util/error.hpp"
 
 namespace sable {
 
 namespace {
+
+constexpr std::uint32_t kSecondOrderTag = 0x53AB1004;
 
 // Pair p enumerates i < j lexicographically: (0,1), (0,2), …, (1,2), ….
 // The loops below iterate pairs in this order with a running index, so the
@@ -236,6 +239,64 @@ void StreamingSecondOrderCpa::merge(const StreamingSecondOrderCpa& other) {
   if (other.width_ == 0) return;  // other never saw a block
   ensure_width(other.width_);
   combine(sums_, other.sums_);
+}
+
+void StreamingSecondOrderCpa::save(ByteWriter& writer) const {
+  writer.u32(kSecondOrderTag);
+  writer.u64(num_guesses_);
+  writer.u32(static_cast<std::uint32_t>(model_));
+  writer.u64(bit_);
+  writer.u64(width_);
+  if (width_ == 0) return;  // lazily sized; nothing accumulated yet
+  writer.u64(sums_.n);
+  writer.f64s(sums_.mean_x.data(), width_);
+  writer.f64s(sums_.mean_h.data(), num_guesses_);
+  writer.f64s(sums_.m2_h.data(), num_guesses_);
+  writer.f64s(sums_.c2.data(), width_ * width_);
+  writer.f64s(sums_.c_xh.data(), width_ * num_guesses_);
+  writer.f64s(sums_.m3_iij.data(), num_pairs_);
+  writer.f64s(sums_.m3_ijj.data(), num_pairs_);
+  writer.f64s(sums_.m4.data(), num_pairs_);
+  writer.f64s(sums_.m3_ijh.data(), num_pairs_ * num_guesses_);
+}
+
+void StreamingSecondOrderCpa::load(ByteReader& reader) {
+  SABLE_REQUIRE(reader.u32() == kSecondOrderTag,
+                "serialized state is not a second-order CPA accumulator");
+  SABLE_REQUIRE(reader.u64() == num_guesses_ &&
+                    reader.u32() == static_cast<std::uint32_t>(model_) &&
+                    reader.u64() == bit_,
+                "serialized second-order CPA state was produced by a "
+                "differently configured accumulator (guess count, model or "
+                "bit)");
+  const std::uint64_t width = reader.u64();
+  if (width == 0) {
+    SABLE_REQUIRE(width_ == 0,
+                  "cannot load an empty second-order state into an "
+                  "accumulator whose width is already fixed");
+    return;
+  }
+  // A corrupt width field must not drive the O(width^2) allocations in
+  // ensure_width: the c2 matrix alone needs width^2 doubles from the
+  // stream, so bound the claim by the bytes actually remaining.
+  SABLE_REQUIRE(width <= 0xFFFF &&
+                    width * width <= reader.remaining() / sizeof(double),
+                "serialized second-order width is implausibly large for "
+                "the remaining file size");
+  // The stored width must agree with a fixed width; a lazily unsized
+  // accumulator adopts it (the same rule add_block applies to its first
+  // block, including the >= 2 check inside ensure_width).
+  ensure_width(static_cast<std::size_t>(width));
+  sums_.n = reader.u64();
+  reader.f64s(sums_.mean_x.data(), width_);
+  reader.f64s(sums_.mean_h.data(), num_guesses_);
+  reader.f64s(sums_.m2_h.data(), num_guesses_);
+  reader.f64s(sums_.c2.data(), width_ * width_);
+  reader.f64s(sums_.c_xh.data(), width_ * num_guesses_);
+  reader.f64s(sums_.m3_iij.data(), num_pairs_);
+  reader.f64s(sums_.m3_ijj.data(), num_pairs_);
+  reader.f64s(sums_.m4.data(), num_pairs_);
+  reader.f64s(sums_.m3_ijh.data(), num_pairs_ * num_guesses_);
 }
 
 SecondOrderAttackResult StreamingSecondOrderCpa::result() const {

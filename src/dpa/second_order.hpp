@@ -39,6 +39,9 @@
 
 namespace sable {
 
+class ByteReader;
+class ByteWriter;
+
 /// Second-order scores: per guess the largest |ρ| over all level pairs,
 /// plus the (i, j) pair where the winning guess peaked — the two moments
 /// in time an analyst would combine on an oscilloscope.
@@ -77,6 +80,12 @@ class StreamingSecondOrderCpa {
 
   /// Scores over the traces consumed so far (needs at least two).
   SecondOrderAttackResult result() const;
+
+  /// Bit-exact tagged (de)serialization (io/serial.hpp; the contract
+  /// documented in streaming.hpp). A width-0 (never-fed) accumulator
+  /// round trips to a width-0 accumulator.
+  void save(ByteWriter& writer) const;
+  void load(ByteReader& reader);
 
  private:
   // Central co-moment sums of one trace subset. Pair p runs over i < j in

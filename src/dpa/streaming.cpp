@@ -2,9 +2,20 @@
 
 #include <cmath>
 
+#include "io/serial.hpp"
 #include "util/error.hpp"
 
 namespace sable {
+
+namespace {
+
+// Accumulator type tags: the first u32 of every serialized accumulator
+// blob, so loading a blob into the wrong accumulator type fails loudly.
+constexpr std::uint32_t kCpaTag = 0x53AB1001;
+constexpr std::uint32_t kDomTag = 0x53AB1002;
+constexpr std::uint32_t kMultiCpaTag = 0x53AB1003;
+
+}  // namespace
 
 // The prediction tables come from crypto/leakage.hpp — the same
 // plaintext-major layout every distinguisher (including the second-order
@@ -84,6 +95,31 @@ AttackResult StreamingCpa::result() const {
   return make_attack_result(std::move(scores));
 }
 
+void StreamingCpa::save(ByteWriter& writer) const {
+  writer.u32(kCpaTag);
+  writer.u64(num_guesses_);
+  writer.u32(static_cast<std::uint32_t>(model_));
+  writer.u64(bit_);
+  t_.save(writer);
+  writer.f64s(mean_h_.data(), num_guesses_);
+  writer.f64s(m2_h_.data(), num_guesses_);
+  writer.f64s(c_ht_.data(), num_guesses_);
+}
+
+void StreamingCpa::load(ByteReader& reader) {
+  SABLE_REQUIRE(reader.u32() == kCpaTag,
+                "serialized state is not a CPA accumulator");
+  SABLE_REQUIRE(reader.u64() == num_guesses_ &&
+                    reader.u32() == static_cast<std::uint32_t>(model_) &&
+                    reader.u64() == bit_,
+                "serialized CPA state was produced by a differently "
+                "configured accumulator (guess count, model or bit)");
+  t_.load(reader);
+  reader.f64s(mean_h_.data(), num_guesses_);
+  reader.f64s(m2_h_.data(), num_guesses_);
+  reader.f64s(c_ht_.data(), num_guesses_);
+}
+
 // ---- StreamingDom ---------------------------------------------------------
 
 StreamingDom::StreamingDom(const SboxSpec& spec, std::size_t bit)
@@ -143,6 +179,30 @@ AttackResult StreamingDom::result() const {
                           sum_[0][g] / static_cast<double>(cnt_[0][g]));
   }
   return make_attack_result(std::move(scores));
+}
+
+void StreamingDom::save(ByteWriter& writer) const {
+  writer.u32(kDomTag);
+  writer.u64(num_guesses_);
+  writer.u64(bit_);
+  writer.u64(n_);
+  for (int p : {0, 1}) {
+    writer.f64s(sum_[p].data(), num_guesses_);
+    for (std::size_t g = 0; g < num_guesses_; ++g) writer.u64(cnt_[p][g]);
+  }
+}
+
+void StreamingDom::load(ByteReader& reader) {
+  SABLE_REQUIRE(reader.u32() == kDomTag,
+                "serialized state is not a DoM accumulator");
+  SABLE_REQUIRE(reader.u64() == num_guesses_ && reader.u64() == bit_,
+                "serialized DoM state was produced by a differently "
+                "configured accumulator (guess count or bit)");
+  n_ = reader.u64();
+  for (int p : {0, 1}) {
+    reader.f64s(sum_[p].data(), num_guesses_);
+    for (std::size_t g = 0; g < num_guesses_; ++g) cnt_[p][g] = reader.u64();
+  }
 }
 
 // ---- StreamingMultiCpa ----------------------------------------------------
@@ -220,6 +280,35 @@ void StreamingMultiCpa::merge(const StreamingMultiCpa& other) {
   }
   for (std::size_t s = 0; s < width_; ++s) t_[s].merge(other.t_[s]);
   n_ += other.n_;
+}
+
+void StreamingMultiCpa::save(ByteWriter& writer) const {
+  writer.u32(kMultiCpaTag);
+  writer.u64(num_guesses_);
+  writer.u32(static_cast<std::uint32_t>(model_));
+  writer.u64(bit_);
+  writer.u64(width_);
+  writer.u64(n_);
+  writer.f64s(mean_h_.data(), num_guesses_);
+  writer.f64s(m2_h_.data(), num_guesses_);
+  for (const OnlineMoments& column : t_) column.save(writer);
+  writer.f64s(c_ht_.data(), width_ * num_guesses_);
+}
+
+void StreamingMultiCpa::load(ByteReader& reader) {
+  SABLE_REQUIRE(reader.u32() == kMultiCpaTag,
+                "serialized state is not a multisample CPA accumulator");
+  SABLE_REQUIRE(reader.u64() == num_guesses_ &&
+                    reader.u32() == static_cast<std::uint32_t>(model_) &&
+                    reader.u64() == bit_ && reader.u64() == width_,
+                "serialized multisample CPA state was produced by a "
+                "differently configured accumulator (guess count, model, "
+                "bit or width)");
+  n_ = reader.u64();
+  reader.f64s(mean_h_.data(), num_guesses_);
+  reader.f64s(m2_h_.data(), num_guesses_);
+  for (OnlineMoments& column : t_) column.load(reader);
+  reader.f64s(c_ht_.data(), width_ * num_guesses_);
 }
 
 MultiAttackResult StreamingMultiCpa::result() const {

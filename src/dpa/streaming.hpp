@@ -30,6 +30,19 @@
 
 namespace sable {
 
+class ByteReader;
+class ByteWriter;
+
+// Serialization (io/serial.hpp): every streaming accumulator has a
+// versionless tagged save()/load() pair embedded inside the versioned
+// campaign-state container (io/campaign_state.hpp). save() emits a type
+// tag, the configuration (guess count, model, bit, width) and the moment
+// state bit-exactly; load() overwrites the moment state of an accumulator
+// ALREADY CONSTRUCTED with the matching spec — the prediction tables are
+// rebuilt from the spec, never trusted from disk — and throws
+// InvalidArgument when the tag or configuration disagrees (the container
+// wraps that into a path-tagged typed error).
+
 /// One-pass correlation power analysis: per key guess a running mean /
 /// M2 / co-moment against the shared sample stream.
 class StreamingCpa {
@@ -52,6 +65,9 @@ class StreamingCpa {
   /// Attack scores over the traces consumed so far (|rho| per guess).
   /// Cheap enough to snapshot at every MTD checkpoint.
   AttackResult result() const;
+
+  void save(ByteWriter& writer) const;
+  void load(ByteReader& reader);
 
  private:
   std::size_t num_guesses_;
@@ -88,6 +104,9 @@ class StreamingDom {
   std::size_t count() const { return n_; }
   AttackResult result() const;
 
+  void save(ByteWriter& writer) const;
+  void load(ByteReader& reader);
+
  private:
   std::size_t num_guesses_;
   std::size_t num_plaintexts_;
@@ -117,6 +136,9 @@ class StreamingMultiCpa {
   void merge(const StreamingMultiCpa& other);
 
   MultiAttackResult result() const;
+
+  void save(ByteWriter& writer) const;
+  void load(ByteReader& reader);
 
  private:
   std::size_t num_guesses_;

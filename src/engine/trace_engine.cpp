@@ -11,7 +11,11 @@
 #include <utility>
 #include <vector>
 
+#include "engine/shard_reduce.hpp"
 #include "engine/worker_pool.hpp"
+#include "io/campaign_state.hpp"
+#include "io/corpus.hpp"
+#include "io/replay.hpp"
 #include "util/cpu_dispatch.hpp"
 #include "util/error.hpp"
 
@@ -333,6 +337,31 @@ void run_pool(const RoundTargetT<W>& prototype, detail::LanePool<W>& pool,
   });
 }
 
+// Worklist sibling of run_pool: `fn(ctx, shard)` runs for every shard in
+// `work` (any subset of the canonical shards — resumed and range-split
+// campaigns accumulate only their uncovered slice). Scheduling order is
+// free; per-shard work is order-independent by construction.
+template <typename W, typename Fn>
+void run_pool_list(const RoundTargetT<W>& prototype,
+                   detail::LanePool<W>& pool, WorkerPool& workers,
+                   const std::vector<std::size_t>& work, std::size_t threads,
+                   Fn&& fn) {
+  if (work.empty()) return;
+  if (threads <= 1) {
+    WorkerCtx<W> ctx(prototype, pool);
+    for (std::size_t s : work) fn(ctx, s);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  workers.run(std::min(threads, work.size()), [&](std::size_t) {
+    WorkerCtx<W> ctx(prototype, pool);
+    for (std::size_t k = next.fetch_add(1); k < work.size();
+         k = next.fetch_add(1)) {
+      fn(ctx, work[k]);
+    }
+  });
+}
+
 // Shared machinery of stream() and stream_sampled(): workers fill shard
 // slots via `simulate(target, shard, pts, samples)`; the calling thread
 // emits them to `sink` in canonical shard order. `pt_stride` /
@@ -538,10 +567,12 @@ TraceSet run_campaign(const RoundTargetT<W>& prototype,
 // through a strict left fold in canonical shard order. Either way the
 // result is bit-identical for any num_threads / lane_width.
 template <typename W>
-void run_distinguishers_impl(const RoundTargetT<W>& prototype,
+bool run_distinguishers_impl(const RoundTargetT<W>& prototype,
                              detail::LanePool<W>& pool, WorkerPool& workers,
                              const CampaignOptions& options,
-                             std::span<Distinguisher* const> distinguishers) {
+                             const CampaignManifest& manifest,
+                             std::span<Distinguisher* const> distinguishers,
+                             const CampaignPersistence& persist) {
   const RoundSpec& round = prototype.round();
   const ShardLayout layout = layout_for(options);
   const std::size_t threads = resolve_threads(options, layout.num_shards);
@@ -579,14 +610,14 @@ void run_distinguishers_impl(const RoundTargetT<W>& prototype,
   // workers then dirty from different cores. Worker-side construction
   // spreads the allocations over the workers' own malloc arenas, killing
   // both the serial section and the false sharing at once.
-  std::vector<std::vector<std::unique_ptr<ShardAccumulator>>> states(
-      distinguishers.size());
+  ShardStates states(distinguishers.size());
   for (std::size_t d = 0; d < distinguishers.size(); ++d) {
     states[d].resize(layout.num_shards);
   }
 
-  run_pool(
-      prototype, pool, workers, layout, threads,
+  const auto accumulate = [&](const std::vector<std::size_t>& work) {
+    run_pool_list(
+      prototype, pool, workers, work, threads,
       [&](WorkerCtx<W>& ctx, std::size_t s) {
         for (std::size_t d = 0; d < distinguishers.size(); ++d) {
           states[d][s] = distinguishers[d]->make_shard_accumulator();
@@ -624,59 +655,20 @@ void run_distinguishers_impl(const RoundTargetT<W>& prototype,
           states[d][s]->accumulate(block);
         }
       });
+  };
 
-  // Reduction. Ordered distinguishers (MTD prefix semantics) keep the
-  // strict serial left fold in canonical shard order. Unordered ones
-  // reduce through the fixed-shape binary tree — the exact pairing
-  // merge_shard_tree defines — but with each round's merges spread over
-  // the parked workers: within a round every (d, i) <- (d, i + stride)
-  // merge touches disjoint accumulators, so the rounds parallelize
-  // freely while the pairing (hence the result, bit for bit) stays that
-  // of the serial tree. The tail of the tree has too few merges to feed
-  // every core, so the serial fraction shrinks from O(shards) to
-  // O(log shards) merges per distinguisher.
-  std::vector<std::size_t> unordered;
-  for (std::size_t d = 0; d < distinguishers.size(); ++d) {
-    if (distinguishers[d]->ordered()) {
-      for (std::size_t s = 1; s < layout.num_shards; ++s) {
-        states[d][0]->merge(*states[d][s]);
-      }
-    } else if (layout.num_shards > 1) {
-      unordered.push_back(d);
-    }
+  // The persistence wrapper (resume, wave checkpoints, range splits) is a
+  // no-op for default persistence: the worklist is then every shard in
+  // one wave — the historic in-memory run, bit for bit. The reduction
+  // (fixed-shape tree / ordered fold) lives in engine/shard_reduce.cpp,
+  // shared with the replay and partial-merge paths.
+  if (!run_persisted_waves(manifest, distinguishers, states, persist,
+                           accumulate)) {
+    return false;
   }
-  if (!unordered.empty()) {
-    std::vector<std::size_t> lefts;  // the round's merge targets i
-    for (std::size_t stride = 1; stride < layout.num_shards; stride *= 2) {
-      lefts.clear();
-      for (std::size_t i = 0; i + stride < layout.num_shards;
-           i += 2 * stride) {
-        lefts.push_back(i);
-      }
-      const std::size_t merges = unordered.size() * lefts.size();
-      const std::size_t merge_threads = std::min(threads, merges);
-      if (merge_threads <= 1) {
-        for (std::size_t d : unordered) {
-          for (std::size_t i : lefts) {
-            states[d][i]->merge(*states[d][i + stride]);
-          }
-        }
-      } else {
-        std::atomic<std::size_t> next{0};
-        workers.run(merge_threads, [&](std::size_t) {
-          for (std::size_t k = next.fetch_add(1); k < merges;
-               k = next.fetch_add(1)) {
-            const std::size_t d = unordered[k / lefts.size()];
-            const std::size_t i = lefts[k % lefts.size()];
-            states[d][i]->merge(*states[d][i + stride]);
-          }
-        });
-      }
-    }
-  }
-  for (std::size_t d = 0; d < distinguishers.size(); ++d) {
-    distinguishers[d]->finalize(*states[d][0]);
-  }
+  reduce_and_finalize_distinguishers(distinguishers, states, workers,
+                                     threads);
+  return true;
 }
 
 }  // namespace
@@ -750,6 +742,13 @@ void TraceEngine::stream_sampled(const CampaignOptions& options,
 void TraceEngine::run_distinguishers(
     const CampaignOptions& options,
     std::span<Distinguisher* const> distinguishers) {
+  run_distinguishers(options, distinguishers, CampaignPersistence{});
+}
+
+bool TraceEngine::run_distinguishers(
+    const CampaignOptions& options,
+    std::span<Distinguisher* const> distinguishers,
+    const CampaignPersistence& persist) {
   SABLE_REQUIRE(!distinguishers.empty(),
                 "run_distinguishers needs at least one distinguisher");
   SABLE_REQUIRE(options.num_traces >= 2,
@@ -763,11 +762,97 @@ void TraceEngine::run_distinguishers(
                     "time-resolved campaigns need at least one logic level");
     }
   }
-  with_lane(target_, *pools_, options,
-            [&](const auto& prototype, auto& pool) {
-              run_distinguishers_impl(prototype, pool, pools_->workers,
-                                      options, distinguishers);
-            });
+  const CampaignManifest manifest = campaign_manifest(options);
+  return with_lane(target_, *pools_, options,
+                   [&](const auto& prototype, auto& pool) {
+                     return run_distinguishers_impl(prototype, pool,
+                                                    pools_->workers, options,
+                                                    manifest, distinguishers,
+                                                    persist);
+                   });
+}
+
+void TraceEngine::merge_partials(
+    const CampaignOptions& options,
+    std::span<Distinguisher* const> distinguishers,
+    const std::vector<std::string>& partial_paths) {
+  SABLE_REQUIRE(!distinguishers.empty(),
+                "merge_partials needs at least one distinguisher");
+  SABLE_REQUIRE(!partial_paths.empty(),
+                "merge_partials needs at least one partial state file");
+  validate_key(round(), options);
+  for (Distinguisher* d : distinguishers) {
+    SABLE_REQUIRE(d != nullptr, "distinguisher must not be null");
+    d->validate(round());
+  }
+  const CampaignManifest manifest = campaign_manifest(options);
+  ShardStates states(distinguishers.size());
+  for (auto& row : states) {
+    row.resize(static_cast<std::size_t>(manifest.num_shards));
+  }
+  // Overlaps between files throw ShardIndexError from the loader; gaps
+  // surface in the reducer's full-coverage check.
+  for (const std::string& path : partial_paths) {
+    load_campaign_state(path, manifest, distinguishers, states);
+  }
+  const ShardLayout layout = layout_for(options);
+  reduce_and_finalize_distinguishers(
+      distinguishers, states, pools_->workers,
+      resolve_threads(options, layout.num_shards));
+}
+
+void TraceEngine::record(const CampaignOptions& options, TraceDataKind kind,
+                         const std::string& path) {
+  validate_key(round(), options);
+  SABLE_REQUIRE(options.num_traces >= 1,
+                "recording requires at least one trace");
+  CorpusManifest manifest;
+  manifest.campaign = campaign_manifest(options);
+  manifest.pt_stride = round().state_bytes();
+  if (kind == TraceDataKind::kScalar) {
+    manifest.kind = kCorpusKindScalar;
+    manifest.sample_width = 1;
+  } else {
+    SABLE_REQUIRE(target_.num_levels() > 0,
+                  "time-resolved campaigns need at least one logic level");
+    manifest.kind = kCorpusKindSampled;
+    manifest.sample_width = target_.num_levels();
+  }
+  CorpusWriter writer(path, manifest);
+  // stream()/stream_sampled() emit shards in canonical order on the
+  // calling thread — exactly append_shard's contract.
+  const auto sink = [&](const std::uint8_t* pts, const double* samples,
+                        std::size_t count) {
+    writer.append_shard(pts, samples, count);
+  };
+  if (kind == TraceDataKind::kScalar) {
+    stream(options, sink);
+  } else {
+    stream_sampled(options, sink);
+  }
+  writer.finish();
+}
+
+bool TraceEngine::replay(const CorpusReader& corpus,
+                         std::span<Distinguisher* const> distinguishers,
+                         const CampaignPersistence& persist,
+                         std::size_t num_threads) {
+  return replay_distinguishers(corpus, round(), distinguishers, persist,
+                               num_threads, &pools_->workers);
+}
+
+CampaignManifest TraceEngine::campaign_manifest(
+    const CampaignOptions& options) const {
+  const ShardLayout layout = layout_for(options);
+  CampaignManifest manifest;
+  manifest.spec_hash = round_spec_hash(round());
+  manifest.seed = options.seed;
+  manifest.num_traces = options.num_traces;
+  manifest.shard_size = layout.shard_size;
+  manifest.num_shards = layout.num_shards;
+  manifest.noise_sigma = options.noise_sigma;
+  manifest.key = options.key;
+  return manifest;
 }
 
 AttackResult TraceEngine::cpa_campaign(const CampaignOptions& options,

@@ -66,10 +66,13 @@
 #include "dpa/mtd.hpp"
 #include "dpa/second_order.hpp"
 #include "dpa/streaming.hpp"
+#include "io/manifest.hpp"
 #include "power/trace.hpp"
 #include "util/error.hpp"
 
 namespace sable {
+
+class CorpusReader;  // io/corpus.hpp
 
 struct CampaignOptions {
   std::size_t num_traces = 0;
@@ -235,6 +238,53 @@ class TraceEngine {
   /// bit-identical for any num_threads and lane_width.
   void run_distinguishers(const CampaignOptions& options,
                           std::span<Distinguisher* const> distinguishers);
+
+  /// Persistence-aware campaign driver (the overload above is this with
+  /// default persistence): optionally resumes shard states from
+  /// persist.resume_path, simulates only the uncovered shards of
+  /// [shard_begin, shard_end), checkpoints to persist.checkpoint_path in
+  /// waves, and — when every canonical shard is covered — reduces and
+  /// finalizes exactly as the plain run. Returns true when results were
+  /// finalized, false for a partial (persisted) run whose shard states
+  /// went to the checkpoint file. Checkpoints store RAW per-shard states
+  /// (see io/campaign_state.hpp), so resumed, split and merged campaigns
+  /// are bit-identical to one uninterrupted local run.
+  bool run_distinguishers(const CampaignOptions& options,
+                          std::span<Distinguisher* const> distinguishers,
+                          const CampaignPersistence& persist);
+
+  /// Folds N partial campaign-state files (each from a
+  /// run_distinguishers invocation over a disjoint shard range — the
+  /// multi-process fan-out) into finalized results: every file's
+  /// manifest must match this campaign, together they must cover every
+  /// canonical shard exactly once, and the reduction is the same
+  /// fixed-shape tree a single local run performs — bit-identical
+  /// results, proven in tests. No simulation happens here.
+  void merge_partials(const CampaignOptions& options,
+                      std::span<Distinguisher* const> distinguishers,
+                      const std::vector<std::string>& partial_paths);
+
+  /// Records the campaign's trace stream to a corpus file at `path`
+  /// (io/corpus.hpp): shards are simulated in parallel and written in
+  /// canonical order, scalar or cycle-sampled per `kind`. The corpus
+  /// replays into any matching distinguisher set bit-identically to the
+  /// live campaign.
+  void record(const CampaignOptions& options, TraceDataKind kind,
+              const std::string& path);
+
+  /// Replays a recorded corpus into `distinguishers` — no simulation,
+  /// same results, same persistence controls as run_distinguishers
+  /// (replay_distinguishers over this engine's worker pool). The corpus
+  /// must have been recorded for this engine's round.
+  bool replay(const CorpusReader& corpus,
+              std::span<Distinguisher* const> distinguishers,
+              const CampaignPersistence& persist = {},
+              std::size_t num_threads = 0);
+
+  /// The manifest pinning this engine + options campaign (resolved shard
+  /// layout, round spec hash) — what every persisted artifact of the
+  /// campaign is validated against.
+  CampaignManifest campaign_manifest(const CampaignOptions& options) const;
 
   /// One-pass CPA on the selected instance's subkey over a streamed
   /// campaign: a single CpaDistinguisher through run_distinguishers.

@@ -1,0 +1,215 @@
+#include "io/corpus.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace sable {
+
+namespace {
+
+constexpr char kCorpusMagic[8] = {'S', 'A', 'B', 'L', 'C', 'O', 'R', 'P'};
+constexpr std::uint32_t kCorpusVersion = 1;
+
+// Sanity ceilings on hostile header fields, chosen so every size product
+// below fits a u64 with room to spare (a real round's state is tens of
+// bytes wide and sample rows are tens of doubles).
+constexpr std::uint64_t kMaxPtStride = 1u << 20;
+constexpr std::uint64_t kMaxSampleWidth = 1u << 20;
+constexpr std::uint64_t kMaxShardSize = 1ull << 32;
+
+std::uint64_t pad8(std::uint64_t n) { return (n + 7) / 8 * 8; }
+
+// Canonical trace count of shard s under the manifest's layout (mirrors
+// the engine's ShardLayout::count).
+std::uint64_t layout_count(const CampaignManifest& m, std::uint64_t s) {
+  return std::min<std::uint64_t>(m.shard_size,
+                                 m.num_traces - s * m.shard_size);
+}
+
+void write_header(ByteWriter& writer, const CorpusManifest& manifest) {
+  writer.bytes(kCorpusMagic, sizeof(kCorpusMagic));
+  writer.u32(kCorpusVersion);
+  writer.u32(manifest.kind);
+  manifest.campaign.save(writer);
+  writer.u64(manifest.pt_stride);
+  writer.u64(manifest.sample_width);
+  writer.pad_to(8);
+}
+
+}  // namespace
+
+CorpusWriter::CorpusWriter(const std::string& path,
+                           const CorpusManifest& manifest)
+    : path_(path), tmp_path_(path + ".tmp"), manifest_(manifest) {
+  const CampaignManifest& c = manifest_.campaign;
+  SABLE_REQUIRE(manifest_.kind == kCorpusKindScalar ||
+                    manifest_.kind == kCorpusKindSampled,
+                "corpus kind must be scalar or sampled");
+  SABLE_REQUIRE(manifest_.pt_stride >= 1 && manifest_.sample_width >= 1,
+                "corpus strides must be at least one");
+  SABLE_REQUIRE(c.num_traces >= 1 && c.shard_size >= 1 &&
+                    c.num_shards ==
+                        (c.num_traces + c.shard_size - 1) / c.shard_size,
+                "corpus manifest must carry a resolved, consistent shard "
+                "layout");
+  ByteWriter header;
+  write_header(header, manifest_);
+  index_offset_ = header.offset();
+  // Index placeholder, back-patched by finish().
+  for (std::uint64_t s = 0; s < c.num_shards; ++s) {
+    header.u64(0);
+    header.u64(0);
+  }
+  file_ = std::fopen(tmp_path_.c_str(), "wb");
+  if (!file_) {
+    throw IoError(tmp_path_, "cannot open corpus file for writing");
+  }
+  write_raw(header.buffer().data(), header.buffer().size());
+}
+
+CorpusWriter::~CorpusWriter() {
+  if (file_) {
+    std::fclose(file_);
+    std::remove(tmp_path_.c_str());
+  }
+}
+
+void CorpusWriter::write_raw(const void* data, std::size_t size) {
+  if (size != 0 && std::fwrite(data, 1, size, file_) != size) {
+    throw IoError(tmp_path_, "corpus write failed");
+  }
+  write_offset_ += size;
+}
+
+void CorpusWriter::append_shard(const std::uint8_t* pts,
+                                const double* samples, std::size_t count) {
+  SABLE_REQUIRE(!finished_, "corpus writer already finished");
+  SABLE_REQUIRE(next_shard_ < manifest_.campaign.num_shards,
+                "more shards appended than the corpus layout defines");
+  SABLE_REQUIRE(count == layout_count(manifest_.campaign, next_shard_),
+                "appended shard's trace count must match the canonical "
+                "layout");
+  index_.push_back(write_offset_);
+  index_.push_back(count);
+  const std::uint64_t pt_bytes = count * manifest_.pt_stride;
+  write_raw(pts, static_cast<std::size_t>(pt_bytes));
+  static const char kZeros[8] = {};
+  write_raw(kZeros, static_cast<std::size_t>(pad8(pt_bytes) - pt_bytes));
+  write_raw(samples, static_cast<std::size_t>(count * manifest_.sample_width *
+                                              sizeof(double)));
+  ++next_shard_;
+}
+
+void CorpusWriter::finish() {
+  SABLE_REQUIRE(!finished_, "corpus writer already finished");
+  SABLE_REQUIRE(next_shard_ == manifest_.campaign.num_shards,
+                "corpus finish() requires every canonical shard appended");
+  ByteWriter index;
+  for (std::uint64_t v : index_) index.u64(v);
+  if (std::fseek(file_, static_cast<long>(index_offset_), SEEK_SET) != 0 ||
+      std::fwrite(index.buffer().data(), 1, index.buffer().size(), file_) !=
+          index.buffer().size() ||
+      std::fflush(file_) != 0) {
+    throw IoError(tmp_path_, "corpus index write failed");
+  }
+  if (std::fclose(file_) != 0) {
+    file_ = nullptr;
+    throw IoError(tmp_path_, "corpus close failed");
+  }
+  file_ = nullptr;
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    throw IoError(path_, "cannot publish corpus file (rename failed)");
+  }
+  finished_ = true;
+}
+
+CorpusReader::CorpusReader(const std::string& path) : file_(path) {
+  ByteReader reader(file_);
+  char magic[8];
+  reader.bytes(magic, sizeof(magic));
+  if (std::memcmp(magic, kCorpusMagic, sizeof(magic)) != 0) {
+    throw BadFileError(path, "not a sable corpus file (bad magic)");
+  }
+  const std::uint32_t version = reader.u32();
+  if (version != kCorpusVersion) {
+    throw BadFileError(path, "unsupported corpus format version " +
+                                 std::to_string(version));
+  }
+  manifest_.kind = reader.u32();
+  if (manifest_.kind != kCorpusKindScalar &&
+      manifest_.kind != kCorpusKindSampled) {
+    throw BadFileError(path, "corpus trace kind is neither scalar nor "
+                             "sampled");
+  }
+  manifest_.campaign.load(reader);
+  manifest_.pt_stride = reader.u64();
+  manifest_.sample_width = reader.u64();
+  reader.skip((8 - reader.offset() % 8) % 8);
+
+  const CampaignManifest& c = manifest_.campaign;
+  if (manifest_.pt_stride < 1 || manifest_.pt_stride > kMaxPtStride ||
+      manifest_.sample_width < 1 || manifest_.sample_width > kMaxSampleWidth ||
+      c.num_traces < 1 || c.shard_size < 1 || c.shard_size > kMaxShardSize ||
+      c.num_shards != (c.num_traces + c.shard_size - 1) / c.shard_size) {
+    throw BadFileError(path, "corpus header carries an inconsistent shard "
+                             "layout");
+  }
+  if (c.num_shards > reader.remaining() / 16) {
+    throw FileTruncatedError(path, "corpus shard index runs past the end of "
+                                   "the file");
+  }
+  offsets_.reserve(static_cast<std::size_t>(c.num_shards));
+  counts_.reserve(static_cast<std::size_t>(c.num_shards));
+  for (std::uint64_t s = 0; s < c.num_shards; ++s) {
+    const std::uint64_t offset = reader.u64();
+    const std::uint64_t count = reader.u64();
+    if (count != layout_count(c, s)) {
+      throw ShardIndexError(
+          path, "corpus index entry " + std::to_string(s) +
+                    " disagrees with the canonical shard layout");
+    }
+    const std::uint64_t chunk =
+        pad8(count * manifest_.pt_stride) +
+        count * manifest_.sample_width * sizeof(double);
+    if (offset % 8 != 0 || offset > file_.size() ||
+        chunk > file_.size() - offset) {
+      throw ShardIndexError(path, "corpus index entry " + std::to_string(s) +
+                                      " points outside the file");
+    }
+    offsets_.push_back(offset);
+    counts_.push_back(count);
+  }
+}
+
+void CorpusReader::require_shard(std::size_t s) const {
+  if (s >= offsets_.size()) {
+    throw ShardIndexError(path(), "shard " + std::to_string(s) +
+                                      " is out of range for this corpus");
+  }
+}
+
+std::size_t CorpusReader::shard_start(std::size_t s) const {
+  require_shard(s);
+  return static_cast<std::size_t>(s * manifest_.campaign.shard_size);
+}
+
+std::size_t CorpusReader::shard_count(std::size_t s) const {
+  require_shard(s);
+  return static_cast<std::size_t>(counts_[s]);
+}
+
+const std::uint8_t* CorpusReader::shard_plaintexts(std::size_t s) const {
+  require_shard(s);
+  return file_.data() + offsets_[s];
+}
+
+const double* CorpusReader::shard_samples(std::size_t s) const {
+  require_shard(s);
+  return reinterpret_cast<const double*>(
+      file_.data() + offsets_[s] +
+      pad8(counts_[s] * manifest_.pt_stride));
+}
+
+}  // namespace sable

@@ -1,0 +1,131 @@
+// Recorded trace corpora: the on-disk twin of a streamed campaign.
+//
+// A corpus file stores one campaign's traces in the engine's canonical
+// shard decomposition — SoA per shard (packed plaintext states, then
+// sample rows) — so replay hands whole shard blocks to distinguisher
+// accumulators exactly as the live engine would: same shard boundaries,
+// same block order, bit-identical trace data. Shards are individually
+// seekable through a per-shard index, which is what makes split-range
+// multi-process replay (worker k reads only shards [a, b)) an O(1)
+// seek instead of a scan.
+//
+// Layout (all integers little-endian; header fields 8-byte aligned, each
+// shard chunk 8-byte aligned so sample rows are safely mmap-addressable
+// as double arrays):
+//
+//   magic            8 bytes  "SABLCORP"
+//   version          u32      (1)
+//   kind             u32      0 = scalar, 1 = cycle-sampled
+//   manifest         CampaignManifest (spec hash, seed, counts, key)
+//   pt_stride        u64      bytes of packed plaintext state per trace
+//   sample_width     u64      doubles per trace (1 for scalar)
+//   [pad to 8]
+//   shard index      num_shards x { offset u64, count u64 }
+//   shard chunks     per shard: pts (count * pt_stride bytes, padded
+//                    to 8), then samples (count * sample_width doubles)
+//
+// CorpusWriter streams: the header and index placeholder go out first,
+// shard chunks append in canonical order, finish() back-patches the
+// index and renames the .tmp file into place — constant memory however
+// long the campaign, and no half-written corpus ever appears under the
+// final name. CorpusReader validates the whole structure up front
+// (magic, version, counts, every index entry against the file size and
+// the manifest's shard layout) and then serves zero-copy pointers into
+// the mapping.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "io/manifest.hpp"
+#include "io/serial.hpp"
+
+namespace sable {
+
+/// Trace data kind tags of the corpus format (mirrors TraceDataKind
+/// without dragging the dpa layer into io).
+inline constexpr std::uint32_t kCorpusKindScalar = 0;
+inline constexpr std::uint32_t kCorpusKindSampled = 1;
+
+/// Everything a corpus file's header pins down.
+struct CorpusManifest {
+  CampaignManifest campaign;
+  std::uint32_t kind = kCorpusKindScalar;
+  std::uint64_t pt_stride = 1;
+  std::uint64_t sample_width = 1;
+};
+
+/// Streaming corpus writer. Feed shards strictly in canonical order
+/// (shard 0, 1, ...), one append_shard per shard with the layout's exact
+/// trace count, then finish(). The destructor discards an unfinished
+/// file (removes the .tmp) — only finish() publishes.
+class CorpusWriter {
+ public:
+  CorpusWriter(const std::string& path, const CorpusManifest& manifest);
+  ~CorpusWriter();
+  CorpusWriter(const CorpusWriter&) = delete;
+  CorpusWriter& operator=(const CorpusWriter&) = delete;
+
+  /// Appends the next canonical shard's traces: `count` packed plaintext
+  /// states (`pt_stride` bytes each) and `count * sample_width` doubles.
+  /// Throws InvalidArgument when called out of order or with the wrong
+  /// count for the shard, IoError on write failure.
+  void append_shard(const std::uint8_t* pts, const double* samples,
+                    std::size_t count);
+
+  /// Back-patches the shard index and atomically publishes the file.
+  /// Requires every shard to have been appended.
+  void finish();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void write_raw(const void* data, std::size_t size);
+
+  std::string path_;
+  std::string tmp_path_;
+  CorpusManifest manifest_;
+  std::FILE* file_ = nullptr;
+  std::size_t next_shard_ = 0;
+  std::size_t index_offset_ = 0;  // file offset of the shard index
+  std::size_t write_offset_ = 0;  // current file offset
+  std::vector<std::uint64_t> index_;  // (offset, count) pairs, flattened
+  bool finished_ = false;
+};
+
+/// Validated, mmap-backed corpus reader. Construction verifies magic,
+/// version, kind, the manifest's internal consistency and EVERY shard
+/// index entry (offset alignment, count against the canonical layout,
+/// chunk extent against the file size), so the accessors below are
+/// plain pointer arithmetic with no failure modes left.
+class CorpusReader {
+ public:
+  explicit CorpusReader(const std::string& path);
+
+  const CorpusManifest& manifest() const { return manifest_; }
+  const std::string& path() const { return file_.path(); }
+  std::size_t num_shards() const { return manifest_.campaign.num_shards; }
+
+  /// Canonical start index / trace count of shard `s` (throws
+  /// ShardIndexError past num_shards()).
+  std::size_t shard_start(std::size_t s) const;
+  std::size_t shard_count(std::size_t s) const;
+  /// Zero-copy pointers into the mapping: packed plaintext states
+  /// (shard_count(s) * pt_stride bytes) and sample rows
+  /// (shard_count(s) * sample_width doubles, 8-byte aligned).
+  const std::uint8_t* shard_plaintexts(std::size_t s) const;
+  const double* shard_samples(std::size_t s) const;
+
+ private:
+  void require_shard(std::size_t s) const;
+
+  MappedFile file_;
+  CorpusManifest manifest_;
+  std::vector<std::uint64_t> offsets_;  // validated chunk offsets
+  std::vector<std::uint64_t> counts_;   // validated trace counts
+};
+
+}  // namespace sable

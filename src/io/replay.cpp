@@ -1,0 +1,123 @@
+#include "io/replay.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "crypto/round_target.hpp"
+#include "engine/shard_reduce.hpp"
+#include "engine/worker_pool.hpp"
+#include "io/campaign_state.hpp"
+#include "util/error.hpp"
+
+namespace sable {
+
+bool replay_distinguishers(const CorpusReader& corpus, const RoundSpec& round,
+                           std::span<Distinguisher* const> distinguishers,
+                           const CampaignPersistence& persist,
+                           std::size_t num_threads, WorkerPool* pool) {
+  const CorpusManifest& cm = corpus.manifest();
+  const CampaignManifest& manifest = cm.campaign;
+  SABLE_REQUIRE(!distinguishers.empty(),
+                "replay needs at least one distinguisher");
+  SABLE_REQUIRE(manifest.num_traces >= 2,
+                "attack campaigns require at least two traces");
+  if (round_spec_hash(round) != manifest.spec_hash) {
+    throw ManifestMismatchError(
+        corpus.path(),
+        "corpus was recorded for a different round spec than the one being "
+        "attacked");
+  }
+  SABLE_REQUIRE(cm.pt_stride == round.state_bytes(),
+                "corpus plaintext stride must equal the round's packed "
+                "state width");
+  const TraceDataKind kind = cm.kind == kCorpusKindScalar
+                                 ? TraceDataKind::kScalar
+                                 : TraceDataKind::kSampled;
+  for (Distinguisher* d : distinguishers) {
+    SABLE_REQUIRE(d != nullptr, "distinguisher must not be null");
+    d->validate(round);
+    SABLE_REQUIRE(d->data_kind() == kind,
+                  "distinguisher's trace data kind does not match the "
+                  "corpus (scalar vs cycle-sampled)");
+  }
+
+  // Sub-plaintext extraction slots, deduplicated per attacked instance —
+  // the live driver's exact scheme.
+  std::vector<std::size_t> slot_sbox;
+  std::vector<std::size_t> slot_of(distinguishers.size());
+  for (std::size_t d = 0; d < distinguishers.size(); ++d) {
+    const std::size_t index = distinguishers[d]->sbox_index();
+    const auto it = std::find(slot_sbox.begin(), slot_sbox.end(), index);
+    slot_of[d] = static_cast<std::size_t>(it - slot_sbox.begin());
+    if (it == slot_sbox.end()) slot_sbox.push_back(index);
+  }
+
+  ShardStates states(distinguishers.size());
+  for (auto& row : states) {
+    row.resize(static_cast<std::size_t>(manifest.num_shards));
+  }
+  const std::size_t shard_size =
+      static_cast<std::size_t>(manifest.shard_size);
+  const std::size_t width = static_cast<std::size_t>(cm.sample_width);
+
+  WorkerPool local_pool;
+  WorkerPool& workers = pool ? *pool : local_pool;
+  const std::size_t max_threads =
+      num_threads != 0 ? num_threads
+                       : std::max(1u, std::thread::hardware_concurrency());
+
+  const auto accumulate = [&](const std::vector<std::size_t>& work) {
+    const std::size_t threads =
+        std::max<std::size_t>(1, std::min(max_threads, work.size()));
+    std::atomic<std::size_t> next{0};
+    const auto run_one = [&](std::vector<std::uint8_t>& sub_pts,
+                             std::size_t s) {
+      for (std::size_t d = 0; d < distinguishers.size(); ++d) {
+        states[d][s] = distinguishers[d]->make_shard_accumulator();
+      }
+      const std::size_t count = corpus.shard_count(s);
+      const std::uint8_t* pts = corpus.shard_plaintexts(s);
+      const double* samples = corpus.shard_samples(s);
+      for (std::size_t slot = 0; slot < slot_sbox.size(); ++slot) {
+        round.sub_words(pts, count, slot_sbox[slot],
+                        sub_pts.data() + slot * shard_size);
+      }
+      for (std::size_t d = 0; d < distinguishers.size(); ++d) {
+        ShardBlock block;
+        block.start = corpus.shard_start(s);
+        block.sub_pts = sub_pts.data() + slot_of[d] * shard_size;
+        block.data = samples;
+        block.width = width;
+        block.count = count;
+        states[d][s]->accumulate(block);
+      }
+    };
+    if (threads <= 1) {
+      std::vector<std::uint8_t> sub_pts(shard_size * slot_sbox.size());
+      for (std::size_t s : work) run_one(sub_pts, s);
+      return;
+    }
+    workers.run(threads, [&](std::size_t) {
+      std::vector<std::uint8_t> sub_pts(shard_size * slot_sbox.size());
+      for (std::size_t k = next.fetch_add(1); k < work.size();
+           k = next.fetch_add(1)) {
+        run_one(sub_pts, work[k]);
+      }
+    });
+  };
+
+  if (!run_persisted_waves(manifest, distinguishers, states, persist,
+                           accumulate)) {
+    return false;
+  }
+  reduce_and_finalize_distinguishers(
+      distinguishers, states, workers,
+      std::max<std::size_t>(
+          1, std::min(max_threads,
+                      static_cast<std::size_t>(manifest.num_shards))));
+  return true;
+}
+
+}  // namespace sable

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "io/serial.hpp"
 #include "util/error.hpp"
 
 namespace sable {
@@ -60,6 +61,18 @@ double OnlineMoments::variance() const {
 }
 
 double OnlineMoments::stddev() const { return std::sqrt(variance()); }
+
+void OnlineMoments::save(ByteWriter& writer) const {
+  writer.u64(n_);
+  writer.f64(mean_);
+  writer.f64(m2_);
+}
+
+void OnlineMoments::load(ByteReader& reader) {
+  n_ = reader.u64();
+  mean_ = reader.f64();
+  m2_ = reader.f64();
+}
 
 SpreadMetrics spread_metrics(const std::vector<double>& xs) {
   SABLE_REQUIRE(!xs.empty(), "spread_metrics of empty sample set");

@@ -7,6 +7,9 @@
 
 namespace sable {
 
+class ByteReader;
+class ByteWriter;
+
 double mean(const std::vector<double>& xs);
 double stddev(const std::vector<double>& xs);  // population
 
@@ -55,6 +58,12 @@ class OnlineMoments {
   double m2() const { return m2_; }
   double variance() const;  // population
   double stddev() const;
+
+  /// Bit-exact binary round trip (io/serial.hpp): the serialized moments
+  /// reload into the identical accumulator state, so checkpointed
+  /// campaigns resume without any numeric drift.
+  void save(ByteWriter& writer) const;
+  void load(ByteReader& reader);
 
  private:
   std::size_t n_ = 0;

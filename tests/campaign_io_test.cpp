@@ -1,0 +1,594 @@
+// Campaign persistence: accumulator serialization round trips, recorded
+// corpora, replay and multi-process partial-state merges — and the
+// hostile-input contract: every malformed file throws a typed
+// path-tagged error, never UB.
+//
+// The bit-identity claims under test are the subsystem's reason to
+// exist: a recorded campaign replayed into any distinguisher, and a
+// campaign split over disjoint shard ranges and merged from partial
+// state files, must reproduce the single-process in-memory run bit for
+// bit. Shard counts here are non-powers-of-two on purpose — that is the
+// regime where storing merged prefixes instead of raw shard states
+// would silently change the reduction tree's shape.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "crypto/round_target.hpp"
+#include "crypto/sboxes.hpp"
+#include "dpa/attack.hpp"
+#include "dpa/distinguisher.hpp"
+#include "dpa/mtd.hpp"
+#include "dpa/second_order.hpp"
+#include "dpa/streaming.hpp"
+#include "engine/trace_engine.hpp"
+#include "io/campaign_state.hpp"
+#include "io/corpus.hpp"
+#include "io/manifest.hpp"
+#include "io/replay.hpp"
+#include "io/serial.hpp"
+#include "util/rng.hpp"
+
+namespace sable {
+namespace {
+
+const Technology kTech = Technology::generic_180nm();
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "campaign_io_" + name;
+}
+
+// 3000 traces over 448-trace shards = 7 shards with a partial tail: a
+// non-power-of-2 count, one ragged shard — the reduction-shape stress
+// layout the determinism tests already pin.
+CampaignOptions small_options() {
+  CampaignOptions options;
+  options.num_traces = 3000;
+  options.key = {0xB};
+  options.noise_sigma = 2e-16;
+  options.seed = 0x5EED;
+  options.shard_size = 448;
+  return options;
+}
+
+void expect_same_scores(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t g = 0; g < a.size(); ++g) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[g]),
+              std::bit_cast<std::uint64_t>(b[g]))
+        << "guess " << g;
+  }
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void write_bytes(const std::string& path,
+                 const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+// Deterministic sub-plaintext / sample streams for accumulator-level
+// round trips (no engine involved).
+template <typename Feed>
+void feed_traces(std::size_t count, const Feed& feed) {
+  Rng rng(0xF00D);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto pt = static_cast<std::uint8_t>(rng.below(16));
+    feed(pt, rng);
+  }
+}
+
+// ---- accumulator serialization --------------------------------------------
+
+TEST(CampaignIoTest, StreamingCpaRoundTripsBitExactly) {
+  StreamingCpa original(present_spec(), PowerModel::kHammingWeight);
+  feed_traces(257, [&](std::uint8_t pt, Rng& rng) {
+    original.add(pt, 1e-13 * rng.uniform());
+  });
+  ByteWriter writer;
+  original.save(writer);
+
+  StreamingCpa loaded(present_spec(), PowerModel::kHammingWeight);
+  ByteReader reader(writer.buffer().data(), writer.buffer().size(), "mem");
+  loaded.load(reader);
+  EXPECT_EQ(reader.remaining(), 0u);
+  EXPECT_EQ(loaded.count(), original.count());
+  expect_same_scores(loaded.result().score, original.result().score);
+
+  // Re-serialization is byte-identical — the round trip loses nothing.
+  ByteWriter again;
+  loaded.save(again);
+  EXPECT_EQ(again.buffer(), writer.buffer());
+}
+
+TEST(CampaignIoTest, StreamingDomRoundTripsBitExactly) {
+  StreamingDom original(present_spec(), 2);
+  feed_traces(300, [&](std::uint8_t pt, Rng& rng) {
+    original.add(pt, 1e-13 * rng.uniform());
+  });
+  ByteWriter writer;
+  original.save(writer);
+  StreamingDom loaded(present_spec(), 2);
+  ByteReader reader(writer.buffer().data(), writer.buffer().size(), "mem");
+  loaded.load(reader);
+  expect_same_scores(loaded.result().score, original.result().score);
+  ByteWriter again;
+  loaded.save(again);
+  EXPECT_EQ(again.buffer(), writer.buffer());
+}
+
+TEST(CampaignIoTest, StreamingMultiCpaRoundTripsBitExactly) {
+  constexpr std::size_t kWidth = 3;
+  StreamingMultiCpa original(present_spec(), PowerModel::kHammingWeight,
+                             kWidth);
+  feed_traces(211, [&](std::uint8_t pt, Rng& rng) {
+    double row[kWidth];
+    for (double& x : row) x = 1e-13 * rng.uniform();
+    original.add(pt, row);
+  });
+  ByteWriter writer;
+  original.save(writer);
+  StreamingMultiCpa loaded(present_spec(), PowerModel::kHammingWeight,
+                           kWidth);
+  ByteReader reader(writer.buffer().data(), writer.buffer().size(), "mem");
+  loaded.load(reader);
+  expect_same_scores(loaded.result().combined.score,
+                     original.result().combined.score);
+  ByteWriter again;
+  loaded.save(again);
+  EXPECT_EQ(again.buffer(), writer.buffer());
+}
+
+TEST(CampaignIoTest, SecondOrderCpaRoundTripsBitExactly) {
+  constexpr std::size_t kWidth = 4;
+  StreamingSecondOrderCpa original(present_spec(),
+                                   PowerModel::kHammingWeight);
+  std::vector<std::uint8_t> pts(128);
+  std::vector<double> rows(pts.size() * kWidth);
+  Rng rng(0xF00D);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    pts[i] = static_cast<std::uint8_t>(rng.below(16));
+    for (std::size_t w = 0; w < kWidth; ++w) {
+      rows[i * kWidth + w] = 1e-13 * rng.uniform();
+    }
+  }
+  original.add_block(pts.data(), rows.data(), pts.size(), kWidth);
+  ByteWriter writer;
+  original.save(writer);
+  StreamingSecondOrderCpa loaded(present_spec(),
+                                 PowerModel::kHammingWeight);
+  ByteReader reader(writer.buffer().data(), writer.buffer().size(), "mem");
+  loaded.load(reader);
+  expect_same_scores(loaded.result().combined.score,
+                     original.result().combined.score);
+  ByteWriter again;
+  loaded.save(again);
+  EXPECT_EQ(again.buffer(), writer.buffer());
+}
+
+TEST(CampaignIoTest, NeverFedSecondOrderRoundTripsAsWidthZero) {
+  StreamingSecondOrderCpa original(present_spec(),
+                                   PowerModel::kHammingWeight);
+  ByteWriter writer;
+  original.save(writer);
+  StreamingSecondOrderCpa loaded(present_spec(),
+                                 PowerModel::kHammingWeight);
+  ByteReader reader(writer.buffer().data(), writer.buffer().size(), "mem");
+  loaded.load(reader);
+  EXPECT_EQ(loaded.count(), 0u);
+}
+
+TEST(CampaignIoTest, ShardedMtdRoundTripsBitExactly) {
+  const StreamingCpa prototype(present_spec(), PowerModel::kHammingWeight);
+  ShardedMtd original(0xB);
+  StreamingCpa shard(prototype);
+  feed_traces(200, [&](std::uint8_t pt, Rng& rng) {
+    shard.add(pt, 1e-13 * rng.uniform());
+  });
+  original.checkpoint(64, shard);  // pre-append in-shard checkpoint
+  original.append(shard);
+  ByteWriter writer;
+  original.save(writer);
+  ShardedMtd loaded(0xB);
+  ByteReader reader(writer.buffer().data(), writer.buffer().size(), "mem");
+  loaded.load(reader, prototype);
+  EXPECT_EQ(loaded.count(), original.count());
+  EXPECT_EQ(loaded.result().rank_history, original.result().rank_history);
+  ByteWriter again;
+  loaded.save(again);
+  EXPECT_EQ(again.buffer(), writer.buffer());
+}
+
+TEST(CampaignIoTest, AccumulatorLoadRejectsWrongTypeAndConfig) {
+  StreamingCpa cpa(present_spec(), PowerModel::kHammingWeight);
+  ByteWriter writer;
+  cpa.save(writer);
+  // Wrong accumulator type behind the tag.
+  {
+    StreamingDom dom(present_spec(), 0);
+    ByteReader reader(writer.buffer().data(), writer.buffer().size(), "mem");
+    EXPECT_THROW(dom.load(reader), InvalidArgument);
+  }
+  // Same type, different configuration (model changes the prediction
+  // table the moments were accumulated against).
+  {
+    StreamingCpa other(present_spec(), PowerModel::kSboxOutputBit, 1);
+    ByteReader reader(writer.buffer().data(), writer.buffer().size(), "mem");
+    EXPECT_THROW(other.load(reader), InvalidArgument);
+  }
+}
+
+TEST(CampaignIoTest, RoundSpecHashSeparatesFunctionallyDifferentRounds) {
+  const RoundSpec a = present_round(2, LogicStyle::kSablGenuine);
+  const RoundSpec b = present_round(2, LogicStyle::kSablGenuine);
+  EXPECT_EQ(round_spec_hash(a), round_spec_hash(b));
+  EXPECT_NE(round_spec_hash(a),
+            round_spec_hash(present_round(2, LogicStyle::kStaticCmos)));
+  EXPECT_NE(round_spec_hash(a),
+            round_spec_hash(present_round(3, LogicStyle::kSablGenuine)));
+  RoundSpec tweaked = a;
+  std::swap(tweaked.sboxes[0].table[0], tweaked.sboxes[0].table[1]);
+  EXPECT_NE(round_spec_hash(a), round_spec_hash(tweaked));
+}
+
+// ---- recorded corpora ------------------------------------------------------
+
+TEST(CampaignIoTest, ScalarCorpusReplaysBitIdentically) {
+  TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, kTech);
+  const CampaignOptions options = small_options();
+  const std::size_t subkey = options.key[0];
+  const AttackSelector selector{.model = PowerModel::kHammingWeight};
+
+  // Reference: the plain in-memory campaign.
+  CpaDistinguisher ref_cpa(engine.spec(), selector);
+  DomDistinguisher ref_dom(
+      engine.spec(), AttackSelector{.model = PowerModel::kHammingWeight,
+                                    .bit = 1});
+  MtdDistinguisher ref_mtd(engine.spec(), selector, subkey,
+                           default_checkpoints(options.num_traces),
+                           options.num_traces);
+  Distinguisher* const ref_list[] = {&ref_cpa, &ref_dom, &ref_mtd};
+  engine.run_distinguishers(options, ref_list);
+
+  const std::string path = temp_path("scalar.corpus");
+  engine.record(options, TraceDataKind::kScalar, path);
+  const CorpusReader corpus(path);
+  EXPECT_EQ(corpus.num_shards(), 7u);
+  EXPECT_EQ(corpus.manifest().campaign, engine.campaign_manifest(options));
+  EXPECT_EQ(corpus.shard_count(6), 3000u - 6 * 448u);
+  EXPECT_THROW(corpus.shard_count(7), ShardIndexError);
+
+  CpaDistinguisher cpa(engine.spec(), selector);
+  DomDistinguisher dom(
+      engine.spec(), AttackSelector{.model = PowerModel::kHammingWeight,
+                                    .bit = 1});
+  MtdDistinguisher mtd(engine.spec(), selector, subkey,
+                       default_checkpoints(options.num_traces),
+                       options.num_traces);
+  Distinguisher* const list[] = {&cpa, &dom, &mtd};
+  EXPECT_TRUE(engine.replay(corpus, list));
+  expect_same_scores(cpa.result().score, ref_cpa.result().score);
+  expect_same_scores(dom.result().score, ref_dom.result().score);
+  EXPECT_EQ(mtd.result().rank_history, ref_mtd.result().rank_history);
+
+  // The free replay_distinguishers entry point (no engine) agrees too.
+  CpaDistinguisher cpa2(engine.spec(), selector);
+  Distinguisher* const solo[] = {&cpa2};
+  EXPECT_TRUE(replay_distinguishers(corpus, engine.round(), solo));
+  expect_same_scores(cpa2.result().score, ref_cpa.result().score);
+}
+
+TEST(CampaignIoTest, SampledCorpusReplaysBitIdentically) {
+  TraceEngine engine(present_spec(), LogicStyle::kSablGenuine, kTech);
+  CampaignOptions options = small_options();
+  options.num_traces = 1500;  // 4 shards: keep the sampled corpus small
+  const AttackSelector selector{.model = PowerModel::kHammingWeight};
+  const std::size_t levels = engine.target().num_levels();
+  ASSERT_GE(levels, 2u);
+
+  MultiCpaDistinguisher ref_multi(engine.spec(), selector, levels);
+  SecondOrderCpaDistinguisher ref_so(engine.spec(), selector);
+  Distinguisher* const ref_list[] = {&ref_multi, &ref_so};
+  engine.run_distinguishers(options, ref_list);
+
+  const std::string path = temp_path("sampled.corpus");
+  engine.record(options, TraceDataKind::kSampled, path);
+  const CorpusReader corpus(path);
+  EXPECT_EQ(corpus.manifest().kind, kCorpusKindSampled);
+  EXPECT_EQ(corpus.manifest().sample_width, levels);
+
+  MultiCpaDistinguisher multi(engine.spec(), selector, levels);
+  SecondOrderCpaDistinguisher so(engine.spec(), selector);
+  Distinguisher* const list[] = {&multi, &so};
+  EXPECT_TRUE(engine.replay(corpus, list));
+  expect_same_scores(multi.result().combined.score,
+                     ref_multi.result().combined.score);
+  expect_same_scores(so.result().combined.score,
+                     ref_so.result().combined.score);
+}
+
+TEST(CampaignIoTest, ReplayRejectsKindAndSpecMismatch) {
+  TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, kTech);
+  const CampaignOptions options = small_options();
+  const std::string path = temp_path("kind.corpus");
+  engine.record(options, TraceDataKind::kScalar, path);
+  const CorpusReader corpus(path);
+
+  // A scalar corpus cannot feed a time-resolved distinguisher.
+  MultiCpaDistinguisher multi(engine.spec(),
+                              AttackSelector{.model =
+                                                 PowerModel::kHammingWeight},
+                              2);
+  Distinguisher* const sampled_list[] = {&multi};
+  EXPECT_THROW(engine.replay(corpus, sampled_list), InvalidArgument);
+
+  // A different round spec (same S-box, different logic style) is a
+  // different campaign: the spec hash mismatch is typed and path-tagged.
+  TraceEngine other(present_spec(), LogicStyle::kSablGenuine, kTech);
+  CpaDistinguisher cpa(other.spec(),
+                       AttackSelector{.model = PowerModel::kHammingWeight});
+  Distinguisher* const list[] = {&cpa};
+  EXPECT_THROW(other.replay(corpus, list), ManifestMismatchError);
+}
+
+// ---- checkpointing and multi-process merge --------------------------------
+
+TEST(CampaignIoTest, SplitShardRangeMergeIsBitIdenticalToSingleRun) {
+  const CampaignOptions options = small_options();  // 7 shards
+  const std::size_t subkey = options.key[0];
+  const AttackSelector selector{.model = PowerModel::kHammingWeight};
+  // Guaranteed copy elision: members are direct-initialized from the
+  // prvalues, so the (non-movable) distinguishers never relocate.
+  struct AttackSet {
+    CpaDistinguisher cpa;
+    DomDistinguisher dom;
+    MtdDistinguisher mtd;
+  };
+  const auto make = [&](TraceEngine& engine) {
+    return AttackSet{
+        CpaDistinguisher(engine.spec(), selector),
+        DomDistinguisher(engine.spec(),
+                         AttackSelector{.model = PowerModel::kHammingWeight}),
+        MtdDistinguisher(engine.spec(), selector, subkey,
+                         default_checkpoints(options.num_traces),
+                         options.num_traces)};
+  };
+
+  TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, kTech);
+  AttackSet ref = make(engine);
+  Distinguisher* const ref_list[] = {&ref.cpa, &ref.dom, &ref.mtd};
+  engine.run_distinguishers(options, ref_list);
+
+  // Three "processes" over disjoint ranges (7 = 3 + 2 + 2 shards), each
+  // persisting a partial state file.
+  const std::vector<std::pair<std::size_t, std::size_t>> ranges = {
+      {0, 3}, {3, 5}, {5, kAllShards}};
+  std::vector<std::string> partials;
+  for (std::size_t k = 0; k < ranges.size(); ++k) {
+    TraceEngine worker(present_spec(), LogicStyle::kStaticCmos, kTech);
+    AttackSet set = make(worker);
+    Distinguisher* const list[] = {&set.cpa, &set.dom, &set.mtd};
+    CampaignPersistence persist;
+    persist.shard_begin = ranges[k].first;
+    persist.shard_end = ranges[k].second;
+    persist.checkpoint_path = temp_path("partial" + std::to_string(k));
+    EXPECT_FALSE(worker.run_distinguishers(options, list, persist));
+    partials.push_back(persist.checkpoint_path);
+  }
+
+  TraceEngine merger(present_spec(), LogicStyle::kStaticCmos, kTech);
+  AttackSet merged = make(merger);
+  Distinguisher* const list[] = {&merged.cpa, &merged.dom, &merged.mtd};
+  merger.merge_partials(options, list, partials);
+  expect_same_scores(merged.cpa.result().score, ref.cpa.result().score);
+  expect_same_scores(merged.dom.result().score, ref.dom.result().score);
+  EXPECT_EQ(merged.mtd.result().rank_history, ref.mtd.result().rank_history);
+
+  // Overlapping partials name the colliding shard.
+  TraceEngine overlap(present_spec(), LogicStyle::kStaticCmos, kTech);
+  AttackSet set2 = make(overlap);
+  Distinguisher* const list2[] = {&set2.cpa, &set2.dom, &set2.mtd};
+  EXPECT_THROW(
+      overlap.merge_partials(options, list2, {partials[0], partials[0]}),
+      ShardIndexError);
+
+  // A gap (missing range) cannot finalize.
+  TraceEngine gappy(present_spec(), LogicStyle::kStaticCmos, kTech);
+  AttackSet set3 = make(gappy);
+  Distinguisher* const list3[] = {&set3.cpa, &set3.dom, &set3.mtd};
+  EXPECT_THROW(
+      gappy.merge_partials(options, list3, {partials[0], partials[2]}),
+      InvalidArgument);
+}
+
+TEST(CampaignIoTest, PartialRangeWithoutCheckpointPathThrows) {
+  TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, kTech);
+  const CampaignOptions options = small_options();
+  CpaDistinguisher cpa(engine.spec(),
+                       AttackSelector{.model = PowerModel::kHammingWeight});
+  Distinguisher* const list[] = {&cpa};
+  CampaignPersistence persist;
+  persist.shard_end = 3;  // partial, but nowhere to persist the states
+  EXPECT_THROW(engine.run_distinguishers(options, list, persist),
+               InvalidArgument);
+}
+
+// ---- hostile inputs --------------------------------------------------------
+
+class HostileInputTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, kTech);
+    options_ = small_options();
+    corpus_path_ = temp_path("hostile.corpus");
+    engine.record(options_, TraceDataKind::kScalar, corpus_path_);
+    CpaDistinguisher cpa(engine.spec(),
+                         AttackSelector{.model = PowerModel::kHammingWeight});
+    Distinguisher* const list[] = {&cpa};
+    CampaignPersistence persist;
+    persist.checkpoint_path = state_path_ = temp_path("hostile.state");
+    EXPECT_TRUE(engine.run_distinguishers(options_, list, persist));
+  }
+
+  // Loading the artifact at `path` must fail with a typed io error.
+  void expect_corpus_error(const std::string& path) {
+    EXPECT_THROW(CorpusReader reader(path), IoError) << path;
+  }
+  void expect_state_error(const std::string& path) {
+    TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, kTech);
+    CpaDistinguisher cpa(engine.spec(),
+                         AttackSelector{.model = PowerModel::kHammingWeight});
+    Distinguisher* const list[] = {&cpa};
+    EXPECT_THROW(engine.merge_partials(options_, list, {path}), Error)
+        << path;
+  }
+
+  CampaignOptions options_;
+  std::string corpus_path_;
+  std::string state_path_;
+};
+
+TEST_F(HostileInputTest, WrongMagicAndVersionThrowTyped) {
+  auto corpus = read_file(corpus_path_);
+  auto bad = corpus;
+  bad[0] ^= 0xFF;
+  const std::string p1 = temp_path("bad_magic.corpus");
+  write_bytes(p1, bad);
+  EXPECT_THROW(CorpusReader r(p1), BadFileError);
+
+  bad = corpus;
+  bad[8] = 0x7F;  // version field
+  const std::string p2 = temp_path("bad_version.corpus");
+  write_bytes(p2, bad);
+  EXPECT_THROW(CorpusReader r(p2), BadFileError);
+
+  auto state = read_file(state_path_);
+  state[1] ^= 0xFF;
+  const std::string p3 = temp_path("bad_magic.state");
+  write_bytes(p3, state);
+  expect_state_error(p3);
+}
+
+TEST_F(HostileInputTest, ShardIndexOutOfBoundsThrows) {
+  auto corpus = read_file(corpus_path_);
+  // The shard index lives right after the fixed header; smash the first
+  // entry's offset to point far past EOF.
+  // magic + version + kind + manifest (6 u64 + f64 + 1 key byte) +
+  // pt_stride + sample_width, padded to 8.
+  const std::size_t header = 8 + 4 + 4 + (7 * 8 + 1) + 8 + 8;
+  const std::size_t index = (header + 7) / 8 * 8;
+  ASSERT_LT(index + 8, corpus.size());
+  for (std::size_t b = 0; b < 8; ++b) corpus[index + b] = 0xFF;
+  const std::string p = temp_path("bad_index.corpus");
+  write_bytes(p, corpus);
+  EXPECT_THROW(CorpusReader r(p), ShardIndexError);
+}
+
+TEST_F(HostileInputTest, ManifestMismatchNamesTheCampaign) {
+  // The recorded artifacts belong to seed 0x5EED; a campaign with any
+  // other seed must refuse them.
+  TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, kTech);
+  CampaignOptions other = options_;
+  other.seed = 0xD1FF;
+  CpaDistinguisher cpa(engine.spec(),
+                       AttackSelector{.model = PowerModel::kHammingWeight});
+  Distinguisher* const list[] = {&cpa};
+  EXPECT_THROW(engine.merge_partials(other, list, {state_path_}),
+               ManifestMismatchError);
+
+  const CorpusReader corpus(corpus_path_);
+  CampaignPersistence resume;
+  resume.resume_path = state_path_;
+  // Resume path cross-checks the state's manifest against the corpus
+  // campaign — same campaign here, so this succeeds...
+  CpaDistinguisher cpa2(engine.spec(),
+                        AttackSelector{.model = PowerModel::kHammingWeight});
+  Distinguisher* const list2[] = {&cpa2};
+  EXPECT_TRUE(engine.replay(corpus, list2, resume));
+  // ...and the state written for ONE distinguisher refuses a different
+  // distinguisher count.
+  CpaDistinguisher a(engine.spec(),
+                     AttackSelector{.model = PowerModel::kHammingWeight});
+  DomDistinguisher b(engine.spec(),
+                     AttackSelector{.model = PowerModel::kHammingWeight});
+  Distinguisher* const two[] = {&a, &b};
+  EXPECT_THROW(engine.merge_partials(options_, two, {state_path_}),
+               BadFileError);
+}
+
+TEST_F(HostileInputTest, TruncationSweepAlwaysThrowsTyped) {
+  const auto corpus = read_file(corpus_path_);
+  const auto state = read_file(state_path_);
+  // Every strict prefix must throw a typed error — never crash, never
+  // succeed (both formats pin their full extent up front).
+  for (std::size_t len = 0; len < corpus.size();
+       len += 1 + corpus.size() / 97) {
+    const std::string p = temp_path("trunc.corpus");
+    write_bytes(p, {corpus.begin(), corpus.begin() +
+                                        static_cast<std::ptrdiff_t>(len)});
+    expect_corpus_error(p);
+  }
+  for (std::size_t len = 0; len < state.size();
+       len += 1 + state.size() / 97) {
+    const std::string p = temp_path("trunc.state");
+    write_bytes(p, {state.begin(), state.begin() +
+                                       static_cast<std::ptrdiff_t>(len)});
+    expect_state_error(p);
+  }
+}
+
+TEST_F(HostileInputTest, ByteFlipFuzzNeverEscapesTypedErrors) {
+  const auto corpus = read_file(corpus_path_);
+  const auto state = read_file(state_path_);
+  Rng rng(0xFA22);
+  for (int iter = 0; iter < 64; ++iter) {
+    auto bad = corpus;
+    bad[rng.below(bad.size())] ^= static_cast<std::uint8_t>(rng.below(255) +
+                                                            1);
+    const std::string p = temp_path("fuzz.corpus");
+    write_bytes(p, bad);
+    try {
+      const CorpusReader reader(p);
+      // A flip in trace data still loads — that is fine; touch every
+      // accessor to prove the validated index stays in bounds.
+      for (std::size_t s = 0; s < reader.num_shards(); ++s) {
+        (void)reader.shard_plaintexts(s);
+        (void)reader.shard_samples(s);
+        (void)reader.shard_count(s);
+      }
+    } catch (const Error&) {
+      // Typed rejection is the other acceptable outcome.
+    }
+  }
+  TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, kTech);
+  for (int iter = 0; iter < 64; ++iter) {
+    auto bad = state;
+    bad[rng.below(bad.size())] ^= static_cast<std::uint8_t>(rng.below(255) +
+                                                            1);
+    const std::string p = temp_path("fuzz.state");
+    write_bytes(p, bad);
+    CpaDistinguisher cpa(engine.spec(),
+                         AttackSelector{.model = PowerModel::kHammingWeight});
+    Distinguisher* const list[] = {&cpa};
+    try {
+      engine.merge_partials(options_, list, {p});
+    } catch (const Error&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sable
