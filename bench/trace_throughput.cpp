@@ -29,6 +29,12 @@
 // one simulation) against 16 re-simulated campaigns — expected >= 8x,
 // advisory only (the exit code stays pinned to the >=10x gate).
 //
+// The replay row compares compressed (v2) and raw corpus replay against
+// live simulation and reports corpus_bytes_per_trace, the compression
+// ratio and the decode cost (compressed vs raw replay tps, expect
+// >= 0.7x). A compression table records the v1-vs-v2 file sizes of the
+// sampled noiseless all-styles campaign (expect >= 3x total).
+//
 // Usage: bench_trace_throughput [--threads N] [--traces N] [--round N]
 //                               [--lanes LIST] [--json PATH]
 #include <algorithm>
@@ -344,23 +350,39 @@ MultiAttackBench measure_multi_attack(std::size_t threads) {
 
 struct ReplayBench {
   std::size_t num_traces = 0;
-  double record_tps = 0.0;    // simulate + write corpus
-  double replay_tps = 0.0;    // attack from the corpus, no simulation
-  double simulate_tps = 0.0;  // attack from a live simulated stream
-  double speedup = 0.0;       // replay vs simulate
+  double record_tps = 0.0;        // simulate + encode + write v2 corpus
+  double replay_tps = 0.0;        // attack from the compressed corpus
+  double raw_replay_tps = 0.0;    // attack from the uncompressed corpus
+  double simulate_tps = 0.0;      // attack from a live simulated stream
+  double speedup = 0.0;           // compressed replay vs simulate
+  double decode_vs_raw = 0.0;     // compressed vs raw replay tps
+  double corpus_bytes_per_trace = 0.0;  // compressed file bytes per trace
+  double compression_ratio = 0.0;       // raw file bytes / compressed
   bool bit_identical = false;
 };
 
-// Recorded-campaign replay: a CPA campaign fed from an on-disk corpus
-// (mmap, zero-copy shard blocks) against the same campaign simulated
-// live. Replay skips the circuit simulation entirely, so it is expected
-// to be much faster — which is what makes record-once / re-attack-many
-// analysis loops worth the disk. The corpus is written and removed here.
+std::uint64_t file_size(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return 0;
+  std::fseek(f, 0, SEEK_END);
+  const long n = std::ftell(f);
+  std::fclose(f);
+  return n < 0 ? 0 : static_cast<std::uint64_t>(n);
+}
+
+// Recorded-campaign replay: a CPA campaign fed from an on-disk corpus —
+// compressed v2 chunks decoded through per-thread scratch, and the same
+// campaign as raw mmap'd chunks — against the campaign simulated live.
+// Replay skips the circuit simulation entirely, so both are expected to
+// be much faster; decode_vs_raw isolates what the codec costs on the
+// read side (acceptance: >= 0.7x, the I/O savings must not be eaten by
+// decode). The corpora are written and removed here.
 ReplayBench measure_replay(std::size_t threads) {
   const Technology tech = Technology::generic_180nm();
   ReplayBench bench;
   bench.num_traces = 200000;
   const std::string path = "bench_replay.corpus";
+  const std::string raw_path = "bench_replay_raw.corpus";
   TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, tech);
   CampaignOptions options;
   options.num_traces = bench.num_traces;
@@ -374,6 +396,12 @@ ReplayBench measure_replay(std::size_t threads) {
   engine.record(options, TraceDataKind::kScalar, path);
   bench.record_tps =
       static_cast<double>(bench.num_traces) / seconds_since(start);
+  engine.record(options, TraceDataKind::kScalar, raw_path,
+                kCorpusCompressionNone);
+  bench.corpus_bytes_per_trace = static_cast<double>(file_size(path)) /
+                                 static_cast<double>(bench.num_traces);
+  bench.compression_ratio = static_cast<double>(file_size(raw_path)) /
+                            static_cast<double>(file_size(path));
 
   CpaDistinguisher simulated(engine.spec(), selector);
   {
@@ -383,20 +411,81 @@ ReplayBench measure_replay(std::size_t threads) {
     bench.simulate_tps =
         static_cast<double>(bench.num_traces) / seconds_since(start);
   }
-  CpaDistinguisher replayed(engine.spec(), selector);
-  {
-    const CorpusReader corpus(path);
-    Distinguisher* const list[] = {&replayed};
-    start = Clock::now();
-    engine.replay(corpus, list, {}, threads);
-    bench.replay_tps =
-        static_cast<double>(bench.num_traces) / seconds_since(start);
-  }
+  // Best-of-3 for both replay variants: a single-shot replay timing is
+  // dominated by first-use effects (page-cache faults on the fresh
+  // mapping, thread-pool spin-up), which would bias whichever corpus is
+  // replayed first.
+  bool identical = true;
+  const auto best_replay_tps = [&](const std::string& corpus_path) {
+    const CorpusReader corpus(corpus_path);
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      CpaDistinguisher replayed(engine.spec(), selector);
+      Distinguisher* const list[] = {&replayed};
+      const auto rep_start = Clock::now();
+      engine.replay(corpus, list, {}, threads);
+      best = std::max(best, static_cast<double>(bench.num_traces) /
+                                seconds_since(rep_start));
+      identical =
+          identical && replayed.result().score == simulated.result().score;
+    }
+    return best;
+  };
+  bench.replay_tps = best_replay_tps(path);
+  bench.raw_replay_tps = best_replay_tps(raw_path);
   bench.speedup = bench.replay_tps / bench.simulate_tps;
-  bench.bit_identical =
-      replayed.result().score == simulated.result().score;
+  bench.decode_vs_raw = bench.replay_tps / bench.raw_replay_tps;
+  bench.bit_identical = identical;
   std::remove(path.c_str());
+  std::remove(raw_path.c_str());
   return bench;
+}
+
+struct CompressionRow {
+  const char* style = nullptr;
+  std::uint64_t v1_bytes = 0;
+  std::uint64_t v2_bytes = 0;
+  double ratio = 0.0;
+};
+
+// The default compression campaign: cycle-sampled corpora of every logic
+// style, recorded WITHOUT measurement noise — the regime the codec is
+// built for (noise randomizes the low mantissa bits and is
+// information-theoretically incompressible; the replay row above reports
+// that worst case). Constant-power styles collapse to a per-level
+// dictionary of a handful of values; the data-dependent styles still
+// draw each level from a small discrete set of switching-energy sums.
+std::vector<CompressionRow> measure_compression(std::size_t num_traces,
+                                                std::size_t threads) {
+  const Technology tech = Technology::generic_180nm();
+  std::vector<CompressionRow> rows;
+  const std::string v1 = "bench_compress_v1.corpus";
+  const std::string v2 = "bench_compress_v2.corpus";
+  for (LogicStyle style :
+       {LogicStyle::kStaticCmos, LogicStyle::kSablGenuine,
+        LogicStyle::kSablFullyConnected, LogicStyle::kSablEnhanced,
+        LogicStyle::kWddlBalanced, LogicStyle::kWddlMismatched}) {
+    TraceEngine engine(present_spec(), style, tech);
+    CampaignOptions options;
+    options.num_traces = num_traces;
+    options.key = {0xB};
+    options.noise_sigma = 0.0;
+    options.seed = 0xBE7C;
+    options.num_threads = threads;
+    engine.record(options, TraceDataKind::kSampled, v1,
+                  kCorpusCompressionNone, kCorpusVersion1);
+    engine.record(options, TraceDataKind::kSampled, v2);
+    CompressionRow row;
+    row.style = to_string(style);
+    row.v1_bytes = file_size(v1);
+    row.v2_bytes = file_size(v2);
+    row.ratio = static_cast<double>(row.v1_bytes) /
+                static_cast<double>(row.v2_bytes);
+    rows.push_back(row);
+  }
+  std::remove(v1.c_str());
+  std::remove(v2.c_str());
+  return rows;
 }
 
 // Streamed-campaign throughput of an N-instance PRESENT round: every
@@ -439,7 +528,9 @@ void write_json(const std::string& path, std::size_t num_traces,
                 const std::vector<ThreadSweepRow>& sweep_rows,
                 const std::vector<RoundThroughput>& round_rows,
                 const MultiAttackBench& multi, const ReplayBench& replay,
-                std::size_t cpa_traces, double cpa_seconds) {
+                const std::vector<CompressionRow>& compression_rows,
+                std::size_t compression_traces, std::size_t cpa_traces,
+                double cpa_seconds) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -556,11 +647,39 @@ void write_json(const std::string& path, std::size_t num_traces,
                multi.all_recovered ? "true" : "false");
   std::fprintf(f,
                "  \"replay\": {\"num_traces\": %zu, \"record_tps\": %.1f, "
-               "\"replay_tps\": %.1f, \"simulate_tps\": %.1f, "
-               "\"speedup_vs_simulate\": %.2f, \"bit_identical\": %s},\n",
+               "\"replay_tps\": %.1f, \"raw_replay_tps\": %.1f, "
+               "\"simulate_tps\": %.1f, \"speedup_vs_simulate\": %.2f, "
+               "\"decode_vs_raw\": %.2f, \"corpus_bytes_per_trace\": %.2f, "
+               "\"compression_ratio\": %.2f, \"bit_identical\": %s},\n",
                replay.num_traces, replay.record_tps, replay.replay_tps,
-               replay.simulate_tps, replay.speedup,
+               replay.raw_replay_tps, replay.simulate_tps, replay.speedup,
+               replay.decode_vs_raw, replay.corpus_bytes_per_trace,
+               replay.compression_ratio,
                replay.bit_identical ? "true" : "false");
+  std::uint64_t v1_total = 0;
+  std::uint64_t v2_total = 0;
+  std::fprintf(f, "  \"compression\": [\n");
+  for (std::size_t i = 0; i < compression_rows.size(); ++i) {
+    const CompressionRow& r = compression_rows[i];
+    v1_total += r.v1_bytes;
+    v2_total += r.v2_bytes;
+    std::fprintf(f,
+                 "    {\"style\": \"%s\", \"v1_bytes\": %llu, "
+                 "\"v2_bytes\": %llu, \"ratio\": %.2f}%s\n",
+                 r.style, static_cast<unsigned long long>(r.v1_bytes),
+                 static_cast<unsigned long long>(r.v2_bytes), r.ratio,
+                 i + 1 < compression_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"compression_campaign\": {\"num_traces\": %zu, "
+               "\"kind\": \"sampled\", \"noise_sigma\": 0.0, "
+               "\"total_ratio\": %.2f},\n",
+               compression_traces,
+               v2_total > 0
+                   ? static_cast<double>(v1_total) /
+                         static_cast<double>(v2_total)
+                   : 0.0);
   std::fprintf(f,
                "  \"streaming_cpa\": {\"num_traces\": %zu, \"seconds\": %.3f, "
                "\"tps\": %.1f}\n",
@@ -773,11 +892,44 @@ int main(int argc, char** argv) {
   const ReplayBench replay = measure_replay(threads);
   std::printf(
       "\ncorpus replay (static CMOS CPA, %zu traces, %zu threads):\n"
-      "  record %.0f traces/s, replay %.0f traces/s, simulate %.0f "
-      "traces/s\n  replay speedup vs simulate %.1fx, bit-identical: %s\n",
+      "  record %.0f traces/s, compressed replay %.0f traces/s, raw replay "
+      "%.0f traces/s,\n  simulate %.0f traces/s; replay speedup vs simulate "
+      "%.1fx, decode cost %.2fx raw\n  (expect >= 0.7x: %s); %.1f corpus "
+      "bytes/trace, %.2fx smaller than raw; bit-identical: %s\n",
       replay.num_traces, threads, replay.record_tps, replay.replay_tps,
-      replay.simulate_tps, replay.speedup,
+      replay.raw_replay_tps, replay.simulate_tps, replay.speedup,
+      replay.decode_vs_raw, replay.decode_vs_raw >= 0.7 ? "yes" : "NO",
+      replay.corpus_bytes_per_trace, replay.compression_ratio,
       replay.bit_identical ? "yes" : "NO");
+
+  // Compression: the sampled all-styles noiseless campaign (v1 raw file
+  // vs v2 compressed file; acceptance: total >= 3x).
+  const std::size_t compression_traces =
+      std::min<std::size_t>(num_traces, 12000);
+  const std::vector<CompressionRow> compression_rows =
+      measure_compression(compression_traces, threads);
+  std::uint64_t v1_total = 0;
+  std::uint64_t v2_total = 0;
+  std::printf(
+      "\ncorpus compression (sampled, noiseless, %zu traces):\n"
+      "%-22s %12s %12s %8s\n",
+      compression_traces, "logic style", "v1 [bytes]", "v2 [bytes]",
+      "ratio");
+  for (const CompressionRow& r : compression_rows) {
+    v1_total += r.v1_bytes;
+    v2_total += r.v2_bytes;
+    std::printf("%-22s %12llu %12llu %7.1fx\n", r.style,
+                static_cast<unsigned long long>(r.v1_bytes),
+                static_cast<unsigned long long>(r.v2_bytes), r.ratio);
+  }
+  const double total_ratio =
+      v2_total > 0
+          ? static_cast<double>(v1_total) / static_cast<double>(v2_total)
+          : 0.0;
+  std::printf("%-22s %12llu %12llu %7.1fx (expect >= 3x: %s)\n", "total",
+              static_cast<unsigned long long>(v1_total),
+              static_cast<unsigned long long>(v2_total), total_ratio,
+              total_ratio >= 3.0 ? "yes" : "NO");
 
   // End-to-end: streaming one-pass CPA at MTD scale, nothing retained,
   // sharded over all requested threads.
@@ -806,7 +958,8 @@ int main(int argc, char** argv) {
   }
 
   write_json(json_path, num_traces, threads, rows, lane_rows, pack_rows,
-             sweep_rows, round_rows, multi, replay, cpa_traces, cpa_seconds);
+             sweep_rows, round_rows, multi, replay, compression_rows,
+             compression_traces, cpa_traces, cpa_seconds);
   std::printf("wrote %s\n", json_path.c_str());
   return all_pass ? 0 : 1;
 }

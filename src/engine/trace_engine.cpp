@@ -802,12 +802,14 @@ void TraceEngine::merge_partials(
 }
 
 void TraceEngine::record(const CampaignOptions& options, TraceDataKind kind,
-                         const std::string& path) {
+                         const std::string& path, std::uint32_t compression,
+                         std::uint32_t version) {
   validate_key(round(), options);
   SABLE_REQUIRE(options.num_traces >= 1,
                 "recording requires at least one trace");
   CorpusManifest manifest;
   manifest.campaign = campaign_manifest(options);
+  manifest.compression = compression;
   manifest.pt_stride = round().state_bytes();
   if (kind == TraceDataKind::kScalar) {
     manifest.kind = kCorpusKindScalar;
@@ -818,7 +820,7 @@ void TraceEngine::record(const CampaignOptions& options, TraceDataKind kind,
     manifest.kind = kCorpusKindSampled;
     manifest.sample_width = target_.num_levels();
   }
-  CorpusWriter writer(path, manifest);
+  CorpusWriter writer(path, manifest, version);
   // stream()/stream_sampled() emit shards in canonical order on the
   // calling thread — exactly append_shard's contract.
   const auto sink = [&](const std::uint8_t* pts, const double* samples,

@@ -66,6 +66,7 @@
 #include "dpa/mtd.hpp"
 #include "dpa/second_order.hpp"
 #include "dpa/streaming.hpp"
+#include "io/corpus.hpp"
 #include "io/manifest.hpp"
 #include "power/trace.hpp"
 #include "util/error.hpp"
@@ -266,11 +267,16 @@ class TraceEngine {
 
   /// Records the campaign's trace stream to a corpus file at `path`
   /// (io/corpus.hpp): shards are simulated in parallel and written in
-  /// canonical order, scalar or cycle-sampled per `kind`. The corpus
-  /// replays into any matching distinguisher set bit-identically to the
-  /// live campaign.
+  /// canonical order, scalar or cycle-sampled per `kind`. The default
+  /// writes the v2 delta+plane+RLE compressed format; pass
+  /// `kCorpusCompressionNone` for raw v2 chunks, and `version = 1` (raw
+  /// only) for a backward-compatible v1 file. Whatever the encoding, the
+  /// corpus replays into any matching distinguisher set bit-identically
+  /// to the live campaign.
   void record(const CampaignOptions& options, TraceDataKind kind,
-              const std::string& path);
+              const std::string& path,
+              std::uint32_t compression = kCorpusCompressionDeltaPlaneRle,
+              std::uint32_t version = kCorpusVersion2);
 
   /// Replays a recorded corpus into `distinguishers` — no simulation,
   /// same results, same persistence controls as run_distinguishers

@@ -1,0 +1,285 @@
+#include "io/codec.hpp"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "io/serial.hpp"
+#include "switchsim/cycle_sim.hpp"
+
+namespace sable {
+
+namespace {
+
+// Runs shorter than this are cheaper as part of a literal: a run token
+// costs 2 bytes (varint + byte) plus up to 2 bytes of literal framing
+// around it.
+constexpr std::size_t kMinRun = 4;
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t get_varint(ByteReader& in) {
+  std::uint64_t v = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    const std::uint8_t b = in.u8();
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+  }
+  throw BadFileError(in.path(), "corpus chunk varint is longer than 64 bits");
+}
+
+// Byte-level RLE over `data`: alternating literal and run tokens, each a
+// varint (len << 1) | is_literal. The encoder never emits a zero-length
+// token, and runs only at kMinRun or more equal bytes.
+void rle_encode(const std::uint8_t* data, std::size_t n,
+                std::vector<std::uint8_t>& out) {
+  std::size_t lit_start = 0;
+  std::size_t i = 0;
+  const auto flush_literal = [&](std::size_t end) {
+    if (end == lit_start) return;
+    put_varint(out, (static_cast<std::uint64_t>(end - lit_start) << 1) | 1);
+    out.insert(out.end(), data + lit_start, data + end);
+  };
+  while (i < n) {
+    std::size_t j = i + 1;
+    while (j < n && data[j] == data[i]) ++j;
+    if (j - i >= kMinRun) {
+      flush_literal(i);
+      put_varint(out, static_cast<std::uint64_t>(j - i) << 1);
+      out.push_back(data[i]);
+      lit_start = j;
+    }
+    i = j;
+  }
+  flush_literal(n);
+}
+
+// Decodes exactly `n` bytes into `out` and requires the reader to be
+// fully consumed — the caller hands a reader spanning exactly the stored
+// stream, so both a short and an over-long token stream are corruption.
+void rle_decode(ByteReader& in, std::uint8_t* out, std::size_t n) {
+  std::size_t o = 0;
+  while (o < n) {
+    const std::uint64_t token = get_varint(in);
+    const std::uint64_t len = token >> 1;
+    if (len == 0 || len > n - o) {
+      throw BadFileError(in.path(),
+                         "corpus chunk RLE token overflows its stream");
+    }
+    if (token & 1) {
+      in.bytes(out + o, static_cast<std::size_t>(len));
+    } else {
+      std::memset(out + o, in.u8(), static_cast<std::size_t>(len));
+    }
+    o += static_cast<std::size_t>(len);
+  }
+  if (in.remaining() != 0) {
+    throw BadFileError(in.path(),
+                       "corpus chunk carries bytes past its RLE stream");
+  }
+}
+
+}  // namespace
+
+std::size_t corpus_encode_plaintexts(const std::uint8_t* pts,
+                                     std::size_t count, std::size_t stride,
+                                     CodecScratch& scratch,
+                                     std::vector<std::uint8_t>& out) {
+  // Byte-column-major reorder: byte k of every trace lands contiguously,
+  // so constant pad/state bytes become shard-long runs.
+  scratch.planes.resize(count * stride);
+  for (std::size_t k = 0; k < stride; ++k) {
+    std::uint8_t* col = scratch.planes.data() + k * count;
+    for (std::size_t i = 0; i < count; ++i) col[i] = pts[i * stride + k];
+  }
+  const std::size_t before = out.size();
+  rle_encode(scratch.planes.data(), scratch.planes.size(), out);
+  return out.size() - before;
+}
+
+namespace {
+
+constexpr std::uint8_t kSampleModeDeltaPlanes = 0;
+constexpr std::uint8_t kSampleModeDictionary = 1;
+constexpr std::size_t kMaxDictValues = 255;  // indices must fit a byte
+
+void encode_delta_planes(const double* samples, std::size_t count,
+                         std::size_t width, CodecScratch& scratch,
+                         std::vector<std::uint8_t>& out) {
+  const std::size_t m = count * width;
+  const std::size_t blocks = (m + 63) / 64;
+  scratch.words.assign(blocks * 64, 0);
+  // Column-major XOR-delta: per level, consecutive traces' bit patterns.
+  std::size_t k = 0;
+  for (std::size_t l = 0; l < width; ++l) {
+    std::uint64_t prev = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      std::uint64_t u;
+      std::memcpy(&u, &samples[i * width + l], sizeof(u));
+      scratch.words[k++] = u ^ prev;
+      prev = u;
+    }
+  }
+  bit_transpose_blocks(scratch.words.data(), blocks);
+  // Plane-major byte image: plane v of every block contiguous.
+  scratch.planes.resize(blocks * 64 * sizeof(std::uint64_t));
+  for (std::size_t v = 0; v < 64; ++v) {
+    for (std::size_t b = 0; b < blocks; ++b) {
+      std::memcpy(scratch.planes.data() + (v * blocks + b) * 8,
+                  &scratch.words[b * 64 + v], 8);
+    }
+  }
+  rle_encode(scratch.planes.data(), scratch.planes.size(), out);
+}
+
+// Per-level dictionary attempt: false (and `out` meaningless) as soon as
+// one level exceeds kMaxDictValues distinct bit patterns. Comparison is
+// on bit patterns, not double values, so -0.0/0.0 and NaNs round-trip
+// exactly like every other sample.
+bool encode_dictionary(const double* samples, std::size_t count,
+                       std::size_t width, CodecScratch& scratch,
+                       std::vector<std::uint8_t>& out) {
+  scratch.planes.resize(count * width);
+  std::unordered_map<std::uint64_t, std::uint8_t> dict;
+  for (std::size_t l = 0; l < width; ++l) {
+    dict.clear();
+    std::uint8_t* col = scratch.planes.data() + l * count;
+    const std::size_t dict_start = out.size();
+    put_varint(out, 0);  // patched below; a count < 128 stays one byte
+    std::size_t distinct = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      std::uint64_t u;
+      std::memcpy(&u, &samples[i * width + l], sizeof(u));
+      const auto [it, inserted] =
+          dict.emplace(u, static_cast<std::uint8_t>(distinct));
+      if (inserted) {
+        if (distinct == kMaxDictValues) return false;
+        ++distinct;
+        const std::size_t at = out.size();
+        out.resize(at + sizeof(u));
+        std::memcpy(out.data() + at, &u, sizeof(u));
+      }
+      col[i] = it->second;
+    }
+    if (distinct < 128) {
+      out[dict_start] = static_cast<std::uint8_t>(distinct);
+    } else {
+      // Two-byte varint: rewrite the placeholder in place.
+      out[dict_start] = static_cast<std::uint8_t>(distinct) | 0x80;
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(dict_start) + 1,
+                 static_cast<std::uint8_t>(distinct >> 7));
+    }
+  }
+  rle_encode(scratch.planes.data(), scratch.planes.size(), out);
+  return true;
+}
+
+}  // namespace
+
+std::size_t corpus_encode_samples(const double* samples, std::size_t count,
+                                  std::size_t width, CodecScratch& scratch,
+                                  std::vector<std::uint8_t>& out) {
+  // Encode both candidate modes and keep the smaller one; recording is
+  // the cold path, decode speed is what replay pays for.
+  scratch.mode_a.clear();
+  const bool dict_ok =
+      encode_dictionary(samples, count, width, scratch, scratch.mode_a);
+  scratch.mode_b.clear();
+  encode_delta_planes(samples, count, width, scratch, scratch.mode_b);
+  const bool use_dict = dict_ok && scratch.mode_a.size() <
+                                       scratch.mode_b.size();
+  const std::vector<std::uint8_t>& stream =
+      use_dict ? scratch.mode_a : scratch.mode_b;
+  const std::size_t before = out.size();
+  out.push_back(use_dict ? kSampleModeDictionary : kSampleModeDeltaPlanes);
+  out.insert(out.end(), stream.begin(), stream.end());
+  return out.size() - before;
+}
+
+void corpus_decode_plaintexts(ByteReader& in, std::size_t count,
+                              std::size_t stride, CodecScratch& scratch,
+                              std::uint8_t* out) {
+  scratch.planes.resize(count * stride);
+  rle_decode(in, scratch.planes.data(), scratch.planes.size());
+  for (std::size_t k = 0; k < stride; ++k) {
+    const std::uint8_t* col = scratch.planes.data() + k * count;
+    for (std::size_t i = 0; i < count; ++i) out[i * stride + k] = col[i];
+  }
+}
+
+void corpus_decode_samples(ByteReader& in, std::size_t count,
+                           std::size_t width, CodecScratch& scratch,
+                           double* out) {
+  const std::uint8_t mode = in.u8();
+  if (mode == kSampleModeDeltaPlanes) {
+    const std::size_t m = count * width;
+    const std::size_t blocks = (m + 63) / 64;
+    scratch.planes.resize(blocks * 64 * sizeof(std::uint64_t));
+    rle_decode(in, scratch.planes.data(), scratch.planes.size());
+    scratch.words.resize(blocks * 64);
+    for (std::size_t v = 0; v < 64; ++v) {
+      for (std::size_t b = 0; b < blocks; ++b) {
+        std::memcpy(&scratch.words[b * 64 + v],
+                    scratch.planes.data() + (v * blocks + b) * 8, 8);
+      }
+    }
+    // The 64×64 transpose is an involution: the same call undoes encode.
+    bit_transpose_blocks(scratch.words.data(), blocks);
+    std::size_t k = 0;
+    for (std::size_t l = 0; l < width; ++l) {
+      std::uint64_t prev = 0;
+      for (std::size_t i = 0; i < count; ++i) {
+        prev ^= scratch.words[k++];
+        std::memcpy(&out[i * width + l], &prev, sizeof(prev));
+      }
+    }
+    return;
+  }
+  if (mode != kSampleModeDictionary) {
+    throw BadFileError(in.path(), "corpus sample stream carries an unknown "
+                                  "codec mode");
+  }
+  // Dictionary mode. All allocations below are sized from the validated
+  // shard layout (count, width) or hard constants — never from stream
+  // fields — and every stream read goes through the bounds-checked
+  // reader.
+  scratch.words.clear();
+  // Per-level dictionary sizes, packed ahead of the flat value table.
+  std::vector<std::size_t> sizes(width);
+  for (std::size_t l = 0; l < width; ++l) {
+    const std::uint64_t k = get_varint(in);
+    if (k < 1 || k > kMaxDictValues) {
+      throw BadFileError(in.path(), "corpus sample dictionary size is "
+                                    "outside [1, 255]");
+    }
+    sizes[l] = static_cast<std::size_t>(k);
+    for (std::uint64_t j = 0; j < k; ++j) {
+      std::uint64_t u;
+      in.bytes(&u, sizeof(u));
+      scratch.words.push_back(u);
+    }
+  }
+  scratch.planes.resize(count * width);
+  rle_decode(in, scratch.planes.data(), scratch.planes.size());
+  std::size_t base = 0;
+  for (std::size_t l = 0; l < width; ++l) {
+    const std::uint8_t* col = scratch.planes.data() + l * count;
+    const std::uint64_t* dict = scratch.words.data() + base;
+    const std::size_t k = sizes[l];
+    for (std::size_t i = 0; i < count; ++i) {
+      if (col[i] >= k) {
+        throw BadFileError(in.path(), "corpus sample index is outside its "
+                                      "level's dictionary");
+      }
+      std::memcpy(&out[i * width + l], &dict[col[i]], sizeof(std::uint64_t));
+    }
+    base += k;
+  }
+}
+
+}  // namespace sable

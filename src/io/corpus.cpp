@@ -10,7 +10,6 @@ namespace sable {
 namespace {
 
 constexpr char kCorpusMagic[8] = {'S', 'A', 'B', 'L', 'C', 'O', 'R', 'P'};
-constexpr std::uint32_t kCorpusVersion = 1;
 
 // Sanity ceilings on hostile header fields, chosen so every size product
 // below fits a u64 with room to spare (a real round's state is tens of
@@ -18,6 +17,13 @@ constexpr std::uint32_t kCorpusVersion = 1;
 constexpr std::uint64_t kMaxPtStride = 1u << 20;
 constexpr std::uint64_t kMaxSampleWidth = 1u << 20;
 constexpr std::uint64_t kMaxShardSize = 1ull << 32;
+
+// Ceiling on one shard's DECODED size. Raw chunks cannot out-allocate
+// their file (the mapping is the storage), but decoding a compressed
+// chunk allocates the raw size from index fields a hostile file
+// controls — bound it before any allocation happens. Far above any real
+// shard (the autotuner caps shards at 64Ki traces).
+constexpr std::uint64_t kMaxShardDecodedBytes = 1ull << 31;
 
 std::uint64_t pad8(std::uint64_t n) { return (n + 7) / 8 * 8; }
 
@@ -28,10 +34,12 @@ std::uint64_t layout_count(const CampaignManifest& m, std::uint64_t s) {
                                  m.num_traces - s * m.shard_size);
 }
 
-void write_header(ByteWriter& writer, const CorpusManifest& manifest) {
+void write_header(ByteWriter& writer, const CorpusManifest& manifest,
+                  std::uint32_t version) {
   writer.bytes(kCorpusMagic, sizeof(kCorpusMagic));
-  writer.u32(kCorpusVersion);
+  writer.u32(version);
   writer.u32(manifest.kind);
+  if (version >= kCorpusVersion2) writer.u32(manifest.compression);
   manifest.campaign.save(writer);
   writer.u64(manifest.pt_stride);
   writer.u64(manifest.sample_width);
@@ -41,12 +49,22 @@ void write_header(ByteWriter& writer, const CorpusManifest& manifest) {
 }  // namespace
 
 CorpusWriter::CorpusWriter(const std::string& path,
-                           const CorpusManifest& manifest)
-    : path_(path), tmp_path_(path + ".tmp"), manifest_(manifest) {
+                           const CorpusManifest& manifest,
+                           std::uint32_t version)
+    : path_(path), tmp_path_(path + ".tmp"), manifest_(manifest),
+      version_(version) {
   const CampaignManifest& c = manifest_.campaign;
+  SABLE_REQUIRE(version_ == kCorpusVersion1 || version_ == kCorpusVersion2,
+                "corpus writer version must be 1 or 2");
   SABLE_REQUIRE(manifest_.kind == kCorpusKindScalar ||
                     manifest_.kind == kCorpusKindSampled,
                 "corpus kind must be scalar or sampled");
+  SABLE_REQUIRE(manifest_.compression == kCorpusCompressionNone ||
+                    manifest_.compression == kCorpusCompressionDeltaPlaneRle,
+                "corpus compression must be none or delta+plane+RLE");
+  SABLE_REQUIRE(version_ >= kCorpusVersion2 ||
+                    manifest_.compression == kCorpusCompressionNone,
+                "corpus format v1 stores raw chunks only");
   SABLE_REQUIRE(manifest_.pt_stride >= 1 && manifest_.sample_width >= 1,
                 "corpus strides must be at least one");
   SABLE_REQUIRE(c.num_traces >= 1 && c.shard_size >= 1 &&
@@ -55,12 +73,12 @@ CorpusWriter::CorpusWriter(const std::string& path,
                 "corpus manifest must carry a resolved, consistent shard "
                 "layout");
   ByteWriter header;
-  write_header(header, manifest_);
+  write_header(header, manifest_, version_);
   index_offset_ = header.offset();
   // Index placeholder, back-patched by finish().
+  const std::size_t entry_words = version_ == kCorpusVersion1 ? 2 : 4;
   for (std::uint64_t s = 0; s < c.num_shards; ++s) {
-    header.u64(0);
-    header.u64(0);
+    for (std::size_t w = 0; w < entry_words; ++w) header.u64(0);
   }
   file_ = std::fopen(tmp_path_.c_str(), "wb");
   if (!file_) {
@@ -91,14 +109,36 @@ void CorpusWriter::append_shard(const std::uint8_t* pts,
   SABLE_REQUIRE(count == layout_count(manifest_.campaign, next_shard_),
                 "appended shard's trace count must match the canonical "
                 "layout");
-  index_.push_back(write_offset_);
-  index_.push_back(count);
-  const std::uint64_t pt_bytes = count * manifest_.pt_stride;
-  write_raw(pts, static_cast<std::size_t>(pt_bytes));
   static const char kZeros[8] = {};
-  write_raw(kZeros, static_cast<std::size_t>(pad8(pt_bytes) - pt_bytes));
-  write_raw(samples, static_cast<std::size_t>(count * manifest_.sample_width *
-                                              sizeof(double)));
+  const std::uint64_t offset = write_offset_;
+  std::uint64_t pt_bytes;
+  std::uint64_t samp_bytes;
+  if (manifest_.compression == kCorpusCompressionNone) {
+    pt_bytes = count * manifest_.pt_stride;
+    samp_bytes = count * manifest_.sample_width * sizeof(double);
+    write_raw(pts, static_cast<std::size_t>(pt_bytes));
+    write_raw(kZeros, static_cast<std::size_t>(pad8(pt_bytes) - pt_bytes));
+    write_raw(samples, static_cast<std::size_t>(samp_bytes));
+  } else {
+    encoded_.clear();
+    pt_bytes = corpus_encode_plaintexts(
+        pts, count, static_cast<std::size_t>(manifest_.pt_stride), scratch_,
+        encoded_);
+    write_raw(encoded_.data(), encoded_.size());
+    write_raw(kZeros, static_cast<std::size_t>(pad8(pt_bytes) - pt_bytes));
+    encoded_.clear();
+    samp_bytes = corpus_encode_samples(
+        samples, count, static_cast<std::size_t>(manifest_.sample_width),
+        scratch_, encoded_);
+    write_raw(encoded_.data(), encoded_.size());
+    write_raw(kZeros, static_cast<std::size_t>(pad8(samp_bytes) - samp_bytes));
+  }
+  index_.push_back(offset);
+  index_.push_back(count);
+  if (version_ >= kCorpusVersion2) {
+    index_.push_back(pt_bytes);
+    index_.push_back(samp_bytes);
+  }
   ++next_shard_;
 }
 
@@ -132,16 +172,22 @@ CorpusReader::CorpusReader(const std::string& path) : file_(path) {
   if (std::memcmp(magic, kCorpusMagic, sizeof(magic)) != 0) {
     throw BadFileError(path, "not a sable corpus file (bad magic)");
   }
-  const std::uint32_t version = reader.u32();
-  if (version != kCorpusVersion) {
+  version_ = reader.u32();
+  if (version_ != kCorpusVersion1 && version_ != kCorpusVersion2) {
     throw BadFileError(path, "unsupported corpus format version " +
-                                 std::to_string(version));
+                                 std::to_string(version_));
   }
   manifest_.kind = reader.u32();
   if (manifest_.kind != kCorpusKindScalar &&
       manifest_.kind != kCorpusKindSampled) {
     throw BadFileError(path, "corpus trace kind is neither scalar nor "
                              "sampled");
+  }
+  manifest_.compression =
+      version_ >= kCorpusVersion2 ? reader.u32() : kCorpusCompressionNone;
+  if (manifest_.compression != kCorpusCompressionNone &&
+      manifest_.compression != kCorpusCompressionDeltaPlaneRle) {
+    throw BadFileError(path, "corpus carries an unknown compression tag");
   }
   manifest_.campaign.load(reader);
   manifest_.pt_stride = reader.u64();
@@ -156,35 +202,56 @@ CorpusReader::CorpusReader(const std::string& path) : file_(path) {
     throw BadFileError(path, "corpus header carries an inconsistent shard "
                              "layout");
   }
-  if (c.num_shards > reader.remaining() / 16) {
+  const std::size_t entry_bytes = version_ == kCorpusVersion1 ? 16 : 32;
+  if (c.num_shards > reader.remaining() / entry_bytes) {
     throw FileTruncatedError(path, "corpus shard index runs past the end of "
                                    "the file");
   }
-  offsets_.reserve(static_cast<std::size_t>(c.num_shards));
-  counts_.reserve(static_cast<std::size_t>(c.num_shards));
+  shards_.reserve(static_cast<std::size_t>(c.num_shards));
   for (std::uint64_t s = 0; s < c.num_shards; ++s) {
-    const std::uint64_t offset = reader.u64();
-    const std::uint64_t count = reader.u64();
-    if (count != layout_count(c, s)) {
+    Shard shard;
+    shard.offset = reader.u64();
+    shard.count = reader.u64();
+    if (shard.count != layout_count(c, s)) {
       throw ShardIndexError(
           path, "corpus index entry " + std::to_string(s) +
                     " disagrees with the canonical shard layout");
     }
-    const std::uint64_t chunk =
-        pad8(count * manifest_.pt_stride) +
-        count * manifest_.sample_width * sizeof(double);
-    if (offset % 8 != 0 || offset > file_.size() ||
-        chunk > file_.size() - offset) {
+    const std::uint64_t raw_pt = shard.count * manifest_.pt_stride;
+    const std::uint64_t raw_samp =
+        shard.count * manifest_.sample_width * sizeof(double);
+    if (version_ == kCorpusVersion1) {
+      shard.pt_bytes = raw_pt;
+      shard.samp_bytes = raw_samp;
+    } else {
+      shard.pt_bytes = reader.u64();
+      shard.samp_bytes = reader.u64();
+    }
+    if (manifest_.compression == kCorpusCompressionNone &&
+        (shard.pt_bytes != raw_pt || shard.samp_bytes != raw_samp)) {
+      throw ShardIndexError(
+          path, "corpus index entry " + std::to_string(s) +
+                    " disagrees with the raw chunk sizes its layout implies");
+    }
+    // Decoding allocates the raw size; bound it before any decode does.
+    if (raw_pt + raw_samp > kMaxShardDecodedBytes) {
+      throw BadFileError(path, "corpus shard " + std::to_string(s) +
+                                   " would decode past the per-shard size "
+                                   "ceiling");
+    }
+    if (shard.offset % 8 != 0 || shard.offset > file_.size() ||
+        shard.pt_bytes > file_.size() || shard.samp_bytes > file_.size() ||
+        pad8(shard.pt_bytes) + pad8(shard.samp_bytes) >
+            file_.size() - shard.offset) {
       throw ShardIndexError(path, "corpus index entry " + std::to_string(s) +
                                       " points outside the file");
     }
-    offsets_.push_back(offset);
-    counts_.push_back(count);
+    shards_.push_back(shard);
   }
 }
 
 void CorpusReader::require_shard(std::size_t s) const {
-  if (s >= offsets_.size()) {
+  if (s >= shards_.size()) {
     throw ShardIndexError(path(), "shard " + std::to_string(s) +
                                       " is out of range for this corpus");
   }
@@ -197,19 +264,72 @@ std::size_t CorpusReader::shard_start(std::size_t s) const {
 
 std::size_t CorpusReader::shard_count(std::size_t s) const {
   require_shard(s);
-  return static_cast<std::size_t>(counts_[s]);
+  return static_cast<std::size_t>(shards_[s].count);
 }
 
 const std::uint8_t* CorpusReader::shard_plaintexts(std::size_t s) const {
   require_shard(s);
-  return file_.data() + offsets_[s];
+  SABLE_REQUIRE(!compressed(),
+                "compressed corpus chunks have no zero-copy raw form; use "
+                "read_shard");
+  return file_.data() + shards_[s].offset;
 }
 
 const double* CorpusReader::shard_samples(std::size_t s) const {
   require_shard(s);
-  return reinterpret_cast<const double*>(
-      file_.data() + offsets_[s] +
-      pad8(counts_[s] * manifest_.pt_stride));
+  SABLE_REQUIRE(!compressed(),
+                "compressed corpus chunks have no zero-copy raw form; use "
+                "read_shard");
+  return reinterpret_cast<const double*>(file_.data() + shards_[s].offset +
+                                         pad8(shards_[s].pt_bytes));
+}
+
+CorpusShardView CorpusReader::read_shard(std::size_t s,
+                                         CorpusDecodeScratch& scratch) const {
+  require_shard(s);
+  CorpusShardView view;
+  view.count = static_cast<std::size_t>(shards_[s].count);
+  if (!compressed()) {
+    view.pts = file_.data() + shards_[s].offset;
+    view.samples = reinterpret_cast<const double*>(
+        file_.data() + shards_[s].offset + pad8(shards_[s].pt_bytes));
+    return view;
+  }
+  decode_shard_into(s, scratch.codec, scratch.pts, scratch.samples);
+  view.pts = scratch.pts.data();
+  view.samples = scratch.samples.data();
+  return view;
+}
+
+void CorpusReader::decode_shard_into(std::size_t s, CodecScratch& codec,
+                                     std::vector<std::uint8_t>& pts,
+                                     std::vector<double>& samples) const {
+  require_shard(s);
+  SABLE_REQUIRE(compressed(), "decode_shard_into requires a compressed "
+                              "corpus");
+  const Shard& shard = shards_[s];
+  const std::size_t count = static_cast<std::size_t>(shard.count);
+  const std::size_t stride = static_cast<std::size_t>(manifest_.pt_stride);
+  const std::size_t width = static_cast<std::size_t>(manifest_.sample_width);
+  pts.resize(count * stride);
+  samples.resize(count * width);
+  ByteReader pt_in(file_.data() + shard.offset,
+                   static_cast<std::size_t>(shard.pt_bytes), path());
+  corpus_decode_plaintexts(pt_in, count, stride, codec, pts.data());
+  ByteReader samp_in(file_.data() + shard.offset + pad8(shard.pt_bytes),
+                     static_cast<std::size_t>(shard.samp_bytes), path());
+  corpus_decode_samples(samp_in, count, width, codec, samples.data());
+}
+
+std::uint64_t CorpusReader::shard_stored_bytes(std::size_t s) const {
+  require_shard(s);
+  return shards_[s].pt_bytes + shards_[s].samp_bytes;
+}
+
+std::uint64_t CorpusReader::shard_raw_bytes(std::size_t s) const {
+  require_shard(s);
+  return shards_[s].count *
+         (manifest_.pt_stride + manifest_.sample_width * sizeof(double));
 }
 
 }  // namespace sable

@@ -3,29 +3,43 @@
 #include <algorithm>
 #include <atomic>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "crypto/round_target.hpp"
 #include "engine/shard_reduce.hpp"
 #include "engine/worker_pool.hpp"
 #include "io/campaign_state.hpp"
+#include "io/corpus_cache.hpp"
 #include "util/error.hpp"
 
 namespace sable {
 
-bool replay_distinguishers(const CorpusReader& corpus, const RoundSpec& round,
-                           std::span<Distinguisher* const> distinguishers,
-                           const CampaignPersistence& persist,
-                           std::size_t num_threads, WorkerPool* pool) {
-  const CorpusManifest& cm = corpus.manifest();
+namespace {
+
+// Sub-plaintext extraction slots, deduplicated per attacked instance —
+// the live driver's exact scheme.
+struct SubSlots {
+  std::vector<std::size_t> sbox;
+  std::vector<std::size_t> of;
+};
+
+// The per-evaluation validation replay performs ONCE up front (the
+// corpus structure itself was already validated when the reader was
+// constructed): spec hash when `check_spec` (SharedCorpus memoizes it
+// across evaluations), stride, and every distinguisher's contract.
+SubSlots validate_for_replay(const CorpusManifest& cm,
+                             const std::string& path, const RoundSpec& round,
+                             std::span<Distinguisher* const> distinguishers,
+                             bool check_spec) {
   const CampaignManifest& manifest = cm.campaign;
   SABLE_REQUIRE(!distinguishers.empty(),
                 "replay needs at least one distinguisher");
   SABLE_REQUIRE(manifest.num_traces >= 2,
                 "attack campaigns require at least two traces");
-  if (round_spec_hash(round) != manifest.spec_hash) {
+  if (check_spec && round_spec_hash(round) != manifest.spec_hash) {
     throw ManifestMismatchError(
-        corpus.path(),
+        path,
         "corpus was recorded for a different round spec than the one being "
         "attacked");
   }
@@ -35,25 +49,64 @@ bool replay_distinguishers(const CorpusReader& corpus, const RoundSpec& round,
   const TraceDataKind kind = cm.kind == kCorpusKindScalar
                                  ? TraceDataKind::kScalar
                                  : TraceDataKind::kSampled;
-  for (Distinguisher* d : distinguishers) {
-    SABLE_REQUIRE(d != nullptr, "distinguisher must not be null");
-    d->validate(round);
-    SABLE_REQUIRE(d->data_kind() == kind,
+  SubSlots slots;
+  slots.of.resize(distinguishers.size());
+  for (std::size_t d = 0; d < distinguishers.size(); ++d) {
+    Distinguisher* dist = distinguishers[d];
+    SABLE_REQUIRE(dist != nullptr, "distinguisher must not be null");
+    dist->validate(round);
+    SABLE_REQUIRE(dist->data_kind() == kind,
                   "distinguisher's trace data kind does not match the "
                   "corpus (scalar vs cycle-sampled)");
+    const std::size_t index = dist->sbox_index();
+    const auto it = std::find(slots.sbox.begin(), slots.sbox.end(), index);
+    slots.of[d] = static_cast<std::size_t>(it - slots.sbox.begin());
+    if (it == slots.sbox.end()) slots.sbox.push_back(index);
   }
+  return slots;
+}
 
-  // Sub-plaintext extraction slots, deduplicated per attacked instance —
-  // the live driver's exact scheme.
-  std::vector<std::size_t> slot_sbox;
-  std::vector<std::size_t> slot_of(distinguishers.size());
+// One shard block into one attack set's accumulators — identical to the
+// live engine's per-shard feed, whatever storage backs `view`.
+void accumulate_shard(const RoundSpec& round,
+                      std::span<Distinguisher* const> distinguishers,
+                      const SubSlots& slots, const CorpusShardView& view,
+                      std::size_t s, std::size_t shard_size, std::size_t width,
+                      std::vector<std::uint8_t>& sub_pts, ShardStates& states) {
   for (std::size_t d = 0; d < distinguishers.size(); ++d) {
-    const std::size_t index = distinguishers[d]->sbox_index();
-    const auto it = std::find(slot_sbox.begin(), slot_sbox.end(), index);
-    slot_of[d] = static_cast<std::size_t>(it - slot_sbox.begin());
-    if (it == slot_sbox.end()) slot_sbox.push_back(index);
+    states[d][s] = distinguishers[d]->make_shard_accumulator();
   }
+  for (std::size_t slot = 0; slot < slots.sbox.size(); ++slot) {
+    round.sub_words(view.pts, view.count, slots.sbox[slot],
+                    sub_pts.data() + slot * shard_size);
+  }
+  for (std::size_t d = 0; d < distinguishers.size(); ++d) {
+    ShardBlock block;
+    block.start = s * shard_size;
+    block.sub_pts = sub_pts.data() + slots.of[d] * shard_size;
+    block.data = view.samples;
+    block.width = width;
+    block.count = view.count;
+    states[d][s]->accumulate(block);
+  }
+}
 
+// A fetched shard: the view plus whatever keeps it alive (a SharedCorpus
+// lease, or nothing when the view aliases a scratch or the mapping).
+struct FetchedShard {
+  SharedCorpus::Lease lease;
+  CorpusShardView view;
+};
+
+// The common replay driver. `fetch(s, scratch)` produces shard s's
+// traces; everything else — wave scheduling, checkpointing, threading,
+// reduction — is storage-agnostic.
+template <typename Fetch>
+bool replay_impl(const CorpusManifest& cm, const RoundSpec& round,
+                 std::span<Distinguisher* const> distinguishers,
+                 const SubSlots& slots, const CampaignPersistence& persist,
+                 std::size_t num_threads, WorkerPool* pool, Fetch&& fetch) {
+  const CampaignManifest& manifest = cm.campaign;
   ShardStates states(distinguishers.size());
   for (auto& row : states) {
     row.resize(static_cast<std::size_t>(manifest.num_shards));
@@ -73,37 +126,23 @@ bool replay_distinguishers(const CorpusReader& corpus, const RoundSpec& round,
         std::max<std::size_t>(1, std::min(max_threads, work.size()));
     std::atomic<std::size_t> next{0};
     const auto run_one = [&](std::vector<std::uint8_t>& sub_pts,
-                             std::size_t s) {
-      for (std::size_t d = 0; d < distinguishers.size(); ++d) {
-        states[d][s] = distinguishers[d]->make_shard_accumulator();
-      }
-      const std::size_t count = corpus.shard_count(s);
-      const std::uint8_t* pts = corpus.shard_plaintexts(s);
-      const double* samples = corpus.shard_samples(s);
-      for (std::size_t slot = 0; slot < slot_sbox.size(); ++slot) {
-        round.sub_words(pts, count, slot_sbox[slot],
-                        sub_pts.data() + slot * shard_size);
-      }
-      for (std::size_t d = 0; d < distinguishers.size(); ++d) {
-        ShardBlock block;
-        block.start = corpus.shard_start(s);
-        block.sub_pts = sub_pts.data() + slot_of[d] * shard_size;
-        block.data = samples;
-        block.width = width;
-        block.count = count;
-        states[d][s]->accumulate(block);
-      }
+                             CorpusDecodeScratch& scratch, std::size_t s) {
+      const FetchedShard fetched = fetch(s, scratch);
+      accumulate_shard(round, distinguishers, slots, fetched.view, s,
+                       shard_size, width, sub_pts, states);
     };
     if (threads <= 1) {
-      std::vector<std::uint8_t> sub_pts(shard_size * slot_sbox.size());
-      for (std::size_t s : work) run_one(sub_pts, s);
+      std::vector<std::uint8_t> sub_pts(shard_size * slots.sbox.size());
+      CorpusDecodeScratch scratch;
+      for (std::size_t s : work) run_one(sub_pts, scratch, s);
       return;
     }
     workers.run(threads, [&](std::size_t) {
-      std::vector<std::uint8_t> sub_pts(shard_size * slot_sbox.size());
+      std::vector<std::uint8_t> sub_pts(shard_size * slots.sbox.size());
+      CorpusDecodeScratch scratch;
       for (std::size_t k = next.fetch_add(1); k < work.size();
            k = next.fetch_add(1)) {
-        run_one(sub_pts, work[k]);
+        run_one(sub_pts, scratch, work[k]);
       }
     });
   };
@@ -118,6 +157,105 @@ bool replay_distinguishers(const CorpusReader& corpus, const RoundSpec& round,
           1, std::min(max_threads,
                       static_cast<std::size_t>(manifest.num_shards))));
   return true;
+}
+
+}  // namespace
+
+bool replay_distinguishers(const CorpusReader& corpus, const RoundSpec& round,
+                           std::span<Distinguisher* const> distinguishers,
+                           const CampaignPersistence& persist,
+                           std::size_t num_threads, WorkerPool* pool) {
+  const SubSlots slots = validate_for_replay(
+      corpus.manifest(), corpus.path(), round, distinguishers,
+      /*check_spec=*/true);
+  return replay_impl(corpus.manifest(), round, distinguishers, slots, persist,
+                     num_threads, pool,
+                     [&](std::size_t s, CorpusDecodeScratch& scratch) {
+                       return FetchedShard{{}, corpus.read_shard(s, scratch)};
+                     });
+}
+
+bool replay_distinguishers(SharedCorpus& corpus, const RoundSpec& round,
+                           std::span<Distinguisher* const> distinguishers,
+                           const CampaignPersistence& persist,
+                           std::size_t num_threads, WorkerPool* pool) {
+  const std::uint64_t hash = round_spec_hash(round);
+  const bool check_spec = !corpus.spec_validated(hash);
+  const SubSlots slots =
+      validate_for_replay(corpus.manifest(), corpus.reader().path(), round,
+                          distinguishers, check_spec);
+  if (check_spec) corpus.note_spec_validated(hash);
+  return replay_impl(corpus.manifest(), round, distinguishers, slots, persist,
+                     num_threads, pool,
+                     [&](std::size_t s, CorpusDecodeScratch&) {
+                       SharedCorpus::Lease lease = corpus.acquire(s);
+                       const CorpusShardView view = lease.view();
+                       return FetchedShard{std::move(lease), view};
+                     });
+}
+
+void replay_shared(SharedCorpus& corpus, const RoundSpec& round,
+                   std::span<const std::span<Distinguisher* const>> sets,
+                   std::size_t num_threads, WorkerPool* pool) {
+  SABLE_REQUIRE(!sets.empty(), "replay_shared needs at least one attack set");
+  const CorpusManifest& cm = corpus.manifest();
+  const std::uint64_t hash = round_spec_hash(round);
+  const bool check_spec = !corpus.spec_validated(hash);
+  std::vector<SubSlots> slots;
+  slots.reserve(sets.size());
+  for (std::size_t k = 0; k < sets.size(); ++k) {
+    slots.push_back(validate_for_replay(cm, corpus.reader().path(), round,
+                                        sets[k], check_spec && k == 0));
+  }
+  if (check_spec) corpus.note_spec_validated(hash);
+
+  const std::size_t num_shards =
+      static_cast<std::size_t>(cm.campaign.num_shards);
+  const std::size_t shard_size =
+      static_cast<std::size_t>(cm.campaign.shard_size);
+  const std::size_t width = static_cast<std::size_t>(cm.sample_width);
+  std::vector<ShardStates> states(sets.size());
+  for (std::size_t k = 0; k < sets.size(); ++k) {
+    states[k].resize(sets[k].size());
+    for (auto& row : states[k]) row.resize(num_shards);
+  }
+
+  WorkerPool local_pool;
+  WorkerPool& workers = pool ? *pool : local_pool;
+  const std::size_t max_threads =
+      num_threads != 0 ? num_threads
+                       : std::max(1u, std::thread::hardware_concurrency());
+
+  // Workers claim whole sets; the shard loop inside streams every chunk
+  // through the shared cache, so concurrent sets decode each chunk once
+  // between them instead of once each.
+  const std::size_t threads =
+      std::max<std::size_t>(1, std::min(max_threads, sets.size()));
+  std::atomic<std::size_t> next{0};
+  const auto run_set = [&](std::size_t k) {
+    std::vector<std::uint8_t> sub_pts(shard_size * slots[k].sbox.size());
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      const SharedCorpus::Lease lease = corpus.acquire(s);
+      accumulate_shard(round, sets[k], slots[k], lease.view(), s, shard_size,
+                       width, sub_pts, states[k]);
+    }
+  };
+  if (threads <= 1) {
+    for (std::size_t k = 0; k < sets.size(); ++k) run_set(k);
+  } else {
+    workers.run(threads, [&](std::size_t) {
+      for (std::size_t k = next.fetch_add(1); k < sets.size();
+           k = next.fetch_add(1)) {
+        run_set(k);
+      }
+    });
+  }
+  const std::size_t reduce_threads =
+      std::max<std::size_t>(1, std::min(max_threads, num_shards));
+  for (std::size_t k = 0; k < sets.size(); ++k) {
+    reduce_and_finalize_distinguishers(sets[k], states[k], workers,
+                                       reduce_threads);
+  }
 }
 
 }  // namespace sable

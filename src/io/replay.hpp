@@ -2,7 +2,10 @@
 // the live engine can drive runs from disk instead, with no simulation
 // and bit-identical results — the corpus preserves the canonical shard
 // decomposition, so accumulation, reduction and finalization are the
-// exact operations of the live run on the exact same blocks.
+// exact operations of the live run on the exact same blocks. Compressed
+// (v2) corpora decode through per-thread scratch buffers on the way in;
+// the decoded blocks are byte-identical to the recorded traces, so the
+// bit-identity guarantee is unchanged.
 #pragma once
 
 #include <cstddef>
@@ -16,6 +19,7 @@ namespace sable {
 
 struct RoundSpec;  // crypto/round_target.hpp
 class WorkerPool;
+class SharedCorpus;  // io/corpus_cache.hpp
 
 /// Drives `distinguishers` over the recorded corpus, honoring the same
 /// checkpoint/resume/fan-out controls as a live run. `round` must hash
@@ -31,5 +35,26 @@ bool replay_distinguishers(const CorpusReader& corpus, const RoundSpec& round,
                            const CampaignPersistence& persist = {},
                            std::size_t num_threads = 0,
                            WorkerPool* pool = nullptr);
+
+/// Same contract, but shards come through the SharedCorpus decoded-chunk
+/// cache: concurrent evaluations (each calling this from its own thread)
+/// share one mapping and decode every chunk at most once between them.
+/// The round-spec validation is memoized on the SharedCorpus, so many
+/// small evaluations pay it once.
+bool replay_distinguishers(SharedCorpus& corpus, const RoundSpec& round,
+                           std::span<Distinguisher* const> distinguishers,
+                           const CampaignPersistence& persist = {},
+                           std::size_t num_threads = 0,
+                           WorkerPool* pool = nullptr);
+
+/// Runs several independent attack sets over the corpus in ONE pass:
+/// workers claim whole sets and stream every shard through the shared
+/// cache, so a chunk is fetched/decoded once however many sets consume
+/// it (the CLI's --all-subkeys corpus mode). Every set is validated,
+/// accumulated over the full shard range and finalized; no
+/// checkpoint/resume (the pass is one shot by construction).
+void replay_shared(SharedCorpus& corpus, const RoundSpec& round,
+                   std::span<const std::span<Distinguisher* const>> sets,
+                   std::size_t num_threads = 0, WorkerPool* pool = nullptr);
 
 }  // namespace sable

@@ -1,6 +1,10 @@
 // AVX2 instantiations of every batch kernel, compiled into the default
 // (runtime-dispatched) build alongside the portable ones.
 //
+// Consumers beyond the trace engine: the corpus codec's bit-plane stage
+// (src/io/codec.cpp) runs on the same dispatched 64×64 transpose as the
+// lane packers, so its encode/decode speed tracks these kernel bodies.
+//
 // Multi-ISA rules (see util/lane_word.hpp):
 //  - The TU itself is compiled with the base architecture — never with
 //    -mavx2. Every dependency header is included FIRST, so all std:: and

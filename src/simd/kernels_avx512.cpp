@@ -1,7 +1,8 @@
 // AVX-512 instantiations of every batch kernel; the Word512 sibling of
 // kernels_avx2.cpp — see that file and util/lane_word.hpp for the
 // multi-ISA rules (portable pre-includes, impl headers inside the target
-// region, runtime selection via util/cpu_dispatch.hpp).
+// region, runtime selection via util/cpu_dispatch.hpp) and for the
+// corpus codec's reuse of the dispatched 64×64 transpose.
 #include "util/lane_word.hpp"
 
 #if SABLE_HAVE_WORD512

@@ -8,6 +8,19 @@ namespace sable {
 // cycle_sim_impl.hpp).
 SABLE_FOR_EACH_PORTABLE_LANE_WORD(SABLE_INSTANTIATE_CYCLE_SIM)
 
+void bit_transpose_blocks(std::uint64_t* words, std::size_t blocks) {
+  // Resolved once per call, not per block: in the runtime-dispatch build
+  // this TU compiles every tier's transpose body (function-level target
+  // attributes, see cycle_sim_impl.hpp), so the corpus codec gets the
+  // same AVX2/AVX-512 kernels as the lane packers without a per-ISA
+  // instantiation of its own.
+  const detail::Transpose64Fn transpose =
+      detail::transpose_64x64_kernel(active_tier());
+  for (std::size_t b = 0; b < blocks; ++b) {
+    transpose(words + 64 * b);
+  }
+}
+
 SablGateSim::SablGateSim(const DpdnNetwork& net, GateEnergyModel model)
     : batch_(net, std::move(model)) {
   charged_.assign(net.node_count(), true);

@@ -57,6 +57,16 @@ template <typename W>
 void pack_lane_words_gather(const std::uint64_t* assignments,
                             std::size_t count, std::vector<W>& words);
 
+/// In-place 64×64 bit-matrix transpose of `blocks` consecutive 64-word
+/// blocks, through the widest transpose body the runtime dispatch tier
+/// allows (the same per-tier kernels the lane packers use). The
+/// transpose is an involution — applying it twice restores the input —
+/// which is exactly what the corpus codec (io/codec.hpp) needs to turn
+/// sample words into RLE-friendly bit planes and back. Non-template on
+/// purpose: defined once in the portable TU, whose build carries every
+/// tier's body behind function-level target attributes.
+void bit_transpose_blocks(std::uint64_t* words, std::size_t blocks);
+
 /// kLanes independent instances of one gate, simulated bit-parallel: per
 /// node one charge word (lane L = instance L at VDD level), per cycle one
 /// conduction fixpoint over lane words instead of per-lane union-finds.

@@ -39,6 +39,12 @@ namespace {
 
 const Technology kTech = Technology::generic_180nm();
 
+// Content fingerprint of tests/data/golden_v1.sablcorp (see
+// tests/data/README.md for the generation recipe). Trace simulation is
+// bit-identical across dispatch tiers, so this value is
+// machine-independent.
+constexpr std::uint64_t kGoldenV1Fingerprint = 0x4da603cdc3c1c754ull;
+
 std::string temp_path(const std::string& name) {
   return testing::TempDir() + "campaign_io_" + name;
 }
@@ -435,6 +441,12 @@ class HostileInputTest : public ::testing::Test {
     options_ = small_options();
     corpus_path_ = temp_path("hostile.corpus");
     engine.record(options_, TraceDataKind::kScalar, corpus_path_);
+    // The same campaign in the legacy raw format: every hostile sweep
+    // below runs over BOTH containers, so the v1 parser keeps its typed
+    // rejection contract alongside the compressed v2 decode path.
+    v1_path_ = temp_path("hostile_v1.corpus");
+    engine.record(options_, TraceDataKind::kScalar, v1_path_,
+                  kCorpusCompressionNone, kCorpusVersion1);
     CpaDistinguisher cpa(engine.spec(),
                          AttackSelector{.model = PowerModel::kHammingWeight});
     Distinguisher* const list[] = {&cpa};
@@ -457,7 +469,8 @@ class HostileInputTest : public ::testing::Test {
   }
 
   CampaignOptions options_;
-  std::string corpus_path_;
+  std::string corpus_path_;  // current format: v2, delta+plane+RLE
+  std::string v1_path_;      // legacy format: v1, raw chunks
   std::string state_path_;
 };
 
@@ -483,18 +496,23 @@ TEST_F(HostileInputTest, WrongMagicAndVersionThrowTyped) {
 }
 
 TEST_F(HostileInputTest, ShardIndexOutOfBoundsThrows) {
-  auto corpus = read_file(corpus_path_);
   // The shard index lives right after the fixed header; smash the first
-  // entry's offset to point far past EOF.
-  // magic + version + kind + manifest (6 u64 + f64 + 1 key byte) +
-  // pt_stride + sample_width, padded to 8.
-  const std::size_t header = 8 + 4 + 4 + (7 * 8 + 1) + 8 + 8;
-  const std::size_t index = (header + 7) / 8 * 8;
-  ASSERT_LT(index + 8, corpus.size());
-  for (std::size_t b = 0; b < 8; ++b) corpus[index + b] = 0xFF;
-  const std::string p = temp_path("bad_index.corpus");
-  write_bytes(p, corpus);
-  EXPECT_THROW(CorpusReader r(p), ShardIndexError);
+  // entry's offset to point far past EOF. The header is magic + version
+  // + kind (+ the v2 compression tag) + manifest (6 u64 + f64 + 1 key
+  // byte) + pt_stride + sample_width, padded to 8 — with a 1-byte key
+  // both versions land on the same 96-byte boundary.
+  for (const bool v2 : {true, false}) {
+    auto corpus = read_file(v2 ? corpus_path_ : v1_path_);
+    const std::size_t header =
+        8 + 4 + 4 + (v2 ? 4u : 0u) + (7 * 8 + 1) + 8 + 8;
+    const std::size_t index = (header + 7) / 8 * 8;
+    ASSERT_EQ(index, 96u);
+    ASSERT_LT(index + 8, corpus.size());
+    for (std::size_t b = 0; b < 8; ++b) corpus[index + b] = 0xFF;
+    const std::string p = temp_path("bad_index.corpus");
+    write_bytes(p, corpus);
+    EXPECT_THROW(CorpusReader r(p), ShardIndexError) << "v2=" << v2;
+  }
 }
 
 TEST_F(HostileInputTest, ManifestMismatchNamesTheCampaign) {
@@ -530,16 +548,20 @@ TEST_F(HostileInputTest, ManifestMismatchNamesTheCampaign) {
 }
 
 TEST_F(HostileInputTest, TruncationSweepAlwaysThrowsTyped) {
-  const auto corpus = read_file(corpus_path_);
   const auto state = read_file(state_path_);
   // Every strict prefix must throw a typed error — never crash, never
-  // succeed (both formats pin their full extent up front).
-  for (std::size_t len = 0; len < corpus.size();
-       len += 1 + corpus.size() / 97) {
-    const std::string p = temp_path("trunc.corpus");
-    write_bytes(p, {corpus.begin(), corpus.begin() +
-                                        static_cast<std::ptrdiff_t>(len)});
-    expect_corpus_error(p);
+  // succeed (all formats pin their full extent up front). Compressed v2
+  // chunks additionally pin their stored sizes in the index, so a
+  // truncated chunk is caught at open, before any decode runs.
+  for (const std::string* src : {&corpus_path_, &v1_path_}) {
+    const auto corpus = read_file(*src);
+    for (std::size_t len = 0; len < corpus.size();
+         len += 1 + corpus.size() / 97) {
+      const std::string p = temp_path("trunc.corpus");
+      write_bytes(p, {corpus.begin(), corpus.begin() +
+                                          static_cast<std::ptrdiff_t>(len)});
+      expect_corpus_error(p);
+    }
   }
   for (std::size_t len = 0; len < state.size();
        len += 1 + state.size() / 97) {
@@ -551,26 +573,34 @@ TEST_F(HostileInputTest, TruncationSweepAlwaysThrowsTyped) {
 }
 
 TEST_F(HostileInputTest, ByteFlipFuzzNeverEscapesTypedErrors) {
-  const auto corpus = read_file(corpus_path_);
   const auto state = read_file(state_path_);
   Rng rng(0xFA22);
-  for (int iter = 0; iter < 64; ++iter) {
-    auto bad = corpus;
-    bad[rng.below(bad.size())] ^= static_cast<std::uint8_t>(rng.below(255) +
-                                                            1);
-    const std::string p = temp_path("fuzz.corpus");
-    write_bytes(p, bad);
-    try {
-      const CorpusReader reader(p);
-      // A flip in trace data still loads — that is fine; touch every
-      // accessor to prove the validated index stays in bounds.
-      for (std::size_t s = 0; s < reader.num_shards(); ++s) {
-        (void)reader.shard_plaintexts(s);
-        (void)reader.shard_samples(s);
-        (void)reader.shard_count(s);
+  for (const std::string* src : {&corpus_path_, &v1_path_}) {
+    const auto corpus = read_file(*src);
+    for (int iter = 0; iter < 64; ++iter) {
+      auto bad = corpus;
+      bad[rng.below(bad.size())] ^= static_cast<std::uint8_t>(rng.below(255) +
+                                                              1);
+      const std::string p = temp_path("fuzz.corpus");
+      write_bytes(p, bad);
+      try {
+        const CorpusReader reader(p);
+        // A flip in trace data may still load — that is fine; drive
+        // every shard through the decode path (the part a hostile byte
+        // can reach on v2: varint/RLE framing must reject, not
+        // overrun) and, on raw corpora, through the zero-copy views.
+        CorpusDecodeScratch scratch;
+        for (std::size_t s = 0; s < reader.num_shards(); ++s) {
+          (void)reader.shard_count(s);
+          (void)reader.read_shard(s, scratch);
+          if (!reader.compressed()) {
+            (void)reader.shard_plaintexts(s);
+            (void)reader.shard_samples(s);
+          }
+        }
+      } catch (const Error&) {
+        // Typed rejection is the other acceptable outcome.
       }
-    } catch (const Error&) {
-      // Typed rejection is the other acceptable outcome.
     }
   }
   TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, kTech);
@@ -588,6 +618,186 @@ TEST_F(HostileInputTest, ByteFlipFuzzNeverEscapesTypedErrors) {
     } catch (const Error&) {
     }
   }
+}
+
+// ---- format versions and compression --------------------------------------
+
+TEST(CampaignIoTest, CompressionVariantsReplayBitIdentically) {
+  TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, kTech);
+  const CampaignOptions options = small_options();
+  const AttackSelector selector{.model = PowerModel::kHammingWeight};
+
+  CpaDistinguisher ref(engine.spec(), selector);
+  Distinguisher* const ref_list[] = {&ref};
+  engine.run_distinguishers(options, ref_list);
+
+  struct Variant {
+    const char* name;
+    std::uint32_t compression;
+    std::uint32_t version;
+  };
+  const Variant variants[] = {
+      {"v1_raw", kCorpusCompressionNone, kCorpusVersion1},
+      {"v2_raw", kCorpusCompressionNone, kCorpusVersion2},
+      {"v2_delta", kCorpusCompressionDeltaPlaneRle, kCorpusVersion2},
+  };
+  std::size_t v1_size = 0;
+  std::size_t v2_delta_size = 0;
+  for (const Variant& v : variants) {
+    const std::string path = temp_path(std::string("variant_") + v.name);
+    engine.record(options, TraceDataKind::kScalar, path, v.compression,
+                  v.version);
+    const CorpusReader corpus(path);
+    EXPECT_EQ(corpus.version(), v.version) << v.name;
+    EXPECT_EQ(corpus.compressed(),
+              v.compression == kCorpusCompressionDeltaPlaneRle)
+        << v.name;
+    CpaDistinguisher cpa(engine.spec(), selector);
+    Distinguisher* const list[] = {&cpa};
+    EXPECT_TRUE(replay_distinguishers(corpus, engine.round(), list))
+        << v.name;
+    expect_same_scores(cpa.result().score, ref.result().score);
+    const std::size_t size = read_file(path).size();
+    if (v.version == kCorpusVersion1) v1_size = size;
+    if (v.compression == kCorpusCompressionDeltaPlaneRle) {
+      v2_delta_size = size;
+    }
+  }
+  // Even on this noisy scalar campaign (the codec's worst case — the
+  // noise randomizes the low mantissa bits) compression must not lose.
+  EXPECT_LT(v2_delta_size, v1_size);
+}
+
+TEST(CampaignIoTest, NoiselessSampledCorpusCompressesAtLeast3x) {
+  // The acceptance ratio: a constant-power style sampled without noise
+  // has near-constant per-level energies, so the XOR-delta zeroes
+  // almost every plane and the RLE collapses them. This is the regime
+  // the format exists for (recorded sweeps of the paper's SABL/WDDL
+  // claims).
+  TraceEngine engine(present_spec(), LogicStyle::kSablGenuine, kTech);
+  CampaignOptions options = small_options();
+  options.num_traces = 1500;
+  options.noise_sigma = 0.0;
+  const std::string v1 = temp_path("ratio_v1.corpus");
+  const std::string v2 = temp_path("ratio_v2.corpus");
+  engine.record(options, TraceDataKind::kSampled, v1, kCorpusCompressionNone,
+                kCorpusVersion1);
+  engine.record(options, TraceDataKind::kSampled, v2);
+
+  const CorpusReader reader(v2);
+  std::uint64_t raw = 0;
+  std::uint64_t stored = 0;
+  for (std::size_t s = 0; s < reader.num_shards(); ++s) {
+    raw += reader.shard_raw_bytes(s);
+    stored += reader.shard_stored_bytes(s);
+  }
+  EXPECT_GE(raw, 3 * stored) << "chunk ratio " << raw << "/" << stored;
+  EXPECT_GE(read_file(v1).size(), 3 * read_file(v2).size());
+
+  // Compression is exact: both containers replay to the same bits.
+  const std::size_t levels = engine.target().num_levels();
+  const AttackSelector selector{.model = PowerModel::kHammingWeight};
+  MultiCpaDistinguisher from_v1(engine.spec(), selector, levels);
+  MultiCpaDistinguisher from_v2(engine.spec(), selector, levels);
+  Distinguisher* const list1[] = {&from_v1};
+  Distinguisher* const list2[] = {&from_v2};
+  EXPECT_TRUE(replay_distinguishers(CorpusReader(v1), engine.round(), list1));
+  EXPECT_TRUE(replay_distinguishers(reader, engine.round(), list2));
+  expect_same_scores(from_v2.result().combined.score,
+                     from_v1.result().combined.score);
+}
+
+TEST(CampaignIoTest, HostileDecodedSizeCeilingRejectedAtOpen) {
+  // A hand-built v2 header whose layout fields all pass their individual
+  // ceilings but whose per-shard decoded size (count * width * 8 =
+  // 2^43 bytes) does not: the reader must reject it at construction,
+  // BEFORE any decode allocates — the stored chunk is 16 bytes, the
+  // advertised decode is 8 TiB.
+  ByteWriter w;
+  w.bytes("SABLCORP", 8);
+  w.u32(kCorpusVersion2);
+  w.u32(kCorpusKindSampled);
+  w.u32(kCorpusCompressionDeltaPlaneRle);
+  w.u64(0);                      // spec_hash (not checked at open)
+  w.u64(1);                      // seed
+  w.u64(std::uint64_t{1} << 20); // num_traces
+  w.u64(std::uint64_t{1} << 20); // shard_size (<= kMaxShardSize)
+  w.u64(1);                      // num_shards = ceil(traces / shard_size)
+  w.f64(0.0);                    // noise_sigma
+  const std::uint8_t key = 0xB;
+  w.u64(1);
+  w.bytes(&key, 1);
+  w.u64(1);                      // pt_stride
+  w.u64(std::uint64_t{1} << 20); // sample_width (== kMaxSampleWidth)
+  w.pad_to(8);
+  ASSERT_EQ(w.offset(), 96u);
+  w.u64(128);                    // index entry: chunk offset
+  w.u64(std::uint64_t{1} << 20); //   count (matches the layout)
+  w.u64(8);                      //   stored pt bytes
+  w.u64(8);                      //   stored sample bytes
+  w.u64(0);                      // 16 bytes of "chunk" so extents check out
+  w.u64(0);
+  const std::string p = temp_path("decode_ceiling.corpus");
+  write_bytes(p, w.buffer());
+  EXPECT_THROW(CorpusReader r(p), BadFileError);
+}
+
+// FNV-1a over every shard's decoded plaintext and sample bytes, in shard
+// order — the golden fixture's content fingerprint.
+std::uint64_t corpus_content_fingerprint(const CorpusReader& corpus) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  };
+  CorpusDecodeScratch scratch;
+  const CorpusManifest& m = corpus.manifest();
+  for (std::size_t s = 0; s < corpus.num_shards(); ++s) {
+    const CorpusShardView view = corpus.read_shard(s, scratch);
+    mix(view.pts, view.count * static_cast<std::size_t>(m.pt_stride));
+    mix(view.samples,
+        view.count * static_cast<std::size_t>(m.sample_width) *
+            sizeof(double));
+  }
+  return h;
+}
+
+TEST(CampaignIoTest, GoldenV1CorpusStaysReadable) {
+  // A v1 corpus committed to the repo: the backward-compatibility lock.
+  // If this test fails, either the v1 parser regressed (fix that) or the
+  // engine's trace stream changed (regenerate the fixture AND bump the
+  // fingerprint — see tests/data/README.md for the recipe).
+  const CorpusReader corpus(std::string(SABLE_TEST_DATA_DIR) +
+                            "/golden_v1.sablcorp");
+  EXPECT_EQ(corpus.version(), kCorpusVersion1);
+  EXPECT_FALSE(corpus.compressed());
+  EXPECT_EQ(corpus.manifest().kind, kCorpusKindScalar);
+  EXPECT_EQ(corpus.manifest().campaign.num_traces, 96u);
+  EXPECT_EQ(corpus.manifest().campaign.shard_size, 64u);
+  EXPECT_EQ(corpus.manifest().campaign.num_shards, 2u);
+  EXPECT_EQ(corpus.manifest().campaign.seed, 0x5EEDu);
+  EXPECT_EQ(corpus_content_fingerprint(corpus), kGoldenV1Fingerprint);
+
+  // The fixture replays against today's engine bit-identically — the
+  // recorded stream still means what it meant when it was written.
+  TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, kTech);
+  CampaignOptions options;
+  options.num_traces = 96;
+  options.key = {0xB};
+  options.noise_sigma = 2e-16;
+  options.seed = 0x5EED;
+  options.shard_size = 64;  // 2 shards, ragged tail of 32
+  const AttackSelector selector{.model = PowerModel::kHammingWeight};
+  CpaDistinguisher ref(engine.spec(), selector);
+  Distinguisher* const ref_list[] = {&ref};
+  engine.run_distinguishers(options, ref_list);
+  CpaDistinguisher replayed(engine.spec(), selector);
+  Distinguisher* const list[] = {&replayed};
+  EXPECT_TRUE(replay_distinguishers(corpus, engine.round(), list));
+  expect_same_scores(replayed.result().score, ref.result().score);
 }
 
 }  // namespace
