@@ -1,0 +1,50 @@
+// Portable-tier instantiations of the block-statistics kernels plus the
+// per-tier kernel-set selection. The AVX2/AVX-512 instantiations compile
+// in src/simd/kernels_avx2.cpp / kernels_avx512.cpp (inside their
+// #pragma GCC target regions) so this TU stays base-architecture clean.
+#include "dpa/block_stats.hpp"
+
+#include "dpa/block_stats_impl.hpp"
+
+namespace sable {
+
+namespace detail {
+
+SABLE_INSTANTIATE_BLOCK_STATS(0)
+
+}  // namespace detail
+
+namespace {
+
+template <int kTier>
+constexpr BlockStatKernels tier_kernels() {
+  return BlockStatKernels{
+      &detail::block_histogram_scalar<kTier>,
+      &detail::block_histogram_sampled<kTier>,
+      &detail::block_contract_counts<kTier>,
+      &detail::block_contract_sums<kTier>,
+      &detail::block_contract_dom<kTier>,
+  };
+}
+
+}  // namespace
+
+const BlockStatKernels& block_stat_kernels(DispatchTier tier) {
+#if SABLE_HAVE_WORD512
+  if (tier >= DispatchTier::kAvx512) {
+    static constexpr BlockStatKernels kAvx512 = tier_kernels<2>();
+    return kAvx512;
+  }
+#endif
+#if SABLE_HAVE_WORD256
+  if (tier >= DispatchTier::kAvx2) {
+    static constexpr BlockStatKernels kAvx2 = tier_kernels<1>();
+    return kAvx2;
+  }
+#endif
+  (void)tier;
+  static constexpr BlockStatKernels kPortable = tier_kernels<0>();
+  return kPortable;
+}
+
+}  // namespace sable

@@ -1,0 +1,194 @@
+// Block-factored sufficient statistics for the streaming distinguishers.
+//
+// The per-trace accumulators (dpa/streaming.hpp) historically did
+// O(num_guesses) Welford work per trace — a dependent divide plus a
+// 2^in_bits guess loop for every sample. But a ShardBlock's contribution
+// to every per-guess moment factors through a tiny per-plaintext
+// histogram: the prediction h[pt][g] only depends on the plaintext, so
+//
+//   Σ_i h[pt_i][g]          = Σ_p n_p · h[p][g]
+//   Σ_i h[pt_i][g]·x_i      = Σ_p S_p · h[p][g]      (S_p = Σ_{i: pt_i=p} x_i)
+//
+// One O(count) histogram pass with no guess loop, then one dense
+// contraction against the shared prediction table per block — a G×P GEMV
+// for scalar CPA, a G×P · P×L GEMM for time-resolved CPA, partitioned
+// counts/sums for DoM. The kernels below are those two stages.
+//
+// Numerics: samples are accumulated relative to a caller-chosen shift
+// (the block's first sample) so the per-plaintext sums carry the
+// ~1e-15 J data-dependent variation instead of the ~1e-13 J energy
+// offset; co-moments are shift-invariant and the accumulators convert
+// the block sums back to Welford form before folding them in (see
+// streaming.cpp), which keeps the scores within ~1e-13 of the per-trace
+// formulation.
+//
+// Determinism: every kernel fixes the floating-point summation order per
+// output element — histogram passes accumulate sequentially in trace
+// order, contractions keep the plaintext loop outermost so each output
+// element's addition chain is identical no matter how wide the vector
+// unit is — and uses plain mul+add (never FMA; the build pins
+// -ffp-contract=off), so all dispatch tiers produce bit-identical
+// results. Block boundaries are the engine's fixed shard layout, making
+// the block-factored scores bit-identical across num_threads ×
+// lane_width × dispatch tiers.
+//
+// Dispatch follows the PR 7 transpose pattern: the bodies live in
+// block_stats_impl.hpp templated on a tier index (the parameter only
+// mints one symbol per tier), the portable instantiations compile in
+// block_stats.cpp, and the AVX2/AVX-512 instantiations compile inside
+// the #pragma GCC target regions of the existing per-ISA TUs under
+// src/simd/ — selected once per block via block_stat_kernels(tier).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/cpu_dispatch.hpp"
+#include "util/lane_word.hpp"
+
+namespace sable {
+
+namespace detail {
+
+// Histogram slots are always kBlockPts (the full uint8_t range), not
+// num_plaintexts: any sub-plaintext byte lands in a valid slot, so the
+// per-trace range check hoists out of the hot loop — the accumulator
+// validates once per block that slots at and beyond num_plaintexts
+// stayed empty.
+inline constexpr std::size_t kBlockPts = 256;
+
+/// Scalar histogram pass: zeroes counts[256]/sums[256], then for every
+/// trace i adds 1 to counts[pts[i]] and (samples[i] - shift) to
+/// sums[pts[i]], and accumulates Σ (samples[i] - shift)² into *sum_sq —
+/// all sequentially in trace order.
+template <int kTier>
+void block_histogram_scalar(const std::uint8_t* pts, const double* samples,
+                            std::size_t count, double shift,
+                            std::uint64_t* counts, double* sums,
+                            double* sum_sq);
+
+/// Sampled-row histogram pass: counts as above; sums is [pt*width + l]
+/// accumulating (row[l] - shifts[l]); sum_sq[l] gets the per-column
+/// Σ (row[l] - shifts[l])². Column accumulators are independent, so the
+/// inner level loop vectorizes without reordering any addition chain.
+template <int kTier>
+void block_histogram_sampled(const std::uint8_t* pts, const double* rows,
+                             std::size_t count, std::size_t width,
+                             const double* shifts, std::uint64_t* counts,
+                             double* sums, double* sum_sq);
+
+/// Count contraction: sum_h[g] = Σ_p counts[p]·pred[p*G+g] and
+/// sum_h2[g] = Σ_p counts[p]·pred[p*G+g]², zeroing the outputs first.
+/// The per-guess prediction moments of the whole block, as one GEMV.
+template <int kTier>
+void block_contract_counts(const double* pred, const std::uint64_t* counts,
+                           std::size_t num_pts, std::size_t num_guesses,
+                           double* sum_h, double* sum_h2);
+
+/// Sum contraction (the co-moment GEMM): r[l*G+g] = Σ_p sums[p*width+l]
+/// · pred[p*G+g], zeroing r first; scalar CPA is the width-1 case.
+/// Plaintext rows with zero count are skipped (their sums are exact
+/// zeros), which keeps the cost O(min(count, P) · width · G).
+template <int kTier>
+void block_contract_sums(const double* pred, const double* sums,
+                         const std::uint64_t* counts, std::size_t num_pts,
+                         std::size_t width, std::size_t num_guesses,
+                         double* r);
+
+/// DoM contraction: partitions the block's per-plaintext counts/sums by
+/// the predicted bit, accumulating both partitions directly (branchless
+/// 0/1 weights, no end-of-loop subtraction). Outputs are zeroed first.
+template <int kTier>
+void block_contract_dom(const std::uint8_t* pred_bit,
+                        const std::uint64_t* counts, const double* sums,
+                        std::size_t num_pts, std::size_t num_guesses,
+                        double* sum0, double* sum1, std::uint64_t* cnt0,
+                        std::uint64_t* cnt1);
+
+// The AVX2/AVX-512 instantiations live in src/simd/kernels_avx2.cpp and
+// kernels_avx512.cpp (explicit instantiations inside their #pragma GCC
+// target regions); these declarations stop every other TU from minting
+// portable-codegen copies of the same symbols.
+#define SABLE_DECLARE_BLOCK_STATS(TIER)                                       \
+  extern template void block_histogram_scalar<TIER>(                          \
+      const std::uint8_t*, const double*, std::size_t, double,                \
+      std::uint64_t*, double*, double*);                                      \
+  extern template void block_histogram_sampled<TIER>(                         \
+      const std::uint8_t*, const double*, std::size_t, std::size_t,           \
+      const double*, std::uint64_t*, double*, double*);                       \
+  extern template void block_contract_counts<TIER>(                           \
+      const double*, const std::uint64_t*, std::size_t, std::size_t,          \
+      double*, double*);                                                      \
+  extern template void block_contract_sums<TIER>(                             \
+      const double*, const double*, const std::uint64_t*, std::size_t,        \
+      std::size_t, std::size_t, double*);                                     \
+  extern template void block_contract_dom<TIER>(                              \
+      const std::uint8_t*, const std::uint64_t*, const double*, std::size_t,  \
+      std::size_t, double*, double*, std::uint64_t*, std::uint64_t*);
+
+SABLE_DECLARE_BLOCK_STATS(0)
+#if SABLE_HAVE_WORD256
+SABLE_DECLARE_BLOCK_STATS(1)
+#endif
+#if SABLE_HAVE_WORD512
+SABLE_DECLARE_BLOCK_STATS(2)
+#endif
+
+}  // namespace detail
+
+/// The block-statistics kernel set of one dispatch tier, resolved once
+/// per block (the tier probe stays off the per-trace path).
+struct BlockStatKernels {
+  void (*histogram_scalar)(const std::uint8_t*, const double*, std::size_t,
+                           double, std::uint64_t*, double*, double*);
+  void (*histogram_sampled)(const std::uint8_t*, const double*, std::size_t,
+                            std::size_t, const double*, std::uint64_t*,
+                            double*, double*);
+  void (*contract_counts)(const double*, const std::uint64_t*, std::size_t,
+                          std::size_t, double*, double*);
+  void (*contract_sums)(const double*, const double*, const std::uint64_t*,
+                        std::size_t, std::size_t, std::size_t, double*);
+  void (*contract_dom)(const std::uint8_t*, const std::uint64_t*,
+                       const double*, std::size_t, std::size_t, double*,
+                       double*, std::uint64_t*, std::uint64_t*);
+};
+
+/// Widest kernel set the given tier may execute (every body computes
+/// bit-identical results; the tiers differ only in vector width).
+const BlockStatKernels& block_stat_kernels(DispatchTier tier);
+
+/// Per-accumulator scratch for the block passes, reused across blocks so
+/// the steady state never allocates. Not part of the accumulator's
+/// logical state: never serialized, never merged.
+struct BlockScratch {
+  std::vector<std::uint64_t> counts;  // [kBlockPts]
+  std::vector<double> sums;           // [kBlockPts * width]
+  std::vector<double> shifts;         // [width]
+  std::vector<double> sum_sq;         // [width]
+  std::vector<double> sum_h;          // [num_guesses]  (DoM: sum0)
+  std::vector<double> sum_h2;         // [num_guesses]  (DoM: sum1)
+  std::vector<std::uint64_t> cnt0;    // [num_guesses]  (DoM partitions)
+  std::vector<std::uint64_t> cnt1;    // [num_guesses]
+  std::vector<double> r;              // [width * num_guesses]
+  std::vector<double> col_sum;        // [width]
+  std::vector<double> col_mean;       // [width]
+  std::vector<double> col_m2;         // [width]
+
+  void resize(std::size_t width, std::size_t num_guesses) {
+    counts.resize(detail::kBlockPts);
+    sums.resize(detail::kBlockPts * width);
+    shifts.resize(width);
+    sum_sq.resize(width);
+    sum_h.resize(num_guesses);
+    sum_h2.resize(num_guesses);
+    cnt0.resize(num_guesses);
+    cnt1.resize(num_guesses);
+    r.resize(width * num_guesses);
+    col_sum.resize(width);
+    col_mean.resize(width);
+    col_m2.resize(width);
+  }
+};
+
+}  // namespace sable

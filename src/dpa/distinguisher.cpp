@@ -49,9 +49,12 @@ class CpaShardAccumulator final : public ShardAccumulator {
  public:
   explicit CpaShardAccumulator(StreamingCpa acc) : acc_(std::move(acc)) {}
 
+  // One add_block call per engine shard: block boundaries are the fixed
+  // shard layout, so the block-factored summation order is deterministic
+  // across thread counts, lane widths and dispatch tiers.
   void accumulate(const ShardBlock& block) override {
     require_scalar(block);
-    acc_.add_batch(block.sub_pts, block.data, block.count);
+    acc_.add_block(block.sub_pts, block.data, block.count);
   }
   void merge(ShardAccumulator& other) override {
     acc_.merge(cast_peer<CpaShardAccumulator>(other).acc_);
@@ -71,7 +74,7 @@ class DomShardAccumulator final : public ShardAccumulator {
 
   void accumulate(const ShardBlock& block) override {
     require_scalar(block);
-    acc_.add_batch(block.sub_pts, block.data, block.count);
+    acc_.add_block(block.sub_pts, block.data, block.count);
   }
   void merge(ShardAccumulator& other) override {
     acc_.merge(cast_peer<DomShardAccumulator>(other).acc_);
@@ -94,9 +97,7 @@ class MultiCpaShardAccumulator final : public ShardAccumulator {
     SABLE_REQUIRE(block.width == acc_.width(),
                   "multisample CPA row width must equal the target's level "
                   "count");
-    for (std::size_t t = 0; t < block.count; ++t) {
-      acc_.add(block.sub_pts[t], block.data + t * block.width);
-    }
+    acc_.add_block(block.sub_pts, block.data, block.count);
   }
   void merge(ShardAccumulator& other) override {
     acc_.merge(cast_peer<MultiCpaShardAccumulator>(other).acc_);
@@ -146,6 +147,10 @@ class MtdShardAccumulator final : public ShardAccumulator {
         ladder_(std::move(ladder)),
         correct_key_(correct_key) {}
 
+  // Deliberately stays on the per-trace add_batch path: the checkpoint
+  // ladder splits blocks at arbitrary trace counts, and the snapshots
+  // must be bit-identical to the sequential prefix driver (a block-
+  // factored prefix would round differently at every split).
   void accumulate(const ShardBlock& block) override {
     require_scalar(block);
     SABLE_ASSERT(!driver_, "cannot accumulate into a settled MTD fold root");

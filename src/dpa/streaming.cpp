@@ -1,8 +1,10 @@
 #include "dpa/streaming.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "io/serial.hpp"
+#include "util/cpu_dispatch.hpp"
 #include "util/error.hpp"
 
 namespace sable {
@@ -14,6 +16,16 @@ namespace {
 constexpr std::uint32_t kCpaTag = 0x53AB1001;
 constexpr std::uint32_t kDomTag = 0x53AB1002;
 constexpr std::uint32_t kMultiCpaTag = 0x53AB1003;
+
+// The hoisted form of the per-trace range check: the histogram pass binned
+// every sub-plaintext byte into one of the 256 slots, so one sweep over
+// the slots past num_plaintexts validates the whole block.
+void require_block_pts(const std::uint64_t* counts,
+                       std::size_t num_plaintexts) {
+  for (std::size_t p = num_plaintexts; p < detail::kBlockPts; ++p) {
+    SABLE_REQUIRE(counts[p] == 0, "plaintext out of range");
+  }
+}
 
 }  // namespace
 
@@ -53,6 +65,69 @@ void StreamingCpa::add_batch(const std::uint8_t* pts, const double* samples,
   for (std::size_t i = 0; i < count; ++i) add(pts[i], samples[i]);
 }
 
+void StreamingCpa::add_block(const std::uint8_t* pts, const double* samples,
+                             std::size_t count) {
+  if (count == 0) return;
+  const BlockStatKernels& kernels = block_stat_kernels(active_tier());
+  scratch_.resize(1, num_guesses_);
+  // Shift by the block's first sample: the per-plaintext sums then carry
+  // the ~1e-15 J data-dependent variation, not the ~1e-13 J energy
+  // offset, and the co-moments are shift-invariant.
+  const double shift = samples[0];
+  double sum_sq = 0.0;
+  kernels.histogram_scalar(pts, samples, count, shift,
+                           scratch_.counts.data(), scratch_.sums.data(),
+                           &sum_sq);
+  require_block_pts(scratch_.counts.data(), num_plaintexts_);
+  const double* pred = predictions_->data();
+  kernels.contract_counts(pred, scratch_.counts.data(), num_plaintexts_,
+                          num_guesses_, scratch_.sum_h.data(),
+                          scratch_.sum_h2.data());
+  kernels.contract_sums(pred, scratch_.sums.data(), scratch_.counts.data(),
+                        num_plaintexts_, 1, num_guesses_, scratch_.r.data());
+  // Convert the block's raw (shifted) sums to Welford form, in place.
+  const double n = static_cast<double>(count);
+  double t_sum = 0.0;
+  for (std::size_t p = 0; p < num_plaintexts_; ++p) t_sum += scratch_.sums[p];
+  const double mean_t = shift + t_sum / n;
+  const double m2_t = std::max(0.0, sum_sq - t_sum * t_sum / n);
+  for (std::size_t g = 0; g < num_guesses_; ++g) {
+    const double mh = scratch_.sum_h[g] / n;
+    scratch_.sum_h[g] = mh;
+    scratch_.sum_h2[g] = std::max(0.0, scratch_.sum_h2[g] - mh * mh * n);
+    // Σ (h−mh)(t−mt) = Σ h·d − mh·Σ d for any shift (Σ (h−mh) = 0).
+    scratch_.r[g] -= mh * t_sum;
+  }
+  fold_block(count, mean_t, m2_t, scratch_.sum_h.data(),
+             scratch_.sum_h2.data(), scratch_.r.data());
+}
+
+void StreamingCpa::fold_block(std::size_t count, double mean_t, double m2_t,
+                              const double* block_mean_h,
+                              const double* block_m2_h,
+                              const double* block_c_ht) {
+  const OnlineMoments block = OnlineMoments::from_parts(count, mean_t, m2_t);
+  if (t_.count() == 0) {
+    t_ = block;
+    std::copy(block_mean_h, block_mean_h + num_guesses_, mean_h_.begin());
+    std::copy(block_m2_h, block_m2_h + num_guesses_, m2_h_.begin());
+    std::copy(block_c_ht, block_c_ht + num_guesses_, c_ht_.begin());
+    return;
+  }
+  const double na = static_cast<double>(t_.count());
+  const double nb = static_cast<double>(count);
+  const double n = na + nb;
+  const double coeff = na * nb / n;
+  const double dt = mean_t - t_.mean();
+  for (std::size_t g = 0; g < num_guesses_; ++g) {
+    const double dh = block_mean_h[g] - mean_h_[g];
+    c_ht_[g] += block_c_ht[g] + dh * dt * coeff;
+    m2_h_[g] += block_m2_h[g] + dh * dh * coeff;
+    mean_h_[g] += dh * (nb / n);
+  }
+  t_.merge(block);
+}
+
 void StreamingCpa::merge(const StreamingCpa& other) {
   SABLE_REQUIRE(num_guesses_ == other.num_guesses_ &&
                     model_ == other.model_ && bit_ == other.bit_,
@@ -64,25 +139,8 @@ void StreamingCpa::merge(const StreamingCpa& other) {
                     *predictions_ == *other.predictions_,
                 "merge requires accumulators over the same S-box spec");
   if (other.t_.count() == 0) return;
-  if (t_.count() == 0) {
-    t_ = other.t_;
-    mean_h_ = other.mean_h_;
-    m2_h_ = other.m2_h_;
-    c_ht_ = other.c_ht_;
-    return;
-  }
-  const double na = static_cast<double>(t_.count());
-  const double nb = static_cast<double>(other.t_.count());
-  const double n = na + nb;
-  const double coeff = na * nb / n;
-  const double dt = other.t_.mean() - t_.mean();
-  for (std::size_t g = 0; g < num_guesses_; ++g) {
-    const double dh = other.mean_h_[g] - mean_h_[g];
-    c_ht_[g] += other.c_ht_[g] + dh * dt * coeff;
-    m2_h_[g] += other.m2_h_[g] + dh * dh * coeff;
-    mean_h_[g] += dh * (nb / n);
-  }
-  t_.merge(other.t_);
+  fold_block(other.t_.count(), other.t_.mean(), other.t_.m2(),
+             other.mean_h_.data(), other.m2_h_.data(), other.c_ht_.data());
 }
 
 AttackResult StreamingCpa::result() const {
@@ -154,6 +212,32 @@ void StreamingDom::add(std::uint8_t pt, double sample) {
 void StreamingDom::add_batch(const std::uint8_t* pts, const double* samples,
                              std::size_t count) {
   for (std::size_t i = 0; i < count; ++i) add(pts[i], samples[i]);
+}
+
+void StreamingDom::add_block(const std::uint8_t* pts, const double* samples,
+                             std::size_t count) {
+  if (count == 0) return;
+  const BlockStatKernels& kernels = block_stat_kernels(active_tier());
+  scratch_.resize(1, num_guesses_);
+  // No shift: the partition state is raw sums, and DoM forms no squares,
+  // so raw accumulation loses nothing.
+  double sum_sq = 0.0;
+  kernels.histogram_scalar(pts, samples, count, 0.0, scratch_.counts.data(),
+                           scratch_.sums.data(), &sum_sq);
+  require_block_pts(scratch_.counts.data(), num_plaintexts_);
+  double* sum0 = scratch_.sum_h.data();
+  double* sum1 = scratch_.sum_h2.data();
+  kernels.contract_dom(predicted_bit_->data(), scratch_.counts.data(),
+                       scratch_.sums.data(), num_plaintexts_, num_guesses_,
+                       sum0, sum1, scratch_.cnt0.data(),
+                       scratch_.cnt1.data());
+  n_ += count;
+  for (std::size_t g = 0; g < num_guesses_; ++g) {
+    sum_[0][g] += sum0[g];
+    sum_[1][g] += sum1[g];
+    cnt_[0][g] += scratch_.cnt0[g];
+    cnt_[1][g] += scratch_.cnt1[g];
+  }
 }
 
 void StreamingDom::merge(const StreamingDom& other) {
@@ -243,6 +327,93 @@ void StreamingMultiCpa::add(std::uint8_t pt, const double* row) {
   }
 }
 
+void StreamingMultiCpa::add_block(const std::uint8_t* pts, const double* rows,
+                                  std::size_t count) {
+  if (count == 0) return;
+  const BlockStatKernels& kernels = block_stat_kernels(active_tier());
+  scratch_.resize(width_, num_guesses_);
+  // Per-column shifts from the block's first row (see the scalar path).
+  for (std::size_t l = 0; l < width_; ++l) scratch_.shifts[l] = rows[l];
+  kernels.histogram_sampled(pts, rows, count, width_, scratch_.shifts.data(),
+                            scratch_.counts.data(), scratch_.sums.data(),
+                            scratch_.sum_sq.data());
+  require_block_pts(scratch_.counts.data(), num_plaintexts_);
+  const double* pred = predictions_->data();
+  kernels.contract_counts(pred, scratch_.counts.data(), num_plaintexts_,
+                          num_guesses_, scratch_.sum_h.data(),
+                          scratch_.sum_h2.data());
+  kernels.contract_sums(pred, scratch_.sums.data(), scratch_.counts.data(),
+                        num_plaintexts_, width_, num_guesses_,
+                        scratch_.r.data());
+  // Convert to Welford form: per-column totals and moments, then the
+  // shared prediction moments, then the per-column co-moments in place.
+  const double n = static_cast<double>(count);
+  for (std::size_t l = 0; l < width_; ++l) {
+    double t_sum = 0.0;
+    for (std::size_t p = 0; p < num_plaintexts_; ++p) {
+      t_sum += scratch_.sums[p * width_ + l];
+    }
+    scratch_.col_sum[l] = t_sum;
+    scratch_.col_mean[l] = scratch_.shifts[l] + t_sum / n;
+    scratch_.col_m2[l] =
+        std::max(0.0, scratch_.sum_sq[l] - t_sum * t_sum / n);
+  }
+  for (std::size_t g = 0; g < num_guesses_; ++g) {
+    const double mh = scratch_.sum_h[g] / n;
+    scratch_.sum_h[g] = mh;
+    scratch_.sum_h2[g] = std::max(0.0, scratch_.sum_h2[g] - mh * mh * n);
+  }
+  for (std::size_t l = 0; l < width_; ++l) {
+    double* rl = scratch_.r.data() + l * num_guesses_;
+    const double t_sum = scratch_.col_sum[l];
+    for (std::size_t g = 0; g < num_guesses_; ++g) {
+      rl[g] -= scratch_.sum_h[g] * t_sum;
+    }
+  }
+  fold_block(count, scratch_.col_mean.data(), scratch_.col_m2.data(),
+             scratch_.sum_h.data(), scratch_.sum_h2.data(),
+             scratch_.r.data());
+}
+
+void StreamingMultiCpa::fold_block(std::size_t count, const double* mean_t,
+                                   const double* m2_t,
+                                   const double* block_mean_h,
+                                   const double* block_m2_h,
+                                   const double* block_c_ht) {
+  if (n_ == 0) {
+    n_ = count;
+    std::copy(block_mean_h, block_mean_h + num_guesses_, mean_h_.begin());
+    std::copy(block_m2_h, block_m2_h + num_guesses_, m2_h_.begin());
+    std::copy(block_c_ht, block_c_ht + width_ * num_guesses_, c_ht_.begin());
+    for (std::size_t s = 0; s < width_; ++s) {
+      t_[s] = OnlineMoments::from_parts(count, mean_t[s], m2_t[s]);
+    }
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(count);
+  const double n = na + nb;
+  const double coeff = na * nb / n;
+  // Column co-moments first: they need both sides' pre-merge means.
+  for (std::size_t s = 0; s < width_; ++s) {
+    const double dt = mean_t[s] - t_[s].mean();
+    double* c = c_ht_.data() + s * num_guesses_;
+    const double* oc = block_c_ht + s * num_guesses_;
+    for (std::size_t g = 0; g < num_guesses_; ++g) {
+      c[g] += oc[g] + (block_mean_h[g] - mean_h_[g]) * dt * coeff;
+    }
+  }
+  for (std::size_t g = 0; g < num_guesses_; ++g) {
+    const double dh = block_mean_h[g] - mean_h_[g];
+    m2_h_[g] += block_m2_h[g] + dh * dh * coeff;
+    mean_h_[g] += dh * (nb / n);
+  }
+  for (std::size_t s = 0; s < width_; ++s) {
+    t_[s].merge(OnlineMoments::from_parts(count, mean_t[s], m2_t[s]));
+  }
+  n_ += count;
+}
+
 void StreamingMultiCpa::merge(const StreamingMultiCpa& other) {
   SABLE_REQUIRE(num_guesses_ == other.num_guesses_ &&
                     width_ == other.width_ && model_ == other.model_ &&
@@ -252,34 +423,13 @@ void StreamingMultiCpa::merge(const StreamingMultiCpa& other) {
                     *predictions_ == *other.predictions_,
                 "merge requires accumulators over the same S-box spec");
   if (other.n_ == 0) return;
-  if (n_ == 0) {
-    n_ = other.n_;
-    mean_h_ = other.mean_h_;
-    m2_h_ = other.m2_h_;
-    t_ = other.t_;
-    c_ht_ = other.c_ht_;
-    return;
-  }
-  const double na = static_cast<double>(n_);
-  const double nb = static_cast<double>(other.n_);
-  const double n = na + nb;
-  const double coeff = na * nb / n;
-  // Column co-moments first: they need both sides' pre-merge means.
+  scratch_.resize(width_, num_guesses_);
   for (std::size_t s = 0; s < width_; ++s) {
-    const double dt = other.t_[s].mean() - t_[s].mean();
-    double* c = c_ht_.data() + s * num_guesses_;
-    const double* oc = other.c_ht_.data() + s * num_guesses_;
-    for (std::size_t g = 0; g < num_guesses_; ++g) {
-      c[g] += oc[g] + (other.mean_h_[g] - mean_h_[g]) * dt * coeff;
-    }
+    scratch_.col_mean[s] = other.t_[s].mean();
+    scratch_.col_m2[s] = other.t_[s].m2();
   }
-  for (std::size_t g = 0; g < num_guesses_; ++g) {
-    const double dh = other.mean_h_[g] - mean_h_[g];
-    m2_h_[g] += other.m2_h_[g] + dh * dh * coeff;
-    mean_h_[g] += dh * (nb / n);
-  }
-  for (std::size_t s = 0; s < width_; ++s) t_[s].merge(other.t_[s]);
-  n_ += other.n_;
+  fold_block(other.n_, scratch_.col_mean.data(), scratch_.col_m2.data(),
+             other.mean_h_.data(), other.m2_h_.data(), other.c_ht_.data());
 }
 
 void StreamingMultiCpa::save(ByteWriter& writer) const {

@@ -12,6 +12,13 @@
 // ~1e-14 even though trace energies sit at ~1e-13 J with ~1e-15 J of
 // data-dependent variation.
 //
+// Two consumption paths: add()/add_batch() is the per-trace Welford
+// update (O(num_guesses) per trace), add_block() the block-factored path
+// (dpa/block_stats.hpp) — per-plaintext sufficient statistics in one
+// O(count) pass, one dense contraction per block, then a pairwise fold.
+// The engine's shard pipeline feeds add_block once per shard; the two
+// paths agree to ~1e-13.
+//
 // Every accumulator is copyable (copies share the immutable prediction
 // table) and mergeable: merge() folds another accumulator over a disjoint
 // trace subset into this one in O(guesses), the primitive under the
@@ -25,6 +32,7 @@
 
 #include "crypto/sboxes.hpp"
 #include "dpa/attack.hpp"
+#include "dpa/block_stats.hpp"
 #include "dpa/hypothesis.hpp"
 #include "power/stats.hpp"
 
@@ -49,8 +57,23 @@ class StreamingCpa {
  public:
   StreamingCpa(const SboxSpec& spec, PowerModel model, std::size_t bit = 0);
 
+  /// Per-trace compat shims: the historic O(num_guesses)-per-trace
+  /// Welford path, kept for incremental feeds (the MTD checkpoint ladder
+  /// splits blocks at arbitrary trace counts) and as the reference the
+  /// block path is benchmarked against.
   void add(std::uint8_t pt, double sample);
   void add_batch(const std::uint8_t* pts, const double* samples,
+                 std::size_t count);
+
+  /// Block-factored hot path (dpa/block_stats.hpp): one O(count)
+  /// histogram pass with no guess loop, one G×P contraction against the
+  /// prediction table, then a pairwise fold of the block's moments into
+  /// the running state. The plaintext range check is hoisted to once per
+  /// block. Scores agree with feeding the same traces through add() to
+  /// ~1e-13 and are bit-identical across dispatch tiers; one add_block
+  /// call per engine shard makes sharded campaigns bit-identical across
+  /// thread counts and lane widths.
+  void add_block(const std::uint8_t* pts, const double* samples,
                  std::size_t count);
 
   /// Folds `other` — an accumulator over a disjoint trace subset with the
@@ -70,6 +93,14 @@ class StreamingCpa {
   void load(ByteReader& reader);
 
  private:
+  // The shared pairwise-combination step: folds one trace subset's
+  // Welford-form moments (a block's converted sufficient statistics, or
+  // another accumulator's state — merge() routes through this) into the
+  // running state.
+  void fold_block(std::size_t count, double mean_t, double m2_t,
+                  const double* block_mean_h, const double* block_m2_h,
+                  const double* block_c_ht);
+
   std::size_t num_guesses_;
   std::size_t num_plaintexts_;
   PowerModel model_;
@@ -84,6 +115,7 @@ class StreamingCpa {
   std::vector<double> mean_h_;
   std::vector<double> m2_h_;
   std::vector<double> c_ht_;
+  BlockScratch scratch_;  // add_block working set; not logical state
 };
 
 /// One-pass difference-of-means DPA on one predicted output bit. The
@@ -95,6 +127,13 @@ class StreamingDom {
 
   void add(std::uint8_t pt, double sample);
   void add_batch(const std::uint8_t* pts, const double* samples,
+                 std::size_t count);
+
+  /// Block-factored hot path: per-plaintext counts/sums in one pass with
+  /// no guess loop, then one partitioned contraction against the
+  /// predicted-bit table. Counts are exact; the partition sums differ
+  /// from trace-order add() only in addition order (~1e-15 relative).
+  void add_block(const std::uint8_t* pts, const double* samples,
                  std::size_t count);
 
   /// Folds `other` (disjoint traces, same spec/bit) into this one: the
@@ -116,6 +155,7 @@ class StreamingDom {
   std::size_t n_ = 0;
   std::vector<double> sum_[2];
   std::vector<std::size_t> cnt_[2];
+  BlockScratch scratch_;  // add_block working set; not logical state
 };
 
 /// One-pass time-resolved CPA: one correlation accumulator per sample
@@ -127,6 +167,15 @@ class StreamingMultiCpa {
                     std::size_t bit = 0);
 
   void add(std::uint8_t pt, const double* row);
+
+  /// Block-factored hot path over `count` rows of `width()` samples: one
+  /// histogram pass building per-plaintext per-level column sums, a
+  /// G×P · P×L contraction GEMM, then a per-column pairwise fold — the
+  /// time-resolved sibling of StreamingCpa::add_block with the same
+  /// accuracy and cross-tier bit-identity guarantees.
+  void add_block(const std::uint8_t* pts, const double* rows,
+                 std::size_t count);
+
   std::size_t count() const { return n_; }
   std::size_t width() const { return width_; }
 
@@ -141,6 +190,13 @@ class StreamingMultiCpa {
   void load(ByteReader& reader);
 
  private:
+  // Shared pairwise-combination step (per-column co-moments first, then
+  // the prediction moments, then the column Welford merges — the order
+  // merge() always used); merge() routes through this.
+  void fold_block(std::size_t count, const double* mean_t,
+                  const double* m2_t, const double* block_mean_h,
+                  const double* block_m2_h, const double* block_c_ht);
+
   std::size_t num_guesses_;
   std::size_t num_plaintexts_;
   std::size_t width_;
@@ -154,6 +210,7 @@ class StreamingMultiCpa {
   std::vector<OnlineMoments> t_;     // per column
   std::vector<double> c_ht_;         // [column * num_guesses_ + guess]
   std::vector<double> dt_;           // per-column scratch
+  BlockScratch scratch_;             // add_block working set
 };
 
 }  // namespace sable

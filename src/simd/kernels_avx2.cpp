@@ -27,6 +27,7 @@
 #include "cell/circuit_sim.hpp"
 #include "cell/wddl.hpp"
 #include "crypto/round_target.hpp"
+#include "dpa/block_stats.hpp"
 #include "expr/factoring.hpp"
 #include "expr/truth_table.hpp"
 #include "netlist/conduction.hpp"
@@ -40,6 +41,7 @@
 #include "cell/circuit_sim_impl.hpp"
 #include "cell/wddl_impl.hpp"
 #include "crypto/round_target_impl.hpp"
+#include "dpa/block_stats_impl.hpp"
 #include "netlist/conduction_impl.hpp"
 #include "switchsim/cycle_sim_impl.hpp"
 
@@ -51,6 +53,15 @@ SABLE_INSTANTIATE_CIRCUIT_SIM(::sable::Word256)
 SABLE_INSTANTIATE_WDDL(::sable::Word256)
 SABLE_INSTANTIATE_ROUND_TARGET(::sable::Word256)
 SABLE_INSTANTIATE_WITH_LANE_WIDTH(::sable::Word256)
+
+namespace detail {
+
+// Tier 1: the distinguishers' block-statistics contraction/histogram
+// bodies, autovectorized for AVX2 (same results bit for bit as every
+// other tier — see dpa/block_stats.hpp).
+SABLE_INSTANTIATE_BLOCK_STATS(1)
+
+}  // namespace detail
 
 }  // namespace sable
 

@@ -15,6 +15,7 @@
 #include "cell/circuit_sim.hpp"
 #include "cell/wddl.hpp"
 #include "crypto/round_target.hpp"
+#include "dpa/block_stats.hpp"
 #include "expr/factoring.hpp"
 #include "expr/truth_table.hpp"
 #include "netlist/conduction.hpp"
@@ -28,6 +29,7 @@
 #include "cell/circuit_sim_impl.hpp"
 #include "cell/wddl_impl.hpp"
 #include "crypto/round_target_impl.hpp"
+#include "dpa/block_stats_impl.hpp"
 #include "netlist/conduction_impl.hpp"
 #include "switchsim/cycle_sim_impl.hpp"
 
@@ -39,6 +41,14 @@ SABLE_INSTANTIATE_CIRCUIT_SIM(::sable::Word512)
 SABLE_INSTANTIATE_WDDL(::sable::Word512)
 SABLE_INSTANTIATE_ROUND_TARGET(::sable::Word512)
 SABLE_INSTANTIATE_WITH_LANE_WIDTH(::sable::Word512)
+
+namespace detail {
+
+// Tier 2: block-statistics bodies autovectorized for AVX-512F (results
+// bit-identical to every other tier — see dpa/block_stats.hpp).
+SABLE_INSTANTIATE_BLOCK_STATS(2)
+
+}  // namespace detail
 
 }  // namespace sable
 

@@ -42,7 +42,9 @@ const Technology kTech = Technology::generic_180nm();
 // Content fingerprint of tests/data/golden_v1.sablcorp (see
 // tests/data/README.md for the generation recipe). Trace simulation is
 // bit-identical across dispatch tiers, so this value is
-// machine-independent.
+// machine-independent. The golden_v2_*.sablcorp fixtures record the
+// SAME campaign and the fingerprint hashes decoded traces, so they
+// share this value — codec-invariance is part of what the goldens pin.
 constexpr std::uint64_t kGoldenV1Fingerprint = 0x4da603cdc3c1c754ull;
 
 std::string temp_path(const std::string& name) {
@@ -798,6 +800,52 @@ TEST(CampaignIoTest, GoldenV1CorpusStaysReadable) {
   Distinguisher* const list[] = {&replayed};
   EXPECT_TRUE(replay_distinguishers(corpus, engine.round(), list));
   expect_same_scores(replayed.result().score, ref.result().score);
+}
+
+TEST(CampaignIoTest, GoldenV2CorporaStayReadable) {
+  // v2 fixtures committed in BOTH codec modes (raw chunks and
+  // delta+plane+RLE) lock the v2 container and each decoder. They were
+  // recorded from the same campaign as golden_v1, and the content
+  // fingerprint hashes DECODED traces — so all three fixtures share
+  // kGoldenV1Fingerprint. A codec that decodes to anything else is a
+  // regression, not a format change.
+  const struct {
+    const char* file;
+    std::uint32_t compression;
+  } kFixtures[] = {
+      {"/golden_v2_raw.sablcorp", kCorpusCompressionNone},
+      {"/golden_v2_delta.sablcorp", kCorpusCompressionDeltaPlaneRle},
+  };
+  TraceEngine engine(present_spec(), LogicStyle::kStaticCmos, kTech);
+  CampaignOptions options;
+  options.num_traces = 96;
+  options.key = {0xB};
+  options.noise_sigma = 2e-16;
+  options.seed = 0x5EED;
+  options.shard_size = 64;
+  const AttackSelector selector{.model = PowerModel::kHammingWeight};
+  CpaDistinguisher ref(engine.spec(), selector);
+  Distinguisher* const ref_list[] = {&ref};
+  engine.run_distinguishers(options, ref_list);
+
+  for (const auto& fixture : kFixtures) {
+    SCOPED_TRACE(fixture.file);
+    const CorpusReader corpus(std::string(SABLE_TEST_DATA_DIR) +
+                              fixture.file);
+    EXPECT_EQ(corpus.version(), kCorpusVersion2);
+    EXPECT_EQ(corpus.manifest().compression, fixture.compression);
+    EXPECT_EQ(corpus.manifest().kind, kCorpusKindScalar);
+    EXPECT_EQ(corpus.manifest().campaign.num_traces, 96u);
+    EXPECT_EQ(corpus.manifest().campaign.shard_size, 64u);
+    EXPECT_EQ(corpus.manifest().campaign.num_shards, 2u);
+    EXPECT_EQ(corpus.manifest().campaign.seed, 0x5EEDu);
+    EXPECT_EQ(corpus_content_fingerprint(corpus), kGoldenV1Fingerprint);
+
+    CpaDistinguisher replayed(engine.spec(), selector);
+    Distinguisher* const list[] = {&replayed};
+    EXPECT_TRUE(replay_distinguishers(corpus, engine.round(), list));
+    expect_same_scores(replayed.result().score, ref.result().score);
+  }
 }
 
 }  // namespace

@@ -91,7 +91,9 @@ TEST(DistinguisherPipelineTest, CpaCampaignBitIdenticalToManualShards) {
                      const double* samples, std::size_t n) {
                    shards.emplace_back(round.sboxes[selector.sbox_index],
                                        selector.model, selector.bit);
-                   shards.back().add_batch(pts, samples, n);
+                   // One add_block per shard: the block-factored feed the
+                   // pipeline's shard accumulators use.
+                   shards.back().add_block(pts, samples, n);
                  });
   ASSERT_EQ(shards.size(), 5u);
   const AttackResult reference = merge_shard_tree(std::move(shards)).result();
@@ -109,7 +111,7 @@ TEST(DistinguisherPipelineTest, DomCampaignBitIdenticalToManualShards) {
                      const double* samples, std::size_t n) {
                    shards.emplace_back(round.sboxes[selector.sbox_index],
                                        selector.bit);
-                   shards.back().add_batch(pts, samples, n);
+                   shards.back().add_block(pts, samples, n);
                  });
   const AttackResult reference = merge_shard_tree(std::move(shards)).result();
   expect_same_result(engine.dom_campaign(options, selector), reference);
@@ -172,9 +174,7 @@ TEST(DistinguisherPipelineTest, MultiCpaCampaignBitIdenticalToManualShards) {
                      std::size_t n) {
                    shards.emplace_back(round.sboxes[0], selector.model, width,
                                        selector.bit);
-                   for (std::size_t t = 0; t < n; ++t) {
-                     shards.back().add(pts[t], rows + t * width);
-                   }
+                   shards.back().add_block(pts, rows, n);
                  });
   const MultiAttackResult reference =
       merge_shard_tree(std::move(shards)).result();

@@ -342,7 +342,8 @@ TEST(MergeTest, EngineCpaEqualsFixedShapeTreeMerge) {
   for (std::size_t start = 0; start < traces.size(); start += shard_size) {
     const std::size_t count = std::min(shard_size, traces.size() - start);
     StreamingCpa acc(spec, PowerModel::kHammingWeight);
-    acc.add_batch(traces.plaintexts.data() + start,
+    // The pipeline feeds each shard through the block-factored path.
+    acc.add_block(traces.plaintexts.data() + start,
                   traces.samples.data() + start, count);
     shards.push_back(std::move(acc));
   }

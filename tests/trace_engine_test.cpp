@@ -514,10 +514,10 @@ TEST(TraceEngineTest, StreamingCampaignEqualsRetainedCampaign) {
   options.key = {0xB};
   options.noise_sigma = 2e-16;
   options.seed = 0xABBA;
-  // One shard: cpa_attack over the retained TraceSet accumulates
-  // unsharded, so bit-exact score equality needs the streamed campaign's
-  // summation order to match (the autotuned default would split 2000
-  // traces into two shards and merge — same attack, different rounding).
+  // One shard keeps the comparison to a single block; the campaign's
+  // block-factored accumulation still rounds differently than the
+  // retained two-pass Pearson attack, so the scores agree to the
+  // pipeline's documented <= 1e-12 budget rather than bit-exactly.
   options.shard_size = 4096;
   const TraceSet traces = engine.run(options);
   const AttackResult batch =
@@ -528,7 +528,7 @@ TEST(TraceEngineTest, StreamingCampaignEqualsRetainedCampaign) {
       engine2.cpa_campaign(options, AttackSelector{.model = PowerModel::kHammingWeight});
   ASSERT_EQ(streamed.score.size(), batch.score.size());
   for (std::size_t g = 0; g < batch.score.size(); ++g) {
-    EXPECT_DOUBLE_EQ(streamed.score[g], batch.score[g]) << g;
+    EXPECT_NEAR(streamed.score[g], batch.score[g], 1e-12) << g;
   }
   EXPECT_EQ(streamed.best_guess, options.key[0]);
 
